@@ -1,0 +1,123 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md for the experiment index).
+//
+// Usage:
+//
+//	experiments [-seed N] [-quick] [-csv] <id>|all
+//
+// Experiment ids: fig2, mrt, batch, smart, bicriteria, dlt, cigri,
+// decentralized, mixed, reservations, malleable, treedlt, ablations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bicriteria"
+	"repro/internal/experiments"
+	"repro/internal/trace"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 42, "base RNG seed")
+	quickFlag := flag.Bool("quick", false, "shrink workloads ~10x for a fast pass")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: experiments [-seed N] [-quick] [-csv] <id>|all")
+		fmt.Fprintln(os.Stderr, "ids: fig2 mrt batch smart bicriteria dlt cigri decentralized mixed reservations malleable treedlt criteria heterogrid ablations")
+		os.Exit(2)
+	}
+	sc := experiments.Scale{}
+	if *quickFlag {
+		sc = experiments.Scale{JobFactor: 10}
+	}
+	id := flag.Arg(0)
+	if err := run(id, *seed, sc, *csv); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+type tableFn func(uint64, experiments.Scale) (*trace.Table, error)
+
+var tables = []struct {
+	id string
+	fn tableFn
+}{
+	{"mrt", experiments.MRTTable},
+	{"batch", experiments.BatchTable},
+	{"smart", experiments.SMARTTable},
+	{"bicriteria", experiments.BiCriteriaTable},
+	{"dlt", experiments.DLTTable},
+	{"cigri", experiments.CiGriTable},
+	{"decentralized", experiments.DecentralizedTable},
+	{"mixed", experiments.MixedTable},
+	{"reservations", experiments.ReservationsTable},
+	{"malleable", experiments.MalleableTable},
+	{"treedlt", experiments.TreeDLTTable},
+	{"criteria", experiments.CriteriaMatrixTable},
+	{"heterogrid", experiments.HeteroGridTable},
+}
+
+var ablations = []struct {
+	id string
+	fn tableFn
+}{
+	{"ablation-allotment", experiments.AblationAllotment},
+	{"ablation-doubling-base", experiments.AblationDoublingBase},
+	{"ablation-shelf-fill", experiments.AblationShelfFill},
+	{"ablation-chunk", experiments.AblationChunk},
+	{"ablation-kill-policy", experiments.AblationKillPolicy},
+	{"ablation-compaction", experiments.AblationCompaction},
+}
+
+func run(id string, seed uint64, sc experiments.Scale, csv bool) error {
+	emit := func(t *trace.Table) error {
+		defer fmt.Println()
+		if csv {
+			return t.WriteCSV(os.Stdout)
+		}
+		return t.Write(os.Stdout)
+	}
+	runOne := func(fn tableFn) error {
+		t, err := fn(seed, sc)
+		if err != nil {
+			return err
+		}
+		return emit(t)
+	}
+	if id == "fig2" || id == "all" {
+		np, p, err := experiments.Fig2Tables(seed, sc)
+		if err != nil {
+			return err
+		}
+		bicriteria.WriteFig2(os.Stdout, np, p)
+		fmt.Println()
+		if id == "fig2" {
+			return nil
+		}
+	}
+	matched := false
+	for _, e := range tables {
+		if id == e.id || id == "all" {
+			matched = true
+			if err := runOne(e.fn); err != nil {
+				return fmt.Errorf("%s: %w", e.id, err)
+			}
+		}
+	}
+	for _, e := range ablations {
+		if id == e.id || id == "ablations" || id == "all" {
+			matched = true
+			if err := runOne(e.fn); err != nil {
+				return fmt.Errorf("%s: %w", e.id, err)
+			}
+		}
+	}
+	if !matched {
+		return fmt.Errorf("unknown experiment %q", id)
+	}
+	return nil
+}

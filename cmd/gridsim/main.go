@@ -1,0 +1,155 @@
+// Command gridsim runs a single scheduling scenario from flags and
+// prints the §3 criteria report, optionally with an ASCII Gantt chart —
+// the quick-look tool for exploring policies.
+//
+// Usage examples:
+//
+//	gridsim -policy mrt -n 100 -m 64
+//	gridsim -policy bicriteria -n 200 -m 100 -weighted
+//	gridsim -policy easy -n 50 -m 32 -rate 0.1 -gantt
+//	gridsim -policy smart -n 80 -m 16 -rigid -weighted
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/batch"
+	"repro/internal/bicriteria"
+	"repro/internal/cluster"
+	"repro/internal/des"
+	"repro/internal/lowerbound"
+	"repro/internal/metrics"
+	"repro/internal/moldable"
+	"repro/internal/rigid"
+	"repro/internal/sched"
+	"repro/internal/smart"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		policy   = flag.String("policy", "mrt", "mrt|batch|bicriteria|smart|fcfs|easy|conservative|ffdh")
+		n        = flag.Int("n", 100, "number of jobs")
+		m        = flag.Int("m", 64, "processors")
+		seed     = flag.Uint64("seed", 42, "workload seed")
+		rate     = flag.Float64("rate", 0, "Poisson arrival rate (0 = offline)")
+		weighted = flag.Bool("weighted", false, "draw job weights")
+		rigidF   = flag.Float64("rigidfrac", 0, "fraction of rigid jobs (1 = all rigid)")
+		gantt    = flag.Bool("gantt", false, "print an ASCII Gantt chart")
+		csvOut   = flag.Bool("csv", false, "dump the schedule as CSV")
+		swf      = flag.String("swf", "", "read the workload from an SWF-style trace file instead of generating one")
+	)
+	flag.Parse()
+
+	var jobs []*workload.Job
+	if *swf != "" {
+		f, err := os.Open(*swf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gridsim: %v\n", err)
+			os.Exit(1)
+		}
+		jobs, err = trace.ReadSWF(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gridsim: %v\n", err)
+			os.Exit(1)
+		}
+		*n = len(jobs)
+	} else {
+		jobs = workload.Parallel(workload.GenConfig{
+			N: *n, M: *m, Seed: *seed, ArrivalRate: *rate,
+			Weighted: *weighted, RigidFraction: *rigidF,
+		})
+	}
+	s, err := runPolicy(*policy, jobs, *m)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gridsim: %v\n", err)
+		os.Exit(1)
+	}
+	rep := s.Report()
+	cmaxLB := lowerbound.Cmax(jobs, *m)
+	wcLB := lowerbound.SumWeightedCompletion(jobs, *m)
+	fmt.Printf("policy=%s n=%d m=%d rate=%g\n", *policy, *n, *m, *rate)
+	fmt.Printf("  Cmax      %12.4g  (%.3fx LB)\n", rep.Makespan, rep.Makespan/cmaxLB)
+	fmt.Printf("  ΣC        %12.4g\n", rep.SumCompletion)
+	fmt.Printf("  ΣwC       %12.4g  (%.3fx LB)\n", rep.SumWeightedCompletion, rep.SumWeightedCompletion/wcLB)
+	fmt.Printf("  mean flow %12.4g\n", rep.MeanFlow)
+	fmt.Printf("  max flow  %12.4g\n", rep.MaxFlow)
+	fmt.Printf("  util      %11.1f%%\n", 100*rep.Utilization)
+	if *gantt {
+		fmt.Println()
+		if err := trace.Gantt(os.Stdout, s, 100); err != nil {
+			fmt.Fprintf(os.Stderr, "gridsim: gantt: %v\n", err)
+		}
+	}
+	if *csvOut {
+		if err := trace.WriteCSV(os.Stdout, s); err != nil {
+			fmt.Fprintf(os.Stderr, "gridsim: csv: %v\n", err)
+		}
+	}
+}
+
+func runPolicy(name string, jobs []*workload.Job, m int) (*sched.Schedule, error) {
+	switch name {
+	case "mrt":
+		res, err := moldable.MRT(jobs, m, 0.01)
+		if err != nil {
+			return nil, err
+		}
+		return res.Schedule, nil
+	case "batch":
+		res, err := batch.OnlineMoldable(jobs, m, 0.01)
+		if err != nil {
+			return nil, err
+		}
+		return res.Schedule, nil
+	case "bicriteria":
+		res, err := bicriteria.Schedule(jobs, m, bicriteria.Options{})
+		if err != nil {
+			return nil, err
+		}
+		return res.Schedule, nil
+	case "smart":
+		s, _, err := smart.Schedule(jobs, m, smart.FirstFit)
+		return s, err
+	case "fcfs", "easy":
+		var pol cluster.Policy = cluster.FCFSPolicy{}
+		if name == "easy" {
+			pol = cluster.EASYPolicy{}
+		}
+		sim, err := cluster.New(des.New(), m, 1, pol, cluster.KillNewest)
+		if err != nil {
+			return nil, err
+		}
+		for _, j := range jobs {
+			if err := sim.Submit(j); err != nil {
+				return nil, err
+			}
+		}
+		if err := sim.Run(); err != nil {
+			return nil, err
+		}
+		return completionsToSchedule(sim.Completions(), m), nil
+	case "conservative":
+		return rigid.Conservative(jobs, m)
+	case "ffdh":
+		shelves, err := rigid.FFDH(jobs, m)
+		if err != nil {
+			return nil, err
+		}
+		return rigid.ShelvesToSchedule(shelves, m), nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q", name)
+	}
+}
+
+func completionsToSchedule(cs []metrics.Completion, m int) *sched.Schedule {
+	s := sched.New(m)
+	for _, c := range cs {
+		s.Add(sched.Alloc{Job: c.Job, Start: c.Start, Procs: c.Procs})
+	}
+	return s
+}

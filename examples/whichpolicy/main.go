@@ -1,0 +1,62 @@
+// The paper's title, answered: enumerate the application taxonomy of §2
+// and print the policy the analysis selects for each class, with its
+// guarantee — then run each recommendation on a sample workload to show
+// the guarantee holding.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	fmt.Println("Which policy for which application?  (§2 taxonomy × §3 criteria)")
+	fmt.Println()
+
+	profiles := []struct {
+		desc string
+		p    repro.Profile
+	}{
+		{"offline moldable, makespan", repro.Profile{Moldable: true}},
+		{"online moldable, makespan", repro.Profile{Moldable: true, Online: true}},
+		{"rigid, weighted completion", repro.Profile{Criterion: repro.WeightedCompletion}},
+		{"moldable, both criteria", repro.Profile{Moldable: true, Criterion: repro.BiCriteria}},
+		{"offline rigid, makespan", repro.Profile{}},
+		{"online rigid, makespan", repro.Profile{Online: true}},
+		{"divisible (multi-parametric)", repro.Profile{Divisible: true}},
+	}
+	for _, x := range profiles {
+		rec := repro.Recommend(x.p)
+		fmt.Printf("%-30s → %-24s %-10s ratio %s\n",
+			x.desc, rec.Policy, rec.Section, rec.Guarantee)
+	}
+
+	// Demonstrate the recommendations on a live instance.
+	const m = 32
+	fmt.Printf("\nrunning each PT recommendation on 60 jobs, m=%d:\n", m)
+	for _, x := range profiles {
+		if x.p.Divisible {
+			continue // handled by the dlt package (see examples/dlt)
+		}
+		cfg := repro.GenConfig{N: 60, M: m, Seed: 7, Weighted: true}
+		if x.p.Online {
+			cfg.ArrivalRate = 0.1
+		}
+		if !x.p.Moldable {
+			cfg.RigidFraction = 1
+		}
+		jobs := repro.ParallelJobs(cfg)
+		s, rec, err := repro.Run(jobs, m, x.p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep := s.Report()
+		fmt.Printf("%-30s Cmax %8.0f (%.2fx LB)   ΣwC %10.0f (%.2fx LB)\n",
+			rec.Policy,
+			rep.Makespan, rep.Makespan/repro.CmaxLowerBound(jobs, m),
+			rep.SumWeightedCompletion,
+			rep.SumWeightedCompletion/repro.WeightedCompletionLowerBound(jobs, m))
+	}
+}

@@ -1,0 +1,142 @@
+package repro
+
+// End-to-end integration tests: full pipelines through the public facade
+// and the experiments drivers, plus determinism goldens (same seed ⇒
+// bit-identical outputs) so refactors cannot silently change results.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/trace"
+)
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	render := func() string {
+		tb, err := experiments.MRTTable(42, experiments.Scale{JobFactor: 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := tb.Write(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Fatalf("same seed produced different tables:\n%s\n---\n%s", a, b)
+	}
+}
+
+func TestDeterminismFig2(t *testing.T) {
+	run := func() []Fig2Point {
+		pts, err := Fig2Series(Fig2Config{M: 32, Ns: []int{20}, Seed: 9, Reps: 2, Parallel: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pts
+	}
+	a, b := run(), run()
+	if a[0].CmaxRatio != b[0].CmaxRatio || a[0].WCRatio != b[0].WCRatio {
+		t.Fatalf("Fig2 not deterministic: %+v vs %+v", a[0], b[0])
+	}
+}
+
+func TestEveryExperimentRunsAtTestScale(t *testing.T) {
+	sc := experiments.Scale{JobFactor: 20}
+	drivers := map[string]func(uint64, experiments.Scale) (*trace.Table, error){
+		"mrt":           experiments.MRTTable,
+		"batch":         experiments.BatchTable,
+		"smart":         experiments.SMARTTable,
+		"bicriteria":    experiments.BiCriteriaTable,
+		"dlt":           experiments.DLTTable,
+		"cigri":         experiments.CiGriTable,
+		"decentralized": experiments.DecentralizedTable,
+		"mixed":         experiments.MixedTable,
+		"reservations":  experiments.ReservationsTable,
+		"malleable":     experiments.MalleableTable,
+		"treedlt":       experiments.TreeDLTTable,
+		"criteria":      experiments.CriteriaMatrixTable,
+		"heterogrid":    experiments.HeteroGridTable,
+	}
+	for name, fn := range drivers {
+		tb, err := fn(1, sc)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var sb strings.Builder
+		if err := tb.Write(&sb); err != nil {
+			t.Fatalf("%s: render: %v", name, err)
+		}
+		if !strings.Contains(sb.String(), tb.Headers[0]) {
+			t.Fatalf("%s: header missing from render", name)
+		}
+	}
+}
+
+func TestFullPipelineCIMENTGrid(t *testing.T) {
+	// Facade-level CiGri run: CIMENT platform, community jobs, one bag.
+	g := CIMENT()
+	var members []GridMember
+	id := 0
+	seed := uint64(3)
+	for _, cl := range g.Clusters {
+		jobs := CommunityJobs(CIMENTCommunities(), 8, cl.Procs(), 0.005, seed)
+		seed++
+		for _, j := range jobs {
+			j.ID = id
+			id++
+		}
+		members = append(members, GridMember{Cluster: cl, Policy: EASY, Local: jobs})
+	}
+	bags := []*Bag{{ID: 0, Runs: 300, RunTime: 45, Name: "it"}}
+	grid, err := NewCentralizedGrid(members, bags, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := grid.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if grid.Stats().TasksCompleted != 300 {
+		t.Fatalf("grid completed %d of 300", grid.Stats().TasksCompleted)
+	}
+	total := 0
+	for i := 0; i < grid.Members(); i++ {
+		total += len(grid.LocalCompletions(i))
+	}
+	if total != id {
+		t.Fatalf("local completions %d of %d", total, id)
+	}
+}
+
+func TestRecommendationsAreConsistentWithRun(t *testing.T) {
+	// Every non-divisible profile must execute through Run and yield a
+	// schedule whose criteria beat a naive 10x-of-bound sanity envelope.
+	const m = 16
+	for _, p := range []Profile{
+		{Moldable: true},
+		{Moldable: true, Online: true},
+		{Criterion: WeightedCompletion},
+		{Criterion: BiCriteria, Moldable: true},
+		{},
+		{Online: true},
+	} {
+		cfg := GenConfig{N: 30, M: m, Seed: 5, Weighted: true}
+		if p.Online {
+			cfg.ArrivalRate = 0.2
+		}
+		if !p.Moldable {
+			cfg.RigidFraction = 1
+		}
+		jobs := ParallelJobs(cfg)
+		s, rec, err := Run(jobs, m, p)
+		if err != nil {
+			t.Fatalf("%+v (%s): %v", p, rec.Policy, err)
+		}
+		if ratio := s.Report().Makespan / CmaxLowerBound(jobs, m); ratio > 10 {
+			t.Fatalf("%s: Cmax ratio %v fails the sanity envelope", rec.Policy, ratio)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package bicriteria
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Fig2Point is one point of the Figure 2 curves: the two criterion ratios
+// measured for a workload of N tasks.
+type Fig2Point struct {
+	N         int
+	CmaxRatio float64
+	WCRatio   float64
+}
+
+// Fig2Config parameterizes the Figure 2 reproduction. The paper's setting
+// is a cluster of 100 machines, task counts up to 1000, two workload
+// families ("Non Parallel" and "Parallel") and the two criteria Cmax and
+// ΣωiCi.
+type Fig2Config struct {
+	M    int   // platform width (paper: 100)
+	Ns   []int // task counts (paper: 0..1000)
+	Seed uint64
+	Reps int // replications averaged per point
+	// Parallel selects the moldable-parallel workload family; false
+	// selects the sequential ("Non Parallel") family.
+	Parallel bool
+}
+
+// DefaultNs returns the task-count sweep of Figure 2.
+func DefaultNs() []int {
+	return []int{10, 25, 50, 100, 200, 300, 400, 500, 600, 700, 800, 900, 1000}
+}
+
+// Fig2Series runs the bi-criteria algorithm over the task-count sweep and
+// returns the measured ratio curves.
+func Fig2Series(cfg Fig2Config) ([]Fig2Point, error) {
+	if cfg.M == 0 {
+		cfg.M = 100
+	}
+	if len(cfg.Ns) == 0 {
+		cfg.Ns = DefaultNs()
+	}
+	if cfg.Reps == 0 {
+		cfg.Reps = 3
+	}
+	points := make([]Fig2Point, 0, len(cfg.Ns))
+	rng := stats.NewRNG(cfg.Seed)
+	for _, n := range cfg.Ns {
+		var cmaxSum, wcSum float64
+		for rep := 0; rep < cfg.Reps; rep++ {
+			gen := workload.GenConfig{
+				N: n, M: cfg.M, Seed: rng.Uint64(), Weighted: true,
+			}
+			var jobs []*workload.Job
+			if cfg.Parallel {
+				jobs = workload.Parallel(gen)
+			} else {
+				jobs = workload.Sequential(gen)
+			}
+			res, err := Schedule(jobs, cfg.M, Options{})
+			if err != nil {
+				return nil, fmt.Errorf("bicriteria: fig2 n=%d rep=%d: %w", n, rep, err)
+			}
+			cmaxSum += res.CmaxRatio()
+			wcSum += res.WCRatio()
+		}
+		points = append(points, Fig2Point{
+			N:         n,
+			CmaxRatio: cmaxSum / float64(cfg.Reps),
+			WCRatio:   wcSum / float64(cfg.Reps),
+		})
+	}
+	return points, nil
+}
+
+// WriteFig2 renders both panels of Figure 2 (WiCi ratio and Cmax ratio vs
+// number of tasks) as aligned text tables, one row per task count.
+func WriteFig2(w io.Writer, nonParallel, parallel []Fig2Point) {
+	fmt.Fprintln(w, "Figure 2 — bi-criteria algorithm on a 100-machine cluster")
+	fmt.Fprintln(w, "(ratios to lower bounds; paper reports ratios to optimum estimates)")
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%8s  %22s  %22s\n", "", "WiCi ratio", "Cmax ratio")
+	fmt.Fprintf(w, "%8s  %11s %10s  %11s %10s\n",
+		"n tasks", "NonParallel", "Parallel", "NonParallel", "Parallel")
+	for i := range nonParallel {
+		var pWC, pCmax float64
+		if i < len(parallel) {
+			pWC, pCmax = parallel[i].WCRatio, parallel[i].CmaxRatio
+		}
+		fmt.Fprintf(w, "%8d  %11.3f %10.3f  %11.3f %10.3f\n",
+			nonParallel[i].N, nonParallel[i].WCRatio, pWC,
+			nonParallel[i].CmaxRatio, pCmax)
+	}
+}

@@ -1,0 +1,389 @@
+// Package cluster is the event-driven single-cluster simulator: local
+// jobs arrive online into a submission queue, a pluggable policy decides
+// starts, and — following the CiGri design of §5.2 — best-effort grid
+// tasks fill the remaining holes and are killed (and handed back to the
+// grid) whenever a local job needs their processors. Local jobs can never
+// be delayed by best-effort work.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/des"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// Decision is one start decision of a policy: run Job on Procs
+// processors now.
+type Decision struct {
+	Job   *workload.Job
+	Procs int
+}
+
+// RunningInfo describes a running local job to policies (for shadow-time
+// computations).
+type RunningInfo struct {
+	End   float64
+	Procs int
+}
+
+// View is the state snapshot handed to a policy. Avail counts free
+// processors plus processors held by evictable best-effort tasks: the
+// §5.2 contract is that local jobs behave as if grid jobs did not exist.
+type View struct {
+	Now     float64
+	M       int
+	Avail   int
+	Speed   float64
+	Queue   []*workload.Job // submission order
+	Running []RunningInfo   // local jobs only
+}
+
+// Duration returns the execution time of job j on p processors on this
+// cluster (profile time divided by the cluster speed factor).
+func (v View) Duration(j *workload.Job, p int) float64 {
+	return j.TimeOn(p) / v.Speed
+}
+
+// Policy decides which queued jobs start now. Implementations must only
+// start jobs that fit in v.Avail and must not start a job twice.
+type Policy interface {
+	Name() string
+	Decide(v View) []Decision
+}
+
+// KillPolicy selects which best-effort tasks die when a local job needs
+// processors (§5.2: "the latter will be killed").
+type KillPolicy int
+
+const (
+	// KillNewest evicts the most recently started tasks first (least
+	// sunk work — the CiGri-friendly default).
+	KillNewest KillPolicy = iota
+	// KillLargestRemaining evicts tasks with the most remaining work
+	// first (frees capacity for longest, maximizes wasted work — the
+	// adversarial ablation).
+	KillLargestRemaining
+)
+
+// BETask is one elementary run of a multi-parametric grid campaign.
+type BETask struct {
+	BagID    int
+	Index    int
+	Duration float64 // at reference speed 1.0
+}
+
+// BEStats aggregates the best-effort activity of one cluster.
+type BEStats struct {
+	Completed  int
+	Killed     int
+	DoneWork   float64 // reference-speed work completed
+	WastedWork float64 // reference-speed work lost to kills
+}
+
+type beRunning struct {
+	task  BETask
+	start float64
+	end   float64
+	seq   uint64
+	// event generation guard: a killed task's finish event must not fire.
+	cancelled bool
+}
+
+// Sim simulates one cluster.
+type Sim struct {
+	DES    *des.Simulator
+	M      int
+	Speed  float64
+	policy Policy
+	kill   KillPolicy
+
+	queue       []*workload.Job
+	localProcs  int
+	running     []*localRunning
+	completions []metrics.Completion
+
+	beQueue   []BETask
+	beActive  []*beRunning
+	beSeq     uint64
+	beStats   BEStats
+	submitted int
+
+	// OnBEKilled, when set, receives killed tasks (the grid server
+	// resubmits them). OnBEDone receives completed tasks.
+	OnBEKilled func(t BETask)
+	OnBEDone   func(t BETask)
+	// OnIdle, when set, is invoked after every reschedule with the
+	// number of free processors (the grid server refills holes).
+	OnIdle func(free int)
+}
+
+type localRunning struct {
+	job   *workload.Job
+	procs int
+	start float64
+	end   float64
+}
+
+// New creates a cluster simulator. speed scales all execution times
+// (CIMENT clusters differ in processor generation); policy decides local
+// starts.
+func New(sim *des.Simulator, m int, speed float64, policy Policy, kill KillPolicy) (*Sim, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("cluster: %d processors", m)
+	}
+	if speed <= 0 {
+		return nil, fmt.Errorf("cluster: speed %v", speed)
+	}
+	if policy == nil {
+		return nil, fmt.Errorf("cluster: nil policy")
+	}
+	if sim == nil {
+		sim = des.New()
+	}
+	return &Sim{DES: sim, M: m, Speed: speed, policy: policy, kill: kill}, nil
+}
+
+// Submit registers a local job: it arrives at its release date.
+func (s *Sim) Submit(j *workload.Job) error {
+	if j.MinProcs > s.M {
+		return fmt.Errorf("cluster: job %d needs %d > %d procs", j.ID, j.MinProcs, s.M)
+	}
+	s.submitted++
+	return s.DES.At(math.Max(j.Release, s.DES.Now()), func() {
+		s.queue = append(s.queue, j)
+		s.reschedule()
+	})
+}
+
+// SubmitBestEffort enqueues a grid task; it will run in scheduling holes.
+func (s *Sim) SubmitBestEffort(t BETask) {
+	s.beQueue = append(s.beQueue, t)
+	// Defer the fill to an immediate event so that submission during
+	// another event keeps deterministic ordering.
+	_ = s.DES.After(0, s.reschedule)
+}
+
+// free returns physically free processors.
+func (s *Sim) free() int {
+	return s.M - s.localProcs - len(s.beActive)
+}
+
+// reschedule runs the policy, starts its decisions (evicting best-effort
+// tasks as needed), then refills holes with best-effort tasks.
+func (s *Sim) reschedule() {
+	now := s.DES.Now()
+	view := View{
+		Now: now, M: s.M, Avail: s.M - s.localProcs, Speed: s.Speed,
+		Queue: append([]*workload.Job(nil), s.queue...),
+	}
+	for _, r := range s.running {
+		view.Running = append(view.Running, RunningInfo{End: r.end, Procs: r.procs})
+	}
+	decisions := s.policy.Decide(view)
+	for _, d := range decisions {
+		s.start(d, now)
+	}
+	s.fillBestEffort(now)
+	if s.OnIdle != nil {
+		s.OnIdle(s.free())
+	}
+}
+
+func (s *Sim) start(d Decision, now float64) {
+	// Remove from queue; ignore unknown jobs (policy bug guard).
+	idx := -1
+	for i, j := range s.queue {
+		if j.ID == d.Job.ID {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 || d.Procs < d.Job.MinProcs || d.Procs > d.Job.MaxProcs {
+		return
+	}
+	if d.Procs > s.M-s.localProcs {
+		return // policy overcommitted; refuse
+	}
+	// Evict best-effort tasks if physically needed.
+	for s.free() < d.Procs {
+		if !s.killOneBE(now) {
+			return // cannot happen: free+BE >= M-localProcs >= d.Procs
+		}
+	}
+	s.queue = append(s.queue[:idx], s.queue[idx+1:]...)
+	dur := d.Job.TimeOn(d.Procs) / s.Speed
+	run := &localRunning{job: d.Job, procs: d.Procs, start: now, end: now + dur}
+	s.running = append(s.running, run)
+	s.localProcs += d.Procs
+	_ = s.DES.At(run.end, func() {
+		s.finish(run)
+	})
+}
+
+func (s *Sim) finish(run *localRunning) {
+	for i, r := range s.running {
+		if r == run {
+			s.running = append(s.running[:i], s.running[i+1:]...)
+			break
+		}
+	}
+	s.localProcs -= run.procs
+	s.completions = append(s.completions, metrics.Completion{
+		Job: run.job, Start: run.start, End: run.end, Procs: run.procs,
+	})
+	s.reschedule()
+}
+
+// killOneBE evicts one best-effort task per the kill policy. Returns
+// false when none is running.
+func (s *Sim) killOneBE(now float64) bool {
+	if len(s.beActive) == 0 {
+		return false
+	}
+	victim := 0
+	switch s.kill {
+	case KillLargestRemaining:
+		best := -1.0
+		for i, b := range s.beActive {
+			if rem := b.end - now; rem > best {
+				best = rem
+				victim = i
+			}
+		}
+	default: // KillNewest
+		for i, b := range s.beActive {
+			if b.start > s.beActive[victim].start ||
+				(b.start == s.beActive[victim].start && b.seq > s.beActive[victim].seq) {
+				victim = i
+			}
+		}
+	}
+	b := s.beActive[victim]
+	s.beActive = append(s.beActive[:victim], s.beActive[victim+1:]...)
+	b.cancelled = true
+	s.beStats.Killed++
+	s.beStats.WastedWork += (now - b.start) * s.Speed
+	if s.OnBEKilled != nil {
+		s.OnBEKilled(b.task)
+	}
+	return true
+}
+
+func (s *Sim) fillBestEffort(now float64) {
+	for s.free() > 0 && len(s.beQueue) > 0 {
+		t := s.beQueue[0]
+		s.beQueue = s.beQueue[1:]
+		b := &beRunning{task: t, start: now, end: now + t.Duration/s.Speed, seq: s.beSeq}
+		s.beSeq++
+		s.beActive = append(s.beActive, b)
+		_ = s.DES.At(b.end, func() {
+			s.finishBE(b)
+		})
+	}
+}
+
+func (s *Sim) finishBE(b *beRunning) {
+	if b.cancelled {
+		return
+	}
+	for i, x := range s.beActive {
+		if x == b {
+			s.beActive = append(s.beActive[:i], s.beActive[i+1:]...)
+			break
+		}
+	}
+	s.beStats.Completed++
+	s.beStats.DoneWork += b.task.Duration
+	if s.OnBEDone != nil {
+		s.OnBEDone(b.task)
+	}
+	s.reschedule()
+}
+
+// Run drives the simulation to completion (all submitted local jobs done
+// and the event queue drained).
+func (s *Sim) Run() error {
+	if err := s.DES.Run(); err != nil {
+		return err
+	}
+	if len(s.completions) != s.submitted {
+		return fmt.Errorf("cluster: %d of %d local jobs completed (queue starved: %d waiting)",
+			len(s.completions), s.submitted, len(s.queue))
+	}
+	return nil
+}
+
+// Completions returns the local-job completion records.
+func (s *Sim) Completions() []metrics.Completion {
+	return append([]metrics.Completion(nil), s.completions...)
+}
+
+// BestEffort returns the best-effort statistics.
+func (s *Sim) BestEffort() BEStats { return s.beStats }
+
+// BestEffortQueueLength returns the number of grid tasks waiting (not
+// running) on this cluster.
+func (s *Sim) BestEffortQueueLength() int { return len(s.beQueue) }
+
+// BestEffortActive returns the number of grid tasks currently running.
+func (s *Sim) BestEffortActive() int { return len(s.beActive) }
+
+// Free returns the currently free processor count.
+func (s *Sim) Free() int { return s.free() }
+
+// QueueLength returns the current waiting-queue length (used by the
+// decentralized load exchange to compare cluster loads).
+func (s *Sim) QueueLength() int { return len(s.queue) }
+
+// QueuedWork returns the total minimal work waiting in the queue at
+// reference speed (the load-balance signal of §5.2's decentralized
+// scheme).
+func (s *Sim) QueuedWork() float64 {
+	var w float64
+	for _, j := range s.queue {
+		mw, _ := j.MinWork(s.M)
+		w += mw
+	}
+	return w
+}
+
+// StealQueued removes and returns up to n jobs from the tail of the
+// waiting queue (decentralized work exchange). Jobs already started
+// cannot be stolen.
+func (s *Sim) StealQueued(n int) []*workload.Job {
+	if n <= 0 || len(s.queue) == 0 {
+		return nil
+	}
+	if n > len(s.queue) {
+		n = len(s.queue)
+	}
+	stolen := append([]*workload.Job(nil), s.queue[len(s.queue)-n:]...)
+	s.queue = s.queue[:len(s.queue)-n]
+	s.submitted -= n
+	return stolen
+}
+
+// InjectNow enqueues a job immediately (migration arrival from another
+// cluster; its release date is in the past by construction).
+func (s *Sim) InjectNow(j *workload.Job) error {
+	if j.MinProcs > s.M {
+		return fmt.Errorf("cluster: job %d needs %d > %d procs", j.ID, j.MinProcs, s.M)
+	}
+	s.submitted++
+	return s.DES.After(0, func() {
+		s.queue = append(s.queue, j)
+		s.reschedule()
+	})
+}
+
+// sortRunningByEnd returns the running set ordered by completion time
+// (helper shared by policies).
+func sortRunningByEnd(rs []RunningInfo) []RunningInfo {
+	out := append([]RunningInfo(nil), rs...)
+	sort.Slice(out, func(i, k int) bool { return out[i].End < out[k].End })
+	return out
+}

@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"math"
+
+	"repro/internal/workload"
+)
+
+// procsFor returns the processor count a queue policy uses for a job:
+// rigid jobs their fixed count; moldable jobs their minimum (queue
+// policies in production batch systems treat requests as rigid — the
+// moldable intelligence lives in the batch/bicriteria algorithms).
+func procsFor(j *workload.Job) int { return j.MinProcs }
+
+// FCFSPolicy starts the queue head whenever it fits and never looks past
+// it — the strict no-backfilling baseline.
+type FCFSPolicy struct{}
+
+// Name implements Policy.
+func (FCFSPolicy) Name() string { return "fcfs" }
+
+// Decide implements Policy.
+func (FCFSPolicy) Decide(v View) []Decision {
+	var out []Decision
+	avail := v.Avail
+	for _, j := range v.Queue {
+		p := procsFor(j)
+		if p > avail {
+			break
+		}
+		out = append(out, Decision{Job: j, Procs: p})
+		avail -= p
+	}
+	return out
+}
+
+// EASYPolicy is EASY (aggressive) backfilling: the queue head gets a
+// reservation at the earliest time enough processors free up (the shadow
+// time); later jobs may start now if they terminate before the shadow
+// time or fit in the processors left over at it.
+type EASYPolicy struct{}
+
+// Name implements Policy.
+func (EASYPolicy) Name() string { return "easy" }
+
+// Decide implements Policy.
+func (EASYPolicy) Decide(v View) []Decision {
+	var out []Decision
+	avail := v.Avail
+	queue := append([]*workload.Job(nil), v.Queue...)
+	running := append([]RunningInfo(nil), v.Running...)
+
+	// Start heads while they fit.
+	for len(queue) > 0 {
+		head := queue[0]
+		p := procsFor(head)
+		if p > avail {
+			break
+		}
+		out = append(out, Decision{Job: head, Procs: p})
+		avail -= p
+		running = append(running, RunningInfo{End: v.Now + v.Duration(head, p), Procs: p})
+		queue = queue[1:]
+	}
+	if len(queue) == 0 {
+		return out
+	}
+
+	// Shadow time for the blocked head.
+	head := queue[0]
+	need := procsFor(head)
+	shadow := math.Inf(1)
+	extra := 0
+	cum := avail
+	for _, r := range sortRunningByEnd(running) {
+		cum += r.Procs
+		if cum >= need {
+			shadow = r.End
+			extra = cum - need
+			break
+		}
+	}
+
+	// Backfill the rest.
+	for _, j := range queue[1:] {
+		p := procsFor(j)
+		if p > avail {
+			continue
+		}
+		end := v.Now + v.Duration(j, p)
+		fitsBefore := end <= shadow+1e-12
+		fitsBeside := p <= extra
+		if fitsBefore || fitsBeside {
+			out = append(out, Decision{Job: j, Procs: p})
+			avail -= p
+			if !fitsBefore {
+				extra -= p
+			}
+		}
+	}
+	return out
+}
+
+// GreedyFitPolicy starts any queued job that fits, scanning in queue
+// order — maximal utilization, no starvation protection (wide jobs can
+// wait forever behind a stream of narrow ones).
+type GreedyFitPolicy struct{}
+
+// Name implements Policy.
+func (GreedyFitPolicy) Name() string { return "greedyfit" }
+
+// Decide implements Policy.
+func (GreedyFitPolicy) Decide(v View) []Decision {
+	var out []Decision
+	avail := v.Avail
+	for _, j := range v.Queue {
+		p := procsFor(j)
+		if p <= avail {
+			out = append(out, Decision{Job: j, Procs: p})
+			avail -= p
+		}
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestRecommendTable(t *testing.T) {
+	cases := []struct {
+		p    Profile
+		want string
+	}{
+		{Profile{Divisible: true}, "dlt"},
+		{Profile{Criterion: BiCriteria, Moldable: true}, "bicriteria-doubling"},
+		{Profile{Criterion: WeightedCompletion}, "smart-shelves"},
+		{Profile{Moldable: true, Online: true}, "batch-mrt"},
+		{Profile{Moldable: true}, "mrt"},
+		{Profile{Online: true}, "conservative-backfilling"},
+		{Profile{}, "ffdh"},
+	}
+	for _, c := range cases {
+		got := Recommend(c.p)
+		if got.Policy != c.want {
+			t.Errorf("Recommend(%+v) = %q, want %q", c.p, got.Policy, c.want)
+		}
+		if got.Guarantee == "" || got.Section == "" || got.Rationale == "" {
+			t.Errorf("incomplete recommendation for %+v: %+v", c.p, got)
+		}
+	}
+}
+
+func TestCriterionString(t *testing.T) {
+	if Makespan.String() != "Cmax" || WeightedCompletion.String() != "ΣwC" ||
+		BiCriteria.String() != "Cmax+ΣwC" {
+		t.Fatal("Criterion strings drifted")
+	}
+}
+
+func TestRunAllPTPolicies(t *testing.T) {
+	m := 16
+	moldableJobs := workload.Parallel(workload.GenConfig{N: 30, M: m, Seed: 1, Weighted: true})
+	onlineMoldable := workload.Parallel(workload.GenConfig{N: 30, M: m, Seed: 2, ArrivalRate: 0.2})
+	rigidJobs := workload.Parallel(workload.GenConfig{N: 30, M: m, Seed: 3, RigidFraction: 1})
+	onlineRigid := workload.Parallel(workload.GenConfig{N: 30, M: m, Seed: 4, RigidFraction: 1, ArrivalRate: 0.2})
+
+	cases := []struct {
+		name string
+		p    Profile
+		jobs []*workload.Job
+	}{
+		{"mrt", Profile{Moldable: true}, moldableJobs},
+		{"batch", Profile{Moldable: true, Online: true}, onlineMoldable},
+		{"smart", Profile{Criterion: WeightedCompletion}, rigidJobs},
+		{"bicriteria", Profile{Criterion: BiCriteria, Moldable: true}, moldableJobs},
+		{"ffdh", Profile{}, rigidJobs},
+		{"conservative", Profile{Online: true}, onlineRigid},
+	}
+	for _, c := range cases {
+		s, rec, err := Run(c.jobs, m, c.p)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if s == nil || len(s.Allocs) != len(c.jobs) {
+			t.Fatalf("%s (%s): incomplete schedule", c.name, rec.Policy)
+		}
+		if err := s.Covers(c.jobs); err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+	}
+}
+
+func TestRunRejectsDivisible(t *testing.T) {
+	if _, _, err := Run(nil, 4, Profile{Divisible: true}); err == nil {
+		t.Fatal("divisible profile accepted by Run")
+	}
+}
+
+func TestRunPropagatesPolicyErrors(t *testing.T) {
+	// A job wider than the platform makes every policy fail cleanly.
+	j := &workload.Job{
+		ID: 1, Kind: workload.Rigid, Weight: 1, DueDate: -1,
+		SeqTime: 10, MinProcs: 64, MaxProcs: 64, Model: workload.Linear{},
+	}
+	for _, p := range []Profile{
+		{Moldable: true}, {Criterion: WeightedCompletion}, {},
+	} {
+		if _, _, err := Run([]*workload.Job{j}, 4, p); err == nil {
+			t.Fatalf("oversized job accepted by %+v", p)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package des
+
+import "testing"
+
+// BenchmarkEventThroughput measures raw event processing (schedule +
+// dispatch) — the floor cost of every cluster simulation.
+func BenchmarkEventThroughput(b *testing.B) {
+	b.ReportAllocs()
+	s := New()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < b.N {
+			_ = s.After(1, tick)
+		}
+	}
+	_ = s.At(0, tick)
+	b.ResetTimer()
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkHeapChurn measures interleaved scheduling at random offsets.
+func BenchmarkHeapChurn(b *testing.B) {
+	b.ReportAllocs()
+	s := New()
+	for i := 0; i < b.N; i++ {
+		_ = s.At(float64(i%97), func() {})
+	}
+	b.ResetTimer()
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

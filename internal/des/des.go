@@ -1,0 +1,120 @@
+// Package des is a minimal deterministic discrete-event simulation
+// kernel: a clock and a binary-heap event queue with stable FIFO
+// tie-breaking at equal timestamps. The cluster and grid simulators are
+// built on it.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// event is one scheduled callback.
+type event struct {
+	time float64
+	seq  uint64 // insertion order, breaks ties deterministically
+	fn   func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Simulator owns the virtual clock and the pending event set.
+type Simulator struct {
+	clock   float64
+	events  eventHeap
+	seq     uint64
+	stopped bool
+	// Processed counts executed events (diagnostics / runaway guards).
+	Processed uint64
+	// Limit aborts Run after this many events (0 = no limit). A safety
+	// valve against non-terminating simulations in tests.
+	Limit uint64
+}
+
+// New returns a simulator with the clock at 0.
+func New() *Simulator { return &Simulator{} }
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() float64 { return s.clock }
+
+// At schedules fn at absolute time t. Scheduling in the past is an error.
+func (s *Simulator) At(t float64, fn func()) error {
+	if t < s.clock {
+		return fmt.Errorf("des: scheduling at %v before now (%v)", t, s.clock)
+	}
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		return fmt.Errorf("des: scheduling at non-finite time %v", t)
+	}
+	heap.Push(&s.events, event{time: t, seq: s.seq, fn: fn})
+	s.seq++
+	return nil
+}
+
+// After schedules fn after delay d (d >= 0).
+func (s *Simulator) After(d float64, fn func()) error {
+	if d < 0 {
+		return fmt.Errorf("des: negative delay %v", d)
+	}
+	return s.At(s.clock+d, fn)
+}
+
+// Stop makes Run return after the current event.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Pending returns the number of queued events.
+func (s *Simulator) Pending() int { return s.events.Len() }
+
+// Run executes events in timestamp order until the queue drains, Stop is
+// called, or the event limit is hit (error in that last case).
+func (s *Simulator) Run() error {
+	s.stopped = false
+	for s.events.Len() > 0 && !s.stopped {
+		if s.Limit > 0 && s.Processed >= s.Limit {
+			return fmt.Errorf("des: event limit %d reached at t=%v", s.Limit, s.clock)
+		}
+		e := heap.Pop(&s.events).(event)
+		s.clock = e.time
+		s.Processed++
+		e.fn()
+	}
+	return nil
+}
+
+// RunUntil executes events with timestamps <= t, then sets the clock to t.
+func (s *Simulator) RunUntil(t float64) error {
+	if t < s.clock {
+		return fmt.Errorf("des: RunUntil(%v) before now (%v)", t, s.clock)
+	}
+	s.stopped = false
+	for s.events.Len() > 0 && !s.stopped && s.events[0].time <= t {
+		if s.Limit > 0 && s.Processed >= s.Limit {
+			return fmt.Errorf("des: event limit %d reached at t=%v", s.Limit, s.clock)
+		}
+		e := heap.Pop(&s.events).(event)
+		s.clock = e.time
+		s.Processed++
+		e.fn()
+	}
+	if !s.stopped {
+		s.clock = t
+	}
+	return nil
+}

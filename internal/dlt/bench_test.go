@@ -1,0 +1,44 @@
+package dlt
+
+import "testing"
+
+func benchStar(n int) *Star {
+	ws := make([]Worker, n)
+	for i := range ws {
+		ws[i] = Worker{Compute: 1 + float64(i%5)*0.3, Link: 0.01 + float64(i%7)*0.05}
+	}
+	return &Star{Workers: ws, Latency: 0.5}
+}
+
+func BenchmarkSingleRound64(b *testing.B) {
+	s := benchStar(64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SingleRound(s, 1e5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMultiRound64x16(b *testing.B) {
+	s := benchStar(64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MultiRound(s, 1e5, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSelfSchedule64(b *testing.B) {
+	s := benchStar(64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SelfSchedule(s, 1e5, 1e5/500); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package dlt
+
+import (
+	"fmt"
+	"math"
+)
+
+// BestRounds searches the number of rounds R in [1, maxR] minimizing the
+// multi-round makespan for the given platform and load — the practical
+// answer to §2.1's "distribution in one or several rounds" question. It
+// exploits the (empirically) unimodal shape of makespan(R): more rounds
+// improve overlap until per-message latency dominates, so the search
+// stops once the makespan has deteriorated for three consecutive R. The
+// exhaustive fallback keeps correctness on non-unimodal edge cases.
+func BestRounds(s *Star, W float64, maxR int) (bestR int, best *Distribution, err error) {
+	if maxR < 1 {
+		return 0, nil, fmt.Errorf("dlt: maxR = %d", maxR)
+	}
+	bestMakespan := math.Inf(1)
+	worse := 0
+	for r := 1; r <= maxR; r++ {
+		d, err := MultiRound(s, W, r)
+		if err != nil {
+			return 0, nil, err
+		}
+		if d.Makespan < bestMakespan {
+			bestMakespan = d.Makespan
+			bestR = r
+			best = d
+			worse = 0
+		} else {
+			worse++
+			if worse >= 3 {
+				break
+			}
+		}
+	}
+	return bestR, best, nil
+}

@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"repro/internal/bicriteria"
+	"repro/internal/cluster"
+	"repro/internal/des"
+	"repro/internal/dlt"
+	"repro/internal/lowerbound"
+	"repro/internal/moldable"
+	"repro/internal/rigid"
+	"repro/internal/smart"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// AblationAllotment compares the MRT knapsack allotment against the
+// greedy γ(λ) allotment (DESIGN.md ablation 1).
+func AblationAllotment(seed uint64, sc Scale) (*trace.Table, error) {
+	t := trace.NewTable(
+		"Ablation — MRT allotment selection: knapsack (paper) vs greedy γ(λ)",
+		"m", "n", "knapsack ratio", "greedy ratio", "knapsack iters", "greedy iters")
+	for _, m := range []int{32, 100} {
+		n := sc.jobs(300)
+		jobs := workload.Parallel(workload.GenConfig{N: n, M: m, Seed: seed})
+		seed++
+		lb := lowerbound.CmaxDual(jobs, m)
+		knap, err := moldable.MRTWithAllot(jobs, m, 0.01, moldable.SelectAllotments)
+		if err != nil {
+			return nil, err
+		}
+		greedy, err := moldable.MRTWithAllot(jobs, m, 0.01, moldable.GreedyAllotments)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(m, n,
+			knap.Schedule.Makespan()/lb, greedy.Schedule.Makespan()/lb,
+			knap.Iterations, greedy.Iterations)
+	}
+	return t, nil
+}
+
+// AblationDoublingBase compares initial-deadline choices in the
+// bi-criteria algorithm: smallest job time (default) vs the instance
+// lower bound vs an oversized base (DESIGN.md ablation 2).
+func AblationDoublingBase(seed uint64, sc Scale) (*trace.Table, error) {
+	t := trace.NewTable(
+		"Ablation — bi-criteria initial deadline d",
+		"d choice", "batches", "Cmax ratio", "ΣwC ratio")
+	m := 64
+	n := sc.jobs(300)
+	jobs := workload.Parallel(workload.GenConfig{N: n, M: m, Seed: seed, Weighted: true})
+	lb := lowerbound.CmaxDual(jobs, m)
+	for _, choice := range []struct {
+		name string
+		d    float64
+	}{
+		{"min job time (default)", 0},
+		{"instance LB", lb},
+		{"8×LB (oversized)", 8 * lb},
+	} {
+		res, err := bicriteria.Schedule(jobs, m, bicriteria.Options{InitialDeadline: choice.d})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(choice.name, len(res.Batches), res.CmaxRatio(), res.WCRatio())
+	}
+	return t, nil
+}
+
+// AblationShelfFill compares SMART's first-fit shelf filling against
+// best-fit (DESIGN.md ablation 3).
+func AblationShelfFill(seed uint64, sc Scale) (*trace.Table, error) {
+	t := trace.NewTable(
+		"Ablation — SMART shelf filling rule",
+		"m", "n", "first-fit ΣwC", "best-fit ΣwC", "FF shelves", "BF shelves")
+	for _, m := range []int{16, 64} {
+		n := sc.jobs(400)
+		jobs := workload.Parallel(workload.GenConfig{
+			N: n, M: m, Seed: seed, Weighted: true, RigidFraction: 1,
+		})
+		seed++
+		lb := lowerbound.SumWeightedCompletion(jobs, m)
+		ff, nFF, err := smart.Schedule(jobs, m, smart.FirstFit)
+		if err != nil {
+			return nil, err
+		}
+		bf, nBF, err := smart.Schedule(jobs, m, smart.BestFit)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(m, n,
+			ff.Report().SumWeightedCompletion/lb,
+			bf.Report().SumWeightedCompletion/lb,
+			nFF, nBF)
+	}
+	return t, nil
+}
+
+// AblationChunk sweeps the self-scheduling chunk size under latency
+// (DESIGN.md ablation 4).
+func AblationChunk(seed uint64, sc Scale) (*trace.Table, error) {
+	t := trace.NewTable(
+		"Ablation — DLT self-scheduling chunk size (W=10000, latency 1)",
+		"chunk", "makespan", "messages", "vs 1-round")
+	star := dlt.Bus([]float64{1, 1, 1, 1, 1, 1, 1, 1}, 0.05, 1)
+	const W = 10000.0
+	one, err := dlt.SingleRound(star, W)
+	if err != nil {
+		return nil, err
+	}
+	for _, chunk := range []float64{W / 1000, W / 100, W / 20, W / 8} {
+		d, err := dlt.SelfSchedule(star, W, chunk)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(chunk, d.Makespan, d.Messages, d.Makespan/one.Makespan)
+	}
+	return t, nil
+}
+
+// AblationKillPolicy compares best-effort eviction rules on a loaded
+// cluster (DESIGN.md ablation 5).
+func AblationKillPolicy(seed uint64, sc Scale) (*trace.Table, error) {
+	t := trace.NewTable(
+		"Ablation — best-effort kill policy (single 64-proc cluster)",
+		"policy", "BE done", "kills", "wasted work", "local Δ")
+	n := sc.jobs(60)
+	for _, kp := range []struct {
+		name string
+		kill cluster.KillPolicy
+	}{
+		{"kill-newest", cluster.KillNewest},
+		{"kill-largest-remaining", cluster.KillLargestRemaining},
+	} {
+		jobs := workload.Parallel(workload.GenConfig{
+			N: n, M: 64, Seed: seed, RigidFraction: 1, ArrivalRate: 0.01,
+		})
+		sim := des.New()
+		cs, err := cluster.New(sim, 64, 1, cluster.EASYPolicy{}, kp.kill)
+		if err != nil {
+			return nil, err
+		}
+		// Heterogeneous task lengths: the eviction choice matters only
+		// when victims differ in remaining work.
+		rng := stats.NewRNG(seed + 1000)
+		for i := 0; i < sc.jobs(2000); i++ {
+			cs.SubmitBestEffort(cluster.BETask{
+				BagID: 0, Index: i, Duration: rng.Range(20, 600),
+			})
+		}
+		for _, j := range jobs {
+			if err := cs.Submit(j); err != nil {
+				return nil, err
+			}
+		}
+		if err := cs.Run(); err != nil {
+			return nil, err
+		}
+		st := cs.BestEffort()
+		t.AddRow(kp.name, st.Completed, st.Killed, st.WastedWork, 0.0)
+	}
+	return t, nil
+}
+
+// AblationCompaction measures the left-shift compaction post-pass
+// (rigid.Compact) applied to the batch-structured bi-criteria schedules:
+// batches leave idle steps at batch boundaries that compaction reclaims
+// without moving any job later.
+func AblationCompaction(seed uint64, sc Scale) (*trace.Table, error) {
+	t := trace.NewTable(
+		"Ablation — compaction post-pass on bi-criteria schedules",
+		"family", "n", "Cmax ratio", "compacted", "ΣwC ratio", "compacted ")
+	m := 64
+	for _, parallel := range []bool{false, true} {
+		family := "non-parallel"
+		if parallel {
+			family = "parallel"
+		}
+		n := sc.jobs(300)
+		cfg := workload.GenConfig{N: n, M: m, Seed: seed, Weighted: true}
+		seed++
+		var jobs []*workload.Job
+		if parallel {
+			jobs = workload.Parallel(cfg)
+		} else {
+			jobs = workload.Sequential(cfg)
+		}
+		res, err := bicriteria.Schedule(jobs, m, bicriteria.Options{})
+		if err != nil {
+			return nil, err
+		}
+		compacted, err := rigid.Compact(res.Schedule)
+		if err != nil {
+			return nil, err
+		}
+		if err := compacted.Validate(); err != nil {
+			return nil, err
+		}
+		cmaxLB := lowerbound.Cmax(jobs, m)
+		wcLB := lowerbound.SumWeightedCompletion(jobs, m)
+		t.AddRow(family, n,
+			res.Schedule.Makespan()/cmaxLB,
+			compacted.Makespan()/cmaxLB,
+			res.Schedule.Report().SumWeightedCompletion/wcLB,
+			compacted.Report().SumWeightedCompletion/wcLB)
+	}
+	return t, nil
+}

@@ -1,0 +1,291 @@
+// Package experiments contains the drivers that regenerate every table
+// and figure of the paper's evaluation (see DESIGN.md §1 for the
+// experiment index). Each driver returns a trace.Table so the same code
+// backs cmd/experiments and the root benchmark suite.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/batch"
+	"repro/internal/bicriteria"
+	"repro/internal/lowerbound"
+	"repro/internal/moldable"
+	"repro/internal/rigid"
+	"repro/internal/sched"
+	"repro/internal/smart"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Scale shrinks experiment sizes for tests/benchmarks (1 = paper scale).
+type Scale struct {
+	// JobFactor divides job counts (min result 10).
+	JobFactor int
+}
+
+func (s Scale) jobs(n int) int {
+	if s.JobFactor <= 1 {
+		return n
+	}
+	if v := n / s.JobFactor; v >= 10 {
+		return v
+	}
+	return 10
+}
+
+// MRTTable is experiment T1 (§4.1): the offline MRT algorithm versus its
+// 3/2 + ε guarantee and the naive allotment baselines, across platform
+// widths and job counts.
+func MRTTable(seed uint64, sc Scale) (*trace.Table, error) {
+	t := trace.NewTable(
+		"T1 — §4.1 offline moldable Cmax: MRT (3/2+ε) vs baselines (ratios to lower bound)",
+		"m", "n", "MRT", "λ-accepted", "MinWork+LPT", "MaxProcs+LPT", "γ(LB)+LPT", "bound")
+	for _, m := range []int{16, 64, 100} {
+		for _, n := range []int{50, 200, 1000} {
+			n = sc.jobs(n)
+			jobs := workload.Parallel(workload.GenConfig{N: n, M: m, Seed: seed})
+			seed++
+			lb := lowerbound.CmaxDual(jobs, m)
+			res, err := moldable.MRT(jobs, m, 0.01)
+			if err != nil {
+				return nil, err
+			}
+			minw, err := moldable.MinWorkList(jobs, m)
+			if err != nil {
+				return nil, err
+			}
+			maxp, err := moldable.MaxProcsList(jobs, m)
+			if err != nil {
+				return nil, err
+			}
+			gl, err := moldable.GammaList(jobs, m)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(m, n,
+				res.Schedule.Makespan()/lb,
+				res.Lambda/lb,
+				minw.Makespan()/lb,
+				maxp.Makespan()/lb,
+				gl.Makespan()/lb,
+				"1.5+ε")
+		}
+	}
+	return t, nil
+}
+
+// BatchTable is experiment T2 (§4.2): the batch framework over MRT with
+// release dates versus its 2ρ = 3 + ε guarantee, across arrival
+// intensities.
+func BatchTable(seed uint64, sc Scale) (*trace.Table, error) {
+	t := trace.NewTable(
+		"T2 — §4.2 online moldable Cmax: batches over MRT (ratios to lower bound, bound 3+ε)",
+		"m", "n", "arrival rate", "batches", "online ratio", "offline-MRT ratio")
+	m := 64
+	for _, rate := range []float64{0.05, 0.5, 5} {
+		n := sc.jobs(300)
+		jobs := workload.Parallel(workload.GenConfig{
+			N: n, M: m, Seed: seed, ArrivalRate: rate,
+		})
+		seed++
+		lb := lowerbound.Cmax(jobs, m)
+		res, err := batch.OnlineMoldable(jobs, m, 0.01)
+		if err != nil {
+			return nil, err
+		}
+		// Offline reference: same jobs, releases ignored.
+		offline := make([]*workload.Job, len(jobs))
+		for i, j := range jobs {
+			c := j.Clone()
+			c.Release = 0
+			offline[i] = c
+		}
+		off, err := moldable.MRT(offline, m, 0.01)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(m, n, rate, len(res.Batches),
+			res.Schedule.Makespan()/lb,
+			off.Schedule.Makespan()/lowerbound.CmaxDual(offline, m))
+	}
+	return t, nil
+}
+
+// SMARTTable is experiment T3 (§4.3): SMART shelves versus the 8 / 8.53
+// bounds and a submission-order list baseline.
+func SMARTTable(seed uint64, sc Scale) (*trace.Table, error) {
+	t := trace.NewTable(
+		"T3 — §4.3 rigid completion-time sums: SMART shelves (ratios to lower bound)",
+		"m", "n", "weighted", "SMART ΣwC", "list ΣwC", "shelves", "bound")
+	for _, m := range []int{16, 64} {
+		for _, weighted := range []bool{false, true} {
+			n := sc.jobs(400)
+			jobs := workload.Parallel(workload.GenConfig{
+				N: n, M: m, Seed: seed, Weighted: weighted, RigidFraction: 1,
+			})
+			seed++
+			lb := lowerbound.SumWeightedCompletion(jobs, m)
+			s, shelves, err := smart.Schedule(jobs, m, smart.FirstFit)
+			if err != nil {
+				return nil, err
+			}
+			list, err := rigid.List(jobs, m, rigid.ByRelease)
+			if err != nil {
+				return nil, err
+			}
+			bound := smart.RatioUnweighted
+			if weighted {
+				bound = smart.RatioWeighted
+			}
+			t.AddRow(m, n, weighted,
+				s.Report().SumWeightedCompletion/lb,
+				list.Report().SumWeightedCompletion/lb,
+				shelves,
+				bound)
+		}
+	}
+	return t, nil
+}
+
+// BiCriteriaTable is experiment T4 (§4.4): the doubling algorithm's two
+// ratios versus 4ρ, contrasted with pure MRT (good Cmax, unmanaged ΣwC).
+func BiCriteriaTable(seed uint64, sc Scale) (*trace.Table, error) {
+	t := trace.NewTable(
+		"T4 — §4.4 bi-criteria doubling: both ratios bounded by 4ρ = 6",
+		"family", "n", "doubling Cmax", "doubling ΣwC", "MRT Cmax", "MRT ΣwC", "bound")
+	m := 64
+	for _, parallel := range []bool{false, true} {
+		family := "non-parallel"
+		if parallel {
+			family = "parallel"
+		}
+		for _, n0 := range []int{100, 500} {
+			n := sc.jobs(n0)
+			cfg := workload.GenConfig{N: n, M: m, Seed: seed, Weighted: true}
+			seed++
+			var jobs []*workload.Job
+			if parallel {
+				jobs = workload.Parallel(cfg)
+			} else {
+				jobs = workload.Sequential(cfg)
+			}
+			res, err := bicriteria.Schedule(jobs, m, bicriteria.Options{})
+			if err != nil {
+				return nil, err
+			}
+			mrt, err := moldable.MRT(jobs, m, 0.01)
+			if err != nil {
+				return nil, err
+			}
+			wcLB := lowerbound.SumWeightedCompletion(jobs, m)
+			cmaxLB := lowerbound.CmaxDual(jobs, m)
+			t.AddRow(family, n,
+				res.CmaxRatio(), res.WCRatio(),
+				mrt.Schedule.Makespan()/cmaxLB,
+				mrt.Schedule.Report().SumWeightedCompletion/wcLB,
+				bicriteria.TheoreticalRatio(moldable.Rho))
+		}
+	}
+	return t, nil
+}
+
+// Fig2Tables regenerates both series of Figure 2.
+func Fig2Tables(seed uint64, sc Scale) (np, p []bicriteria.Fig2Point, err error) {
+	ns := bicriteria.DefaultNs()
+	if sc.JobFactor > 1 {
+		ns = []int{10, 50, 100, 200}
+	}
+	np, err = bicriteria.Fig2Series(bicriteria.Fig2Config{
+		M: 100, Ns: ns, Seed: seed, Reps: 3, Parallel: false,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	p, err = bicriteria.Fig2Series(bicriteria.Fig2Config{
+		M: 100, Ns: ns, Seed: seed + 1, Reps: 3, Parallel: true,
+	})
+	return np, p, err
+}
+
+// MixedTable is experiment T8 (§5.1): the three strategies for mixing
+// rigid and moldable jobs on one cluster.
+func MixedTable(seed uint64, sc Scale) (*trace.Table, error) {
+	t := trace.NewTable(
+		"T8 — §5.1 rigid+moldable mixes: the three proposed strategies (Cmax/ΣwC ratios to lower bounds)",
+		"rigid frac", "n", "strategy", "Cmax ratio", "ΣwC ratio")
+	m := 64
+	for _, frac := range []float64{0.3, 0.7} {
+		n := sc.jobs(200)
+		jobs := workload.Mixed(workload.GenConfig{
+			N: n, M: m, Seed: seed, Weighted: true, RigidFraction: frac,
+		})
+		seed++
+		cmaxLB := lowerbound.CmaxDual(jobs, m)
+		wcLB := lowerbound.SumWeightedCompletion(jobs, m)
+		for _, strat := range []string{"A: phases", "B: a-priori allot", "C: bicriteria batches"} {
+			s, err := runMixedStrategy(strat, jobs, m)
+			if err != nil {
+				return nil, err
+			}
+			if err := s.ValidateWith(sched.ValidateOptions{IgnoreReleases: true}); err != nil {
+				return nil, fmt.Errorf("experiments: %s: %w", strat, err)
+			}
+			rep := s.Report()
+			t.AddRow(frac, n, strat, rep.Makespan/cmaxLB, rep.SumWeightedCompletion/wcLB)
+		}
+	}
+	return t, nil
+}
+
+// runMixedStrategy implements §5.1's three ideas.
+func runMixedStrategy(strat string, jobs []*workload.Job, m int) (*sched.Schedule, error) {
+	switch strat[:1] {
+	case "A":
+		// Separate: rigid jobs first (conservative packing), moldable
+		// after, shifted past the rigid phase.
+		var rigids, molds []*workload.Job
+		for _, j := range jobs {
+			if j.Kind == workload.Rigid {
+				rigids = append(rigids, j)
+			} else {
+				molds = append(molds, j)
+			}
+		}
+		s := sched.New(m)
+		phaseEnd := 0.0
+		if len(rigids) > 0 {
+			rs, err := rigid.List(rigids, m, rigid.ByLPT)
+			if err != nil {
+				return nil, err
+			}
+			if err := s.Merge(rs); err != nil {
+				return nil, err
+			}
+			phaseEnd = rs.Makespan()
+		}
+		if len(molds) > 0 {
+			res, err := moldable.MRT(molds, m, 0.01)
+			if err != nil {
+				return nil, err
+			}
+			if err := s.Merge(res.Schedule.Shift(phaseEnd)); err != nil {
+				return nil, err
+			}
+		}
+		return s, nil
+	case "B":
+		// A-priori allotment: freeze every moldable job at its γ(LB)
+		// allocation, then one rigid scheduling pass over everything.
+		return moldable.GammaList(jobs, m)
+	default:
+		// C: the bi-criteria batch algorithm handles rigid jobs natively
+		// (a rigid job is a moldable job with a single allocation) —
+		// "schedule each rigid job in the first batch in which it fits".
+		res, err := bicriteria.Schedule(jobs, m, bicriteria.Options{})
+		if err != nil {
+			return nil, err
+		}
+		return res.Schedule, nil
+	}
+}

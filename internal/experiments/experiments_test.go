@@ -1,0 +1,308 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+var quick = Scale{JobFactor: 10}
+
+// checkTable verifies the table renders and has the expected row count.
+func checkTable(t *testing.T, tb *trace.Table, err error, minRows int) string {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) < minRows {
+		t.Fatalf("table %q has %d rows, want >= %d", tb.Title, len(tb.Rows), minRows)
+	}
+	var sb strings.Builder
+	if err := tb.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func parseRatio(t *testing.T, cell string) float64 {
+	t.Helper()
+	var v float64
+	if _, err := sscan(cell, &v); err != nil {
+		t.Fatalf("cell %q is not a number: %v", cell, err)
+	}
+	return v
+}
+
+func TestMRTTable(t *testing.T) {
+	tb, err := MRTTable(1, quick)
+	out := checkTable(t, tb, err, 9)
+	if !strings.Contains(out, "MRT") {
+		t.Fatal("missing MRT column")
+	}
+	// Every MRT ratio must respect the 3/2+ε envelope (column 2).
+	for _, row := range tb.Rows {
+		if r := parseRatio(t, row[2]); r > 1.55 || r < 1.0-1e-9 {
+			t.Fatalf("MRT ratio %v outside [1, 1.55]: row %v", r, row)
+		}
+	}
+}
+
+func TestBatchTable(t *testing.T) {
+	tb, err := BatchTable(2, quick)
+	checkTable(t, tb, err, 3)
+	for _, row := range tb.Rows {
+		if r := parseRatio(t, row[4]); r > 3.05 || r < 1.0-1e-9 {
+			t.Fatalf("online ratio %v outside [1, 3+ε]: row %v", r, row)
+		}
+	}
+}
+
+func TestSMARTTable(t *testing.T) {
+	tb, err := SMARTTable(3, quick)
+	checkTable(t, tb, err, 4)
+	for _, row := range tb.Rows {
+		if r := parseRatio(t, row[3]); r > 8.53 || r < 1.0-1e-9 {
+			t.Fatalf("SMART ratio %v outside [1, 8.53]: row %v", r, row)
+		}
+	}
+}
+
+func TestBiCriteriaTable(t *testing.T) {
+	tb, err := BiCriteriaTable(4, quick)
+	checkTable(t, tb, err, 4)
+	for _, row := range tb.Rows {
+		if r := parseRatio(t, row[2]); r > 6 {
+			t.Fatalf("doubling Cmax ratio %v exceeds 4ρ: row %v", r, row)
+		}
+		if r := parseRatio(t, row[3]); r > 6 {
+			t.Fatalf("doubling ΣwC ratio %v exceeds 4ρ: row %v", r, row)
+		}
+	}
+}
+
+func TestFig2Tables(t *testing.T) {
+	np, p, err := Fig2Tables(5, quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(np) != len(p) || len(np) == 0 {
+		t.Fatalf("series lengths %d/%d", len(np), len(p))
+	}
+	for _, pt := range append(np, p...) {
+		if pt.CmaxRatio < 1-1e-9 || pt.CmaxRatio > 6 {
+			t.Fatalf("Cmax ratio %v out of envelope at n=%d", pt.CmaxRatio, pt.N)
+		}
+		if pt.WCRatio < 1-1e-9 || pt.WCRatio > 6 {
+			t.Fatalf("ΣwC ratio %v out of envelope at n=%d", pt.WCRatio, pt.N)
+		}
+	}
+}
+
+func TestDLTTable(t *testing.T) {
+	tb, err := DLTTable(6, quick)
+	out := checkTable(t, tb, err, 8)
+	if !strings.Contains(out, "bus-4") || !strings.Contains(out, "star-hetero") {
+		t.Fatal("platforms missing")
+	}
+	// At latency 100 (last row per platform), 1 round must beat 16 rounds.
+	for _, row := range tb.Rows {
+		if row[1] == "100" {
+			one := parseRatio(t, row[2])
+			sixteen := parseRatio(t, row[4])
+			if one >= sixteen {
+				t.Fatalf("no crossover at latency 100: 1r=%v 16r=%v", one, sixteen)
+			}
+		}
+		if row[1] == "0" {
+			one := parseRatio(t, row[2])
+			sixteen := parseRatio(t, row[4])
+			if sixteen >= one {
+				t.Fatalf("multi-round not winning at latency 0: 1r=%v 16r=%v", one, sixteen)
+			}
+		}
+	}
+}
+
+func TestCiGriTable(t *testing.T) {
+	tb, err := CiGriTable(7, quick)
+	checkTable(t, tb, err, 2)
+	for _, row := range tb.Rows {
+		// Fairness: local flow difference must be ~0.
+		if d := parseRatio(t, row[2]); d > 1e-6 {
+			t.Fatalf("local jobs disturbed by grid: Δflow = %v", d)
+		}
+	}
+}
+
+func TestDecentralizedTable(t *testing.T) {
+	tb, err := DecentralizedTable(8, quick)
+	checkTable(t, tb, err, 2)
+	isoFlow := parseRatio(t, tb.Rows[0][2])
+	exFlow := parseRatio(t, tb.Rows[1][2])
+	if exFlow >= isoFlow {
+		t.Fatalf("exchange (%v) did not improve on isolated (%v)", exFlow, isoFlow)
+	}
+	if mig := parseRatio(t, tb.Rows[1][1]); mig == 0 {
+		t.Fatal("no migrations recorded")
+	}
+}
+
+func TestMixedTable(t *testing.T) {
+	tb, err := MixedTable(9, quick)
+	checkTable(t, tb, err, 6)
+	// Strategy C must be present and valid for both fractions.
+	foundC := 0
+	for _, row := range tb.Rows {
+		if strings.HasPrefix(row[2], "C") {
+			foundC++
+			if r := parseRatio(t, row[3]); r > 6 {
+				t.Fatalf("strategy C Cmax ratio %v exceeds 4ρ", r)
+			}
+		}
+	}
+	if foundC != 2 {
+		t.Fatalf("strategy C rows: %d", foundC)
+	}
+}
+
+func TestReservationsTable(t *testing.T) {
+	tb, err := ReservationsTable(10, quick)
+	checkTable(t, tb, err, 2)
+	for _, row := range tb.Rows {
+		fcfs := parseRatio(t, row[2])
+		cons := parseRatio(t, row[3])
+		if cons > fcfs+1e-9 {
+			t.Fatalf("conservative (%v) worse than FCFS (%v) around reservations", cons, fcfs)
+		}
+		if cons < 1-1e-9 {
+			t.Fatalf("reserved run beat the reservation-free baseline: %v", cons)
+		}
+	}
+}
+
+func TestAblations(t *testing.T) {
+	type run func(uint64, Scale) (*trace.Table, error)
+	for name, f := range map[string]run{
+		"allotment":    AblationAllotment,
+		"doublingBase": AblationDoublingBase,
+		"shelfFill":    AblationShelfFill,
+		"chunk":        AblationChunk,
+		"killPolicy":   AblationKillPolicy,
+		"compaction":   AblationCompaction,
+	} {
+		tb, err := f(11, quick)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		checkTable(t, tb, nil, 2)
+	}
+}
+
+func TestScaleFloor(t *testing.T) {
+	sc := Scale{JobFactor: 100}
+	if got := sc.jobs(50); got != 10 {
+		t.Fatalf("scale floor = %d, want 10", got)
+	}
+	if got := (Scale{}).jobs(50); got != 50 {
+		t.Fatalf("unit scale = %d, want 50", got)
+	}
+}
+
+// sscan parses one float (strconv wrapper kept local to the test).
+func sscan(s string, v *float64) (int, error) {
+	f, err := strconvParse(s)
+	if err != nil {
+		return 0, err
+	}
+	*v = f
+	return 1, nil
+}
+
+func strconvParse(s string) (float64, error) {
+	return strconv.ParseFloat(strings.TrimSpace(s), 64)
+}
+
+func TestMalleableTable(t *testing.T) {
+	tb, err := MalleableTable(12, quick)
+	checkTable(t, tb, err, 2)
+	for _, row := range tb.Rows {
+		equi := parseRatio(t, row[3])
+		if equi < 1-1e-9 {
+			t.Fatalf("EQUI ratio %v below 1 — bound broken", equi)
+		}
+		if equi > 3 {
+			t.Fatalf("EQUI ratio %v implausibly high", equi)
+		}
+	}
+}
+
+func TestTreeDLTTable(t *testing.T) {
+	tb, err := TreeDLTTable(13, quick)
+	checkTable(t, tb, err, 3)
+	// Hierarchy costs: flat star must be the fastest topology.
+	flat := parseRatio(t, tb.Rows[0][2])
+	two := parseRatio(t, tb.Rows[1][2])
+	chain := parseRatio(t, tb.Rows[2][2])
+	if !(flat <= two && two <= chain) {
+		t.Fatalf("depth ordering violated: flat=%v two=%v chain=%v", flat, two, chain)
+	}
+}
+
+func TestDecentralizedTableHasPullRow(t *testing.T) {
+	tb, err := DecentralizedTable(8, quick)
+	checkTable(t, tb, err, 3)
+	foundPull := false
+	for _, row := range tb.Rows {
+		if strings.Contains(row[0], "pull") {
+			foundPull = true
+			if parseRatio(t, row[2]) >= parseRatio(t, tb.Rows[0][2]) {
+				t.Fatal("pull stealing did not improve on isolated")
+			}
+		}
+	}
+	if !foundPull {
+		t.Fatal("pull row missing")
+	}
+}
+
+func TestCriteriaMatrixTable(t *testing.T) {
+	tb, err := CriteriaMatrixTable(14, quick)
+	checkTable(t, tb, err, 5)
+	// Find per-criterion winners: no single policy may win every column
+	// (the paper's argument for per-application selection).
+	bestCmax, bestWC := 0, 0
+	for i, row := range tb.Rows {
+		if parseRatio(t, row[1]) < parseRatio(t, tb.Rows[bestCmax][1]) {
+			bestCmax = i
+		}
+		if parseRatio(t, row[2]) < parseRatio(t, tb.Rows[bestWC][2]) {
+			bestWC = i
+		}
+	}
+	if bestCmax == bestWC {
+		t.Logf("note: policy %q won both criteria on this draw", tb.Rows[bestCmax][0])
+	}
+	// MRT must win (or tie) the Cmax column — it is the Cmax specialist.
+	if tb.Rows[bestCmax][0] != "mrt (§4.1)" {
+		t.Fatalf("Cmax winner is %q, want MRT", tb.Rows[bestCmax][0])
+	}
+}
+
+func TestHeteroGridTable(t *testing.T) {
+	tb, err := HeteroGridTable(15, quick)
+	checkTable(t, tb, err, 6)
+	// In the capacity-bound regime (rows 3-5), speed-aware must beat
+	// round robin.
+	lpt := parseRatio(t, tb.Rows[3][3])
+	rr := parseRatio(t, tb.Rows[5][3])
+	if lpt >= rr {
+		t.Fatalf("capacity-bound: speed-aware (%v) not better than round robin (%v)", lpt, rr)
+	}
+	for _, row := range tb.Rows {
+		if r := parseRatio(t, row[3]); r < 1-1e-9 {
+			t.Fatalf("ratio %v below 1 — grid lower bound broken: %v", r, row)
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/bicriteria"
+	"repro/internal/dlt"
+	"repro/internal/hetero"
+	"repro/internal/lowerbound"
+	"repro/internal/malleable"
+	"repro/internal/moldable"
+	"repro/internal/platform"
+	"repro/internal/rigid"
+	"repro/internal/sched"
+	"repro/internal/smart"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// MalleableTable is the extension experiment for §2.2's third task
+// class, which the paper defers ("we will not consider malleability
+// here"): EQUIPARTITION and weight-proportional malleable scheduling
+// versus the moldable MRT one-shot choice on the same jobs. It
+// quantifies the paper's expectation that "malleability is much more
+// easily usable from the scheduling point of view".
+func MalleableTable(seed uint64, sc Scale) (*trace.Table, error) {
+	t := trace.NewTable(
+		"EXT1 — §2.2 malleable jobs (paper's future work): EQUI vs moldable MRT (ratios to lower bound)",
+		"m", "n", "moldable MRT", "malleable EQUI", "EQUI reallocs", "weighted EQUI ΣwC", "MRT ΣwC")
+	for _, m := range []int{16, 64} {
+		n := sc.jobs(150)
+		jobs := workload.Parallel(workload.GenConfig{N: n, M: m, Seed: seed, Weighted: true})
+		seed++
+		for _, j := range jobs {
+			j.Kind = workload.Malleable
+		}
+		cmaxLB := lowerbound.CmaxDual(jobs, m)
+		wcLB := lowerbound.SumWeightedCompletion(jobs, m)
+		mrt, err := moldable.MRT(jobs, m, 0.01)
+		if err != nil {
+			return nil, err
+		}
+		equi, err := malleable.Schedule(jobs, m, malleable.Equi)
+		if err != nil {
+			return nil, err
+		}
+		wp, err := malleable.Schedule(jobs, m, malleable.WeightProportional)
+		if err != nil {
+			return nil, err
+		}
+		var wpWC, mrtWC float64
+		for _, c := range wp.Completions {
+			wpWC += c.Job.Weight * c.End
+		}
+		mrtWC = mrt.Schedule.Report().SumWeightedCompletion
+		t.AddRow(m, n,
+			mrt.Schedule.Makespan()/cmaxLB,
+			equi.Makespan/cmaxLB,
+			equi.Reallocations,
+			wpWC/wcLB,
+			mrtWC/wcLB)
+	}
+	return t, nil
+}
+
+// TreeDLTTable is the extension experiment for the paper's reference [4]
+// (Cheng & Robertazzi tree networks): optimal single-round distribution
+// on trees of growing depth with the same worker pool, quantifying the
+// store-and-forward cost of hierarchy versus a flat star — the paper's
+// §1.2 observation that interconnects "may be hierarchical".
+func TreeDLTTable(seed uint64, sc Scale) (*trace.Table, error) {
+	t := trace.NewTable(
+		"EXT2 — [4] divisible load on tree networks (same 13 workers, growing depth; W=10000)",
+		"topology", "nodes", "makespan", "vs flat star", "LB")
+	const W = 10000.0
+	mkNode := func(name string, link float64) *dlt.TreeNode {
+		return &dlt.TreeNode{Name: name, Compute: 1, LinkToParent: link}
+	}
+	// Flat star: root + 12 children.
+	flat := mkNode("root", 0)
+	for i := 0; i < 12; i++ {
+		flat.Children = append(flat.Children, mkNode(fmt.Sprintf("w%d", i), 0.05))
+	}
+	// Two-level: root + 3 children × 3 grandchildren = 13 nodes.
+	twoLevel := mkNode("root", 0)
+	id := 0
+	for i := 0; i < 3; i++ {
+		mid := mkNode(fmt.Sprintf("m%d", i), 0.05)
+		for k := 0; k < 3; k++ {
+			mid.Children = append(mid.Children, mkNode(fmt.Sprintf("l%d", id), 0.05))
+			id++
+		}
+		twoLevel.Children = append(twoLevel.Children, mid)
+	}
+	// Chain of depth 12.
+	chain := dlt.Chain(12, 1, 0.05)
+
+	flatD, err := dlt.TreeSingleRound(flat, W)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range []struct {
+		name string
+		n    *dlt.TreeNode
+	}{
+		{"flat star (depth 1)", flat},
+		{"3x3 tree (depth 2)", twoLevel},
+		{"chain (depth 12)", chain},
+	} {
+		d, err := dlt.TreeSingleRound(c.n, W)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(c.name, c.n.Size(), d.Makespan, d.Makespan/flatD.Makespan,
+			dlt.TreeLowerBound(c.n, W))
+	}
+	return t, nil
+}
+
+// CriteriaMatrixTable is extension experiment EXT3: the paper's title
+// question rendered as a matrix — every policy scored on every §3
+// criterion over one shared workload. No policy wins everywhere, which
+// is exactly the paper's argument for per-application policy selection.
+func CriteriaMatrixTable(seed uint64, sc Scale) (*trace.Table, error) {
+	t := trace.NewTable(
+		"EXT3 — §3 criteria matrix: one workload, every policy, every criterion (ratios to lower bounds where defined)",
+		"policy", "Cmax", "ΣwC", "mean flow", "max stretch", "late", "util %")
+	m := 64
+	n := sc.jobs(200)
+	jobs := workload.Parallel(workload.GenConfig{
+		N: n, M: m, Seed: seed, Weighted: true, DueDateSlack: 8,
+	})
+	cmaxLB := lowerbound.CmaxDual(jobs, m)
+	wcLB := lowerbound.SumWeightedCompletion(jobs, m)
+
+	type policy struct {
+		name string
+		run  func() (*sched.Schedule, error)
+	}
+	policies := []policy{
+		{"mrt (§4.1)", func() (*sched.Schedule, error) {
+			r, err := moldable.MRT(jobs, m, 0.01)
+			if err != nil {
+				return nil, err
+			}
+			return r.Schedule, nil
+		}},
+		{"smart (§4.3)", func() (*sched.Schedule, error) {
+			s, _, err := smart.Schedule(jobs, m, smart.FirstFit)
+			return s, err
+		}},
+		{"bicriteria (§4.4)", func() (*sched.Schedule, error) {
+			r, err := bicriteria.Schedule(jobs, m, bicriteria.Options{})
+			if err != nil {
+				return nil, err
+			}
+			return r.Schedule, nil
+		}},
+		{"ffdh (§2.2)", func() (*sched.Schedule, error) {
+			sh, err := rigid.FFDH(jobs, m)
+			if err != nil {
+				return nil, err
+			}
+			return rigid.ShelvesToSchedule(sh, m), nil
+		}},
+		{"minwork+lpt", func() (*sched.Schedule, error) {
+			return moldable.MinWorkList(jobs, m)
+		}},
+	}
+	for _, p := range policies {
+		s, err := p.run()
+		if err != nil {
+			return nil, err
+		}
+		rep := s.Report()
+		t.AddRow(p.name,
+			rep.Makespan/cmaxLB,
+			rep.SumWeightedCompletion/wcLB,
+			rep.MeanFlow,
+			rep.MaxStretch,
+			rep.LateCount,
+			100*rep.Utilization)
+	}
+	return t, nil
+}
+
+// HeteroGridTable is extension experiment EXT4: two-level scheduling
+// across the speed-heterogeneous CIMENT grid — the §2.2 "uniform
+// processors" view at grid scale. Compares the speed-aware partition
+// against using only the largest cluster and a speed-blind deal.
+func HeteroGridTable(seed uint64, sc Scale) (*trace.Table, error) {
+	t := trace.NewTable(
+		"EXT4 — two-level moldable scheduling on the CIMENT grid (makespans, ratios to grid LB)",
+		"workload", "partition", "grid makespan", "ratio", "clusters used")
+	g := platform.CIMENT()
+	for _, wl := range []struct {
+		name string
+		cfg  workload.GenConfig
+	}{
+		// Heavy-tailed wide jobs: the critical path binds; spreading
+		// cannot beat the fastest cluster but must not lose to it.
+		{"critical-bound", workload.GenConfig{N: sc.jobs(1500), M: 64, Seed: seed}},
+		// Many narrow jobs: aggregate capacity binds; spreading wins.
+		{"capacity-bound", workload.GenConfig{
+			N: sc.jobs(3000), M: 16, Seed: seed + 1, SeqSigma: 0.8, MaxProcsCap: 16,
+		}},
+	} {
+		jobs := workload.Parallel(wl.cfg)
+		lb := hetero.LowerBound(jobs, g)
+		for _, part := range []struct {
+			name string
+			p    hetero.Partition
+		}{
+			{"speed-aware LPT", hetero.SpeedAwareLPT},
+			{"largest cluster only", hetero.LargestOnly},
+			{"round robin", hetero.RoundRobin},
+		} {
+			asg, err := hetero.Schedule(jobs, g, part.p, 0.01)
+			if err != nil {
+				return nil, err
+			}
+			if err := asg.Validate(jobs, g); err != nil {
+				return nil, err
+			}
+			used := map[int]bool{}
+			for _, ci := range asg.JobCluster {
+				used[ci] = true
+			}
+			t.AddRow(wl.name, part.name, asg.Makespan, asg.Makespan/lb, len(used))
+		}
+	}
+	return t, nil
+}

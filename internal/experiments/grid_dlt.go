@@ -1,0 +1,261 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/dlt"
+	"repro/internal/grid"
+	"repro/internal/metrics"
+	"repro/internal/platform"
+	"repro/internal/rigid"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// DLTTable is experiment T5 (§2.1): single-round vs multi-round vs
+// dynamic self-scheduling across latency regimes on bus and star
+// platforms, with the crossover the paper's model discussion predicts.
+func DLTTable(seed uint64, sc Scale) (*trace.Table, error) {
+	t := trace.NewTable(
+		"T5 — §2.1 divisible load policies (makespans, lower bound in last column)",
+		"platform", "latency", "1 round", "4 rounds", "16 rounds", "self-sched", "LB")
+	platforms := []struct {
+		name string
+		star *dlt.Star
+	}{
+		{"bus-4", dlt.Bus([]float64{1, 1, 1, 1}, 0.2, 0)},
+		{"star-hetero", &dlt.Star{Workers: []dlt.Worker{
+			{Compute: 0.8, Link: 0.02},
+			{Compute: 1.0, Link: 0.08},
+			{Compute: 1.3, Link: 0.40},
+			{Compute: 1.6, Link: 0.40},
+		}}},
+	}
+	const W = 10000.0
+	for _, pf := range platforms {
+		for _, latency := range []float64{0, 1, 10, 100} {
+			pf.star.Latency = latency
+			one, err := dlt.SingleRound(pf.star, W)
+			if err != nil {
+				return nil, err
+			}
+			four, err := dlt.MultiRound(pf.star, W, 4)
+			if err != nil {
+				return nil, err
+			}
+			sixteen, err := dlt.MultiRound(pf.star, W, 16)
+			if err != nil {
+				return nil, err
+			}
+			dyn, err := dlt.SelfSchedule(pf.star, W, W/100)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(pf.name, latency,
+				one.Makespan, four.Makespan, sixteen.Makespan, dyn.Makespan,
+				dlt.LowerBound(pf.star, W))
+		}
+	}
+	return t, nil
+}
+
+// communityMembers builds the CIMENT members with per-cluster community
+// workloads (jobs IDs unique across the grid).
+func communityMembers(seed uint64, jobsPerCluster int, rate float64) []grid.Member {
+	g := platform.CIMENT()
+	var members []grid.Member
+	id := 0
+	for _, cl := range g.Clusters {
+		jobs := workload.Communities(workload.CIMENTCommunities(), jobsPerCluster, cl.Procs(), rate, seed)
+		seed++
+		for _, j := range jobs {
+			j.ID = id
+			id++
+		}
+		members = append(members, grid.Member{Cluster: cl, Policy: cluster.EASYPolicy{}, Local: jobs})
+	}
+	return members
+}
+
+func cloneMembers(ms []grid.Member) []grid.Member {
+	out := make([]grid.Member, len(ms))
+	for i, m := range ms {
+		jobs := make([]*workload.Job, len(m.Local))
+		for k, j := range m.Local {
+			jobs[k] = j.Clone()
+		}
+		out[i] = grid.Member{Cluster: m.Cluster, Policy: m.Policy, Local: jobs}
+	}
+	return out
+}
+
+// CiGriTable is experiment T6 (§5.2 centralized): the CIMENT grid running
+// community jobs plus a multi-parametric campaign. Reports the fairness
+// contract (local mean flow identical with and without the grid), grid
+// throughput and the kill/resubmit overhead.
+func CiGriTable(seed uint64, sc Scale) (*trace.Table, error) {
+	t := trace.NewTable(
+		"T6 — §5.2 centralized CiGri on CIMENT (Figure 3 platform)",
+		"local load", "bag tasks", "local Δflow", "grid done", "kills", "wasted %", "grid makespan")
+	for _, load := range []struct {
+		name string
+		rate float64
+		jobs int
+	}{
+		{"light", 0.001, sc.jobs(40)},
+		{"heavy", 0.01, sc.jobs(120)},
+	} {
+		members := communityMembers(seed, load.jobs, load.rate)
+		seed += 10
+		// Isolated baseline for the fairness check.
+		iso, err := grid.RunIsolated(cloneMembers(members), cluster.KillNewest)
+		if err != nil {
+			return nil, err
+		}
+		runs := sc.jobs(5000)
+		bags := []*workload.Bag{{ID: 0, Runs: runs, RunTime: 60, Name: "campaign"}}
+		g, err := grid.NewCentralized(members, bags, cluster.KillNewest)
+		if err != nil {
+			return nil, err
+		}
+		if err := g.Run(); err != nil {
+			return nil, err
+		}
+		var withGrid []metrics.Completion
+		for i := 0; i < g.Members(); i++ {
+			withGrid = append(withGrid, g.LocalCompletions(i)...)
+		}
+		st := g.Stats()
+		delta := math.Abs(metrics.MeanFlow(withGrid) - metrics.MeanFlow(iso))
+		wastedPct := 0.0
+		if st.DoneWork+st.WastedWork > 0 {
+			wastedPct = 100 * st.WastedWork / (st.DoneWork + st.WastedWork)
+		}
+		t.AddRow(load.name, runs, delta, st.TasksCompleted, st.TasksKilled,
+			wastedPct, st.GridMakespan)
+	}
+	return t, nil
+}
+
+// DecentralizedTable is experiment T7 (§5.2 decentralized): the same
+// imbalanced workload run isolated versus with periodic load exchange.
+func DecentralizedTable(seed uint64, sc Scale) (*trace.Table, error) {
+	t := trace.NewTable(
+		"T7 — §5.2 decentralized load exchange (4×32-proc clusters, all load on cluster 0)",
+		"scheme", "migrations", "mean flow", "max flow", "makespan")
+	rng := stats.NewRNG(seed)
+	n := sc.jobs(200)
+	var jobs []*workload.Job
+	clock := 0.0
+	for i := 0; i < n; i++ {
+		clock += rng.Exp(0.2)
+		procs := rng.IntRange(1, 16)
+		jobs = append(jobs, &workload.Job{
+			ID: i, Kind: workload.Rigid, Weight: 1, DueDate: -1, Release: clock,
+			SeqTime: rng.Range(30, 600) * float64(procs), MinProcs: procs, MaxProcs: procs,
+			Model: workload.Linear{},
+		})
+	}
+	mkMembers := func(js []*workload.Job) []grid.Member {
+		split := grid.SplitJobsSkewed(js, 4, 1.0)
+		var ms []grid.Member
+		for i := 0; i < 4; i++ {
+			ms = append(ms, grid.Member{
+				Cluster: &platform.Cluster{
+					Name: fmt.Sprintf("c%d", i), Nodes: 32, ProcsPerNode: 1, Speed: 1,
+				},
+				Policy: cluster.EASYPolicy{},
+				Local:  split[i],
+			})
+		}
+		return ms
+	}
+	iso, err := grid.RunIsolated(mkMembers(cloneJobSlice(jobs)), cluster.KillNewest)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("isolated", 0, metrics.MeanFlow(iso), metrics.MaxFlow(iso), metrics.Makespan(iso))
+
+	d, err := grid.NewDecentralized(mkMembers(cloneJobSlice(jobs)), grid.DecentralizedOptions{
+		Period: 30, Threshold: 1.3, MaxMove: 8,
+	}, cluster.KillNewest)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.Run(); err != nil {
+		return nil, err
+	}
+	ex := d.AllCompletions()
+	t.AddRow("push exchange", d.Stats().Migrations,
+		metrics.MeanFlow(ex), metrics.MaxFlow(ex), metrics.Makespan(ex))
+
+	p, err := grid.NewDecentralized(mkMembers(cloneJobSlice(jobs)), grid.DecentralizedOptions{
+		Period: 30, MaxMove: 8, Protocol: grid.Pull,
+	}, cluster.KillNewest)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Run(); err != nil {
+		return nil, err
+	}
+	pc := p.AllCompletions()
+	t.AddRow("pull stealing", p.Stats().Migrations,
+		metrics.MeanFlow(pc), metrics.MaxFlow(pc), metrics.Makespan(pc))
+	return t, nil
+}
+
+// ReservationsTable is experiment T9 (§5.1): scheduling around advance
+// reservations with FCFS versus conservative backfilling.
+func ReservationsTable(seed uint64, sc Scale) (*trace.Table, error) {
+	t := trace.NewTable(
+		"T9 — §5.1 reservations: makespan ratios to the reservation-free lower bound",
+		"reserved", "window", "FCFS", "conservative", "no-reservation conservative")
+	m := 32
+	n := sc.jobs(100)
+	jobs := workload.Parallel(workload.GenConfig{
+		N: n, M: m, Seed: seed, RigidFraction: 1, MaxProcsCap: 16, ArrivalRate: 0.05,
+	})
+	base, err := rigid.Conservative(jobs, m)
+	if err != nil {
+		return nil, err
+	}
+	for _, res := range []struct {
+		procs int
+		end   float64
+	}{
+		{8, 2000}, {16, 4000},
+	} {
+		cal, err := platform.NewCalendar(m, []platform.Reservation{
+			{Name: "demo", Start: 500, End: res.end, Procs: res.procs},
+		})
+		if err != nil {
+			return nil, err
+		}
+		f, err := rigid.FCFSWithCalendar(jobs, m, cal)
+		if err != nil {
+			return nil, err
+		}
+		c, err := rigid.ConservativeWithCalendar(jobs, m, cal)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(
+			fmt.Sprintf("%d/%d procs", res.procs, m),
+			fmt.Sprintf("[500,%g)", res.end),
+			f.Makespan()/base.Makespan(),
+			c.Makespan()/base.Makespan(),
+			1.0)
+	}
+	return t, nil
+}
+
+func cloneJobSlice(jobs []*workload.Job) []*workload.Job {
+	out := make([]*workload.Job, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Clone()
+	}
+	return out
+}

@@ -1,0 +1,274 @@
+package grid
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/des"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// Protocol selects who initiates a work transfer.
+type Protocol int
+
+const (
+	// Push is sender-initiated: the most loaded cluster offloads to the
+	// least loaded when the imbalance exceeds the threshold.
+	Push Protocol = iota
+	// Pull is receiver-initiated (work stealing, in the spirit of the
+	// paper's [3]): clusters with an empty queue and free processors
+	// steal from the most loaded cluster regardless of the ratio.
+	Pull
+)
+
+// DecentralizedOptions tunes the load-exchange protocol.
+type DecentralizedOptions struct {
+	// Period is the exchange interval (virtual seconds).
+	Period float64
+	// Threshold is the queued-work imbalance ratio that triggers a
+	// migration (source load > Threshold × target load). Push only.
+	Threshold float64
+	// MaxMove caps jobs moved per exchange round per pair.
+	MaxMove int
+	// Horizon stops the periodic exchange (safety; 0 = run until all
+	// local work done, with the exchange rearmed only while jobs wait).
+	Horizon float64
+	// Protocol selects sender-initiated (Push, default) or
+	// receiver-initiated (Pull) transfers.
+	Protocol Protocol
+}
+
+func (o DecentralizedOptions) fill() DecentralizedOptions {
+	if o.Period <= 0 {
+		o.Period = 60
+	}
+	if o.Threshold <= 1 {
+		o.Threshold = 1.5
+	}
+	if o.MaxMove <= 0 {
+		o.MaxMove = 4
+	}
+	return o
+}
+
+// DecentralizedStats reports an exchange run.
+type DecentralizedStats struct {
+	Migrations int
+	Rounds     int
+}
+
+// Decentralized simulates the §5.2 decentralized vision: every job is
+// submitted locally; schedulers periodically compare queued work and move
+// waiting jobs from overloaded to underloaded clusters (a simple
+// threshold protocol standing in for the paper's open design space —
+// graph coupling, economic models, consensus, ...).
+type Decentralized struct {
+	DES   *des.Simulator
+	sims  []*cluster.Sim
+	opt   DecentralizedOptions
+	stats DecentralizedStats
+	done  bool
+}
+
+// NewDecentralized wires the members; exchange starts at t=Period.
+func NewDecentralized(members []Member, opt DecentralizedOptions, kill cluster.KillPolicy) (*Decentralized, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("grid: no members")
+	}
+	opt = opt.fill()
+	sim := des.New()
+	d := &Decentralized{DES: sim, opt: opt}
+	for _, mb := range members {
+		if err := mb.Cluster.Validate(); err != nil {
+			return nil, err
+		}
+		cs, err := cluster.New(sim, mb.Cluster.Procs(), mb.Cluster.Speed, mb.Policy, kill)
+		if err != nil {
+			return nil, err
+		}
+		for _, j := range mb.Local {
+			if err := cs.Submit(j); err != nil {
+				return nil, err
+			}
+		}
+		d.sims = append(d.sims, cs)
+	}
+	_ = sim.At(opt.Period, d.exchange)
+	return d, nil
+}
+
+// exchange runs one balancing round and re-arms itself while work waits.
+func (d *Decentralized) exchange() {
+	d.stats.Rounds++
+	// Normalized load: queued work / (procs × speed) — time to drain.
+	load := make([]float64, len(d.sims))
+	for i, cs := range d.sims {
+		load[i] = cs.QueuedWork() / (float64(cs.M) * cs.Speed)
+	}
+	switch d.opt.Protocol {
+	case Pull:
+		// Every idle cluster (empty queue, free processors) steals up to
+		// MaxMove jobs from the currently most loaded cluster.
+		for i, cs := range d.sims {
+			if cs.QueueLength() > 0 || cs.Free() == 0 {
+				continue
+			}
+			for moved := 0; moved < d.opt.MaxMove; moved++ {
+				src := argmax(load)
+				if src == i || load[src] <= 0 {
+					break
+				}
+				if !d.moveOne(src, i, load) {
+					break
+				}
+			}
+		}
+	default: // Push: repeatedly move from the most to the least loaded.
+		for moved := 0; moved < d.opt.MaxMove; moved++ {
+			src, dst := argmax(load), argmin(load)
+			if src == dst || load[src] <= d.opt.Threshold*math.Max(load[dst], 1e-12) {
+				break
+			}
+			if !d.moveOne(src, dst, load) {
+				break
+			}
+		}
+	}
+	// Re-arm while the grid is still alive: our own event has already
+	// been popped, so a non-empty DES queue means arrivals or
+	// completions are still outstanding somewhere.
+	next := d.DES.Now() + d.opt.Period
+	if d.opt.Horizon > 0 && next > d.opt.Horizon {
+		return
+	}
+	if d.DES.Pending() > 0 {
+		_ = d.DES.At(next, d.exchange)
+	}
+}
+
+// moveOne steals one queued job from src that fits dst and injects it.
+func (d *Decentralized) moveOne(src, dst int, load []float64) bool {
+	stolen := d.sims[src].StealQueued(1)
+	if len(stolen) == 0 {
+		return false
+	}
+	j := stolen[0]
+	if j.MinProcs > d.sims[dst].M {
+		// Does not fit the target; put it back.
+		if err := d.sims[src].InjectNow(j); err != nil {
+			return false
+		}
+		return false
+	}
+	if err := d.sims[dst].InjectNow(j); err != nil {
+		_ = d.sims[src].InjectNow(j)
+		return false
+	}
+	d.stats.Migrations++
+	w, _ := j.MinWork(d.sims[src].M)
+	load[src] -= w / (float64(d.sims[src].M) * d.sims[src].Speed)
+	load[dst] += w / (float64(d.sims[dst].M) * d.sims[dst].Speed)
+	return true
+}
+
+// Run drives the grid to completion.
+func (d *Decentralized) Run() error {
+	if err := d.DES.Run(); err != nil {
+		return err
+	}
+	d.done = true
+	return nil
+}
+
+// Stats returns exchange statistics (valid after Run).
+func (d *Decentralized) Stats() DecentralizedStats { return d.stats }
+
+// LocalCompletions returns cluster i's completion records.
+func (d *Decentralized) LocalCompletions(i int) []metrics.Completion {
+	return d.sims[i].Completions()
+}
+
+// AllCompletions merges every cluster's records.
+func (d *Decentralized) AllCompletions() []metrics.Completion {
+	var all []metrics.Completion
+	for _, cs := range d.sims {
+		all = append(all, cs.Completions()...)
+	}
+	return all
+}
+
+// RunIsolated runs the same members with no exchange at all (the
+// baseline: communities keep their machines to themselves) and returns
+// the merged completion records.
+func RunIsolated(members []Member, kill cluster.KillPolicy) ([]metrics.Completion, error) {
+	var all []metrics.Completion
+	for _, mb := range members {
+		sim := des.New()
+		cs, err := cluster.New(sim, mb.Cluster.Procs(), mb.Cluster.Speed, mb.Policy, kill)
+		if err != nil {
+			return nil, err
+		}
+		for _, j := range mb.Local {
+			if err := cs.Submit(j); err != nil {
+				return nil, err
+			}
+		}
+		if err := cs.Run(); err != nil {
+			return nil, err
+		}
+		all = append(all, cs.Completions()...)
+	}
+	return all, nil
+}
+
+// SplitJobsRoundRobin deals a job stream across k members (test/demo
+// helper for building imbalanced scenarios use SplitJobsSkewed).
+func SplitJobsRoundRobin(jobs []*workload.Job, k int) [][]*workload.Job {
+	out := make([][]*workload.Job, k)
+	for i, j := range jobs {
+		out[i%k] = append(out[i%k], j)
+	}
+	return out
+}
+
+// SplitJobsSkewed sends the given fraction of the stream to member 0 and
+// deals the rest round-robin over the others — the §5.2 imbalance
+// scenario (one community floods its own cluster).
+func SplitJobsSkewed(jobs []*workload.Job, k int, frac float64) [][]*workload.Job {
+	out := make([][]*workload.Job, k)
+	if k == 1 {
+		out[0] = jobs
+		return out
+	}
+	cut := int(frac * float64(len(jobs)))
+	for i, j := range jobs {
+		if i < cut {
+			out[0] = append(out[0], j)
+		} else {
+			out[1+(i-cut)%(k-1)] = append(out[1+(i-cut)%(k-1)], j)
+		}
+	}
+	return out
+}
+
+func argmax(xs []float64) int {
+	best := 0
+	for i, x := range xs {
+		if x > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func argmin(xs []float64) int {
+	best := 0
+	for i, x := range xs {
+		if x < xs[best] {
+			best = i
+		}
+	}
+	return best
+}

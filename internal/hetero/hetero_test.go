@@ -1,0 +1,184 @@
+package hetero
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/platform"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func smallGrid() *platform.Grid {
+	return &platform.Grid{
+		Name: "test",
+		Clusters: []*platform.Cluster{
+			{Name: "fast", Nodes: 16, ProcsPerNode: 1, Speed: 2.0},
+			{Name: "slow", Nodes: 32, ProcsPerNode: 1, Speed: 0.5},
+		},
+	}
+}
+
+func testJobs(seed uint64, n, maxP int) []*workload.Job {
+	return workload.Parallel(workload.GenConfig{N: n, M: maxP, Seed: seed})
+}
+
+func TestSpeedAwareLPTUsesAllClusters(t *testing.T) {
+	g := smallGrid()
+	jobs := testJobs(1, 60, 16)
+	asg, err := Schedule(jobs, g, SpeedAwareLPT, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := asg.Validate(jobs, g); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	for _, ci := range asg.JobCluster {
+		counts[ci]++
+	}
+	if counts[0] == 0 || counts[1] == 0 {
+		t.Fatalf("one cluster unused: %v", counts)
+	}
+}
+
+func TestSpeedAwareBeatsBaselines(t *testing.T) {
+	g := smallGrid()
+	jobs := testJobs(2, 80, 16)
+	lpt, err := Schedule(jobs, g, SpeedAwareLPT, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Schedule(jobs, g, LargestOnly, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lpt.Makespan >= big.Makespan {
+		t.Fatalf("speed-aware (%v) not better than largest-only (%v)",
+			lpt.Makespan, big.Makespan)
+	}
+	lb := LowerBound(jobs, g)
+	if lpt.Makespan < lb*(1-1e-9) {
+		t.Fatalf("makespan %v below grid lower bound %v", lpt.Makespan, lb)
+	}
+}
+
+func TestSpeedMatters(t *testing.T) {
+	// Same topology, one cluster 4x faster: the speed-aware partition
+	// must load it more (in job work) than the speed-blind round-robin.
+	g := smallGrid()
+	jobs := testJobs(3, 100, 8)
+	lpt, err := Schedule(jobs, g, SpeedAwareLPT, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	workOn := func(asg *Assignment, cluster int) float64 {
+		var w float64
+		for _, j := range jobs {
+			if asg.JobCluster[j.ID] == cluster {
+				mw, _ := j.MinWork(g.Clusters[cluster].Procs())
+				w += mw
+			}
+		}
+		return w
+	}
+	// fast cluster: 16 procs × speed 2 = 32 capacity units; slow: 16.
+	// The LPT rule should give the fast cluster roughly 2/3 of the work.
+	fast, slow := workOn(lpt, 0), workOn(lpt, 1)
+	if fast <= slow {
+		t.Fatalf("speed-aware gave fast cluster %v work vs slow %v", fast, slow)
+	}
+}
+
+func TestLargestOnlyRejectsOversized(t *testing.T) {
+	g := smallGrid() // largest is "slow" with 32 procs
+	j := &workload.Job{
+		ID: 1, Kind: workload.Rigid, Weight: 1, DueDate: -1,
+		SeqTime: 10, MinProcs: 33, MaxProcs: 33, Model: workload.Linear{},
+	}
+	if _, err := Schedule([]*workload.Job{j}, g, LargestOnly, 0.01); err == nil {
+		t.Fatal("oversized job accepted")
+	}
+	// It fits nowhere, so every partition must reject it.
+	if _, err := Schedule([]*workload.Job{j}, g, SpeedAwareLPT, 0.01); err == nil {
+		t.Fatal("unfittable job accepted by LPT")
+	}
+}
+
+func TestWideJobRoutedToWideCluster(t *testing.T) {
+	g := smallGrid()
+	// 24-proc job only fits the slow 32-proc cluster.
+	wide := &workload.Job{
+		ID: 0, Kind: workload.Rigid, Weight: 1, DueDate: -1,
+		SeqTime: 240, MinProcs: 24, MaxProcs: 24, Model: workload.Linear{},
+	}
+	asg, err := Schedule([]*workload.Job{wide}, g, SpeedAwareLPT, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asg.JobCluster[0] != 1 {
+		t.Fatalf("wide job on cluster %d, want 1", asg.JobCluster[0])
+	}
+}
+
+func TestCIMENTGridSchedule(t *testing.T) {
+	g := platform.CIMENT()
+	jobs := testJobs(5, 120, 64)
+	asg, err := Schedule(jobs, g, SpeedAwareLPT, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := asg.Validate(jobs, g); err != nil {
+		t.Fatal(err)
+	}
+	if asg.Makespan <= 0 {
+		t.Fatal("degenerate makespan")
+	}
+}
+
+func TestEmptyGridRejected(t *testing.T) {
+	if _, err := Schedule(nil, &platform.Grid{}, SpeedAwareLPT, 0.01); err == nil {
+		t.Fatal("empty grid accepted")
+	}
+}
+
+// Property: all partitions produce complete, valid assignments above the
+// grid lower bound, and speed-aware LPT is never worse than round-robin
+// by more than 3x (loose envelope catching gross partition bugs).
+func TestHeteroProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		rng := stats.NewRNG(seed)
+		n := int(nRaw%40) + 1
+		g := &platform.Grid{Name: "p", Clusters: []*platform.Cluster{
+			{Name: "a", Nodes: rng.IntRange(4, 16), ProcsPerNode: 1, Speed: rng.Range(0.5, 2)},
+			{Name: "b", Nodes: rng.IntRange(4, 16), ProcsPerNode: 1, Speed: rng.Range(0.5, 2)},
+			{Name: "c", Nodes: rng.IntRange(4, 16), ProcsPerNode: 1, Speed: rng.Range(0.5, 2)},
+		}}
+		minWidth := g.Clusters[0].Procs()
+		for _, c := range g.Clusters {
+			if c.Procs() < minWidth {
+				minWidth = c.Procs()
+			}
+		}
+		jobs := testJobs(seed, n, minWidth)
+		lb := LowerBound(jobs, g)
+		var spans [2]float64
+		for k, part := range []Partition{SpeedAwareLPT, RoundRobin} {
+			asg, err := Schedule(jobs, g, part, 0.02)
+			if err != nil {
+				return false
+			}
+			if asg.Validate(jobs, g) != nil {
+				return false
+			}
+			if asg.Makespan < lb*(1-1e-6) {
+				return false
+			}
+			spans[k] = asg.Makespan
+		}
+		return spans[0] <= 3*spans[1]+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,183 @@
+// Package lowerbound computes lower bounds on the optimal value of the
+// §3 criteria for sets of rigid/moldable Parallel Tasks. Every experiment
+// in the repository reports performance ratios against these bounds, the
+// same methodology as the paper's Figure 2 (the true optimum being
+// intractable, ratios are measured against a certified underestimate, so
+// reported ratios are upper bounds on the true ratios).
+package lowerbound
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/workload"
+)
+
+// CmaxArea returns the area (average work) bound: total minimal work
+// divided by the number of processors. No schedule can beat it because m
+// processors provide at most m·Cmax units of work.
+func CmaxArea(jobs []*workload.Job, m int) float64 {
+	return workload.TotalMinWork(jobs, m) / float64(m)
+}
+
+// CmaxMinTime returns the critical-job bound: the largest minimal
+// execution time over all jobs (every job must run somewhere, entirely).
+func CmaxMinTime(jobs []*workload.Job, m int) float64 {
+	var lb float64
+	for _, j := range jobs {
+		t, _ := j.MinTime(m)
+		if !math.IsInf(t, 0) && t > lb {
+			lb = t
+		}
+	}
+	return lb
+}
+
+// minWorkUnder returns the minimal work of job j among allocations of at
+// most m processors whose execution time is at most deadline, or +Inf if
+// no allocation meets the deadline. Monotone non-increasing in deadline
+// by construction, which makes the dual bound's binary search sound even
+// for non-monotone profiles.
+func minWorkUnder(j *workload.Job, deadline float64, m int) float64 {
+	best := math.Inf(1)
+	hi := j.MaxProcs
+	if hi > m {
+		hi = m
+	}
+	for p := j.MinProcs; p <= hi; p++ {
+		if j.TimeOn(p) <= deadline {
+			if w := j.WorkOn(p); w < best {
+				best = w
+			}
+		}
+	}
+	return best
+}
+
+// dualFeasible reports whether the guess λ passes the dual-approximation
+// feasibility test of §4.1: every job has an allocation meeting λ, and
+// the sum of the cheapest such allocations fits in the area λ·m.
+func dualFeasible(jobs []*workload.Job, m int, lambda float64) bool {
+	var work float64
+	bound := lambda * float64(m)
+	for _, j := range jobs {
+		w := minWorkUnder(j, lambda, m)
+		if math.IsInf(w, 0) {
+			return false
+		}
+		work += w
+		if work > bound*(1+1e-12) {
+			return false
+		}
+	}
+	return true
+}
+
+// CmaxDual returns the dual-approximation bound: the smallest λ (up to
+// relative precision 1e-9) such that the instance passes the feasibility
+// test. In the optimal schedule of makespan C*, every job meets deadline
+// C* and the packed work fits in C*·m, so C* is feasible and the smallest
+// feasible λ is a valid lower bound. It dominates both CmaxArea and
+// CmaxMinTime.
+func CmaxDual(jobs []*workload.Job, m int) float64 {
+	if len(jobs) == 0 {
+		return 0
+	}
+	lo := math.Max(CmaxArea(jobs, m), CmaxMinTime(jobs, m))
+	if lo == 0 {
+		return 0
+	}
+	if dualFeasible(jobs, m, lo) {
+		return lo
+	}
+	hi := CmaxMinTime(jobs, m) + workload.TotalMinWork(jobs, m)/float64(m)
+	for !dualFeasible(jobs, m, hi) {
+		// Degenerate profiles (e.g. min-work allocation slower than λ):
+		// widen until feasible. Doubling terminates because at λ ≥ max
+		// sequential time the cheapest allocation is unconstrained.
+		hi *= 2
+		if math.IsInf(hi, 0) {
+			return lo
+		}
+	}
+	for i := 0; i < 100 && (hi-lo) > 1e-9*hi; i++ {
+		mid := (lo + hi) / 2
+		if dualFeasible(jobs, m, mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi
+}
+
+// Cmax returns the strongest available makespan lower bound, including
+// the release-date term max_j (r_j + minTime_j).
+func Cmax(jobs []*workload.Job, m int) float64 {
+	lb := CmaxDual(jobs, m)
+	for _, j := range jobs {
+		t, _ := j.MinTime(m)
+		if math.IsInf(t, 0) {
+			continue
+		}
+		if v := j.Release + t; v > lb {
+			lb = v
+		}
+	}
+	return lb
+}
+
+// SumWeightedCompletion returns a lower bound on ΣωiCi combining:
+//
+//  1. the squashed-area bound: in any schedule, if jobs are indexed by
+//     completion order then m·C(k) ≥ Σ_{i≤k} minwork_i, so ΣwC is at
+//     least the WSPT value of the single-machine instance with sizes
+//     minwork_i/m (Smith's rule gives the minimizing order);
+//  2. the per-job bound C_j ≥ r_j + minTime_j.
+//
+// The maximum of the two is returned. Works for rigid jobs too (their
+// min work is the only work).
+func SumWeightedCompletion(jobs []*workload.Job, m int) float64 {
+	type item struct {
+		size, weight float64
+	}
+	items := make([]item, 0, len(jobs))
+	var perJob float64
+	for _, j := range jobs {
+		w, _ := j.MinWork(m)
+		t, _ := j.MinTime(m)
+		if math.IsInf(t, 0) {
+			continue // unschedulable on this width; contributes nothing
+		}
+		items = append(items, item{size: w / float64(m), weight: j.Weight})
+		perJob += j.Weight * (j.Release + t)
+	}
+	// Smith's rule: sort by size/weight ascending (zero-weight jobs last;
+	// they contribute nothing but still occupy the squashed machine).
+	sort.Slice(items, func(a, b int) bool {
+		wa, wb := items[a].weight, items[b].weight
+		if wa > 0 && wb > 0 {
+			return items[a].size*wb < items[b].size*wa
+		}
+		return wa > wb
+	})
+	var clock, squashed float64
+	for _, it := range items {
+		clock += it.size
+		squashed += it.weight * clock
+	}
+	return math.Max(squashed, perJob)
+}
+
+// SumCompletion returns the unweighted specialization of
+// SumWeightedCompletion (treating every weight as 1 regardless of the
+// stored weights).
+func SumCompletion(jobs []*workload.Job, m int) float64 {
+	clone := make([]*workload.Job, len(jobs))
+	for i, j := range jobs {
+		c := j.Clone()
+		c.Weight = 1
+		clone[i] = c
+	}
+	return SumWeightedCompletion(clone, m)
+}

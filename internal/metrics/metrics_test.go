@@ -1,0 +1,132 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func job(id int, release, weight, due, seq float64) *workload.Job {
+	return &workload.Job{
+		ID: id, Kind: workload.Moldable, Release: release, Weight: weight,
+		DueDate: due, SeqTime: seq, MinProcs: 1, MaxProcs: 4,
+		Model: workload.Linear{},
+	}
+}
+
+func sample() []Completion {
+	return []Completion{
+		{Job: job(1, 0, 1, -1, 8), Start: 0, End: 10, Procs: 2},
+		{Job: job(2, 5, 3, 12, 4), Start: 6, End: 14, Procs: 1},
+		{Job: job(3, 2, 2, 100, 2), Start: 3, End: 5, Procs: 4},
+	}
+}
+
+func TestMakespan(t *testing.T) {
+	if got := Makespan(sample()); got != 14 {
+		t.Fatalf("Makespan = %v", got)
+	}
+	if Makespan(nil) != 0 {
+		t.Fatal("empty Makespan != 0")
+	}
+}
+
+func TestSums(t *testing.T) {
+	cs := sample()
+	if got := SumCompletion(cs); got != 29 {
+		t.Fatalf("ΣC = %v", got)
+	}
+	if got := SumWeightedCompletion(cs); got != 10+42+10 {
+		t.Fatalf("ΣwC = %v", got)
+	}
+	// flows: 10-0, 14-5, 5-2 = 10, 9, 3
+	if got := SumFlow(cs); got != 22 {
+		t.Fatalf("ΣF = %v", got)
+	}
+	if got := MeanFlow(cs); math.Abs(got-22.0/3) > 1e-12 {
+		t.Fatalf("meanF = %v", got)
+	}
+	if got := MaxFlow(cs); got != 10 {
+		t.Fatalf("maxF = %v", got)
+	}
+}
+
+func TestStretch(t *testing.T) {
+	cs := sample()
+	// job1: min time on 4 procs = 8/4 = 2; flow 10; stretch 5.
+	if got := cs[0].Stretch(4); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("stretch = %v", got)
+	}
+	if got := MaxStretch(cs, 4); math.Abs(got-9.0) > 1e-12 {
+		// job2: min time 1, flow 9 → 9; job3: min 0.5, flow 3 → 6.
+		t.Fatalf("MaxStretch = %v", got)
+	}
+	want := (5.0 + 9.0 + 6.0) / 3
+	if got := MeanStretch(cs, 4); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("MeanStretch = %v, want %v", got, want)
+	}
+}
+
+func TestTardiness(t *testing.T) {
+	cs := sample()
+	// job1 no due date; job2 due 12 end 14 → 2; job3 due 100 → 0.
+	if got := SumTardiness(cs); got != 2 {
+		t.Fatalf("ΣT = %v", got)
+	}
+	if got := MaxTardiness(cs); got != 2 {
+		t.Fatalf("maxT = %v", got)
+	}
+	if got := LateCount(cs); got != 1 {
+		t.Fatalf("late = %d", got)
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	cs := sample()
+	if got := Throughput(cs, 10); math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("Throughput(10) = %v", got) // jobs 1 and 3 done by t=10
+	}
+	if got := Throughput(cs, 100); math.Abs(got-0.03) > 1e-12 {
+		t.Fatalf("Throughput(100) = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Throughput(0) did not panic")
+		}
+	}()
+	Throughput(cs, 0)
+}
+
+func TestUtilization(t *testing.T) {
+	cs := sample()
+	// areas: 2*10 + 1*8 + 4*2 = 36; horizon 14 * m.
+	if got := Utilization(cs, 4); math.Abs(got-36.0/56) > 1e-12 {
+		t.Fatalf("Utilization = %v", got)
+	}
+	if Utilization(nil, 4) != 0 {
+		t.Fatal("empty utilization != 0")
+	}
+}
+
+func TestReport(t *testing.T) {
+	r := NewReport(sample(), 4)
+	if r.N != 3 || r.Makespan != 14 || r.LateCount != 1 {
+		t.Fatalf("report = %+v", r)
+	}
+	if r.String() == "" {
+		t.Fatal("empty report string")
+	}
+}
+
+func TestStretchDegenerate(t *testing.T) {
+	// A job whose min time is +Inf (cannot run) contributes stretch 0.
+	j := &workload.Job{
+		ID: 9, Kind: workload.Rigid, SeqTime: 5, MinProcs: 8, MaxProcs: 8,
+		Model: workload.Linear{},
+	}
+	c := Completion{Job: j, Start: 0, End: 10, Procs: 8}
+	if got := c.Stretch(4); got != 0 {
+		t.Fatalf("degenerate stretch = %v", got)
+	}
+}

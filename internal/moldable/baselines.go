@@ -1,0 +1,91 @@
+package moldable
+
+import (
+	"fmt"
+
+	"repro/internal/lowerbound"
+	"repro/internal/rigid"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// freeze returns rigid clones of the jobs with the given per-job
+// processor counts, suitable for the rigid-job policies.
+func freeze(jobs []*workload.Job, procs func(*workload.Job) int) ([]*workload.Job, map[int]*workload.Job) {
+	frozen := make([]*workload.Job, len(jobs))
+	orig := make(map[int]*workload.Job, len(jobs))
+	for i, j := range jobs {
+		p := procs(j)
+		c := j.Clone()
+		c.Kind = workload.Rigid
+		c.MinProcs, c.MaxProcs = p, p
+		frozen[i] = c
+		orig[j.ID] = j
+	}
+	return frozen, orig
+}
+
+// rebind maps a schedule over frozen clones back to the original jobs so
+// callers see their own pointers.
+func rebind(s *sched.Schedule, orig map[int]*workload.Job) *sched.Schedule {
+	out := sched.New(s.M)
+	for _, a := range s.Allocs {
+		a.Job = orig[a.Job.ID]
+		out.Add(a)
+	}
+	return out
+}
+
+// MinWorkList is the communication-shy baseline: every job takes its
+// minimal-work allocation (usually sequential) and the resulting rigid
+// jobs are LPT list-scheduled. It wastes no work but ignores the
+// critical path, so long sequential jobs dominate its makespan.
+func MinWorkList(jobs []*workload.Job, m int) (*sched.Schedule, error) {
+	frozen, orig := freeze(jobs, func(j *workload.Job) int {
+		_, p := j.MinWork(m)
+		return p
+	})
+	s, err := rigid.List(frozen, m, rigid.ByLPT)
+	if err != nil {
+		return nil, fmt.Errorf("moldable: MinWorkList: %w", err)
+	}
+	return rebind(s, orig), nil
+}
+
+// MaxProcsList is the greedy-parallel baseline: every job takes its
+// fastest allocation (MaxProcs capped at m) and the rigid jobs are LPT
+// list-scheduled. It minimizes per-job time but inflates work, so it
+// loses when speedups are sublinear — the trade-off the MRT knapsack
+// balances.
+func MaxProcsList(jobs []*workload.Job, m int) (*sched.Schedule, error) {
+	frozen, orig := freeze(jobs, func(j *workload.Job) int {
+		_, p := j.MinTime(m)
+		return p
+	})
+	s, err := rigid.List(frozen, m, rigid.ByLPT)
+	if err != nil {
+		return nil, fmt.Errorf("moldable: MaxProcsList: %w", err)
+	}
+	return rebind(s, orig), nil
+}
+
+// GammaList is the one-shot dual baseline: jobs take their canonical
+// allotment γ(j, LB) for the instance lower bound (falling back to the
+// minimal-work allocation when even γ(j, LB) does not exist) and are LPT
+// list-scheduled. One construction, no binary search — the natural
+// middle ground between the naive baselines and full MRT.
+func GammaList(jobs []*workload.Job, m int) (*sched.Schedule, error) {
+	lb := lowerbound.CmaxDual(jobs, m)
+	frozen, orig := freeze(jobs, func(j *workload.Job) int {
+		if q := j.Gamma(lb, m); q > 0 {
+			return q
+		}
+		_, p := j.MinWork(m)
+		return p
+	})
+	s, err := rigid.List(frozen, m, rigid.ByLPT)
+	if err != nil {
+		return nil, fmt.Errorf("moldable: GammaList: %w", err)
+	}
+	return rebind(s, orig), nil
+}

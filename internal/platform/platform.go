@@ -1,0 +1,246 @@
+// Package platform models the execution supports of the paper (§1.2): a
+// light grid is a small set of clusters, each a collection of tens to
+// hundreds of nodes, weakly heterogeneous inside a cluster (clock speeds)
+// and strongly heterogeneous across clusters (architecture, interconnect,
+// OS). It also provides reservation calendars (§5.1) and the concrete
+// processor-assignment sweep used to turn (start, duration, count)
+// schedules into per-processor allocations.
+package platform
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Cluster is one weakly-heterogeneous cluster of a light grid.
+type Cluster struct {
+	// Name identifies the cluster ("icluster", "idpot", ...).
+	Name string
+	// Nodes is the number of nodes; Procs = Nodes * ProcsPerNode.
+	Nodes int
+	// ProcsPerNode is the per-node processor count (2 for the CIMENT
+	// bi-processor machines).
+	ProcsPerNode int
+	// Speed is the relative processor speed (reference cluster = 1.0).
+	// A job with sequential time s takes s/Speed on one processor here.
+	Speed float64
+	// Interconnect names the network ("myrinet", "gige", "eth100"). The PT
+	// model folds network cost into the per-job penalty, so this field is
+	// descriptive, but the DLT experiments derive bandwidth from it.
+	Interconnect string
+}
+
+// Procs returns the total processor count of the cluster.
+func (c *Cluster) Procs() int { return c.Nodes * c.ProcsPerNode }
+
+// Bandwidth returns an indicative link bandwidth in MB/s for the DLT
+// experiments, derived from the interconnect name. Unknown interconnects
+// get 100 MB/s.
+func (c *Cluster) Bandwidth() float64 {
+	switch c.Interconnect {
+	case "myrinet":
+		return 2000
+	case "gige":
+		return 125
+	case "eth100":
+		return 12.5
+	default:
+		return 100
+	}
+}
+
+// Validate checks structural invariants.
+func (c *Cluster) Validate() error {
+	switch {
+	case c.Nodes <= 0:
+		return fmt.Errorf("cluster %q: %d nodes", c.Name, c.Nodes)
+	case c.ProcsPerNode <= 0:
+		return fmt.Errorf("cluster %q: %d procs/node", c.Name, c.ProcsPerNode)
+	case c.Speed <= 0:
+		return fmt.Errorf("cluster %q: speed %v", c.Name, c.Speed)
+	}
+	return nil
+}
+
+// Grid is a light grid: a named set of clusters (Figure 1).
+type Grid struct {
+	Name     string
+	Clusters []*Cluster
+}
+
+// TotalProcs sums processor counts over all clusters.
+func (g *Grid) TotalProcs() int {
+	var n int
+	for _, c := range g.Clusters {
+		n += c.Procs()
+	}
+	return n
+}
+
+// Validate checks all clusters and name uniqueness.
+func (g *Grid) Validate() error {
+	seen := map[string]bool{}
+	for _, c := range g.Clusters {
+		if err := c.Validate(); err != nil {
+			return err
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("duplicate cluster name %q", c.Name)
+		}
+		seen[c.Name] = true
+	}
+	return nil
+}
+
+// CIMENT returns the four largest clusters of the CIMENT project exactly
+// as drawn in Figure 3 of the paper: 104 bi-Itanium2 nodes on Myrinet,
+// 48 bi-P4 Xeon on gigabit Ethernet, 40 and 24 bi-Athlon on 100 Mb/s
+// Ethernet. Speeds are indicative relative clock/architecture factors.
+func CIMENT() *Grid {
+	return &Grid{
+		Name: "CIMENT",
+		Clusters: []*Cluster{
+			{Name: "itanium", Nodes: 104, ProcsPerNode: 2, Speed: 1.3, Interconnect: "myrinet"},
+			{Name: "xeon", Nodes: 48, ProcsPerNode: 2, Speed: 1.0, Interconnect: "gige"},
+			{Name: "athlon-a", Nodes: 40, ProcsPerNode: 2, Speed: 0.8, Interconnect: "eth100"},
+			{Name: "athlon-b", Nodes: 24, ProcsPerNode: 2, Speed: 0.8, Interconnect: "eth100"},
+		},
+	}
+}
+
+// Uniform returns a single-cluster grid of m unit-speed processors — the
+// Figure 2 setting ("a cluster of 100 machines").
+func Uniform(name string, m int) *Grid {
+	return &Grid{
+		Name: name,
+		Clusters: []*Cluster{
+			{Name: name, Nodes: m, ProcsPerNode: 1, Speed: 1, Interconnect: "gige"},
+		},
+	}
+}
+
+// Reservation is an advance reservation (§5.1): Procs processors are
+// unavailable to the scheduler during [Start, End).
+type Reservation struct {
+	Name  string
+	Start float64
+	End   float64
+	Procs int
+}
+
+// Validate checks the reservation window.
+func (r Reservation) Validate() error {
+	switch {
+	case r.End <= r.Start:
+		return fmt.Errorf("reservation %q: empty window [%v,%v)", r.Name, r.Start, r.End)
+	case r.Procs <= 0:
+		return fmt.Errorf("reservation %q: %d procs", r.Name, r.Procs)
+	case r.Start < 0:
+		return fmt.Errorf("reservation %q: negative start %v", r.Name, r.Start)
+	}
+	return nil
+}
+
+// Calendar is a set of reservations on one cluster. It answers
+// availability queries: how many processors are free of reservations at
+// time t, and what is the next boundary after t.
+type Calendar struct {
+	m            int
+	reservations []Reservation
+}
+
+// NewCalendar builds a calendar for a cluster of m processors. It returns
+// an error if any reservation is invalid or if at some instant the
+// reserved processors exceed m.
+func NewCalendar(m int, rs []Reservation) (*Calendar, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("calendar: %d processors", m)
+	}
+	c := &Calendar{m: m, reservations: append([]Reservation(nil), rs...)}
+	for _, r := range c.reservations {
+		if err := r.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(c.reservations, func(i, k int) bool {
+		return c.reservations[i].Start < c.reservations[k].Start
+	})
+	// Check peak demand with a sweep.
+	type ev struct {
+		t float64
+		d int
+	}
+	var evs []ev
+	for _, r := range c.reservations {
+		evs = append(evs, ev{r.Start, r.Procs}, ev{r.End, -r.Procs})
+	}
+	sort.Slice(evs, func(i, k int) bool {
+		if evs[i].t != evs[k].t {
+			return evs[i].t < evs[k].t
+		}
+		return evs[i].d < evs[k].d // process releases before grabs at ties
+	})
+	cur := 0
+	for _, e := range evs {
+		cur += e.d
+		if cur > m {
+			return nil, fmt.Errorf("calendar: reservations exceed %d processors", m)
+		}
+	}
+	return c, nil
+}
+
+// M returns the processor count of the underlying cluster.
+func (c *Calendar) M() int { return c.m }
+
+// Reserved returns the number of processors reserved at time t
+// (reservations are half-open [Start, End)).
+func (c *Calendar) Reserved(t float64) int {
+	var n int
+	for _, r := range c.reservations {
+		if r.Start <= t && t < r.End {
+			n += r.Procs
+		}
+	}
+	return n
+}
+
+// Available returns m - Reserved(t).
+func (c *Calendar) Available(t float64) int { return c.m - c.Reserved(t) }
+
+// NextBoundary returns the smallest reservation start or end strictly
+// greater than t, or ok=false if none exists.
+func (c *Calendar) NextBoundary(t float64) (boundary float64, ok bool) {
+	best := 0.0
+	found := false
+	for _, r := range c.reservations {
+		for _, b := range [2]float64{r.Start, r.End} {
+			if b > t && (!found || b < best) {
+				best = b
+				found = true
+			}
+		}
+	}
+	return best, found
+}
+
+// MinAvailable returns the minimum availability over the window [t0, t1).
+func (c *Calendar) MinAvailable(t0, t1 float64) int {
+	minAvail := c.Available(t0)
+	t := t0
+	for {
+		b, ok := c.NextBoundary(t)
+		if !ok || b >= t1 {
+			return minAvail
+		}
+		if a := c.Available(b); a < minAvail {
+			minAvail = a
+		}
+		t = b
+	}
+}
+
+// Reservations returns a copy of the sorted reservation list.
+func (c *Calendar) Reservations() []Reservation {
+	return append([]Reservation(nil), c.reservations...)
+}

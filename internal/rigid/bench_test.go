@@ -1,0 +1,63 @@
+package rigid
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func benchJobs(n, m int) []*workload.Job {
+	rng := stats.NewRNG(7)
+	jobs := make([]*workload.Job, n)
+	clock := 0.0
+	for i := range jobs {
+		clock += rng.Exp(0.5)
+		p := rng.IntRange(1, m)
+		jobs[i] = &workload.Job{
+			ID: i, Kind: workload.Rigid, Weight: 1, DueDate: -1, Release: clock,
+			SeqTime: rng.Range(1, 50) * float64(p), MinProcs: p, MaxProcs: p,
+			Model: workload.Linear{},
+		}
+	}
+	return jobs
+}
+
+func BenchmarkConservative1000(b *testing.B) {
+	jobs := benchJobs(1000, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Conservative(jobs, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFFDH1000(b *testing.B) {
+	jobs := benchJobs(1000, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FFDH(jobs, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkProfileEarliestSlot(b *testing.B) {
+	p := NewProfile(128)
+	rng := stats.NewRNG(3)
+	// Fragment the profile with 200 reservations.
+	for i := 0; i < 200; i++ {
+		s := rng.Range(0, 1000)
+		_ = p.Reserve(s, rng.Range(1, 20), rng.IntRange(1, 64))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.EarliestSlot(0, 5, 32); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

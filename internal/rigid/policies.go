@@ -1,0 +1,275 @@
+package rigid
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// Order is a queue ordering for the list-based policies.
+type Order int
+
+const (
+	// ByRelease orders by release date then ID (submission order).
+	ByRelease Order = iota
+	// ByLPT orders by decreasing processing time (longest first).
+	ByLPT
+	// BySPT orders by increasing processing time (shortest first).
+	BySPT
+	// ByArea orders by decreasing processor-time area.
+	ByArea
+)
+
+// sortJobs returns a copy of jobs in the requested order. Rigid jobs use
+// their fixed processor count to price time/area.
+func sortJobs(jobs []*workload.Job, ord Order) []*workload.Job {
+	out := append([]*workload.Job(nil), jobs...)
+	cmpTime := func(j *workload.Job) float64 { return j.TimeOn(j.MinProcs) }
+	sort.SliceStable(out, func(a, b int) bool {
+		switch ord {
+		case ByLPT:
+			ta, tb := cmpTime(out[a]), cmpTime(out[b])
+			if ta != tb {
+				return ta > tb
+			}
+		case BySPT:
+			ta, tb := cmpTime(out[a]), cmpTime(out[b])
+			if ta != tb {
+				return ta < tb
+			}
+		case ByArea:
+			wa, wb := out[a].WorkOn(out[a].MinProcs), out[b].WorkOn(out[b].MinProcs)
+			if wa != wb {
+				return wa > wb
+			}
+		default: // ByRelease
+			if out[a].Release != out[b].Release {
+				return out[a].Release < out[b].Release
+			}
+		}
+		return out[a].ID < out[b].ID
+	})
+	return out
+}
+
+// requireRigidCount returns the processor count a policy should use for
+// the job: rigid jobs use their fixed count; moldable jobs are frozen at
+// MinProcs (callers wanting smarter allotments should pre-mold via the
+// moldable package).
+func requireRigidCount(j *workload.Job) int { return j.MinProcs }
+
+// FCFS schedules jobs strictly in queue order: a job never starts before
+// any job ahead of it in the queue. This is the no-backfilling baseline
+// every batch system starts from.
+func FCFS(jobs []*workload.Job, m int) (*sched.Schedule, error) {
+	return FCFSWithCalendar(jobs, m, nil)
+}
+
+// FCFSWithCalendar is FCFS around a reservation calendar (§5.1).
+func FCFSWithCalendar(jobs []*workload.Job, m int, cal *platform.Calendar) (*sched.Schedule, error) {
+	profile, err := profileFor(m, cal)
+	if err != nil {
+		return nil, err
+	}
+	s := sched.New(m)
+	frontier := 0.0 // start-time monotonicity enforces queue order
+	for _, j := range sortJobs(jobs, ByRelease) {
+		procs := requireRigidCount(j)
+		dur := j.TimeOn(procs)
+		ready := math.Max(j.Release, frontier)
+		start, err := profile.EarliestSlot(ready, dur, procs)
+		if err != nil {
+			return nil, fmt.Errorf("rigid: FCFS cannot place job %d: %w", j.ID, err)
+		}
+		if err := profile.Reserve(start, dur, procs); err != nil {
+			return nil, err
+		}
+		s.Add(sched.Alloc{Job: j, Start: start, Procs: procs})
+		frontier = start
+	}
+	return s, nil
+}
+
+// Conservative builds a conservative-backfilling schedule: each job in
+// queue order receives the earliest slot that fits, holes included, so no
+// job is ever delayed by a later-queued job ("conservative backfilling",
+// the variant the paper cites for hole-filling in §5.2).
+func Conservative(jobs []*workload.Job, m int) (*sched.Schedule, error) {
+	return ConservativeWithCalendar(jobs, m, nil)
+}
+
+// ConservativeWithCalendar is Conservative around reservations.
+func ConservativeWithCalendar(jobs []*workload.Job, m int, cal *platform.Calendar) (*sched.Schedule, error) {
+	return listWithProfile(sortJobs(jobs, ByRelease), m, cal)
+}
+
+// List schedules jobs by the given priority order, giving each job the
+// earliest slot that fits (Graham list scheduling generalized to rigid
+// multiprocessor jobs). With ByLPT this is the classic LPT baseline.
+func List(jobs []*workload.Job, m int, ord Order) (*sched.Schedule, error) {
+	return listWithProfile(sortJobs(jobs, ord), m, nil)
+}
+
+func profileFor(m int, cal *platform.Calendar) (*Profile, error) {
+	if cal != nil {
+		if cal.M() != m {
+			return nil, fmt.Errorf("rigid: calendar width %d != platform %d", cal.M(), m)
+		}
+		return NewProfileFromCalendar(cal)
+	}
+	return NewProfile(m), nil
+}
+
+func listWithProfile(ordered []*workload.Job, m int, cal *platform.Calendar) (*sched.Schedule, error) {
+	profile, err := profileFor(m, cal)
+	if err != nil {
+		return nil, err
+	}
+	s := sched.New(m)
+	for _, j := range ordered {
+		procs := requireRigidCount(j)
+		dur := j.TimeOn(procs)
+		start, err := profile.EarliestSlot(j.Release, dur, procs)
+		if err != nil {
+			return nil, fmt.Errorf("rigid: cannot place job %d: %w", j.ID, err)
+		}
+		if err := profile.Reserve(start, dur, procs); err != nil {
+			return nil, err
+		}
+		s.Add(sched.Alloc{Job: j, Start: start, Procs: procs})
+	}
+	return s, nil
+}
+
+// Shelf is one shelf of a shelf-based schedule: all jobs start together
+// at the shelf's start time (§4.3's packing scheme).
+type Shelf struct {
+	Start  float64
+	Height float64 // shelf duration = max job time inside
+	Jobs   []*workload.Job
+	used   int
+}
+
+// Width returns the processors currently occupied on the shelf.
+func (sh *Shelf) Width() int { return sh.used }
+
+// NFDH packs rigid jobs with Next-Fit Decreasing Height: jobs sorted by
+// decreasing time; a job opens a new shelf when it does not fit on the
+// current one. Returns the shelves in bottom-up order; makespan is the
+// sum of shelf heights.
+func NFDH(jobs []*workload.Job, m int) ([]*Shelf, error) {
+	ordered := sortJobs(jobs, ByLPT)
+	var shelves []*Shelf
+	var cur *Shelf
+	clock := 0.0
+	for _, j := range ordered {
+		procs := requireRigidCount(j)
+		if procs > m {
+			return nil, fmt.Errorf("rigid: job %d needs %d > %d procs", j.ID, procs, m)
+		}
+		if cur == nil || cur.used+procs > m {
+			if cur != nil {
+				clock += cur.Height
+			}
+			cur = &Shelf{Start: clock}
+			shelves = append(shelves, cur)
+		}
+		placeOnShelf(cur, j, procs)
+	}
+	return shelves, nil
+}
+
+// FFDH packs with First-Fit Decreasing Height: each job goes on the first
+// existing shelf with room, else opens a new shelf. Shelf start times are
+// assigned afterwards by stacking.
+func FFDH(jobs []*workload.Job, m int) ([]*Shelf, error) {
+	ordered := sortJobs(jobs, ByLPT)
+	var shelves []*Shelf
+	for _, j := range ordered {
+		procs := requireRigidCount(j)
+		if procs > m {
+			return nil, fmt.Errorf("rigid: job %d needs %d > %d procs", j.ID, procs, m)
+		}
+		placed := false
+		for _, sh := range shelves {
+			if sh.used+procs <= m {
+				placeOnShelf(sh, j, procs)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			sh := &Shelf{}
+			placeOnShelf(sh, j, procs)
+			shelves = append(shelves, sh)
+		}
+	}
+	RestackShelves(shelves, 0)
+	return shelves, nil
+}
+
+func placeOnShelf(sh *Shelf, j *workload.Job, procs int) {
+	sh.Jobs = append(sh.Jobs, j)
+	sh.used += procs
+	if t := j.TimeOn(procs); t > sh.Height {
+		sh.Height = t
+	}
+}
+
+// RestackShelves assigns start times by stacking the shelves in order
+// starting at base.
+func RestackShelves(shelves []*Shelf, base float64) {
+	clock := base
+	for _, sh := range shelves {
+		sh.Start = clock
+		clock += sh.Height
+	}
+}
+
+// ShelvesToSchedule converts shelves to a flat schedule on m processors.
+func ShelvesToSchedule(shelves []*Shelf, m int) *sched.Schedule {
+	s := sched.New(m)
+	for _, sh := range shelves {
+		for _, j := range sh.Jobs {
+			s.Add(sched.Alloc{Job: j, Start: sh.Start, Procs: requireRigidCount(j)})
+		}
+	}
+	return s
+}
+
+// Compact left-shifts a schedule: allocations are re-placed in
+// non-decreasing start order (ties by job ID), each at the earliest slot
+// the profile allows at its allotted width, never before its release.
+// The result is never worse on makespan or any completion time and is
+// the standard post-pass after batch-structured algorithms (batches and
+// shelves leave idle steps that compaction reclaims).
+func Compact(s *sched.Schedule) (*sched.Schedule, error) {
+	ordered := append([]sched.Alloc(nil), s.Allocs...)
+	sort.SliceStable(ordered, func(a, b int) bool {
+		if ordered[a].Start != ordered[b].Start {
+			return ordered[a].Start < ordered[b].Start
+		}
+		return ordered[a].Job.ID < ordered[b].Job.ID
+	})
+	profile := NewProfile(s.M)
+	out := sched.New(s.M)
+	for _, a := range ordered {
+		dur := a.EffectiveDuration()
+		start, err := profile.EarliestSlot(a.Job.Release, dur, a.Procs)
+		if err != nil {
+			return nil, fmt.Errorf("rigid: compaction failed for job %d: %w", a.Job.ID, err)
+		}
+		if start > a.Start {
+			start = a.Start // never move a job later than it already was
+		}
+		if err := profile.Reserve(start, dur, a.Procs); err != nil {
+			return nil, err
+		}
+		out.Add(sched.Alloc{Job: a.Job, Start: start, Procs: a.Procs, Duration: a.Duration})
+	}
+	return out, nil
+}

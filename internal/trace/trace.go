@@ -1,0 +1,227 @@
+// Package trace renders schedules and experiment results: ASCII Gantt
+// charts for quick eyeballing, CSV exports for plotting, an SWF-flavoured
+// (Standard Workload Format) job-trace writer/reader, and the aligned
+// text tables used by cmd/experiments.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// Gantt renders an ASCII Gantt chart of the schedule: one row per
+// processor, time quantized into width columns. Jobs are labelled by the
+// last character of their ID (readable for small demos; the point is
+// shape, not identification).
+func Gantt(w io.Writer, s *sched.Schedule, width int) error {
+	if width <= 0 {
+		width = 80
+	}
+	if len(s.Allocs) == 0 {
+		_, err := fmt.Fprintln(w, "(empty schedule)")
+		return err
+	}
+	// Need concrete processors.
+	pinned := s
+	hasPins := true
+	for _, a := range s.Allocs {
+		if a.ProcIDs == nil {
+			hasPins = false
+			break
+		}
+	}
+	if !hasPins {
+		clone := sched.New(s.M)
+		clone.Allocs = append([]sched.Alloc(nil), s.Allocs...)
+		if err := clone.AssignProcessors(); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		pinned = clone
+	}
+	mk := pinned.Makespan()
+	grid := make([][]byte, s.M)
+	for p := range grid {
+		grid[p] = []byte(strings.Repeat(".", width))
+	}
+	for _, a := range pinned.Allocs {
+		label := byte('0' + byte(a.Job.ID%10))
+		c0 := int(a.Start / mk * float64(width))
+		c1 := int(a.End() / mk * float64(width))
+		if c1 <= c0 {
+			c1 = c0 + 1
+		}
+		if c1 > width {
+			c1 = width
+		}
+		for _, p := range a.ProcIDs {
+			for c := c0; c < c1; c++ {
+				grid[p][c] = label
+			}
+		}
+	}
+	fmt.Fprintf(w, "Gantt: m=%d, makespan=%.4g, one column = %.4g\n", s.M, mk, mk/float64(width))
+	for p := s.M - 1; p >= 0; p-- {
+		if _, err := fmt.Fprintf(w, "p%02d |%s|\n", p, grid[p]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV exports a schedule as CSV (job, class, start, end, procs,
+// weight, release) for external plotting.
+func WriteCSV(w io.Writer, s *sched.Schedule) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "job,class,start,end,procs,weight,release")
+	rows := append([]sched.Alloc(nil), s.Allocs...)
+	sort.Slice(rows, func(i, k int) bool { return rows[i].Start < rows[k].Start })
+	for _, a := range rows {
+		fmt.Fprintf(bw, "%d,%s,%g,%g,%d,%g,%g\n",
+			a.Job.ID, a.Job.Class, a.Start, a.End(), a.Procs, a.Job.Weight, a.Job.Release)
+	}
+	return bw.Flush()
+}
+
+// WriteSWF writes completions in the spirit of the Standard Workload
+// Format: whitespace-separated fields, one job per line, -1 for unknown.
+// Fields: id, submit, wait, runtime, procs, weight.
+func WriteSWF(w io.Writer, cs []metrics.Completion) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "; id submit wait runtime procs weight")
+	rows := append([]metrics.Completion(nil), cs...)
+	sort.Slice(rows, func(i, k int) bool { return rows[i].Job.ID < rows[k].Job.ID })
+	for _, c := range rows {
+		fmt.Fprintf(bw, "%d %g %g %g %d %g\n",
+			c.Job.ID, c.Job.Release, c.Start-c.Job.Release, c.End-c.Start,
+			c.Procs, c.Job.Weight)
+	}
+	return bw.Flush()
+}
+
+// ReadSWF parses the WriteSWF format back into rigid jobs (runtime frozen
+// as the sequential profile on the recorded processor count).
+func ReadSWF(r io.Reader) ([]*workload.Job, error) {
+	sc := bufio.NewScanner(r)
+	var jobs []*workload.Job
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, ";") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 6 {
+			return nil, fmt.Errorf("trace: line %d: %d fields, want 6", line, len(fields))
+		}
+		vals := make([]float64, 6)
+		for i, f := range fields[:6] {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d field %d: %w", line, i, err)
+			}
+			vals[i] = v
+		}
+		procs := int(vals[4])
+		runtime := vals[3]
+		if procs <= 0 || runtime <= 0 {
+			return nil, fmt.Errorf("trace: line %d: procs %d runtime %v", line, procs, runtime)
+		}
+		jobs = append(jobs, &workload.Job{
+			ID: int(vals[0]), Kind: workload.Rigid, Release: math.Max(vals[1], 0),
+			Weight: vals[5], DueDate: -1,
+			SeqTime: runtime * float64(procs), MinProcs: procs, MaxProcs: procs,
+			Model: workload.Linear{},
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return jobs, nil
+}
+
+// Table is an aligned-text experiment table (also exportable as CSV).
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; values are formatted with %v, floats with 4
+// significant digits.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = strconv.FormatFloat(v, 'g', 4, 64)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Write renders the table with aligned columns.
+func (t *Table) Write(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	bw := bufio.NewWriter(w)
+	if t.Title != "" {
+		fmt.Fprintln(bw, t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				fmt.Fprint(bw, "  ")
+			}
+			fmt.Fprintf(bw, "%-*s", widths[i], c)
+		}
+		fmt.Fprintln(bw)
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return bw.Flush()
+}
+
+// WriteCSV renders the table as CSV.
+func (t *Table) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, strings.Join(t.Headers, ","))
+	for _, r := range t.Rows {
+		fmt.Fprintln(bw, strings.Join(r, ","))
+	}
+	return bw.Flush()
+}

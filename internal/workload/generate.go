@@ -1,0 +1,338 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// GenConfig parameterizes the synthetic workload generators. Zero values
+// are replaced by the documented defaults in fill().
+type GenConfig struct {
+	// N is the number of jobs to generate.
+	N int
+	// M is the target platform width; MaxProcs never exceeds it.
+	M int
+	// Seed drives the deterministic RNG.
+	Seed uint64
+
+	// SeqMu, SeqSigma are the lognormal parameters of sequential times.
+	SeqMu, SeqSigma float64
+	// ArrivalRate is the Poisson arrival rate (jobs per second). Zero
+	// means all jobs released at time 0 (the offline case).
+	ArrivalRate float64
+	// Weighted draws weights from {1..10} with a Zipf bias when true;
+	// otherwise every weight is 1.
+	Weighted bool
+	// RigidFraction is the fraction of jobs forced rigid (their processor
+	// count is frozen at a random legal value).
+	RigidFraction float64
+	// MaxProcsCap caps each job's MaxProcs below M (e.g. memory limits,
+	// §2.2). Zero means no extra cap.
+	MaxProcsCap int
+	// DueDateSlack, when positive, assigns DueDate = Release +
+	// slack * TimeOn(MinProcs) with slack drawn in [1, DueDateSlack].
+	DueDateSlack float64
+}
+
+func (c GenConfig) fill() GenConfig {
+	if c.N == 0 {
+		c.N = 100
+	}
+	if c.M == 0 {
+		c.M = 100
+	}
+	if c.SeqMu == 0 {
+		c.SeqMu = 5 // median sequential time e^5 ≈ 148 s
+	}
+	if c.SeqSigma == 0 {
+		c.SeqSigma = 1.2
+	}
+	return c
+}
+
+// Sequential generates non-parallel jobs (the "Non Parallel" series of
+// Figure 2): rigid single-processor jobs with lognormal durations.
+func Sequential(cfg GenConfig) []*Job {
+	cfg = cfg.fill()
+	rng := stats.NewRNG(cfg.Seed)
+	jobs := make([]*Job, cfg.N)
+	clock := 0.0
+	for i := range jobs {
+		if cfg.ArrivalRate > 0 {
+			clock += rng.Exp(cfg.ArrivalRate)
+		}
+		jobs[i] = &Job{
+			ID:       i,
+			Name:     fmt.Sprintf("seq-%d", i),
+			Class:    "sequential",
+			Kind:     Rigid,
+			Release:  clock,
+			Weight:   weight(rng, cfg.Weighted),
+			DueDate:  -1,
+			SeqTime:  rng.LogNormal(cfg.SeqMu, cfg.SeqSigma),
+			MinProcs: 1,
+			MaxProcs: 1,
+			Model:    Linear{},
+		}
+		setDueDate(jobs[i], rng, cfg.DueDateSlack)
+	}
+	return jobs
+}
+
+// Parallel generates moldable parallel jobs (the "Parallel" series of
+// Figure 2): lognormal sequential times, mixed speedup models (Amdahl and
+// power-law), MaxProcs drawn up to the platform width, an optional rigid
+// fraction, all with frozen monotone time tables.
+func Parallel(cfg GenConfig) []*Job {
+	cfg = cfg.fill()
+	rng := stats.NewRNG(cfg.Seed)
+	jobs := make([]*Job, cfg.N)
+	clock := 0.0
+	for i := range jobs {
+		if cfg.ArrivalRate > 0 {
+			clock += rng.Exp(cfg.ArrivalRate)
+		}
+		seq := rng.LogNormal(cfg.SeqMu, cfg.SeqSigma)
+		model := randomModel(rng)
+		maxP := rng.IntRange(1, cfg.M)
+		if cfg.MaxProcsCap > 0 && maxP > cfg.MaxProcsCap {
+			maxP = cfg.MaxProcsCap
+		}
+		j := &Job{
+			ID:       i,
+			Name:     fmt.Sprintf("par-%d", i),
+			Class:    "parallel",
+			Kind:     Moldable,
+			Release:  clock,
+			Weight:   weight(rng, cfg.Weighted),
+			DueDate:  -1,
+			SeqTime:  seq,
+			MinProcs: 1,
+			MaxProcs: maxP,
+			Model:    model,
+			Times:    MakeTable(model, seq, maxP),
+		}
+		if rng.Bool(cfg.RigidFraction) {
+			p := rng.IntRange(1, maxP)
+			j.Kind = Rigid
+			j.MinProcs, j.MaxProcs = p, p
+		}
+		setDueDate(j, rng, cfg.DueDateSlack)
+		jobs[i] = j
+	}
+	return jobs
+}
+
+// Mixed generates the §5.1 scenario: a mix of rigid and moldable jobs on
+// the same cluster, with RigidFraction of the jobs frozen.
+func Mixed(cfg GenConfig) []*Job {
+	if cfg.RigidFraction == 0 {
+		cfg.RigidFraction = 0.3
+	}
+	return Parallel(cfg)
+}
+
+// randomModel draws one of the moldable speedup models with workload-level
+// diversity: half Amdahl with a small sequential fraction, half power-law.
+func randomModel(rng *stats.RNG) SpeedupModel {
+	if rng.Bool(0.5) {
+		return Amdahl{Alpha: rng.Range(0.01, 0.25)}
+	}
+	return PowerLaw{Sigma: rng.Range(0.6, 1.0)}
+}
+
+func weight(rng *stats.RNG, weighted bool) float64 {
+	if !weighted {
+		return 1
+	}
+	return float64(rng.Zipf(1.1, 10))
+}
+
+func setDueDate(j *Job, rng *stats.RNG, slackMax float64) {
+	if slackMax <= 0 {
+		return
+	}
+	slack := rng.Range(1, math.Max(slackMax, 1.0000001))
+	j.DueDate = j.Release + slack*j.TimeOn(j.MinProcs)
+}
+
+// Community describes one CIMENT user community (§5.2): its share of the
+// job stream and the shape of its jobs.
+type Community struct {
+	Name string
+	// Share is the relative frequency of this community's submissions.
+	Share float64
+	// SeqMu, SeqSigma shape the lognormal sequential time.
+	SeqMu, SeqSigma float64
+	// MaxProcsLo, MaxProcsHi bound the per-job MaxProcs draw.
+	MaxProcsLo, MaxProcsHi int
+	// RigidProb is the probability a job from this community is rigid.
+	RigidProb float64
+	// Weight is the fixed priority weight for this community's jobs.
+	Weight float64
+}
+
+// CIMENTCommunities returns the community mix described in §5.2: numerical
+// physicists submit long (up to weeks) sequential jobs; computer
+// scientists submit short debug jobs; a third community submits mid-size
+// parallel production jobs (astrophysics / medical imaging).
+func CIMENTCommunities() []Community {
+	return []Community{
+		{
+			Name: "physics", Share: 0.35,
+			// median ~8h, heavy tail to multi-day
+			SeqMu: math.Log(8 * 3600), SeqSigma: 1.4,
+			MaxProcsLo: 1, MaxProcsHi: 1, RigidProb: 1, Weight: 1,
+		},
+		{
+			Name: "cs-debug", Share: 0.45,
+			// median ~3min
+			SeqMu: math.Log(180), SeqSigma: 1.0,
+			MaxProcsLo: 1, MaxProcsHi: 16, RigidProb: 0.5, Weight: 2,
+		},
+		{
+			Name: "astro", Share: 0.20,
+			// median ~1h parallel production runs
+			SeqMu: math.Log(3600), SeqSigma: 1.1,
+			MaxProcsLo: 4, MaxProcsHi: 64, RigidProb: 0.3, Weight: 1,
+		},
+	}
+}
+
+// Communities generates n jobs drawn from the given community mix with
+// Poisson arrivals at the given rate (jobs/second). Jobs are clipped to
+// the platform width m.
+func Communities(mix []Community, n, m int, rate float64, seed uint64) []*Job {
+	rng := stats.NewRNG(seed)
+	shares := make([]float64, len(mix))
+	for i, c := range mix {
+		shares[i] = c.Share
+	}
+	jobs := make([]*Job, n)
+	clock := 0.0
+	for i := range jobs {
+		if rate > 0 {
+			clock += rng.Exp(rate)
+		}
+		c := mix[rng.Choice(shares)]
+		seq := rng.LogNormal(c.SeqMu, c.SeqSigma)
+		maxP := rng.IntRange(c.MaxProcsLo, c.MaxProcsHi)
+		if maxP > m {
+			maxP = m
+		}
+		model := SpeedupModel(Amdahl{Alpha: 0.05})
+		j := &Job{
+			ID:       i,
+			Name:     fmt.Sprintf("%s-%d", c.Name, i),
+			Class:    c.Name,
+			Kind:     Moldable,
+			Release:  clock,
+			Weight:   c.Weight,
+			DueDate:  -1,
+			SeqTime:  seq,
+			MinProcs: 1,
+			MaxProcs: maxP,
+			Model:    model,
+			Times:    MakeTable(model, seq, maxP),
+		}
+		if rng.Bool(c.RigidProb) {
+			p := rng.IntRange(1, maxP)
+			j.Kind = Rigid
+			j.MinProcs, j.MaxProcs = p, p
+		}
+		jobs[i] = j
+	}
+	return jobs
+}
+
+// Bag is a multi-parametric job (§5.2): a large number of short
+// independent runs of the same program with different parameters. It is
+// the divisible-load application class of the paper and the payload of
+// the CiGri best-effort grid.
+type Bag struct {
+	ID int
+	// Runs is the number of elementary tasks in the campaign.
+	Runs int
+	// RunTime is the duration of one elementary task (≈ identical across
+	// runs, as the paper notes).
+	RunTime float64
+	// Release is the submission time of the campaign.
+	Release float64
+	// Name tags the campaign in traces.
+	Name string
+}
+
+// TotalWork returns Runs * RunTime.
+func (b *Bag) TotalWork() float64 { return float64(b.Runs) * b.RunTime }
+
+// Bags generates multi-parametric campaigns with bounded-Pareto run counts
+// (hundreds to hundreds of thousands of runs) and short per-run times.
+func Bags(n int, seed uint64) []*Bag {
+	rng := stats.NewRNG(seed)
+	bags := make([]*Bag, n)
+	for i := range bags {
+		runs := int(rng.BoundedPareto(0.9, 200, 200000))
+		bags[i] = &Bag{
+			ID:      i,
+			Runs:    runs,
+			RunTime: rng.Range(10, 120),
+			Release: 0,
+			Name:    fmt.Sprintf("bag-%d", i),
+		}
+	}
+	return bags
+}
+
+// SortByRelease orders jobs by release date (stable by ID) in place.
+func SortByRelease(jobs []*Job) {
+	// insertion sort is fine for test sizes; experiments use sort.Slice
+	// via the sched package. Keep a simple deterministic ordering here.
+	for i := 1; i < len(jobs); i++ {
+		for k := i; k > 0 && less(jobs[k], jobs[k-1]); k-- {
+			jobs[k], jobs[k-1] = jobs[k-1], jobs[k]
+		}
+	}
+}
+
+func less(a, b *Job) bool {
+	if a.Release != b.Release {
+		return a.Release < b.Release
+	}
+	return a.ID < b.ID
+}
+
+// DiurnalArrivals rewrites the release dates of jobs with a
+// non-homogeneous Poisson process whose rate follows a daily cycle —
+// grid submission streams peak during working hours (the §5.2 community
+// behaviour). The mean rate over a full day equals rate; the
+// instantaneous rate oscillates between (1-depth)·rate and
+// (1+depth)·rate with period dayLength. Jobs keep their submission
+// order. Implemented by thinning: candidate arrivals at the peak rate
+// are accepted with probability rate(t)/peak.
+func DiurnalArrivals(jobs []*Job, rate, dayLength, depth float64, seed uint64) {
+	if rate <= 0 || dayLength <= 0 {
+		return
+	}
+	if depth < 0 {
+		depth = 0
+	}
+	if depth > 1 {
+		depth = 1
+	}
+	rng := stats.NewRNG(seed)
+	peak := rate * (1 + depth)
+	clock := 0.0
+	for _, j := range jobs {
+		for {
+			clock += rng.Exp(peak)
+			// rate(t) = rate * (1 + depth·sin(2πt/day))
+			instant := rate * (1 + depth*math.Sin(2*math.Pi*clock/dayLength))
+			if rng.Float64() < instant/peak {
+				break
+			}
+		}
+		j.Release = clock
+	}
+}

@@ -1,0 +1,252 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestSequentialGenerator(t *testing.T) {
+	jobs := Sequential(GenConfig{N: 50, M: 100, Seed: 1})
+	if len(jobs) != 50 {
+		t.Fatalf("got %d jobs", len(jobs))
+	}
+	if err := ValidateAll(jobs); err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		if j.Kind != Rigid || j.MinProcs != 1 || j.MaxProcs != 1 {
+			t.Fatalf("sequential job not 1-proc rigid: %+v", j)
+		}
+		if j.Release != 0 {
+			t.Fatalf("offline generator produced release %v", j.Release)
+		}
+	}
+}
+
+func TestSequentialArrivals(t *testing.T) {
+	jobs := Sequential(GenConfig{N: 50, Seed: 2, ArrivalRate: 0.1})
+	prev := -1.0
+	for _, j := range jobs {
+		if j.Release < prev {
+			t.Fatal("releases not non-decreasing")
+		}
+		prev = j.Release
+	}
+	if jobs[49].Release == 0 {
+		t.Fatal("arrival rate ignored")
+	}
+}
+
+func TestSequentialDeterminism(t *testing.T) {
+	a := Sequential(GenConfig{N: 20, Seed: 7})
+	b := Sequential(GenConfig{N: 20, Seed: 7})
+	for i := range a {
+		if a[i].SeqTime != b[i].SeqTime {
+			t.Fatal("same seed produced different workloads")
+		}
+	}
+	c := Sequential(GenConfig{N: 20, Seed: 8})
+	same := true
+	for i := range a {
+		if a[i].SeqTime != c[i].SeqTime {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical workloads")
+	}
+}
+
+func TestMoldableGenerator(t *testing.T) {
+	jobs := Parallel(GenConfig{N: 200, M: 64, Seed: 3})
+	if err := ValidateAll(jobs); err != nil {
+		t.Fatal(err)
+	}
+	sawWide := false
+	for _, j := range jobs {
+		if j.MaxProcs > 64 {
+			t.Fatalf("MaxProcs %d exceeds platform width", j.MaxProcs)
+		}
+		if j.MaxProcs > 32 {
+			sawWide = true
+		}
+		if !j.IsMonotone(64) {
+			t.Fatalf("generated job %d not monotone", j.ID)
+		}
+	}
+	if !sawWide {
+		t.Fatal("no wide jobs generated in 200 draws")
+	}
+}
+
+func TestMoldableRigidFraction(t *testing.T) {
+	jobs := Parallel(GenConfig{N: 400, M: 32, Seed: 4, RigidFraction: 0.5})
+	rigid := 0
+	for _, j := range jobs {
+		if j.Kind == Rigid {
+			rigid++
+			if j.MinProcs != j.MaxProcs {
+				t.Fatal("rigid job with open range")
+			}
+		}
+	}
+	if rigid < 120 || rigid > 280 {
+		t.Fatalf("rigid count %d far from 200", rigid)
+	}
+}
+
+func TestMoldableWeights(t *testing.T) {
+	jobs := Parallel(GenConfig{N: 100, M: 16, Seed: 5, Weighted: true})
+	varied := false
+	for _, j := range jobs {
+		if j.Weight < 1 || j.Weight > 10 {
+			t.Fatalf("weight %v outside [1,10]", j.Weight)
+		}
+		if j.Weight != jobs[0].Weight {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Fatal("weighted generator produced constant weights")
+	}
+}
+
+func TestMoldableDueDates(t *testing.T) {
+	jobs := Parallel(GenConfig{N: 50, M: 16, Seed: 6, DueDateSlack: 3})
+	for _, j := range jobs {
+		if j.DueDate < j.Release+j.TimeOn(j.MinProcs)-1e-9 {
+			t.Fatalf("due date %v unreachable for job %d", j.DueDate, j.ID)
+		}
+	}
+}
+
+func TestMoldableMaxProcsCap(t *testing.T) {
+	jobs := Parallel(GenConfig{N: 100, M: 128, Seed: 9, MaxProcsCap: 8})
+	for _, j := range jobs {
+		if j.MaxProcs > 8 {
+			t.Fatalf("cap ignored: MaxProcs %d", j.MaxProcs)
+		}
+	}
+}
+
+func TestMixedDefaults(t *testing.T) {
+	jobs := Mixed(GenConfig{N: 300, M: 32, Seed: 10})
+	rigid := 0
+	for _, j := range jobs {
+		if j.Kind == Rigid {
+			rigid++
+		}
+	}
+	if rigid == 0 || rigid == 300 {
+		t.Fatalf("Mixed produced %d rigid of 300", rigid)
+	}
+}
+
+func TestCommunities(t *testing.T) {
+	mix := CIMENTCommunities()
+	var total float64
+	for _, c := range mix {
+		total += c.Share
+	}
+	if total < 0.99 || total > 1.01 {
+		t.Fatalf("community shares sum to %v", total)
+	}
+	jobs := Communities(mix, 500, 104, 0.01, 11)
+	if err := ValidateAll(jobs); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, j := range jobs {
+		counts[j.Class]++
+	}
+	for _, c := range mix {
+		if counts[c.Name] == 0 {
+			t.Fatalf("community %s absent from 500 draws", c.Name)
+		}
+	}
+	// Physics jobs must be sequential rigid per the paper.
+	for _, j := range jobs {
+		if j.Class == "physics" && (j.Kind != Rigid || j.MaxProcs != 1) {
+			t.Fatalf("physics job not sequential rigid: %+v", j)
+		}
+	}
+}
+
+func TestBags(t *testing.T) {
+	bags := Bags(50, 12)
+	if len(bags) != 50 {
+		t.Fatalf("got %d bags", len(bags))
+	}
+	for _, b := range bags {
+		if b.Runs < 200 || b.Runs > 200000 {
+			t.Fatalf("bag runs %d outside Pareto bounds", b.Runs)
+		}
+		if b.RunTime < 10 || b.RunTime > 120 {
+			t.Fatalf("run time %v outside [10,120]", b.RunTime)
+		}
+		if b.TotalWork() != float64(b.Runs)*b.RunTime {
+			t.Fatal("TotalWork mismatch")
+		}
+	}
+}
+
+func TestSortByRelease(t *testing.T) {
+	jobs := []*Job{
+		{ID: 3, Release: 5},
+		{ID: 1, Release: 2},
+		{ID: 2, Release: 2},
+		{ID: 0, Release: 9},
+	}
+	SortByRelease(jobs)
+	wantIDs := []int{1, 2, 3, 0}
+	for i, j := range jobs {
+		if j.ID != wantIDs[i] {
+			t.Fatalf("order at %d = job %d, want %d", i, j.ID, wantIDs[i])
+		}
+	}
+}
+
+func TestDiurnalArrivals(t *testing.T) {
+	jobs := Sequential(GenConfig{N: 4000, Seed: 30})
+	day := 86400.0
+	DiurnalArrivals(jobs, 0.05, day, 0.9, 31)
+	// Releases must be increasing.
+	for i := 1; i < len(jobs); i++ {
+		if jobs[i].Release < jobs[i-1].Release {
+			t.Fatal("diurnal releases not monotone")
+		}
+	}
+	// Arrivals in the peak half-cycle (sin > 0) must outnumber the
+	// trough half-cycle substantially at depth 0.9.
+	peak, trough := 0, 0
+	for _, j := range jobs {
+		phase := j.Release / day
+		frac := phase - float64(int(phase))
+		if frac < 0.5 {
+			peak++
+		} else {
+			trough++
+		}
+	}
+	if peak <= trough {
+		t.Fatalf("no diurnal signal: peak=%d trough=%d", peak, trough)
+	}
+	ratio := float64(peak) / float64(trough)
+	if ratio < 1.5 {
+		t.Fatalf("diurnal modulation too weak: ratio %v", ratio)
+	}
+}
+
+func TestDiurnalArrivalsDegenerate(t *testing.T) {
+	jobs := Sequential(GenConfig{N: 5, Seed: 32})
+	before := jobs[4].Release
+	DiurnalArrivals(jobs, 0, 100, 0.5, 1) // zero rate: no-op
+	if jobs[4].Release != before {
+		t.Fatal("zero-rate DiurnalArrivals mutated releases")
+	}
+	DiurnalArrivals(jobs, 1, 100, 5, 2) // depth clamped to 1, still valid
+	for i := 1; i < len(jobs); i++ {
+		if jobs[i].Release < jobs[i-1].Release {
+			t.Fatal("clamped-depth releases not monotone")
+		}
+	}
+}

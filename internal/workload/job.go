@@ -1,0 +1,236 @@
+// Package workload defines the job model of the paper (rigid, moldable and
+// malleable Parallel Tasks, plus divisible multi-parametric bags), the
+// speedup models used to price a moldable allocation, and synthetic
+// workload generators shaped after the communities described in §5.2 of
+// the paper (CIMENT: long sequential physics jobs, short computer-science
+// debug jobs, large multi-parametric campaigns).
+package workload
+
+import (
+	"fmt"
+	"math"
+)
+
+// Kind classifies a Parallel Task following §2.2 of the paper.
+type Kind int
+
+const (
+	// Rigid jobs request a fixed number of processors.
+	Rigid Kind = iota
+	// Moldable jobs accept any processor count in [MinProcs, MaxProcs],
+	// decided before execution and fixed afterwards.
+	Moldable
+	// Malleable jobs may change processor count during execution. The
+	// paper explicitly leaves malleability out of scope; the kind exists
+	// so workloads can carry the flag and schedulers can reject it.
+	Malleable
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Rigid:
+		return "rigid"
+	case Moldable:
+		return "moldable"
+	case Malleable:
+		return "malleable"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Job is a Parallel Task. SeqTime is the sequential execution time on a
+// reference processor; the actual execution time on p processors is given
+// by the speedup model (or the explicit Times table when present).
+//
+// All times are in abstract seconds. Weight is the ΣωiCi priority weight
+// (1 when the workload is unweighted). DueDate < 0 means "no due date".
+type Job struct {
+	ID      int
+	Name    string
+	Class   string // community / application tag ("physics", "cs", "bag", ...)
+	Kind    Kind
+	Release float64
+	Weight  float64
+	DueDate float64
+
+	SeqTime  float64
+	MinProcs int
+	MaxProcs int
+
+	// Model prices a moldable allocation. Ignored when Times is set.
+	Model SpeedupModel
+	// Times, when non-nil, gives the execution time on p processors at
+	// Times[p-1] for p in [1, len(Times)]. Entries must be positive and
+	// the table is expected to be monotone non-increasing.
+	Times []float64
+}
+
+// Validate checks the structural invariants of the job.
+func (j *Job) Validate() error {
+	switch {
+	case j.SeqTime <= 0 && j.Times == nil:
+		return fmt.Errorf("job %d: non-positive sequential time %v", j.ID, j.SeqTime)
+	case j.MinProcs <= 0:
+		return fmt.Errorf("job %d: MinProcs = %d", j.ID, j.MinProcs)
+	case j.MaxProcs < j.MinProcs:
+		return fmt.Errorf("job %d: MaxProcs %d < MinProcs %d", j.ID, j.MaxProcs, j.MinProcs)
+	case j.Kind == Rigid && j.MinProcs != j.MaxProcs:
+		return fmt.Errorf("job %d: rigid job with MinProcs %d != MaxProcs %d", j.ID, j.MinProcs, j.MaxProcs)
+	case j.Release < 0:
+		return fmt.Errorf("job %d: negative release %v", j.ID, j.Release)
+	case j.Weight < 0:
+		return fmt.Errorf("job %d: negative weight %v", j.ID, j.Weight)
+	case j.Model == nil && j.Times == nil:
+		return fmt.Errorf("job %d: no speedup model and no time table", j.ID)
+	}
+	if j.Times != nil {
+		if len(j.Times) < j.MaxProcs {
+			return fmt.Errorf("job %d: time table of length %d shorter than MaxProcs %d", j.ID, len(j.Times), j.MaxProcs)
+		}
+		for p, t := range j.Times {
+			if t <= 0 || math.IsNaN(t) || math.IsInf(t, 0) {
+				return fmt.Errorf("job %d: invalid time %v on %d procs", j.ID, t, p+1)
+			}
+		}
+	}
+	return nil
+}
+
+// TimeOn returns the execution time of the job on p processors. It panics
+// if p is outside [MinProcs, MaxProcs]; use CanRunOn to test first.
+func (j *Job) TimeOn(p int) float64 {
+	if p < j.MinProcs || p > j.MaxProcs {
+		panic(fmt.Sprintf("workload: job %d cannot run on %d procs (range [%d,%d])",
+			j.ID, p, j.MinProcs, j.MaxProcs))
+	}
+	if j.Times != nil {
+		return j.Times[p-1]
+	}
+	return j.Model.Time(j.SeqTime, p)
+}
+
+// CanRunOn reports whether p processors is a legal allocation.
+func (j *Job) CanRunOn(p int) bool { return p >= j.MinProcs && p <= j.MaxProcs }
+
+// WorkOn returns the work area p * TimeOn(p) of the allocation.
+func (j *Job) WorkOn(p int) float64 { return float64(p) * j.TimeOn(p) }
+
+// MinWork returns the minimum work over all legal allocations capped at m
+// processors, and the processor count achieving it. For monotone jobs the
+// minimum is at MinProcs, but we scan to stay correct for arbitrary
+// tables. Returns (0, 0) if no allocation fits within m.
+func (j *Job) MinWork(m int) (work float64, procs int) {
+	best := math.Inf(1)
+	bestP := 0
+	hi := j.MaxProcs
+	if hi > m {
+		hi = m
+	}
+	for p := j.MinProcs; p <= hi; p++ {
+		if w := j.WorkOn(p); w < best {
+			best = w
+			bestP = p
+		}
+	}
+	if bestP == 0 {
+		return 0, 0
+	}
+	return best, bestP
+}
+
+// MinTime returns the minimum execution time over all legal allocations
+// capped at m processors, and the processor count achieving it. Returns
+// (+Inf, 0) if no allocation fits.
+func (j *Job) MinTime(m int) (t float64, procs int) {
+	best := math.Inf(1)
+	bestP := 0
+	hi := j.MaxProcs
+	if hi > m {
+		hi = m
+	}
+	for p := j.MinProcs; p <= hi; p++ {
+		if tt := j.TimeOn(p); tt < best {
+			best = tt
+			bestP = p
+		}
+	}
+	return best, bestP
+}
+
+// Gamma returns the canonical allotment γ(j, t): the smallest legal
+// processor count p ≤ m such that TimeOn(p) ≤ t, or 0 if none exists.
+// This is the allotment primitive of the MRT dual-approximation (§4.1):
+// among the allocations meeting deadline t, the smallest one minimizes
+// work for monotone jobs.
+func (j *Job) Gamma(t float64, m int) int {
+	hi := j.MaxProcs
+	if hi > m {
+		hi = m
+	}
+	// Execution times are non-increasing in p for monotone jobs, so a
+	// binary search would do; workloads may carry non-monotone tables, so
+	// scan. MaxProcs is small (≤ cluster size) in all our experiments.
+	for p := j.MinProcs; p <= hi; p++ {
+		if j.TimeOn(p) <= t {
+			return p
+		}
+	}
+	return 0
+}
+
+// IsMonotone reports whether, up to m processors, execution time is
+// non-increasing and work is non-decreasing in the processor count — the
+// standard "monotone task" assumption of the moldable literature.
+func (j *Job) IsMonotone(m int) bool {
+	hi := j.MaxProcs
+	if hi > m {
+		hi = m
+	}
+	const eps = 1e-9
+	for p := j.MinProcs + 1; p <= hi; p++ {
+		if j.TimeOn(p) > j.TimeOn(p-1)*(1+eps) {
+			return false
+		}
+		if j.WorkOn(p) < j.WorkOn(p-1)*(1-eps) {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of the job.
+func (j *Job) Clone() *Job {
+	c := *j
+	if j.Times != nil {
+		c.Times = append([]float64(nil), j.Times...)
+	}
+	return &c
+}
+
+// TotalMinWork sums the minimal work of each job (the area lower bound
+// numerator used throughout the experiments).
+func TotalMinWork(jobs []*Job, m int) float64 {
+	var sum float64
+	for _, j := range jobs {
+		w, _ := j.MinWork(m)
+		sum += w
+	}
+	return sum
+}
+
+// ValidateAll validates every job and checks ID uniqueness.
+func ValidateAll(jobs []*Job) error {
+	seen := make(map[int]bool, len(jobs))
+	for _, j := range jobs {
+		if err := j.Validate(); err != nil {
+			return err
+		}
+		if seen[j.ID] {
+			return fmt.Errorf("duplicate job ID %d", j.ID)
+		}
+		seen[j.ID] = true
+	}
+	return nil
+}

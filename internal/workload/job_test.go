@@ -1,0 +1,268 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func testJob(seq float64, minP, maxP int, m SpeedupModel) *Job {
+	return &Job{
+		ID: 1, Kind: Moldable, Weight: 1, DueDate: -1,
+		SeqTime: seq, MinProcs: minP, MaxProcs: maxP, Model: m,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	ok := testJob(10, 1, 4, Linear{})
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid job rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Job)
+	}{
+		{"zero seq", func(j *Job) { j.SeqTime = 0; j.Times = nil }},
+		{"zero minprocs", func(j *Job) { j.MinProcs = 0 }},
+		{"max<min", func(j *Job) { j.MaxProcs = 0 }},
+		{"rigid range", func(j *Job) { j.Kind = Rigid }},
+		{"neg release", func(j *Job) { j.Release = -1 }},
+		{"neg weight", func(j *Job) { j.Weight = -1 }},
+		{"no model", func(j *Job) { j.Model = nil }},
+		{"short table", func(j *Job) { j.Times = []float64{5} }},
+		{"bad table entry", func(j *Job) { j.Times = []float64{5, 3, -1, 2} }},
+	}
+	for _, c := range cases {
+		j := testJob(10, 1, 4, Linear{})
+		c.mut(j)
+		if err := j.Validate(); err == nil {
+			t.Errorf("%s: invalid job accepted", c.name)
+		}
+	}
+}
+
+func TestValidateAllDuplicateID(t *testing.T) {
+	a := testJob(10, 1, 2, Linear{})
+	b := testJob(10, 1, 2, Linear{})
+	if err := ValidateAll([]*Job{a, b}); err == nil {
+		t.Fatal("duplicate IDs accepted")
+	}
+}
+
+func TestTimeOnLinear(t *testing.T) {
+	j := testJob(12, 1, 4, Linear{})
+	if got := j.TimeOn(3); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("TimeOn(3) = %v, want 4", got)
+	}
+}
+
+func TestTimeOnTableOverridesModel(t *testing.T) {
+	j := testJob(12, 1, 3, Linear{})
+	j.Times = []float64{12, 7, 5}
+	if got := j.TimeOn(2); got != 7 {
+		t.Fatalf("TimeOn(2) = %v, want table value 7", got)
+	}
+}
+
+func TestTimeOnPanicsOutOfRange(t *testing.T) {
+	j := testJob(10, 2, 4, Linear{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TimeOn(1) below MinProcs did not panic")
+		}
+	}()
+	j.TimeOn(1)
+}
+
+func TestGamma(t *testing.T) {
+	j := testJob(12, 1, 6, Linear{})
+	// TimeOn(p) = 12/p; Gamma(4) should be 3.
+	if got := j.Gamma(4, 6); got != 3 {
+		t.Fatalf("Gamma(4) = %d, want 3", got)
+	}
+	// Unreachable deadline.
+	if got := j.Gamma(1, 6); got != 0 {
+		t.Fatalf("Gamma(1) = %d, want 0", got)
+	}
+	// Cap by m.
+	if got := j.Gamma(4, 2); got != 0 {
+		t.Fatalf("Gamma(4, m=2) = %d, want 0", got)
+	}
+	// Deadline exactly at boundary.
+	if got := j.Gamma(12, 6); got != 1 {
+		t.Fatalf("Gamma(12) = %d, want 1", got)
+	}
+}
+
+func TestMinWorkMinTime(t *testing.T) {
+	j := testJob(10, 1, 4, Amdahl{Alpha: 0.2})
+	w, p := j.MinWork(4)
+	if p != 1 || math.Abs(w-10) > 1e-12 {
+		t.Fatalf("MinWork = (%v, %d), want (10, 1)", w, p)
+	}
+	tm, pm := j.MinTime(4)
+	if pm != 4 {
+		t.Fatalf("MinTime procs = %d, want 4", pm)
+	}
+	want := 10 * (0.2 + 0.8/4)
+	if math.Abs(tm-want) > 1e-12 {
+		t.Fatalf("MinTime = %v, want %v", tm, want)
+	}
+}
+
+func TestMinWorkNoFit(t *testing.T) {
+	j := testJob(10, 4, 8, Linear{})
+	if w, p := j.MinWork(2); w != 0 || p != 0 {
+		t.Fatalf("MinWork below MinProcs = (%v,%d), want (0,0)", w, p)
+	}
+	if tm, p := j.MinTime(2); !math.IsInf(tm, 1) || p != 0 {
+		t.Fatalf("MinTime below MinProcs = (%v,%d)", tm, p)
+	}
+}
+
+func TestIsMonotone(t *testing.T) {
+	if !testJob(10, 1, 16, Amdahl{Alpha: 0.1}).IsMonotone(16) {
+		t.Fatal("Amdahl should be monotone")
+	}
+	if !testJob(10, 1, 16, PowerLaw{Sigma: 0.8}).IsMonotone(16) {
+		t.Fatal("PowerLaw(0.8) should be monotone")
+	}
+	// CommPenalty with large overhead is not time-monotone.
+	j := testJob(10, 1, 32, CommPenalty{Overhead: 2})
+	if j.IsMonotone(32) {
+		t.Fatal("CommPenalty(2) should not be monotone over 32 procs")
+	}
+	// But the Monotone wrapper fixes time-monotony.
+	j2 := testJob(10, 1, 32, Monotone{Base: CommPenalty{Overhead: 2}})
+	for p := 2; p <= 32; p++ {
+		if j2.TimeOn(p) > j2.TimeOn(p-1)+1e-12 {
+			t.Fatalf("Monotone wrapper not non-increasing at p=%d", p)
+		}
+	}
+}
+
+func TestMakeTableMonotone(t *testing.T) {
+	table := MakeTable(CommPenalty{Overhead: 5}, 100, 50)
+	for p := 1; p < 50; p++ {
+		if table[p] > table[p-1]+1e-12 {
+			t.Fatalf("table increases at p=%d: %v -> %v", p, table[p-1], table[p])
+		}
+	}
+}
+
+func TestClone(t *testing.T) {
+	j := testJob(10, 1, 3, Linear{})
+	j.Times = []float64{10, 5, 4}
+	c := j.Clone()
+	c.Times[0] = 99
+	if j.Times[0] == 99 {
+		t.Fatal("Clone shares the Times slice")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Rigid.String() != "rigid" || Moldable.String() != "moldable" || Malleable.String() != "malleable" {
+		t.Fatal("Kind.String mismatch")
+	}
+}
+
+func TestSpeedupModels(t *testing.T) {
+	cases := []struct {
+		m    SpeedupModel
+		p    int
+		want float64
+	}{
+		{Linear{}, 4, 25},
+		{Amdahl{Alpha: 0.5}, 4, 100 * (0.5 + 0.5/4)},
+		{PowerLaw{Sigma: 1}, 4, 25},
+		{PowerLaw{Sigma: 0.5}, 4, 50},
+		{CommPenalty{Overhead: 1}, 4, 28},
+	}
+	for _, c := range cases {
+		if got := c.m.Time(100, c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("%s.Time(100,%d) = %v, want %v", c.m.Name(), c.p, got, c.want)
+		}
+	}
+}
+
+func TestDowneySpeedupBounds(t *testing.T) {
+	for _, sigma := range []float64{0.3, 1.0, 2.0} {
+		d := Downey{A: 16, Sigma: sigma}
+		prev := math.Inf(1)
+		for p := 1; p <= 64; p++ {
+			tm := d.Time(100, p)
+			sp := 100 / tm
+			if sp < 1-1e-9 || sp > float64(p)+1e-9 {
+				t.Fatalf("sigma=%v p=%d: speedup %v outside [1, p]", sigma, p, sp)
+			}
+			if sp > 16+1e-9 {
+				t.Fatalf("sigma=%v p=%d: speedup %v exceeds A", sigma, p, sp)
+			}
+			_ = prev
+			prev = tm
+		}
+	}
+}
+
+func TestDowneyDegenerate(t *testing.T) {
+	d := Downey{A: 1, Sigma: 0.5}
+	if got := d.Time(100, 8); got != 100 {
+		t.Fatalf("A=1 job should not speed up, got %v", got)
+	}
+}
+
+func TestTotalMinWork(t *testing.T) {
+	jobs := []*Job{
+		testJob(10, 1, 4, Linear{}),
+		testJob(20, 1, 4, Linear{}),
+	}
+	jobs[1].ID = 2
+	if got := TotalMinWork(jobs, 4); math.Abs(got-30) > 1e-12 {
+		t.Fatalf("TotalMinWork = %v, want 30", got)
+	}
+}
+
+// Property: for any monotonized table, Gamma returns the smallest feasible
+// allotment and TimeOn(Gamma) meets the deadline.
+func TestGammaProperty(t *testing.T) {
+	f := func(seed uint64, seqRaw, deadlineRaw float64, maxPRaw uint8) bool {
+		seq := 1 + math.Abs(math.Mod(seqRaw, 1000))
+		maxP := int(maxPRaw%32) + 1
+		j := testJob(seq, 1, maxP, Monotone{Base: Amdahl{Alpha: 0.1}})
+		j.Times = MakeTable(j.Model, seq, maxP)
+		d := math.Abs(math.Mod(deadlineRaw, 2*seq)) + 1e-6
+		g := j.Gamma(d, maxP)
+		if g == 0 {
+			// No allocation meets d: the fastest must exceed d.
+			tm, _ := j.MinTime(maxP)
+			return tm > d
+		}
+		if j.TimeOn(g) > d {
+			return false
+		}
+		// Minimality.
+		return g == 1 || j.TimeOn(g-1) > d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MakeTable output is always non-increasing.
+func TestMakeTableProperty(t *testing.T) {
+	f := func(alphaRaw, seqRaw float64, maxPRaw uint8) bool {
+		alpha := math.Abs(math.Mod(alphaRaw, 1))
+		seq := 1 + math.Abs(math.Mod(seqRaw, 1e6))
+		maxP := int(maxPRaw%100) + 1
+		table := MakeTable(Amdahl{Alpha: alpha}, seq, maxP)
+		for p := 1; p < maxP; p++ {
+			if table[p] > table[p-1]+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
