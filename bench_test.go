@@ -10,6 +10,7 @@
 package repro
 
 import (
+	"runtime"
 	"testing"
 
 	"repro/internal/bicriteria"
@@ -19,8 +20,12 @@ import (
 
 // benchScale keeps individual iterations under ~100 ms so -benchtime
 // produces stable numbers; pass -benchscale=1 wiring is deliberately
-// omitted — full-scale tables come from cmd/experiments.
-var benchScale = experiments.Scale{JobFactor: 10}
+// omitted — full-scale tables come from cmd/experiments. Workers enables
+// the parallel replication runner, so BenchmarkTable* time what
+// cmd/experiments -parallel ships; tables stay bit-identical to the
+// sequential runner (asserted by TestParallelMatchesSequential in
+// internal/experiments).
+var benchScale = experiments.Scale{JobFactor: 10, Workers: runtime.GOMAXPROCS(0)}
 
 func benchTable(b *testing.B, fn func(uint64, experiments.Scale) (*trace.Table, error)) {
 	b.Helper()

@@ -3,16 +3,21 @@
 //
 // Usage:
 //
-//	experiments [-seed N] [-quick] [-csv] <id>|all
+//	experiments [-seed N] [-quick] [-csv] [-parallel] [-workers N] <id>|all
 //
 // Experiment ids: fig2, mrt, batch, smart, bicriteria, dlt, cigri,
 // decentralized, mixed, reservations, malleable, treedlt, ablations.
+//
+// -parallel fans independent experiment cells out over the worker-pool
+// replication runner (bounded by GOMAXPROCS); tables are bit-identical
+// to a sequential run for the same seed.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/bicriteria"
 	"repro/internal/experiments"
@@ -23,15 +28,23 @@ func main() {
 	seed := flag.Uint64("seed", 42, "base RNG seed")
 	quickFlag := flag.Bool("quick", false, "shrink workloads ~10x for a fast pass")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	parallel := flag.Bool("parallel", false, "run independent experiment cells on a worker pool")
+	workers := flag.Int("workers", 0, "worker-pool size for -parallel (0 = GOMAXPROCS)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: experiments [-seed N] [-quick] [-csv] <id>|all")
+		fmt.Fprintln(os.Stderr, "usage: experiments [-seed N] [-quick] [-csv] [-parallel] [-workers N] <id>|all")
 		fmt.Fprintln(os.Stderr, "ids: fig2 mrt batch smart bicriteria dlt cigri decentralized mixed reservations malleable treedlt criteria heterogrid ablations")
 		os.Exit(2)
 	}
 	sc := experiments.Scale{}
 	if *quickFlag {
-		sc = experiments.Scale{JobFactor: 10}
+		sc.JobFactor = 10
+	}
+	if *parallel || *workers > 1 {
+		sc.Workers = *workers
+		if sc.Workers <= 0 {
+			sc.Workers = runtime.GOMAXPROCS(0)
+		}
 	}
 	id := flag.Arg(0)
 	if err := run(id, *seed, sc, *csv); err != nil {

@@ -1,0 +1,97 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/rigid"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// benchView builds a realistic decision point: queued jobs behind a
+// running set, with the persistent profile the simulator would maintain.
+func benchView(nQueue, nRunning, m int) View {
+	rng := stats.NewRNG(11)
+	profile := rigid.NewProfile(m)
+	var running []RunningInfo
+	used := 0
+	for i := 0; i < nRunning; i++ {
+		procs := rng.IntRange(1, m/4)
+		if used+procs > m {
+			break
+		}
+		end := rng.Range(1, 50)
+		if err := profile.Reserve(0, end, procs); err != nil {
+			panic(err)
+		}
+		running = append(running, RunningInfo{End: end, Procs: procs})
+		used += procs
+	}
+	queue := make([]*workload.Job, nQueue)
+	for i := range queue {
+		p := rng.IntRange(1, m/2)
+		queue[i] = &workload.Job{
+			ID: i, Kind: workload.Rigid, Weight: 1, DueDate: -1,
+			SeqTime: rng.Range(1, 40) * float64(p), MinProcs: p, MaxProcs: p,
+			Model: workload.Linear{},
+		}
+	}
+	return View{
+		Now: 0, M: m, Avail: m - used, Speed: 1,
+		Queue: queue, Running: running, Profile: profile,
+	}
+}
+
+// BenchmarkConservativeDecide times one online conservative-backfilling
+// decision — the per-event cost the incremental profile engine targets.
+func BenchmarkConservativeDecide(b *testing.B) {
+	v := benchView(50, 20, 64)
+	pol := ConservativePolicy{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ds := pol.Decide(v); len(ds) == 0 {
+			b.Fatal("no decisions")
+		}
+	}
+}
+
+// BenchmarkEASYDecide times one EASY decision (profile-based shadow time).
+func BenchmarkEASYDecide(b *testing.B) {
+	v := benchView(50, 20, 64)
+	pol := EASYPolicy{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ds := pol.Decide(v); len(ds) == 0 {
+			b.Fatal("no decisions")
+		}
+	}
+}
+
+// BenchmarkClusterSimEASY runs a full cluster simulation with best-effort
+// churn — the CiGri inner loop.
+func BenchmarkClusterSimEASY(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rng := stats.NewRNG(7)
+		s, err := New(des.NewWithCapacity(600), 32, 1, EASYPolicy{}, KillNewest)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for k := 0; k < 400; k++ {
+			s.SubmitBestEffort(BETask{BagID: 0, Index: k, Duration: rng.Range(5, 50)})
+		}
+		clock := 0.0
+		for k := 0; k < 150; k++ {
+			clock += rng.Exp(0.2)
+			if err := s.Submit(rjob(k, rng.Range(1, 20), rng.IntRange(1, 16), clock)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

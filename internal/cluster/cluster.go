@@ -9,10 +9,10 @@ package cluster
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"repro/internal/des"
 	"repro/internal/metrics"
+	"repro/internal/rigid"
 	"repro/internal/workload"
 )
 
@@ -33,6 +33,10 @@ type RunningInfo struct {
 // View is the state snapshot handed to a policy. Avail counts free
 // processors plus processors held by evictable best-effort tasks: the
 // §5.2 contract is that local jobs behave as if grid jobs did not exist.
+//
+// Queue and Running alias simulator-owned scratch buffers that are
+// recycled between decision points: policies may read them freely during
+// Decide but must not retain them afterwards.
 type View struct {
 	Now     float64
 	M       int
@@ -40,6 +44,33 @@ type View struct {
 	Speed   float64
 	Queue   []*workload.Job // submission order
 	Running []RunningInfo   // local jobs only
+	// Profile, when set, is the cluster's persistent availability
+	// profile: every running local job holds a reservation [Now, End),
+	// maintained incrementally across events. Policies must treat it as
+	// read-only — what-if probing goes through a (pooled) Clone. Views
+	// built by hand may leave it nil; policies then derive the same
+	// information from Running.
+	Profile *rigid.Profile
+}
+
+// planProfile returns a scratch profile seeded with the running set: a
+// pooled clone of the persistent profile when present, else a fresh one
+// rebuilt from Running. The caller owns the result and should Recycle it
+// when done. ok is false when Running is inconsistent (overcommitted).
+func (v View) planProfile() (p *rigid.Profile, ok bool) {
+	if v.Profile != nil {
+		return v.Profile.Clone(), true
+	}
+	p = rigid.NewProfile(v.M)
+	for _, r := range v.Running {
+		if r.End <= v.Now {
+			continue
+		}
+		if err := p.Reserve(v.Now, r.End-v.Now, r.Procs); err != nil {
+			return nil, false
+		}
+	}
+	return p, true
 }
 
 // Duration returns the execution time of job j on p processors on this
@@ -91,6 +122,9 @@ type beRunning struct {
 	seq   uint64
 	// event generation guard: a killed task's finish event must not fire.
 	cancelled bool
+	// fire is the pre-built finish callback, created once per pooled
+	// instance so refilling a hole costs no closure allocation.
+	fire func()
 }
 
 // Sim simulates one cluster.
@@ -106,8 +140,23 @@ type Sim struct {
 	running     []*localRunning
 	completions []metrics.Completion
 
+	// profile is the persistent availability timeline of the local jobs:
+	// starting a job reserves [now, end) and the reservation expires on
+	// its own, so no work is needed at finish beyond trimming history.
+	// Policies receive it through View.Profile instead of rebuilding an
+	// equivalent profile from the running set at every decision point.
+	profile *rigid.Profile
+	// viewQueue / viewRunning are the scratch buffers behind View.Queue
+	// and View.Running, reused across reschedules.
+	viewQueue   []*workload.Job
+	viewRunning []RunningInfo
+	// reschedulePending coalesces best-effort submission bursts into one
+	// zero-delay reschedule event.
+	reschedulePending bool
+
 	beQueue   []BETask
 	beActive  []*beRunning
+	beFree    []*beRunning // recycled after their finish event has fired
 	beSeq     uint64
 	beStats   BEStats
 	submitted int
@@ -144,7 +193,10 @@ func New(sim *des.Simulator, m int, speed float64, policy Policy, kill KillPolic
 	if sim == nil {
 		sim = des.New()
 	}
-	return &Sim{DES: sim, M: m, Speed: speed, policy: policy, kill: kill}, nil
+	return &Sim{
+		DES: sim, M: m, Speed: speed, policy: policy, kill: kill,
+		profile: rigid.NewProfile(m),
+	}, nil
 }
 
 // Submit registers a local job: it arrives at its release date.
@@ -163,8 +215,18 @@ func (s *Sim) Submit(j *workload.Job) error {
 func (s *Sim) SubmitBestEffort(t BETask) {
 	s.beQueue = append(s.beQueue, t)
 	// Defer the fill to an immediate event so that submission during
-	// another event keeps deterministic ordering.
-	_ = s.DES.After(0, s.reschedule)
+	// another event keeps deterministic ordering. Bursts of submissions
+	// coalesce into a single pending reschedule: one fill pass over the
+	// queue is equivalent to one pass per task and keeps the event heap
+	// from ballooning with no-op wakeups.
+	if s.reschedulePending {
+		return
+	}
+	s.reschedulePending = true
+	_ = s.DES.After(0, func() {
+		s.reschedulePending = false
+		s.reschedule()
+	})
 }
 
 // free returns physically free processors.
@@ -176,12 +238,15 @@ func (s *Sim) free() int {
 // tasks as needed), then refills holes with best-effort tasks.
 func (s *Sim) reschedule() {
 	now := s.DES.Now()
+	s.profile.TrimBefore(now)
+	s.viewQueue = append(s.viewQueue[:0], s.queue...)
+	s.viewRunning = s.viewRunning[:0]
+	for _, r := range s.running {
+		s.viewRunning = append(s.viewRunning, RunningInfo{End: r.end, Procs: r.procs})
+	}
 	view := View{
 		Now: now, M: s.M, Avail: s.M - s.localProcs, Speed: s.Speed,
-		Queue: append([]*workload.Job(nil), s.queue...),
-	}
-	for _, r := range s.running {
-		view.Running = append(view.Running, RunningInfo{End: r.end, Procs: r.procs})
+		Queue: s.viewQueue, Running: s.viewRunning, Profile: s.profile,
 	}
 	decisions := s.policy.Decide(view)
 	for _, d := range decisions {
@@ -216,6 +281,13 @@ func (s *Sim) start(d Decision, now float64) {
 	}
 	s.queue = append(s.queue[:idx], s.queue[idx+1:]...)
 	dur := d.Job.TimeOn(d.Procs) / s.Speed
+	if err := s.profile.Reserve(now, dur, d.Procs); err != nil {
+		// Cannot happen while profile and running set agree (the Procs
+		// guard above bounds the demand by the profile's minimum
+		// availability); resync defensively rather than diverge.
+		s.rebuildProfile(now)
+		_ = s.profile.Reserve(now, dur, d.Procs)
+	}
 	run := &localRunning{job: d.Job, procs: d.Procs, start: now, end: now + dur}
 	s.running = append(s.running, run)
 	s.localProcs += d.Procs
@@ -236,6 +308,19 @@ func (s *Sim) finish(run *localRunning) {
 		Job: run.job, Start: run.start, End: run.end, Procs: run.procs,
 	})
 	s.reschedule()
+}
+
+// rebuildProfile reconstructs the persistent profile from the running
+// set (defensive resync; never needed while the incremental updates and
+// the running list agree — the cross-check is a test invariant).
+func (s *Sim) rebuildProfile(now float64) {
+	s.profile = rigid.NewProfile(s.M)
+	s.profile.TrimBefore(now)
+	for _, r := range s.running {
+		if r.end > now {
+			_ = s.profile.Reserve(now, r.end-now, r.procs)
+		}
+	}
 }
 
 // killOneBE evicts one best-effort task per the kill policy. Returns
@@ -277,17 +362,29 @@ func (s *Sim) fillBestEffort(now float64) {
 	for s.free() > 0 && len(s.beQueue) > 0 {
 		t := s.beQueue[0]
 		s.beQueue = s.beQueue[1:]
-		b := &beRunning{task: t, start: now, end: now + t.Duration/s.Speed, seq: s.beSeq}
+		var b *beRunning
+		if n := len(s.beFree); n > 0 {
+			b = s.beFree[n-1]
+			s.beFree = s.beFree[:n-1]
+		} else {
+			b = &beRunning{}
+			bb := b
+			b.fire = func() { s.finishBE(bb) }
+		}
+		b.task, b.start, b.end = t, now, now+t.Duration/s.Speed
+		b.seq, b.cancelled = s.beSeq, false
 		s.beSeq++
 		s.beActive = append(s.beActive, b)
-		_ = s.DES.At(b.end, func() {
-			s.finishBE(b)
-		})
+		_ = s.DES.At(b.end, b.fire)
 	}
 }
 
+// finishBE fires for every started task, including killed ones (whose
+// work was already accounted by killOneBE); a task's beRunning instance
+// is recycled here, once its pending finish event cannot fire again.
 func (s *Sim) finishBE(b *beRunning) {
 	if b.cancelled {
+		s.beFree = append(s.beFree, b)
 		return
 	}
 	for i, x := range s.beActive {
@@ -296,10 +393,12 @@ func (s *Sim) finishBE(b *beRunning) {
 			break
 		}
 	}
+	task := b.task
+	s.beFree = append(s.beFree, b)
 	s.beStats.Completed++
-	s.beStats.DoneWork += b.task.Duration
+	s.beStats.DoneWork += task.Duration
 	if s.OnBEDone != nil {
-		s.OnBEDone(b.task)
+		s.OnBEDone(task)
 	}
 	s.reschedule()
 }
@@ -378,12 +477,4 @@ func (s *Sim) InjectNow(j *workload.Job) error {
 		s.queue = append(s.queue, j)
 		s.reschedule()
 	})
-}
-
-// sortRunningByEnd returns the running set ordered by completion time
-// (helper shared by policies).
-func sortRunningByEnd(rs []RunningInfo) []RunningInfo {
-	out := append([]RunningInfo(nil), rs...)
-	sort.Slice(out, func(i, k int) bool { return out[i].End < out[k].End })
-	return out
 }

@@ -1,8 +1,6 @@
 package cluster
 
 import (
-	"math"
-
 	"repro/internal/workload"
 )
 
@@ -38,6 +36,14 @@ func (FCFSPolicy) Decide(v View) []Decision {
 // reservation at the earliest time enough processors free up (the shadow
 // time); later jobs may start now if they terminate before the shadow
 // time or fit in the processors left over at it.
+//
+// The shadow time is read off the cluster's persistent availability
+// profile (one scan over the profile's segments) instead of sorting the
+// running set at every decision point. Because all reservations in that
+// profile start now, its availability is non-decreasing over the future,
+// so the first segment with enough free processors is the shadow time —
+// and its surplus counts *every* processor free at that instant, where
+// the former sorted-scan stopped mid-way through simultaneous releases.
 type EASYPolicy struct{}
 
 // Name implements Policy.
@@ -45,10 +51,17 @@ func (EASYPolicy) Name() string { return "easy" }
 
 // Decide implements Policy.
 func (EASYPolicy) Decide(v View) []Decision {
+	if len(v.Queue) == 0 {
+		return nil
+	}
 	var out []Decision
 	avail := v.Avail
-	queue := append([]*workload.Job(nil), v.Queue...)
-	running := append([]RunningInfo(nil), v.Running...)
+	queue := v.Queue
+	profile, ok := v.planProfile()
+	if !ok {
+		return nil
+	}
+	defer profile.Recycle()
 
 	// Start heads while they fit.
 	for len(queue) > 0 {
@@ -59,7 +72,9 @@ func (EASYPolicy) Decide(v View) []Decision {
 		}
 		out = append(out, Decision{Job: head, Procs: p})
 		avail -= p
-		running = append(running, RunningInfo{End: v.Now + v.Duration(head, p), Procs: p})
+		if err := profile.Reserve(v.Now, v.Duration(head, p), p); err != nil {
+			return out // inconsistent view; stop extending the plan
+		}
 		queue = queue[1:]
 	}
 	if len(queue) == 0 {
@@ -69,16 +84,9 @@ func (EASYPolicy) Decide(v View) []Decision {
 	// Shadow time for the blocked head.
 	head := queue[0]
 	need := procsFor(head)
-	shadow := math.Inf(1)
-	extra := 0
-	cum := avail
-	for _, r := range sortRunningByEnd(running) {
-		cum += r.Procs
-		if cum >= need {
-			shadow = r.End
-			extra = cum - need
-			break
-		}
+	shadow, extra := profile.EarliestAvail(v.Now, need)
+	if extra < 0 {
+		extra = 0 // saturated forever: nothing fits beside the head
 	}
 
 	// Backfill the rest.

@@ -1,0 +1,144 @@
+package cluster
+
+// Property tests for the incremental resource-profile engine: the
+// persistent profile the simulator maintains across start/finish events
+// must at every decision point be semantically identical to a profile
+// rebuilt from scratch out of the running set — the invariant that lets
+// policies skip the rebuild.
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/des"
+	"repro/internal/rigid"
+	"repro/internal/stats"
+)
+
+// auditPolicy wraps a policy and cross-checks View.Profile against a
+// from-scratch rebuild before every decision.
+type auditPolicy struct {
+	t     *testing.T
+	inner Policy
+	hits  *int
+}
+
+func (p auditPolicy) Name() string { return p.inner.Name() }
+
+func (p auditPolicy) Decide(v View) []Decision {
+	*p.hits++
+	if v.Profile == nil {
+		p.t.Error("view missing persistent profile")
+		return p.inner.Decide(v)
+	}
+	ref := rigid.NewProfile(v.M)
+	for _, r := range v.Running {
+		if r.End > v.Now {
+			if err := ref.Reserve(v.Now, r.End-v.Now, r.Procs); err != nil {
+				p.t.Fatalf("t=%v: rebuild from running set failed: %v", v.Now, err)
+			}
+		}
+	}
+	// Semantic equality: same availability inside every segment of either
+	// profile from now on (piecewise-constant ⇒ one sample per segment).
+	// Sampling midpoints rather than breakpoints sidesteps the one-ULP
+	// end-time differences between the incremental profile (which stores
+	// exact reservation ends) and the rebuild (whose Now + (End-Now)
+	// round trip can be off by one float step).
+	pts := append(v.Profile.Breakpoints(), ref.Breakpoints()...)
+	pts = append(pts, v.Now)
+	sort.Float64s(pts)
+	for i, t0 := range pts {
+		if t0 < v.Now {
+			continue
+		}
+		sample := t0 + 1 // beyond the last breakpoint
+		if i+1 < len(pts) {
+			if pts[i+1]-t0 <= 1e-9*(1+math.Abs(t0)) {
+				continue // ULP sliver between near-identical breakpoints
+			}
+			sample = (t0 + pts[i+1]) / 2
+		}
+		if got, want := v.Profile.AvailableAt(sample), ref.AvailableAt(sample); got != want {
+			p.t.Fatalf("t=%v: incremental profile has %d free at %v, rebuild has %d",
+				v.Now, got, sample, want)
+		}
+	}
+	// The persistent profile must stay trimmed and canonical: its
+	// breakpoint count is bounded by running jobs + 1, not history.
+	if got, limit := v.Profile.Segments(), len(v.Running)+1; got > limit {
+		p.t.Fatalf("t=%v: %d segments for %d running jobs (history not trimmed/coalesced)",
+			v.Now, got, len(v.Running))
+	}
+	bp := v.Profile.Breakpoints()
+	for i := 1; i < len(bp); i++ {
+		if v.Profile.AvailableAt(bp[i]) == v.Profile.AvailableAt(bp[i-1]) {
+			p.t.Fatalf("t=%v: persistent profile not coalesced at %v", v.Now, bp[i])
+		}
+	}
+	return p.inner.Decide(v)
+}
+
+// TestIncrementalProfileMatchesRebuild drives randomized workloads —
+// local jobs plus best-effort churn forcing kills and refills — through
+// every queue policy with the audit wrapper attached.
+func TestIncrementalProfileMatchesRebuild(t *testing.T) {
+	for _, inner := range []Policy{ConservativePolicy{}, EASYPolicy{}, FCFSPolicy{}, GreedyFitPolicy{}} {
+		inner := inner
+		t.Run(inner.Name(), func(t *testing.T) {
+			f := func(seed uint64) bool {
+				rng := stats.NewRNG(seed)
+				m := rng.IntRange(2, 16)
+				n := rng.IntRange(1, 20)
+				hits := 0
+				s, err := New(des.New(), m, 1, auditPolicy{t: t, inner: inner, hits: &hits}, KillNewest)
+				if err != nil {
+					return false
+				}
+				for i := 0; i < 25; i++ {
+					s.SubmitBestEffort(BETask{BagID: 1, Index: i, Duration: rng.Range(1, 15)})
+				}
+				clock := 0.0
+				for i := 0; i < n; i++ {
+					clock += rng.Exp(0.3)
+					if err := s.Submit(rjob(i, rng.Range(0.5, 12), rng.IntRange(1, m), clock)); err != nil {
+						return false
+					}
+				}
+				if err := s.Run(); err != nil {
+					return false
+				}
+				return hits > 0 && len(s.Completions()) == n
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestViewBuffersReused: the scratch buffers backing View.Queue must not
+// reallocate once warmed up (the per-reschedule copies they replace were
+// a top allocation site).
+func TestViewBuffersReused(t *testing.T) {
+	s, err := New(des.New(), 4, 1, FCFSPolicy{}, KillNewest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if err := s.Submit(rjob(i, 2, 1, float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if cap(s.viewQueue) == 0 && cap(s.viewRunning) == 0 {
+		t.Fatal("view scratch buffers never used")
+	}
+	if len(s.Completions()) != 30 {
+		t.Fatalf("%d completions", len(s.Completions()))
+	}
+}

@@ -2,44 +2,76 @@
 // kernel: a clock and a binary-heap event queue with stable FIFO
 // tie-breaking at equal timestamps. The cluster and grid simulators are
 // built on it.
+//
+// The heap holds pointer-free eventRef values (time, seq, callback slot)
+// and the callbacks live in a free-listed side table: sifting the heap
+// then moves plain words with no GC write barriers and scheduling never
+// boxes events through an interface, which together dominate the cost of
+// simulator-heavy experiments.
 package des
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
 
-// event is one scheduled callback.
-type event struct {
+// eventRef is one scheduled event as stored in the heap: deliberately
+// pointer-free so heap maintenance is barrier-free memmove work. slot
+// indexes the Simulator's callback table.
+type eventRef struct {
 	time float64
 	seq  uint64 // insertion order, breaks ties deterministically
-	fn   func()
+	slot int32
 }
 
-type eventHeap []event
+// eventHeap is a binary min-heap of eventRef ordered by (time, seq).
+type eventHeap []eventRef
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].time != h[j].time {
 		return h[i].time < h[j].time
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+
+func (h eventHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (h eventHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		least := l
+		if r := l + 1; r < n && h.less(r, l) {
+			least = r
+		}
+		if !h.less(least, i) {
+			return
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
 }
 
 // Simulator owns the virtual clock and the pending event set.
 type Simulator struct {
-	clock   float64
-	events  eventHeap
+	clock  float64
+	events eventHeap
+	// fns holds the scheduled callbacks, indexed by eventRef.slot and
+	// recycled through free once dispatched.
+	fns     []func()
+	free    []int32
 	seq     uint64
 	stopped bool
 	// Processed counts executed events (diagnostics / runaway guards).
@@ -52,6 +84,20 @@ type Simulator struct {
 // New returns a simulator with the clock at 0.
 func New() *Simulator { return &Simulator{} }
 
+// NewWithCapacity returns a simulator whose event heap and callback
+// table are pre-sized for n pending events, avoiding the doubling
+// reallocations of a cold heap when the expected event volume is known
+// up front (e.g. one submission event per job).
+func NewWithCapacity(n int) *Simulator {
+	if n < 0 {
+		n = 0
+	}
+	return &Simulator{
+		events: make(eventHeap, 0, n),
+		fns:    make([]func(), 0, n),
+	}
+}
+
 // Now returns the current virtual time.
 func (s *Simulator) Now() float64 { return s.clock }
 
@@ -63,8 +109,18 @@ func (s *Simulator) At(t float64, fn func()) error {
 	if math.IsNaN(t) || math.IsInf(t, 0) {
 		return fmt.Errorf("des: scheduling at non-finite time %v", t)
 	}
-	heap.Push(&s.events, event{time: t, seq: s.seq, fn: fn})
+	var slot int32
+	if n := len(s.free); n > 0 {
+		slot = s.free[n-1]
+		s.free = s.free[:n-1]
+		s.fns[slot] = fn
+	} else {
+		slot = int32(len(s.fns))
+		s.fns = append(s.fns, fn)
+	}
+	s.events = append(s.events, eventRef{time: t, seq: s.seq, slot: slot})
 	s.seq++
+	s.events.siftUp(len(s.events) - 1)
 	return nil
 }
 
@@ -76,24 +132,40 @@ func (s *Simulator) After(d float64, fn func()) error {
 	return s.At(s.clock+d, fn)
 }
 
+// pop removes and returns the earliest event's time and callback,
+// recycling its slot.
+func (s *Simulator) pop() (float64, func()) {
+	top := s.events[0]
+	n := len(s.events) - 1
+	s.events[0] = s.events[n]
+	s.events = s.events[:n]
+	if n > 1 {
+		s.events.siftDown(0)
+	}
+	fn := s.fns[top.slot]
+	s.fns[top.slot] = nil
+	s.free = append(s.free, top.slot)
+	return top.time, fn
+}
+
 // Stop makes Run return after the current event.
 func (s *Simulator) Stop() { s.stopped = true }
 
 // Pending returns the number of queued events.
-func (s *Simulator) Pending() int { return s.events.Len() }
+func (s *Simulator) Pending() int { return len(s.events) }
 
 // Run executes events in timestamp order until the queue drains, Stop is
 // called, or the event limit is hit (error in that last case).
 func (s *Simulator) Run() error {
 	s.stopped = false
-	for s.events.Len() > 0 && !s.stopped {
+	for len(s.events) > 0 && !s.stopped {
 		if s.Limit > 0 && s.Processed >= s.Limit {
 			return fmt.Errorf("des: event limit %d reached at t=%v", s.Limit, s.clock)
 		}
-		e := heap.Pop(&s.events).(event)
-		s.clock = e.time
+		t, fn := s.pop()
+		s.clock = t
 		s.Processed++
-		e.fn()
+		fn()
 	}
 	return nil
 }
@@ -104,14 +176,14 @@ func (s *Simulator) RunUntil(t float64) error {
 		return fmt.Errorf("des: RunUntil(%v) before now (%v)", t, s.clock)
 	}
 	s.stopped = false
-	for s.events.Len() > 0 && !s.stopped && s.events[0].time <= t {
+	for len(s.events) > 0 && !s.stopped && s.events[0].time <= t {
 		if s.Limit > 0 && s.Processed >= s.Limit {
 			return fmt.Errorf("des: event limit %d reached at t=%v", s.Limit, s.clock)
 		}
-		e := heap.Pop(&s.events).(event)
-		s.clock = e.time
+		et, fn := s.pop()
+		s.clock = et
 		s.Processed++
-		e.fn()
+		fn()
 	}
 	if !s.stopped {
 		s.clock = t

@@ -20,10 +20,11 @@ func AblationAllotment(seed uint64, sc Scale) (*trace.Table, error) {
 	t := trace.NewTable(
 		"Ablation — MRT allotment selection: knapsack (paper) vs greedy γ(λ)",
 		"m", "n", "knapsack ratio", "greedy ratio", "knapsack iters", "greedy iters")
-	for _, m := range []int{32, 100} {
+	ms := []int{32, 100}
+	if err := runRowCells(t, sc, len(ms), func(i int) ([]any, error) {
+		m := ms[i]
 		n := sc.jobs(300)
-		jobs := workload.Parallel(workload.GenConfig{N: n, M: m, Seed: seed})
-		seed++
+		jobs := workload.Parallel(workload.GenConfig{N: n, M: m, Seed: seed + uint64(i)})
 		lb := lowerbound.CmaxDual(jobs, m)
 		knap, err := moldable.MRTWithAllot(jobs, m, 0.01, moldable.SelectAllotments)
 		if err != nil {
@@ -33,9 +34,11 @@ func AblationAllotment(seed uint64, sc Scale) (*trace.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(m, n,
-			knap.Schedule.Makespan()/lb, greedy.Schedule.Makespan()/lb,
-			knap.Iterations, greedy.Iterations)
+		return []any{m, n,
+			knap.Schedule.Makespan() / lb, greedy.Schedule.Makespan() / lb,
+			knap.Iterations, greedy.Iterations}, nil
+	}); err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -51,19 +54,24 @@ func AblationDoublingBase(seed uint64, sc Scale) (*trace.Table, error) {
 	n := sc.jobs(300)
 	jobs := workload.Parallel(workload.GenConfig{N: n, M: m, Seed: seed, Weighted: true})
 	lb := lowerbound.CmaxDual(jobs, m)
-	for _, choice := range []struct {
+	choices := []struct {
 		name string
 		d    float64
 	}{
 		{"min job time (default)", 0},
 		{"instance LB", lb},
 		{"8×LB (oversized)", 8 * lb},
-	} {
-		res, err := bicriteria.Schedule(jobs, m, bicriteria.Options{InitialDeadline: choice.d})
+	}
+	if err := runRowCells(t, sc, len(choices), func(i int) ([]any, error) {
+		res, err := bicriteria.Schedule(jobs, m, bicriteria.Options{
+			InitialDeadline: choices[i].d,
+		})
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(choice.name, len(res.Batches), res.CmaxRatio(), res.WCRatio())
+		return []any{choices[i].name, len(res.Batches), res.CmaxRatio(), res.WCRatio()}, nil
+	}); err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -74,12 +82,13 @@ func AblationShelfFill(seed uint64, sc Scale) (*trace.Table, error) {
 	t := trace.NewTable(
 		"Ablation — SMART shelf filling rule",
 		"m", "n", "first-fit ΣwC", "best-fit ΣwC", "FF shelves", "BF shelves")
-	for _, m := range []int{16, 64} {
+	ms := []int{16, 64}
+	if err := runRowCells(t, sc, len(ms), func(i int) ([]any, error) {
+		m := ms[i]
 		n := sc.jobs(400)
 		jobs := workload.Parallel(workload.GenConfig{
-			N: n, M: m, Seed: seed, Weighted: true, RigidFraction: 1,
+			N: n, M: m, Seed: seed + uint64(i), Weighted: true, RigidFraction: 1,
 		})
-		seed++
 		lb := lowerbound.SumWeightedCompletion(jobs, m)
 		ff, nFF, err := smart.Schedule(jobs, m, smart.FirstFit)
 		if err != nil {
@@ -89,10 +98,12 @@ func AblationShelfFill(seed uint64, sc Scale) (*trace.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(m, n,
-			ff.Report().SumWeightedCompletion/lb,
-			bf.Report().SumWeightedCompletion/lb,
-			nFF, nBF)
+		return []any{m, n,
+			ff.Report().SumWeightedCompletion / lb,
+			bf.Report().SumWeightedCompletion / lb,
+			nFF, nBF}, nil
+	}); err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -103,18 +114,21 @@ func AblationChunk(seed uint64, sc Scale) (*trace.Table, error) {
 	t := trace.NewTable(
 		"Ablation — DLT self-scheduling chunk size (W=10000, latency 1)",
 		"chunk", "makespan", "messages", "vs 1-round")
-	star := dlt.Bus([]float64{1, 1, 1, 1, 1, 1, 1, 1}, 0.05, 1)
 	const W = 10000.0
-	one, err := dlt.SingleRound(star, W)
+	mkStar := func() *dlt.Star { return dlt.Bus([]float64{1, 1, 1, 1, 1, 1, 1, 1}, 0.05, 1) }
+	one, err := dlt.SingleRound(mkStar(), W)
 	if err != nil {
 		return nil, err
 	}
-	for _, chunk := range []float64{W / 1000, W / 100, W / 20, W / 8} {
-		d, err := dlt.SelfSchedule(star, W, chunk)
+	chunks := []float64{W / 1000, W / 100, W / 20, W / 8}
+	if err := runRowCells(t, sc, len(chunks), func(i int) ([]any, error) {
+		d, err := dlt.SelfSchedule(mkStar(), W, chunks[i])
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(chunk, d.Makespan, d.Messages, d.Makespan/one.Makespan)
+		return []any{chunks[i], d.Makespan, d.Messages, d.Makespan / one.Makespan}, nil
+	}); err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -126,27 +140,29 @@ func AblationKillPolicy(seed uint64, sc Scale) (*trace.Table, error) {
 		"Ablation — best-effort kill policy (single 64-proc cluster)",
 		"policy", "BE done", "kills", "wasted work", "local Δ")
 	n := sc.jobs(60)
-	for _, kp := range []struct {
+	kps := []struct {
 		name string
 		kill cluster.KillPolicy
 	}{
 		{"kill-newest", cluster.KillNewest},
 		{"kill-largest-remaining", cluster.KillLargestRemaining},
-	} {
+	}
+	if err := runRowCells(t, sc, len(kps), func(i int) ([]any, error) {
 		jobs := workload.Parallel(workload.GenConfig{
 			N: n, M: 64, Seed: seed, RigidFraction: 1, ArrivalRate: 0.01,
 		})
-		sim := des.New()
-		cs, err := cluster.New(sim, 64, 1, cluster.EASYPolicy{}, kp.kill)
+		nBE := sc.jobs(2000)
+		sim := des.NewWithCapacity(len(jobs) + nBE)
+		cs, err := cluster.New(sim, 64, 1, cluster.EASYPolicy{}, kps[i].kill)
 		if err != nil {
 			return nil, err
 		}
 		// Heterogeneous task lengths: the eviction choice matters only
 		// when victims differ in remaining work.
 		rng := stats.NewRNG(seed + 1000)
-		for i := 0; i < sc.jobs(2000); i++ {
+		for k := 0; k < nBE; k++ {
 			cs.SubmitBestEffort(cluster.BETask{
-				BagID: 0, Index: i, Duration: rng.Range(20, 600),
+				BagID: 0, Index: k, Duration: rng.Range(20, 600),
 			})
 		}
 		for _, j := range jobs {
@@ -158,7 +174,9 @@ func AblationKillPolicy(seed uint64, sc Scale) (*trace.Table, error) {
 			return nil, err
 		}
 		st := cs.BestEffort()
-		t.AddRow(kp.name, st.Completed, st.Killed, st.WastedWork, 0.0)
+		return []any{kps[i].name, st.Completed, st.Killed, st.WastedWork, 0.0}, nil
+	}); err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -172,14 +190,15 @@ func AblationCompaction(seed uint64, sc Scale) (*trace.Table, error) {
 		"Ablation — compaction post-pass on bi-criteria schedules",
 		"family", "n", "Cmax ratio", "compacted", "ΣwC ratio", "compacted ")
 	m := 64
-	for _, parallel := range []bool{false, true} {
+	families := []bool{false, true}
+	if err := runRowCells(t, sc, len(families), func(i int) ([]any, error) {
+		parallel := families[i]
 		family := "non-parallel"
 		if parallel {
 			family = "parallel"
 		}
 		n := sc.jobs(300)
-		cfg := workload.GenConfig{N: n, M: m, Seed: seed, Weighted: true}
-		seed++
+		cfg := workload.GenConfig{N: n, M: m, Seed: seed + uint64(i), Weighted: true}
 		var jobs []*workload.Job
 		if parallel {
 			jobs = workload.Parallel(cfg)
@@ -199,11 +218,13 @@ func AblationCompaction(seed uint64, sc Scale) (*trace.Table, error) {
 		}
 		cmaxLB := lowerbound.Cmax(jobs, m)
 		wcLB := lowerbound.SumWeightedCompletion(jobs, m)
-		t.AddRow(family, n,
-			res.Schedule.Makespan()/cmaxLB,
-			compacted.Makespan()/cmaxLB,
-			res.Schedule.Report().SumWeightedCompletion/wcLB,
-			compacted.Report().SumWeightedCompletion/wcLB)
+		return []any{family, n,
+			res.Schedule.Makespan() / cmaxLB,
+			compacted.Makespan() / cmaxLB,
+			res.Schedule.Report().SumWeightedCompletion / wcLB,
+			compacted.Report().SumWeightedCompletion / wcLB}, nil
+	}); err != nil {
+		return nil, err
 	}
 	return t, nil
 }

@@ -2,6 +2,11 @@
 // and figure of the paper's evaluation (see DESIGN.md §1 for the
 // experiment index). Each driver returns a trace.Table so the same code
 // backs cmd/experiments and the root benchmark suite.
+//
+// Every table is structured as a list of independent cells (one
+// parameter combination each, with a deterministic per-cell seed) that
+// runCells executes either sequentially or on a worker pool — see
+// parallel.go for the determinism contract.
 package experiments
 
 import (
@@ -18,10 +23,16 @@ import (
 	"repro/internal/workload"
 )
 
-// Scale shrinks experiment sizes for tests/benchmarks (1 = paper scale).
+// Scale shrinks experiment sizes for tests/benchmarks (1 = paper scale)
+// and selects the replication runner.
 type Scale struct {
 	// JobFactor divides job counts (min result 10).
 	JobFactor int
+	// Workers bounds the experiment worker pool: 0 or 1 runs cells
+	// sequentially, larger values fan independent cells out over up to
+	// min(Workers, GOMAXPROCS) goroutines. Tables are bit-identical
+	// across worker counts for a fixed seed.
+	Workers int
 }
 
 func (s Scale) jobs(n int) int {
@@ -41,36 +52,44 @@ func MRTTable(seed uint64, sc Scale) (*trace.Table, error) {
 	t := trace.NewTable(
 		"T1 — §4.1 offline moldable Cmax: MRT (3/2+ε) vs baselines (ratios to lower bound)",
 		"m", "n", "MRT", "λ-accepted", "MinWork+LPT", "MaxProcs+LPT", "γ(LB)+LPT", "bound")
+	type cell struct {
+		m, n int
+	}
+	var cells []cell
 	for _, m := range []int{16, 64, 100} {
 		for _, n := range []int{50, 200, 1000} {
-			n = sc.jobs(n)
-			jobs := workload.Parallel(workload.GenConfig{N: n, M: m, Seed: seed})
-			seed++
-			lb := lowerbound.CmaxDual(jobs, m)
-			res, err := moldable.MRT(jobs, m, 0.01)
-			if err != nil {
-				return nil, err
-			}
-			minw, err := moldable.MinWorkList(jobs, m)
-			if err != nil {
-				return nil, err
-			}
-			maxp, err := moldable.MaxProcsList(jobs, m)
-			if err != nil {
-				return nil, err
-			}
-			gl, err := moldable.GammaList(jobs, m)
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(m, n,
-				res.Schedule.Makespan()/lb,
-				res.Lambda/lb,
-				minw.Makespan()/lb,
-				maxp.Makespan()/lb,
-				gl.Makespan()/lb,
-				"1.5+ε")
+			cells = append(cells, cell{m, n})
 		}
+	}
+	if err := runRowCells(t, sc, len(cells), func(i int) ([]any, error) {
+		m, n := cells[i].m, sc.jobs(cells[i].n)
+		jobs := workload.Parallel(workload.GenConfig{N: n, M: m, Seed: seed + uint64(i)})
+		lb := lowerbound.CmaxDual(jobs, m)
+		res, err := moldable.MRT(jobs, m, 0.01)
+		if err != nil {
+			return nil, err
+		}
+		minw, err := moldable.MinWorkList(jobs, m)
+		if err != nil {
+			return nil, err
+		}
+		maxp, err := moldable.MaxProcsList(jobs, m)
+		if err != nil {
+			return nil, err
+		}
+		gl, err := moldable.GammaList(jobs, m)
+		if err != nil {
+			return nil, err
+		}
+		return []any{m, n,
+			res.Schedule.Makespan() / lb,
+			res.Lambda / lb,
+			minw.Makespan() / lb,
+			maxp.Makespan() / lb,
+			gl.Makespan() / lb,
+			"1.5+ε"}, nil
+	}); err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -83,12 +102,13 @@ func BatchTable(seed uint64, sc Scale) (*trace.Table, error) {
 		"T2 — §4.2 online moldable Cmax: batches over MRT (ratios to lower bound, bound 3+ε)",
 		"m", "n", "arrival rate", "batches", "online ratio", "offline-MRT ratio")
 	m := 64
-	for _, rate := range []float64{0.05, 0.5, 5} {
+	rates := []float64{0.05, 0.5, 5}
+	if err := runRowCells(t, sc, len(rates), func(i int) ([]any, error) {
+		rate := rates[i]
 		n := sc.jobs(300)
 		jobs := workload.Parallel(workload.GenConfig{
-			N: n, M: m, Seed: seed, ArrivalRate: rate,
+			N: n, M: m, Seed: seed + uint64(i), ArrivalRate: rate,
 		})
-		seed++
 		lb := lowerbound.Cmax(jobs, m)
 		res, err := batch.OnlineMoldable(jobs, m, 0.01)
 		if err != nil {
@@ -96,18 +116,20 @@ func BatchTable(seed uint64, sc Scale) (*trace.Table, error) {
 		}
 		// Offline reference: same jobs, releases ignored.
 		offline := make([]*workload.Job, len(jobs))
-		for i, j := range jobs {
+		for k, j := range jobs {
 			c := j.Clone()
 			c.Release = 0
-			offline[i] = c
+			offline[k] = c
 		}
 		off, err := moldable.MRT(offline, m, 0.01)
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(m, n, rate, len(res.Batches),
-			res.Schedule.Makespan()/lb,
-			off.Schedule.Makespan()/lowerbound.CmaxDual(offline, m))
+		return []any{m, n, rate, len(res.Batches),
+			res.Schedule.Makespan() / lb,
+			off.Schedule.Makespan() / lowerbound.CmaxDual(offline, m)}, nil
+	}); err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -118,32 +140,42 @@ func SMARTTable(seed uint64, sc Scale) (*trace.Table, error) {
 	t := trace.NewTable(
 		"T3 — §4.3 rigid completion-time sums: SMART shelves (ratios to lower bound)",
 		"m", "n", "weighted", "SMART ΣwC", "list ΣwC", "shelves", "bound")
+	type cell struct {
+		m        int
+		weighted bool
+	}
+	var cells []cell
 	for _, m := range []int{16, 64} {
 		for _, weighted := range []bool{false, true} {
-			n := sc.jobs(400)
-			jobs := workload.Parallel(workload.GenConfig{
-				N: n, M: m, Seed: seed, Weighted: weighted, RigidFraction: 1,
-			})
-			seed++
-			lb := lowerbound.SumWeightedCompletion(jobs, m)
-			s, shelves, err := smart.Schedule(jobs, m, smart.FirstFit)
-			if err != nil {
-				return nil, err
-			}
-			list, err := rigid.List(jobs, m, rigid.ByRelease)
-			if err != nil {
-				return nil, err
-			}
-			bound := smart.RatioUnweighted
-			if weighted {
-				bound = smart.RatioWeighted
-			}
-			t.AddRow(m, n, weighted,
-				s.Report().SumWeightedCompletion/lb,
-				list.Report().SumWeightedCompletion/lb,
-				shelves,
-				bound)
+			cells = append(cells, cell{m, weighted})
 		}
+	}
+	if err := runRowCells(t, sc, len(cells), func(i int) ([]any, error) {
+		m, weighted := cells[i].m, cells[i].weighted
+		n := sc.jobs(400)
+		jobs := workload.Parallel(workload.GenConfig{
+			N: n, M: m, Seed: seed + uint64(i), Weighted: weighted, RigidFraction: 1,
+		})
+		lb := lowerbound.SumWeightedCompletion(jobs, m)
+		s, shelves, err := smart.Schedule(jobs, m, smart.FirstFit)
+		if err != nil {
+			return nil, err
+		}
+		list, err := rigid.List(jobs, m, rigid.ByRelease)
+		if err != nil {
+			return nil, err
+		}
+		bound := smart.RatioUnweighted
+		if weighted {
+			bound = smart.RatioWeighted
+		}
+		return []any{m, n, weighted,
+			s.Report().SumWeightedCompletion / lb,
+			list.Report().SumWeightedCompletion / lb,
+			shelves,
+			bound}, nil
+	}); err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -154,58 +186,68 @@ func BiCriteriaTable(seed uint64, sc Scale) (*trace.Table, error) {
 	t := trace.NewTable(
 		"T4 — §4.4 bi-criteria doubling: both ratios bounded by 4ρ = 6",
 		"family", "n", "doubling Cmax", "doubling ΣwC", "MRT Cmax", "MRT ΣwC", "bound")
-	m := 64
+	type cell struct {
+		parallel bool
+		n0       int
+	}
+	var cells []cell
 	for _, parallel := range []bool{false, true} {
+		for _, n0 := range []int{100, 500} {
+			cells = append(cells, cell{parallel, n0})
+		}
+	}
+	m := 64
+	if err := runRowCells(t, sc, len(cells), func(i int) ([]any, error) {
+		parallel := cells[i].parallel
 		family := "non-parallel"
 		if parallel {
 			family = "parallel"
 		}
-		for _, n0 := range []int{100, 500} {
-			n := sc.jobs(n0)
-			cfg := workload.GenConfig{N: n, M: m, Seed: seed, Weighted: true}
-			seed++
-			var jobs []*workload.Job
-			if parallel {
-				jobs = workload.Parallel(cfg)
-			} else {
-				jobs = workload.Sequential(cfg)
-			}
-			res, err := bicriteria.Schedule(jobs, m, bicriteria.Options{})
-			if err != nil {
-				return nil, err
-			}
-			mrt, err := moldable.MRT(jobs, m, 0.01)
-			if err != nil {
-				return nil, err
-			}
-			wcLB := lowerbound.SumWeightedCompletion(jobs, m)
-			cmaxLB := lowerbound.CmaxDual(jobs, m)
-			t.AddRow(family, n,
-				res.CmaxRatio(), res.WCRatio(),
-				mrt.Schedule.Makespan()/cmaxLB,
-				mrt.Schedule.Report().SumWeightedCompletion/wcLB,
-				bicriteria.TheoreticalRatio(moldable.Rho))
+		n := sc.jobs(cells[i].n0)
+		cfg := workload.GenConfig{N: n, M: m, Seed: seed + uint64(i), Weighted: true}
+		var jobs []*workload.Job
+		if parallel {
+			jobs = workload.Parallel(cfg)
+		} else {
+			jobs = workload.Sequential(cfg)
 		}
+		res, err := bicriteria.Schedule(jobs, m, bicriteria.Options{})
+		if err != nil {
+			return nil, err
+		}
+		mrt, err := moldable.MRT(jobs, m, 0.01)
+		if err != nil {
+			return nil, err
+		}
+		wcLB := lowerbound.SumWeightedCompletion(jobs, m)
+		cmaxLB := lowerbound.CmaxDual(jobs, m)
+		return []any{family, n,
+			res.CmaxRatio(), res.WCRatio(),
+			mrt.Schedule.Makespan() / cmaxLB,
+			mrt.Schedule.Report().SumWeightedCompletion / wcLB,
+			bicriteria.TheoreticalRatio(moldable.Rho)}, nil
+	}); err != nil {
+		return nil, err
 	}
 	return t, nil
 }
 
-// Fig2Tables regenerates both series of Figure 2.
+// Fig2Tables regenerates both series of Figure 2 (the two series run as
+// independent cells).
 func Fig2Tables(seed uint64, sc Scale) (np, p []bicriteria.Fig2Point, err error) {
 	ns := bicriteria.DefaultNs()
 	if sc.JobFactor > 1 {
 		ns = []int{10, 50, 100, 200}
 	}
-	np, err = bicriteria.Fig2Series(bicriteria.Fig2Config{
-		M: 100, Ns: ns, Seed: seed, Reps: 3, Parallel: false,
+	series, err := runCells(sc, 2, func(i int) ([]bicriteria.Fig2Point, error) {
+		return bicriteria.Fig2Series(bicriteria.Fig2Config{
+			M: 100, Ns: ns, Seed: seed + uint64(i), Reps: 3, Parallel: i == 1,
+		})
 	})
 	if err != nil {
 		return nil, nil, err
 	}
-	p, err = bicriteria.Fig2Series(bicriteria.Fig2Config{
-		M: 100, Ns: ns, Seed: seed + 1, Reps: 3, Parallel: true,
-	})
-	return np, p, err
+	return series[0], series[1], nil
 }
 
 // MixedTable is experiment T8 (§5.1): the three strategies for mixing
@@ -215,14 +257,16 @@ func MixedTable(seed uint64, sc Scale) (*trace.Table, error) {
 		"T8 — §5.1 rigid+moldable mixes: the three proposed strategies (Cmax/ΣwC ratios to lower bounds)",
 		"rigid frac", "n", "strategy", "Cmax ratio", "ΣwC ratio")
 	m := 64
-	for _, frac := range []float64{0.3, 0.7} {
+	fracs := []float64{0.3, 0.7}
+	rows, err := runCells(sc, len(fracs), func(i int) ([][]any, error) {
+		frac := fracs[i]
 		n := sc.jobs(200)
 		jobs := workload.Mixed(workload.GenConfig{
-			N: n, M: m, Seed: seed, Weighted: true, RigidFraction: frac,
+			N: n, M: m, Seed: seed + uint64(i), Weighted: true, RigidFraction: frac,
 		})
-		seed++
 		cmaxLB := lowerbound.CmaxDual(jobs, m)
 		wcLB := lowerbound.SumWeightedCompletion(jobs, m)
+		var out [][]any
 		for _, strat := range []string{"A: phases", "B: a-priori allot", "C: bicriteria batches"} {
 			s, err := runMixedStrategy(strat, jobs, m)
 			if err != nil {
@@ -232,7 +276,16 @@ func MixedTable(seed uint64, sc Scale) (*trace.Table, error) {
 				return nil, fmt.Errorf("experiments: %s: %w", strat, err)
 			}
 			rep := s.Report()
-			t.AddRow(frac, n, strat, rep.Makespan/cmaxLB, rep.SumWeightedCompletion/wcLB)
+			out = append(out, []any{frac, n, strat, rep.Makespan / cmaxLB, rep.SumWeightedCompletion / wcLB})
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, cellRows := range rows {
+		for _, r := range cellRows {
+			t.AddRow(r...)
 		}
 	}
 	return t, nil

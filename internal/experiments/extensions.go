@@ -27,10 +27,11 @@ func MalleableTable(seed uint64, sc Scale) (*trace.Table, error) {
 	t := trace.NewTable(
 		"EXT1 — §2.2 malleable jobs (paper's future work): EQUI vs moldable MRT (ratios to lower bound)",
 		"m", "n", "moldable MRT", "malleable EQUI", "EQUI reallocs", "weighted EQUI ΣwC", "MRT ΣwC")
-	for _, m := range []int{16, 64} {
+	ms := []int{16, 64}
+	if err := runRowCells(t, sc, len(ms), func(i int) ([]any, error) {
+		m := ms[i]
 		n := sc.jobs(150)
-		jobs := workload.Parallel(workload.GenConfig{N: n, M: m, Seed: seed, Weighted: true})
-		seed++
+		jobs := workload.Parallel(workload.GenConfig{N: n, M: m, Seed: seed + uint64(i), Weighted: true})
 		for _, j := range jobs {
 			j.Kind = workload.Malleable
 		}
@@ -53,12 +54,14 @@ func MalleableTable(seed uint64, sc Scale) (*trace.Table, error) {
 			wpWC += c.Job.Weight * c.End
 		}
 		mrtWC = mrt.Schedule.Report().SumWeightedCompletion
-		t.AddRow(m, n,
-			mrt.Schedule.Makespan()/cmaxLB,
-			equi.Makespan/cmaxLB,
+		return []any{m, n,
+			mrt.Schedule.Makespan() / cmaxLB,
+			equi.Makespan / cmaxLB,
 			equi.Reallocations,
-			wpWC/wcLB,
-			mrtWC/wcLB)
+			wpWC / wcLB,
+			mrtWC / wcLB}, nil
+	}); err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -76,43 +79,52 @@ func TreeDLTTable(seed uint64, sc Scale) (*trace.Table, error) {
 	mkNode := func(name string, link float64) *dlt.TreeNode {
 		return &dlt.TreeNode{Name: name, Compute: 1, LinkToParent: link}
 	}
-	// Flat star: root + 12 children.
-	flat := mkNode("root", 0)
-	for i := 0; i < 12; i++ {
-		flat.Children = append(flat.Children, mkNode(fmt.Sprintf("w%d", i), 0.05))
+	// Each cell builds its own topology (the solver annotates nodes).
+	topologies := []struct {
+		name  string
+		build func() *dlt.TreeNode
+	}{
+		{"flat star (depth 1)", func() *dlt.TreeNode {
+			flat := mkNode("root", 0)
+			for i := 0; i < 12; i++ {
+				flat.Children = append(flat.Children, mkNode(fmt.Sprintf("w%d", i), 0.05))
+			}
+			return flat
+		}},
+		{"3x3 tree (depth 2)", func() *dlt.TreeNode {
+			twoLevel := mkNode("root", 0)
+			id := 0
+			for i := 0; i < 3; i++ {
+				mid := mkNode(fmt.Sprintf("m%d", i), 0.05)
+				for k := 0; k < 3; k++ {
+					mid.Children = append(mid.Children, mkNode(fmt.Sprintf("l%d", id), 0.05))
+					id++
+				}
+				twoLevel.Children = append(twoLevel.Children, mid)
+			}
+			return twoLevel
+		}},
+		{"chain (depth 12)", func() *dlt.TreeNode { return dlt.Chain(12, 1, 0.05) }},
 	}
-	// Two-level: root + 3 children × 3 grandchildren = 13 nodes.
-	twoLevel := mkNode("root", 0)
-	id := 0
-	for i := 0; i < 3; i++ {
-		mid := mkNode(fmt.Sprintf("m%d", i), 0.05)
-		for k := 0; k < 3; k++ {
-			mid.Children = append(mid.Children, mkNode(fmt.Sprintf("l%d", id), 0.05))
-			id++
+	type treeCell struct {
+		size     int
+		makespan float64
+		lb       float64
+	}
+	cells, err := runCells(sc, len(topologies), func(i int) (treeCell, error) {
+		n := topologies[i].build()
+		d, err := dlt.TreeSingleRound(n, W)
+		if err != nil {
+			return treeCell{}, err
 		}
-		twoLevel.Children = append(twoLevel.Children, mid)
-	}
-	// Chain of depth 12.
-	chain := dlt.Chain(12, 1, 0.05)
-
-	flatD, err := dlt.TreeSingleRound(flat, W)
+		return treeCell{size: n.Size(), makespan: d.Makespan, lb: dlt.TreeLowerBound(n, W)}, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	for _, c := range []struct {
-		name string
-		n    *dlt.TreeNode
-	}{
-		{"flat star (depth 1)", flat},
-		{"3x3 tree (depth 2)", twoLevel},
-		{"chain (depth 12)", chain},
-	} {
-		d, err := dlt.TreeSingleRound(c.n, W)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(c.name, c.n.Size(), d.Makespan, d.Makespan/flatD.Makespan,
-			dlt.TreeLowerBound(c.n, W))
+	flat := cells[0].makespan
+	for i, c := range topologies {
+		t.AddRow(c.name, cells[i].size, cells[i].makespan, cells[i].makespan/flat, cells[i].lb)
 	}
 	return t, nil
 }
@@ -135,51 +147,54 @@ func CriteriaMatrixTable(seed uint64, sc Scale) (*trace.Table, error) {
 
 	type policy struct {
 		name string
-		run  func() (*sched.Schedule, error)
+		run  func(jobs []*workload.Job) (*sched.Schedule, error)
 	}
 	policies := []policy{
-		{"mrt (§4.1)", func() (*sched.Schedule, error) {
+		{"mrt (§4.1)", func(jobs []*workload.Job) (*sched.Schedule, error) {
 			r, err := moldable.MRT(jobs, m, 0.01)
 			if err != nil {
 				return nil, err
 			}
 			return r.Schedule, nil
 		}},
-		{"smart (§4.3)", func() (*sched.Schedule, error) {
+		{"smart (§4.3)", func(jobs []*workload.Job) (*sched.Schedule, error) {
 			s, _, err := smart.Schedule(jobs, m, smart.FirstFit)
 			return s, err
 		}},
-		{"bicriteria (§4.4)", func() (*sched.Schedule, error) {
+		{"bicriteria (§4.4)", func(jobs []*workload.Job) (*sched.Schedule, error) {
 			r, err := bicriteria.Schedule(jobs, m, bicriteria.Options{})
 			if err != nil {
 				return nil, err
 			}
 			return r.Schedule, nil
 		}},
-		{"ffdh (§2.2)", func() (*sched.Schedule, error) {
+		{"ffdh (§2.2)", func(jobs []*workload.Job) (*sched.Schedule, error) {
 			sh, err := rigid.FFDH(jobs, m)
 			if err != nil {
 				return nil, err
 			}
 			return rigid.ShelvesToSchedule(sh, m), nil
 		}},
-		{"minwork+lpt", func() (*sched.Schedule, error) {
+		{"minwork+lpt", func(jobs []*workload.Job) (*sched.Schedule, error) {
 			return moldable.MinWorkList(jobs, m)
 		}},
 	}
-	for _, p := range policies {
-		s, err := p.run()
+	if err := runRowCells(t, sc, len(policies), func(i int) ([]any, error) {
+		// Policy cells share the workload read-only (jobs are pure data).
+		s, err := policies[i].run(jobs)
 		if err != nil {
 			return nil, err
 		}
 		rep := s.Report()
-		t.AddRow(p.name,
-			rep.Makespan/cmaxLB,
-			rep.SumWeightedCompletion/wcLB,
+		return []any{policies[i].name,
+			rep.Makespan / cmaxLB,
+			rep.SumWeightedCompletion / wcLB,
 			rep.MeanFlow,
 			rep.MaxStretch,
 			rep.LateCount,
-			100*rep.Utilization)
+			100 * rep.Utilization}, nil
+	}); err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -192,8 +207,7 @@ func HeteroGridTable(seed uint64, sc Scale) (*trace.Table, error) {
 	t := trace.NewTable(
 		"EXT4 — two-level moldable scheduling on the CIMENT grid (makespans, ratios to grid LB)",
 		"workload", "partition", "grid makespan", "ratio", "clusters used")
-	g := platform.CIMENT()
-	for _, wl := range []struct {
+	workloads := []struct {
 		name string
 		cfg  workload.GenConfig
 	}{
@@ -204,30 +218,47 @@ func HeteroGridTable(seed uint64, sc Scale) (*trace.Table, error) {
 		{"capacity-bound", workload.GenConfig{
 			N: sc.jobs(3000), M: 16, Seed: seed + 1, SeqSigma: 0.8, MaxProcsCap: 16,
 		}},
-	} {
+	}
+	partitions := []struct {
+		name string
+		p    hetero.Partition
+	}{
+		{"speed-aware LPT", hetero.SpeedAwareLPT},
+		{"largest cluster only", hetero.LargestOnly},
+		{"round robin", hetero.RoundRobin},
+	}
+	// Workloads and their lower bounds are generated once up front and
+	// shared read-only by the partition cells (jobs are pure data; no
+	// scheduler mutates them — the race-enabled test suite keeps that
+	// honest).
+	type wlData struct {
+		jobs []*workload.Job
+		lb   float64
+	}
+	g := platform.CIMENT()
+	data := make([]wlData, len(workloads))
+	for i, wl := range workloads {
 		jobs := workload.Parallel(wl.cfg)
-		lb := hetero.LowerBound(jobs, g)
-		for _, part := range []struct {
-			name string
-			p    hetero.Partition
-		}{
-			{"speed-aware LPT", hetero.SpeedAwareLPT},
-			{"largest cluster only", hetero.LargestOnly},
-			{"round robin", hetero.RoundRobin},
-		} {
-			asg, err := hetero.Schedule(jobs, g, part.p, 0.01)
-			if err != nil {
-				return nil, err
-			}
-			if err := asg.Validate(jobs, g); err != nil {
-				return nil, err
-			}
-			used := map[int]bool{}
-			for _, ci := range asg.JobCluster {
-				used[ci] = true
-			}
-			t.AddRow(wl.name, part.name, asg.Makespan, asg.Makespan/lb, len(used))
+		data[i] = wlData{jobs: jobs, lb: hetero.LowerBound(jobs, g)}
+	}
+	if err := runRowCells(t, sc, len(workloads)*len(partitions), func(i int) ([]any, error) {
+		wl := workloads[i/len(partitions)]
+		part := partitions[i%len(partitions)]
+		jobs, lb := data[i/len(partitions)].jobs, data[i/len(partitions)].lb
+		asg, err := hetero.Schedule(jobs, g, part.p, 0.01)
+		if err != nil {
+			return nil, err
 		}
+		if err := asg.Validate(jobs, g); err != nil {
+			return nil, err
+		}
+		used := map[int]bool{}
+		for _, ci := range asg.JobCluster {
+			used[ci] = true
+		}
+		return []any{wl.name, part.name, asg.Makespan, asg.Makespan / lb, len(used)}, nil
+	}); err != nil {
+		return nil, err
 	}
 	return t, nil
 }

@@ -15,14 +15,13 @@ import (
 	"repro/internal/workload"
 )
 
-// DLTTable is experiment T5 (§2.1): single-round vs multi-round vs
-// dynamic self-scheduling across latency regimes on bus and star
-// platforms, with the crossover the paper's model discussion predicts.
-func DLTTable(seed uint64, sc Scale) (*trace.Table, error) {
-	t := trace.NewTable(
-		"T5 — §2.1 divisible load policies (makespans, lower bound in last column)",
-		"platform", "latency", "1 round", "4 rounds", "16 rounds", "self-sched", "LB")
-	platforms := []struct {
+// dltPlatforms builds the T5 platforms fresh (cells mutate Latency, so
+// each cell constructs its own copy).
+func dltPlatforms() []struct {
+	name string
+	star *dlt.Star
+} {
+	return []struct {
 		name string
 		star *dlt.Star
 	}{
@@ -34,30 +33,42 @@ func DLTTable(seed uint64, sc Scale) (*trace.Table, error) {
 			{Compute: 1.6, Link: 0.40},
 		}}},
 	}
+}
+
+// DLTTable is experiment T5 (§2.1): single-round vs multi-round vs
+// dynamic self-scheduling across latency regimes on bus and star
+// platforms, with the crossover the paper's model discussion predicts.
+func DLTTable(seed uint64, sc Scale) (*trace.Table, error) {
+	t := trace.NewTable(
+		"T5 — §2.1 divisible load policies (makespans, lower bound in last column)",
+		"platform", "latency", "1 round", "4 rounds", "16 rounds", "self-sched", "LB")
+	latencies := []float64{0, 1, 10, 100}
+	nPlatforms := len(dltPlatforms())
 	const W = 10000.0
-	for _, pf := range platforms {
-		for _, latency := range []float64{0, 1, 10, 100} {
-			pf.star.Latency = latency
-			one, err := dlt.SingleRound(pf.star, W)
-			if err != nil {
-				return nil, err
-			}
-			four, err := dlt.MultiRound(pf.star, W, 4)
-			if err != nil {
-				return nil, err
-			}
-			sixteen, err := dlt.MultiRound(pf.star, W, 16)
-			if err != nil {
-				return nil, err
-			}
-			dyn, err := dlt.SelfSchedule(pf.star, W, W/100)
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(pf.name, latency,
-				one.Makespan, four.Makespan, sixteen.Makespan, dyn.Makespan,
-				dlt.LowerBound(pf.star, W))
+	if err := runRowCells(t, sc, nPlatforms*len(latencies), func(i int) ([]any, error) {
+		pf := dltPlatforms()[i/len(latencies)]
+		pf.star.Latency = latencies[i%len(latencies)]
+		one, err := dlt.SingleRound(pf.star, W)
+		if err != nil {
+			return nil, err
 		}
+		four, err := dlt.MultiRound(pf.star, W, 4)
+		if err != nil {
+			return nil, err
+		}
+		sixteen, err := dlt.MultiRound(pf.star, W, 16)
+		if err != nil {
+			return nil, err
+		}
+		dyn, err := dlt.SelfSchedule(pf.star, W, W/100)
+		if err != nil {
+			return nil, err
+		}
+		return []any{pf.name, pf.star.Latency,
+			one.Makespan, four.Makespan, sixteen.Makespan, dyn.Makespan,
+			dlt.LowerBound(pf.star, W)}, nil
+	}); err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -80,68 +91,80 @@ func communityMembers(seed uint64, jobsPerCluster int, rate float64) []grid.Memb
 	return members
 }
 
-func cloneMembers(ms []grid.Member) []grid.Member {
-	out := make([]grid.Member, len(ms))
-	for i, m := range ms {
-		jobs := make([]*workload.Job, len(m.Local))
-		for k, j := range m.Local {
-			jobs[k] = j.Clone()
-		}
-		out[i] = grid.Member{Cluster: m.Cluster, Policy: m.Policy, Local: jobs}
-	}
-	return out
-}
-
 // CiGriTable is experiment T6 (§5.2 centralized): the CIMENT grid running
 // community jobs plus a multi-parametric campaign. Reports the fairness
 // contract (local mean flow identical with and without the grid), grid
 // throughput and the kill/resubmit overhead.
+//
+// Each load level is a cell, and within a cell the isolated baseline and
+// the grid run are themselves independent cells (both rebuild the same
+// member workloads from the cell seed), so a full parallel run keeps all
+// four simulations in flight.
 func CiGriTable(seed uint64, sc Scale) (*trace.Table, error) {
 	t := trace.NewTable(
 		"T6 — §5.2 centralized CiGri on CIMENT (Figure 3 platform)",
 		"local load", "bag tasks", "local Δflow", "grid done", "kills", "wasted %", "grid makespan")
-	for _, load := range []struct {
+	loads := []struct {
 		name string
 		rate float64
 		jobs int
 	}{
 		{"light", 0.001, sc.jobs(40)},
 		{"heavy", 0.01, sc.jobs(120)},
-	} {
-		members := communityMembers(seed, load.jobs, load.rate)
-		seed += 10
-		// Isolated baseline for the fairness check.
-		iso, err := grid.RunIsolated(cloneMembers(members), cluster.KillNewest)
-		if err != nil {
-			return nil, err
-		}
+	}
+	type gridResult struct {
+		flowIso  float64 // isolated-run mean flow (sub-cell 0)
+		flowGrid float64 // grid-run mean flow (sub-cell 1)
+		stats    grid.CentralizedStats
+	}
+	if err := runRowCells(t, sc, len(loads), func(i int) ([]any, error) {
+		load := loads[i]
+		cellSeed := seed + uint64(10*i)
 		runs := sc.jobs(5000)
-		bags := []*workload.Bag{{ID: 0, Runs: runs, RunTime: 60, Name: "campaign"}}
-		g, err := grid.NewCentralized(members, bags, cluster.KillNewest)
+		parts, err := runCells(sc, 2, func(sub int) (gridResult, error) {
+			members := communityMembers(cellSeed, load.jobs, load.rate)
+			if sub == 0 {
+				iso, err := grid.RunIsolated(members, cluster.KillNewest)
+				if err != nil {
+					return gridResult{}, err
+				}
+				return gridResult{flowIso: metrics.MeanFlow(iso)}, nil
+			}
+			bags := []*workload.Bag{{ID: 0, Runs: runs, RunTime: 60, Name: "campaign"}}
+			g, err := grid.NewCentralized(members, bags, cluster.KillNewest)
+			if err != nil {
+				return gridResult{}, err
+			}
+			if err := g.Run(); err != nil {
+				return gridResult{}, err
+			}
+			var withGrid []metrics.Completion
+			for k := 0; k < g.Members(); k++ {
+				withGrid = append(withGrid, g.LocalCompletions(k)...)
+			}
+			return gridResult{flowGrid: metrics.MeanFlow(withGrid), stats: g.Stats()}, nil
+		})
 		if err != nil {
 			return nil, err
 		}
-		if err := g.Run(); err != nil {
-			return nil, err
-		}
-		var withGrid []metrics.Completion
-		for i := 0; i < g.Members(); i++ {
-			withGrid = append(withGrid, g.LocalCompletions(i)...)
-		}
-		st := g.Stats()
-		delta := math.Abs(metrics.MeanFlow(withGrid) - metrics.MeanFlow(iso))
+		st := parts[1].stats
+		delta := math.Abs(parts[1].flowGrid - parts[0].flowIso)
 		wastedPct := 0.0
 		if st.DoneWork+st.WastedWork > 0 {
 			wastedPct = 100 * st.WastedWork / (st.DoneWork + st.WastedWork)
 		}
-		t.AddRow(load.name, runs, delta, st.TasksCompleted, st.TasksKilled,
-			wastedPct, st.GridMakespan)
+		return []any{load.name, runs, delta, st.TasksCompleted, st.TasksKilled,
+			wastedPct, st.GridMakespan}, nil
+	}); err != nil {
+		return nil, err
 	}
 	return t, nil
 }
 
 // DecentralizedTable is experiment T7 (§5.2 decentralized): the same
 // imbalanced workload run isolated versus with periodic load exchange.
+// The three schemes (isolated, push, pull) are independent cells over
+// clones of one shared workload.
 func DecentralizedTable(seed uint64, sc Scale) (*trace.Table, error) {
 	t := trace.NewTable(
 		"T7 — §5.2 decentralized load exchange (4×32-proc clusters, all load on cluster 0)",
@@ -173,37 +196,46 @@ func DecentralizedTable(seed uint64, sc Scale) (*trace.Table, error) {
 		}
 		return ms
 	}
-	iso, err := grid.RunIsolated(mkMembers(cloneJobSlice(jobs)), cluster.KillNewest)
-	if err != nil {
+	if err := runRowCells(t, sc, 3, func(i int) ([]any, error) {
+		members := mkMembers(cloneJobSlice(jobs))
+		switch i {
+		case 0:
+			iso, err := grid.RunIsolated(members, cluster.KillNewest)
+			if err != nil {
+				return nil, err
+			}
+			return []any{"isolated", 0,
+				metrics.MeanFlow(iso), metrics.MaxFlow(iso), metrics.Makespan(iso)}, nil
+		case 1:
+			d, err := grid.NewDecentralized(members, grid.DecentralizedOptions{
+				Period: 30, Threshold: 1.3, MaxMove: 8,
+			}, cluster.KillNewest)
+			if err != nil {
+				return nil, err
+			}
+			if err := d.Run(); err != nil {
+				return nil, err
+			}
+			ex := d.AllCompletions()
+			return []any{"push exchange", d.Stats().Migrations,
+				metrics.MeanFlow(ex), metrics.MaxFlow(ex), metrics.Makespan(ex)}, nil
+		default:
+			p, err := grid.NewDecentralized(members, grid.DecentralizedOptions{
+				Period: 30, MaxMove: 8, Protocol: grid.Pull,
+			}, cluster.KillNewest)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.Run(); err != nil {
+				return nil, err
+			}
+			pc := p.AllCompletions()
+			return []any{"pull stealing", p.Stats().Migrations,
+				metrics.MeanFlow(pc), metrics.MaxFlow(pc), metrics.Makespan(pc)}, nil
+		}
+	}); err != nil {
 		return nil, err
 	}
-	t.AddRow("isolated", 0, metrics.MeanFlow(iso), metrics.MaxFlow(iso), metrics.Makespan(iso))
-
-	d, err := grid.NewDecentralized(mkMembers(cloneJobSlice(jobs)), grid.DecentralizedOptions{
-		Period: 30, Threshold: 1.3, MaxMove: 8,
-	}, cluster.KillNewest)
-	if err != nil {
-		return nil, err
-	}
-	if err := d.Run(); err != nil {
-		return nil, err
-	}
-	ex := d.AllCompletions()
-	t.AddRow("push exchange", d.Stats().Migrations,
-		metrics.MeanFlow(ex), metrics.MaxFlow(ex), metrics.Makespan(ex))
-
-	p, err := grid.NewDecentralized(mkMembers(cloneJobSlice(jobs)), grid.DecentralizedOptions{
-		Period: 30, MaxMove: 8, Protocol: grid.Pull,
-	}, cluster.KillNewest)
-	if err != nil {
-		return nil, err
-	}
-	if err := p.Run(); err != nil {
-		return nil, err
-	}
-	pc := p.AllCompletions()
-	t.AddRow("pull stealing", p.Stats().Migrations,
-		metrics.MeanFlow(pc), metrics.MaxFlow(pc), metrics.Makespan(pc))
 	return t, nil
 }
 
@@ -218,35 +250,53 @@ func ReservationsTable(seed uint64, sc Scale) (*trace.Table, error) {
 	jobs := workload.Parallel(workload.GenConfig{
 		N: n, M: m, Seed: seed, RigidFraction: 1, MaxProcsCap: 16, ArrivalRate: 0.05,
 	})
-	base, err := rigid.Conservative(jobs, m)
-	if err != nil {
-		return nil, err
-	}
-	for _, res := range []struct {
+	resCfgs := []struct {
 		procs int
 		end   float64
 	}{
 		{8, 2000}, {16, 4000},
-	} {
+	}
+	// Cell 0 is the reservation-free baseline every row normalizes by;
+	// cells 1..n are the reservation scenarios (FCFS + conservative
+	// makespans). The profile builders only read the shared job slice.
+	type resCell struct {
+		fcfs, cons float64
+	}
+	cells, err := runCells(sc, 1+len(resCfgs), func(i int) (resCell, error) {
+		if i == 0 {
+			base, err := rigid.Conservative(jobs, m)
+			if err != nil {
+				return resCell{}, err
+			}
+			return resCell{cons: base.Makespan()}, nil
+		}
+		res := resCfgs[i-1]
 		cal, err := platform.NewCalendar(m, []platform.Reservation{
 			{Name: "demo", Start: 500, End: res.end, Procs: res.procs},
 		})
 		if err != nil {
-			return nil, err
+			return resCell{}, err
 		}
 		f, err := rigid.FCFSWithCalendar(jobs, m, cal)
 		if err != nil {
-			return nil, err
+			return resCell{}, err
 		}
 		c, err := rigid.ConservativeWithCalendar(jobs, m, cal)
 		if err != nil {
-			return nil, err
+			return resCell{}, err
 		}
+		return resCell{fcfs: f.Makespan(), cons: c.Makespan()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	base := cells[0].cons
+	for i, res := range resCfgs {
 		t.AddRow(
 			fmt.Sprintf("%d/%d procs", res.procs, m),
 			fmt.Sprintf("[500,%g)", res.end),
-			f.Makespan()/base.Makespan(),
-			c.Makespan()/base.Makespan(),
+			cells[i+1].fcfs/base,
+			cells[i+1].cons/base,
 			1.0)
 	}
 	return t, nil

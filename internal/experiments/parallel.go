@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// Workers in a Scale selects the replication runner: 0 or 1 runs every
+// experiment cell sequentially (the historical behaviour); larger values
+// run independent cells on a worker pool bounded by GOMAXPROCS.
+//
+// Determinism contract: a cell is a self-contained unit of work — it
+// derives its own RNG stream from a seed assigned *before* the fan-out
+// and never shares mutable state with other cells — and results are
+// collected in cell-index order. Tables produced with Workers: N are
+// therefore bit-identical to Workers: 1 for the same base seed.
+
+// workers returns the effective worker count for this scale.
+func (s Scale) workers() int {
+	w := s.Workers
+	if w <= 1 {
+		return 1
+	}
+	if maxw := runtime.GOMAXPROCS(0); w > maxw {
+		w = maxw
+	}
+	return w
+}
+
+// runCells executes fn(0..n-1) — sequentially, or on sc.workers()
+// goroutines — and returns the results in cell-index order. The first
+// error (lowest cell index) wins, matching what the sequential loop
+// would have reported.
+//
+// Cells may themselves call runCells (CiGriTable fans each load level
+// out into isolated/grid sub-runs); the outer workers then block in
+// Wait, so runnable goroutines stay near the bound though momentary
+// in-flight work can exceed it by the nesting factor.
+func runCells[T any](sc Scale, n int, fn func(cell int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if w := sc.workers(); w > 1 && n > 1 {
+		errs := make([]error, n)
+		var wg sync.WaitGroup
+		next := make(chan int)
+		if w > n {
+			w = n
+		}
+		for range w {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					out[i], errs[i] = fn(i)
+				}
+			}()
+		}
+		for i := range n {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	for i := range n {
+		var err error
+		if out[i], err = fn(i); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// runRowCells is the one-row-per-cell convenience over runCells: it runs
+// the cells and appends each resulting row to the table in cell order.
+func runRowCells(t *trace.Table, sc Scale, n int, fn func(cell int) ([]any, error)) error {
+	rows, err := runCells(sc, n, fn)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		t.AddRow(r...)
+	}
+	return nil
+}

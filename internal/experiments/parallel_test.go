@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// renderRows flattens a table into comparable strings.
+func renderRows(t *testing.T, tb *trace.Table) []string {
+	t.Helper()
+	out := make([]string, 0, len(tb.Rows))
+	for _, row := range tb.Rows {
+		out = append(out, strings.Join(row, "|"))
+	}
+	return out
+}
+
+// TestParallelMatchesSequential: for a fixed seed, every table must be
+// bit-identical between the sequential runner and the worker pool — the
+// determinism contract of the parallel experiment harness.
+func TestParallelMatchesSequential(t *testing.T) {
+	type tableFn func(uint64, Scale) (*trace.Table, error)
+	tables := map[string]tableFn{
+		"mrt":           MRTTable,
+		"batch":         BatchTable,
+		"smart":         SMARTTable,
+		"bicriteria":    BiCriteriaTable,
+		"dlt":           DLTTable,
+		"cigri":         CiGriTable,
+		"decentralized": DecentralizedTable,
+		"mixed":         MixedTable,
+		"reservations":  ReservationsTable,
+		"malleable":     MalleableTable,
+		"treedlt":       TreeDLTTable,
+		"criteria":      CriteriaMatrixTable,
+		"heterogrid":    HeteroGridTable,
+		"abl-allot":     AblationAllotment,
+		"abl-doubling":  AblationDoublingBase,
+		"abl-shelf":     AblationShelfFill,
+		"abl-chunk":     AblationChunk,
+		"abl-kill":      AblationKillPolicy,
+		"abl-compact":   AblationCompaction,
+	}
+	for name, fn := range tables {
+		t.Run(name, func(t *testing.T) {
+			seq, err := fn(21, Scale{JobFactor: 20})
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := fn(21, Scale{JobFactor: 20, Workers: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			seqRows, parRows := renderRows(t, seq), renderRows(t, par)
+			if len(seqRows) != len(parRows) {
+				t.Fatalf("row counts differ: sequential %d, parallel %d", len(seqRows), len(parRows))
+			}
+			for i := range seqRows {
+				if seqRows[i] != parRows[i] {
+					t.Fatalf("row %d differs:\n  sequential: %s\n  parallel:   %s",
+						i, seqRows[i], parRows[i])
+				}
+			}
+		})
+	}
+}
+
+// TestFig2ParallelMatchesSequential covers the non-Table figure driver.
+func TestFig2ParallelMatchesSequential(t *testing.T) {
+	np1, p1, err := Fig2Tables(5, Scale{JobFactor: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	np2, p2, err := Fig2Tables(5, Scale{JobFactor: 20, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(np1) != len(np2) || len(p1) != len(p2) {
+		t.Fatalf("series lengths differ")
+	}
+	for i := range np1 {
+		if np1[i] != np2[i] || p1[i] != p2[i] {
+			t.Fatalf("point %d differs between runners", i)
+		}
+	}
+}
+
+func TestRunCellsOrderAndErrors(t *testing.T) {
+	// Results arrive in cell-index order however many workers run.
+	for _, workers := range []int{0, 1, 3, 64} {
+		got, err := runCells(Scale{Workers: workers}, 20, func(i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: cell %d = %d", workers, i, v)
+			}
+		}
+	}
+	// The lowest-index error wins, matching the sequential loop.
+	boom7 := errors.New("boom 7")
+	for _, workers := range []int{1, 4} {
+		_, err := runCells(Scale{Workers: workers}, 12, func(i int) (int, error) {
+			if i >= 7 {
+				return 0, fmt.Errorf("boom %d", i)
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != boom7.Error() {
+			t.Fatalf("workers=%d: err = %v, want %v", workers, err, boom7)
+		}
+	}
+}

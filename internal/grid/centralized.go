@@ -55,6 +55,9 @@ type Centralized struct {
 	inFlight int
 	stats    CentralizedStats
 	members  []Member
+	// redistributePending coalesces the zero-delay redistribution wakeups
+	// that kills and completions trigger in bursts.
+	redistributePending bool
 }
 
 // NewCentralized wires the grid: one simulator per member plus the
@@ -63,7 +66,11 @@ func NewCentralized(members []Member, bags []*workload.Bag, kill cluster.KillPol
 	if len(members) == 0 {
 		return nil, fmt.Errorf("grid: no members")
 	}
-	sim := des.New()
+	nLocal := 0
+	for _, mb := range members {
+		nLocal += len(mb.Local)
+	}
+	sim := des.NewWithCapacity(nLocal + 64)
 	c := &Centralized{DES: sim, members: members}
 	for i, mb := range members {
 		if err := mb.Cluster.Validate(); err != nil {
@@ -127,7 +134,20 @@ func (c *Centralized) requeue(t cluster.BETask) {
 	c.stats.Resubmissions++
 	c.stock = append(c.stock, t)
 	// Another cluster may have room right now.
-	_ = c.DES.After(0, c.redistribute)
+	c.scheduleRedistribute()
+}
+
+// scheduleRedistribute queues one zero-delay redistribution pass, however
+// many kills/completions request it before the pass runs.
+func (c *Centralized) scheduleRedistribute() {
+	if c.redistributePending {
+		return
+	}
+	c.redistributePending = true
+	_ = c.DES.After(0, func() {
+		c.redistributePending = false
+		c.redistribute()
+	})
 }
 
 func (c *Centralized) taskDone(t cluster.BETask) {
@@ -137,7 +157,7 @@ func (c *Centralized) taskDone(t cluster.BETask) {
 	if now := c.DES.Now(); now > c.stats.GridMakespan {
 		c.stats.GridMakespan = now
 	}
-	_ = c.DES.After(0, c.redistribute)
+	c.scheduleRedistribute()
 }
 
 // redistribute offers stock to clusters with free processors, topping up

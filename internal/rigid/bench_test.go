@@ -45,6 +45,50 @@ func BenchmarkFFDH1000(b *testing.B) {
 	}
 }
 
+// BenchmarkProfileReserveRelease cycles rolling reservation windows —
+// the coalescing hot path: without segment merging the profile would
+// grow with every operation; with it the segment count stays bounded by
+// the live reservations.
+func BenchmarkProfileReserveRelease(b *testing.B) {
+	p := NewProfile(128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base := float64(i % 512)
+		if err := p.Reserve(base, 16, 32); err != nil {
+			b.Fatal(err)
+		}
+		if err := p.Reserve(base+4, 8, 48); err != nil {
+			b.Fatal(err)
+		}
+		if err := p.Release(base+4, 8, 48); err != nil {
+			b.Fatal(err)
+		}
+		if err := p.Release(base, 16, 32); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if p.Segments() != 1 {
+		b.Fatalf("profile leaked %d segments", p.Segments())
+	}
+}
+
+// BenchmarkProfileClone measures the pooled what-if copy (one per online
+// scheduling decision).
+func BenchmarkProfileClone(b *testing.B) {
+	p := NewProfile(128)
+	rng := stats.NewRNG(5)
+	for i := 0; i < 60; i++ {
+		_ = p.Reserve(rng.Range(0, 500), rng.Range(1, 30), rng.IntRange(1, 48))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := p.Clone()
+		c.Recycle()
+	}
+}
+
 func BenchmarkProfileEarliestSlot(b *testing.B) {
 	p := NewProfile(128)
 	rng := stats.NewRNG(3)

@@ -1,0 +1,342 @@
+package rigid
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+// refReservation is one live reservation of the naive reference model.
+type refReservation struct {
+	start, end float64
+	procs      int
+}
+
+// refAvail recomputes availability at t from first principles.
+func refAvail(m int, live []refReservation, t float64) int {
+	a := m
+	for _, r := range live {
+		if r.start <= t && t < r.end {
+			a -= r.procs
+		}
+	}
+	return a
+}
+
+// checkCanonical asserts no two adjacent segments share an availability
+// (the coalescing invariant that bounds profile growth).
+func checkCanonical(t *testing.T, p *Profile) {
+	t.Helper()
+	bp := p.Breakpoints()
+	for i := 1; i < len(bp); i++ {
+		if p.AvailableAt(bp[i]) == p.AvailableAt(bp[i-1]) {
+			t.Fatalf("profile not coalesced: segments %d and %d both have %d free (breakpoints %v)",
+				i-1, i, p.AvailableAt(bp[i]), bp)
+		}
+	}
+}
+
+// TestProfileCoalescesAdjacentReservations: butt-jointed reservations of
+// the same width must not leave internal breakpoints behind.
+func TestProfileCoalescesAdjacentReservations(t *testing.T) {
+	p := NewProfile(8)
+	for i := 0; i < 10; i++ {
+		if err := p.Reserve(float64(i)*5, 5, 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One [0,50) block of 3 procs: exactly two breakpoints (0 and 50).
+	if got := p.Segments(); got != 2 {
+		t.Fatalf("segments = %d after adjacent reservations, want 2 (breakpoints %v)",
+			got, p.Breakpoints())
+	}
+	checkCanonical(t, p)
+	// Releasing it all restores the single all-free segment.
+	for i := 0; i < 10; i++ {
+		if err := p.Release(float64(i)*5, 5, 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := p.Segments(); got != 1 {
+		t.Fatalf("segments = %d after full release, want 1", got)
+	}
+	if got := p.AvailableAt(25); got != 8 {
+		t.Fatalf("AvailableAt(25) = %d after full release", got)
+	}
+}
+
+// TestProfileReserveReleaseProperty: random interleaved reservations and
+// releases must always agree with the from-first-principles reference
+// and keep the representation canonical.
+func TestProfileReserveReleaseProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		m := rng.IntRange(2, 32)
+		p := NewProfile(m)
+		var live []refReservation
+		for op := 0; op < 80; op++ {
+			if len(live) > 0 && rng.Range(0, 1) < 0.4 {
+				// Release a random live reservation in full.
+				k := rng.IntRange(0, len(live)-1)
+				r := live[k]
+				if err := p.Release(r.start, r.end-r.start, r.procs); err != nil {
+					t.Logf("release of live reservation failed: %v", err)
+					return false
+				}
+				live = append(live[:k], live[k+1:]...)
+			} else {
+				start := rng.Range(0, 100)
+				dur := rng.Range(0.5, 20)
+				procs := rng.IntRange(1, m)
+				err := p.Reserve(start, dur, procs)
+				fits := true
+				for _, bp := range append(p.Breakpoints(), start) {
+					if bp >= start && bp < start+dur && refAvail(m, live, bp) < procs {
+						fits = false
+						break
+					}
+				}
+				if (err == nil) != fits {
+					t.Logf("seed %d: Reserve(%v,%v,%d) err=%v but reference fits=%v",
+						seed, start, dur, procs, err, fits)
+					return false
+				}
+				if err == nil {
+					live = append(live, refReservation{start, start + dur, procs})
+				}
+			}
+			// Cross-check availability at every breakpoint and at
+			// midpoints between them.
+			bp := p.Breakpoints()
+			for i, t0 := range bp {
+				if p.AvailableAt(t0) != refAvail(m, live, t0) {
+					t.Logf("seed %d: avail(%v) = %d, reference %d",
+						seed, t0, p.AvailableAt(t0), refAvail(m, live, t0))
+					return false
+				}
+				if i+1 < len(bp) {
+					mid := (t0 + bp[i+1]) / 2
+					if p.AvailableAt(mid) != refAvail(m, live, mid) {
+						return false
+					}
+				}
+			}
+			// Canonical representation, bounded growth.
+			for i := 1; i < len(bp); i++ {
+				if p.AvailableAt(bp[i]) == p.AvailableAt(bp[i-1]) {
+					t.Logf("seed %d: not coalesced at %v", seed, bp[i])
+					return false
+				}
+			}
+			if p.Segments() > 2*len(live)+1 {
+				t.Logf("seed %d: %d segments for %d live reservations", seed, p.Segments(), len(live))
+				return false
+			}
+		}
+		// Draining every reservation must restore the all-free profile.
+		for _, r := range live {
+			if err := p.Release(r.start, r.end-r.start, r.procs); err != nil {
+				return false
+			}
+		}
+		return p.Segments() == 1 && p.AvailableAt(0) == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestProfileRollingWindowPattern exercises the incremental-simulation
+// usage: reservations always start at the advancing clock, history is
+// trimmed away, and the profile must stay equivalent to one rebuilt from
+// the live reservations (sampled at segment midpoints — reservation ends
+// rebuilt as now + (end-now) can sit one float ULP off the exact ends
+// the incremental profile stores).
+func TestProfileRollingWindowPattern(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		m := rng.IntRange(2, 16)
+		p := NewProfile(m)
+		now := 0.0
+		var live []refReservation
+		for op := 0; op < 120; op++ {
+			now += rng.Exp(1)
+			var keep []refReservation
+			used := 0
+			for _, r := range live {
+				if r.end > now {
+					keep = append(keep, r)
+					used += r.procs
+				}
+			}
+			live = keep
+			p.TrimBefore(now)
+			if used < m && rng.Bool(0.7) {
+				procs := rng.IntRange(1, m-used)
+				dur := rng.Range(0.1, 10)
+				if err := p.Reserve(now, dur, procs); err != nil {
+					t.Logf("seed %d op %d: reserve at now failed: %v", seed, op, err)
+					return false
+				}
+				live = append(live, refReservation{now, now + dur, procs})
+			}
+			if p.Start() != now {
+				return false
+			}
+			if p.Segments() > len(live)+1 {
+				t.Logf("seed %d: %d segments for %d live reservations", seed, p.Segments(), len(live))
+				return false
+			}
+			bp := p.Breakpoints()
+			for i, t0 := range bp {
+				sample := t0 + 0.5
+				if i+1 < len(bp) {
+					sample = (t0 + bp[i+1]) / 2
+				}
+				if p.AvailableAt(sample) != refAvail(m, live, sample) {
+					t.Logf("seed %d op %d: avail(%v) = %d, reference %d",
+						seed, op, sample, p.AvailableAt(sample), refAvail(m, live, sample))
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEarliestSlotMatchesBruteForce: the hinted sweep must return the
+// same slot as probing every breakpoint in order.
+func TestEarliestSlotMatchesBruteForce(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		m := rng.IntRange(2, 24)
+		p := NewProfile(m)
+		for i := 0; i < 30; i++ {
+			_ = p.Reserve(rng.Range(0, 200), rng.Range(1, 30), rng.IntRange(1, m))
+		}
+		for q := 0; q < 20; q++ {
+			ready := rng.Range(0, 150)
+			dur := rng.Range(0.5, 40)
+			procs := rng.IntRange(1, m)
+			got, err := p.EarliestSlot(ready, dur, procs)
+			if err != nil {
+				return false // finite reservations: never saturated forever
+			}
+			// Brute force: candidates are ready plus later breakpoints.
+			cands := []float64{ready}
+			for _, bp := range p.Breakpoints() {
+				if bp > ready {
+					cands = append(cands, bp)
+				}
+			}
+			want := math.Inf(1)
+			for _, c := range cands {
+				if p.fits(c, dur, procs) {
+					want = c
+					break
+				}
+			}
+			if got != want {
+				t.Logf("seed %d: EarliestSlot(%v,%v,%d) = %v, brute force %v",
+					seed, ready, dur, procs, got, want)
+				return false
+			}
+			if !p.fits(got, dur, procs) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEarliestAvail(t *testing.T) {
+	p := NewProfile(8)
+	if err := p.Reserve(0, 10, 6); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Reserve(0, 20, 2); err != nil {
+		t.Fatal(err)
+	}
+	// [0,10): 0 free; [10,20): 6 free; [20,∞): 8 free.
+	if at, extra := p.EarliestAvail(0, 4); at != 10 || extra != 2 {
+		t.Fatalf("EarliestAvail(0,4) = %v,%d; want 10,2", at, extra)
+	}
+	if at, extra := p.EarliestAvail(0, 8); at != 20 || extra != 0 {
+		t.Fatalf("EarliestAvail(0,8) = %v,%d; want 20,0", at, extra)
+	}
+	// from inside a satisfying segment clamps to from.
+	if at, extra := p.EarliestAvail(12, 4); at != 12 || extra != 2 {
+		t.Fatalf("EarliestAvail(12,4) = %v,%d; want 12,2", at, extra)
+	}
+	// from below the profile start (e.g. after TrimBefore) clamps up
+	// instead of indexing before the first segment.
+	p.TrimBefore(5)
+	if at, extra := p.EarliestAvail(0, 4); at != 10 || extra != 2 {
+		t.Fatalf("EarliestAvail(0,4) after trim = %v,%d; want 10,2", at, extra)
+	}
+}
+
+func TestTrimBefore(t *testing.T) {
+	p := NewProfile(4)
+	if err := p.Reserve(0, 10, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Reserve(5, 10, 1); err != nil {
+		t.Fatal(err)
+	}
+	p.TrimBefore(7)
+	if got := p.Start(); got != 7 {
+		t.Fatalf("Start() = %v after TrimBefore(7)", got)
+	}
+	if got := p.AvailableAt(7); got != 1 {
+		t.Fatalf("AvailableAt(7) = %d, want 1", got)
+	}
+	if got := p.AvailableAt(12); got != 3 {
+		t.Fatalf("AvailableAt(12) = %d, want 3", got)
+	}
+	if got := p.AvailableAt(20); got != 4 {
+		t.Fatalf("AvailableAt(20) = %d, want 4", got)
+	}
+	// Queries keep working on the trimmed timeline: 3 procs free from 10,
+	// the full machine only from 15.
+	if s, err := p.EarliestSlot(7, 2, 3); err != nil || s != 10 {
+		t.Fatalf("EarliestSlot(7,2,3) after trim = %v, %v; want 10", s, err)
+	}
+	if s, err := p.EarliestSlot(7, 2, 4); err != nil || s != 15 {
+		t.Fatalf("EarliestSlot(7,2,4) after trim = %v, %v; want 15", s, err)
+	}
+	checkCanonical(t, p)
+}
+
+func TestCloneRecycleIndependence(t *testing.T) {
+	p := NewProfile(4)
+	if err := p.Reserve(2, 6, 3); err != nil {
+		t.Fatal(err)
+	}
+	c := p.Clone()
+	if err := c.Reserve(2, 6, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.AvailableAt(4); got != 1 {
+		t.Fatalf("clone mutation leaked into original: %d", got)
+	}
+	if got := c.AvailableAt(4); got != 0 {
+		t.Fatalf("clone AvailableAt(4) = %d", got)
+	}
+	c.Recycle()
+	// A recycled clone's arrays may be reused by the next Clone; the
+	// original must stay untouched.
+	c2 := p.Clone()
+	defer c2.Recycle()
+	if got := c2.AvailableAt(4); got != 1 {
+		t.Fatalf("fresh clone disagrees with original: %d", got)
+	}
+}

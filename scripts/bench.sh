@@ -1,0 +1,36 @@
+#!/usr/bin/env sh
+# bench.sh — run the table/figure benchmark suite and emit a JSON
+# snapshot (ns/op, B/op, allocs/op per benchmark) for the perf
+# trajectory tracked in BENCH_<pr>.json.
+#
+# Usage:
+#   scripts/bench.sh [out.json]
+#
+# Environment:
+#   BENCHTIME   go test -benchtime value (default 1s)
+#   BENCH       benchmark regexp (default the table/figure suite)
+#
+# The committed BENCH_<pr>.json files wrap two of these snapshots as
+# {"before": ..., "after": ...}; compare any two snapshots with your
+# favourite JSON tooling or benchstat on the raw `go test -bench` output.
+set -e
+cd "$(dirname "$0")/.."
+OUT="${1:-bench_snapshot.json}"
+PATTERN="${BENCH:-BenchmarkTable|BenchmarkFig2}"
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "${BENCHTIME:-1s}" . | tee "$TMP"
+
+awk -v benchtime="${BENCHTIME:-1s}" '
+BEGIN { print "{"; printf("  \"benchtime\": \"%s\",\n  \"results\": [", benchtime); first = 1 }
+/^Benchmark/ && NF >= 7 {
+  name = $1; sub(/-[0-9]+$/, "", name)
+  if (!first) printf(",")
+  first = 0
+  printf("\n    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+         name, $3, $5, $7)
+}
+END { print "\n  ]\n}" }' "$TMP" > "$OUT"
+
+echo "wrote $OUT"
