@@ -4,9 +4,11 @@
 // Usage:
 //
 //	experiments [-seed N] [-quick] [-csv] [-parallel] [-workers N] <id>|all
+//	experiments -list-policies
 //
 // Experiment ids: fig2, mrt, batch, smart, bicriteria, dlt, cigri,
-// decentralized, mixed, reservations, malleable, treedlt, ablations.
+// decentralized, mixed, reservations, malleable, treedlt, policies,
+// ablations.
 //
 // -parallel fans independent experiment cells out over the worker-pool
 // replication runner (bounded by GOMAXPROCS); tables are bit-identical
@@ -21,6 +23,7 @@ import (
 
 	"repro/internal/bicriteria"
 	"repro/internal/experiments"
+	"repro/internal/registry"
 	"repro/internal/trace"
 )
 
@@ -30,10 +33,18 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	parallel := flag.Bool("parallel", false, "run independent experiment cells on a worker pool")
 	workers := flag.Int("workers", 0, "worker-pool size for -parallel (0 = GOMAXPROCS)")
+	list := flag.Bool("list-policies", false, "print the policy catalog with capability flags and exit")
 	flag.Parse()
+	if *list {
+		if err := registry.WriteCatalog(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: experiments [-seed N] [-quick] [-csv] [-parallel] [-workers N] <id>|all")
-		fmt.Fprintln(os.Stderr, "ids: fig2 mrt batch smart bicriteria dlt cigri decentralized mixed reservations malleable treedlt criteria heterogrid ablations")
+		fmt.Fprintln(os.Stderr, "ids: fig2 mrt batch smart bicriteria dlt cigri decentralized mixed reservations malleable treedlt criteria heterogrid policies ablations")
 		os.Exit(2)
 	}
 	sc := experiments.Scale{}
@@ -72,6 +83,7 @@ var tables = []struct {
 	{"treedlt", experiments.TreeDLTTable},
 	{"criteria", experiments.CriteriaMatrixTable},
 	{"heterogrid", experiments.HeteroGridTable},
+	{"policies", experiments.OnlinePolicyTable},
 }
 
 var ablations = []struct {

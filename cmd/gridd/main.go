@@ -1,0 +1,94 @@
+// Command gridd is the online scheduler daemon: it runs one simulated
+// cluster as a long-lived service, accepts job submissions over an HTTP
+// JSON API, and advances the deterministic virtual clock against wall
+// time with a configurable dilation factor.
+//
+// Usage examples:
+//
+//	gridd -m 128 -policy easy -dilation 60        # 1 wall second = 60 sim seconds
+//	gridd -policy conservative -dilation 0        # free-running (as fast as possible)
+//	gridd -list-policies
+//
+// Endpoints: POST /jobs, GET /jobs/{id}, GET /queue, GET /stats,
+// GET /metrics (Prometheus text), GET /policies.
+//
+// On SIGTERM/SIGINT the daemon drains gracefully: it stops accepting
+// submissions, fast-forwards every accepted job to completion, prints
+// the final criteria report, and exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/registry"
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8042", "HTTP listen address")
+		m        = flag.Int("m", 64, "cluster width (processors)")
+		speed    = flag.Float64("speed", 1, "cluster speed factor")
+		policy   = flag.String("policy", "easy", "online policy name (see -list-policies)")
+		kill     = flag.String("kill", "newest", "best-effort eviction policy: newest|largest")
+		dilation = flag.Float64("dilation", 60, "simulated seconds per wall second (0 = free-running)")
+		drainT   = flag.Duration("drain-timeout", 30*time.Second, "graceful drain deadline on shutdown")
+		list     = flag.Bool("list-policies", false, "print the policy catalog and exit")
+	)
+	flag.Parse()
+	if *list {
+		_ = registry.WriteCatalog(os.Stdout)
+		return
+	}
+	kp := cluster.KillNewest
+	switch *kill {
+	case "newest":
+	case "largest":
+		kp = cluster.KillLargestRemaining
+	default:
+		log.Fatalf("gridd: unknown kill policy %q (newest|largest)", *kill)
+	}
+	eng, err := service.New(service.Config{
+		M: *m, Speed: *speed, Policy: *policy, Kill: kp, Dilation: *dilation,
+	})
+	if err != nil {
+		log.Fatalf("gridd: %v", err)
+	}
+	eng.Start()
+	srv := &http.Server{Addr: *addr, Handler: eng.Handler()}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("gridd: serving on %s (m=%d policy=%s dilation=%gx)", *addr, *m, *policy, *dilation)
+
+	select {
+	case sig := <-sigc:
+		log.Printf("gridd: %v: draining", sig)
+	case err := <-errc:
+		eng.Stop()
+		log.Fatalf("gridd: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainT)
+	defer cancel()
+	st, err := eng.Drain(ctx)
+	if err != nil {
+		log.Printf("gridd: drain: %v", err)
+	} else {
+		fmt.Printf("gridd: drained: submitted=%d completed=%d %s\n",
+			st.Submitted, st.Completed, st.Report)
+	}
+	_ = srv.Shutdown(ctx)
+	eng.Stop()
+}

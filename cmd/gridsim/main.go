@@ -1,13 +1,15 @@
 // Command gridsim runs a single scheduling scenario from flags and
 // prints the §3 criteria report, optionally with an ASCII Gantt chart —
-// the quick-look tool for exploring policies.
+// the quick-look tool for exploring policies. Policies are resolved
+// through the internal/registry catalog (see -list-policies).
 //
 // Usage examples:
 //
 //	gridsim -policy mrt -n 100 -m 64
 //	gridsim -policy bicriteria -n 200 -m 100 -weighted
 //	gridsim -policy easy -n 50 -m 32 -rate 0.1 -gantt
-//	gridsim -policy smart -n 80 -m 16 -rigid -weighted
+//	gridsim -policy conservative -online -n 80 -m 16
+//	gridsim -list-policies
 package main
 
 import (
@@ -15,34 +17,40 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/batch"
-	"repro/internal/bicriteria"
 	"repro/internal/cluster"
 	"repro/internal/des"
 	"repro/internal/lowerbound"
 	"repro/internal/metrics"
-	"repro/internal/moldable"
-	"repro/internal/rigid"
+	"repro/internal/registry"
 	"repro/internal/sched"
-	"repro/internal/smart"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
 func main() {
 	var (
-		policy   = flag.String("policy", "mrt", "mrt|batch|bicriteria|smart|fcfs|easy|conservative|ffdh")
+		policy   = flag.String("policy", "mrt", "policy name (see -list-policies)")
 		n        = flag.Int("n", 100, "number of jobs")
 		m        = flag.Int("m", 64, "processors")
 		seed     = flag.Uint64("seed", 42, "workload seed")
 		rate     = flag.Float64("rate", 0, "Poisson arrival rate (0 = offline)")
 		weighted = flag.Bool("weighted", false, "draw job weights")
 		rigidF   = flag.Float64("rigidfrac", 0, "fraction of rigid jobs (1 = all rigid)")
+		online   = flag.Bool("online", false, "force the event-driven online mode for dual-capability policies")
 		gantt    = flag.Bool("gantt", false, "print an ASCII Gantt chart")
 		csvOut   = flag.Bool("csv", false, "dump the schedule as CSV")
 		swf      = flag.String("swf", "", "read the workload from an SWF-style trace file instead of generating one")
+		list     = flag.Bool("list-policies", false, "print the policy catalog with capability flags and exit")
 	)
 	flag.Parse()
+
+	if *list {
+		if err := registry.WriteCatalog(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "gridsim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var jobs []*workload.Job
 	if *swf != "" {
@@ -64,7 +72,7 @@ func main() {
 			Weighted: *weighted, RigidFraction: *rigidF,
 		})
 	}
-	s, err := runPolicy(*policy, jobs, *m)
+	s, err := runPolicy(*policy, jobs, *m, *online)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gridsim: %v\n", err)
 		os.Exit(1)
@@ -92,58 +100,33 @@ func main() {
 	}
 }
 
-func runPolicy(name string, jobs []*workload.Job, m int) (*sched.Schedule, error) {
-	switch name {
-	case "mrt":
-		res, err := moldable.MRT(jobs, m, 0.01)
-		if err != nil {
-			return nil, err
-		}
-		return res.Schedule, nil
-	case "batch":
-		res, err := batch.OnlineMoldable(jobs, m, 0.01)
-		if err != nil {
-			return nil, err
-		}
-		return res.Schedule, nil
-	case "bicriteria":
-		res, err := bicriteria.Schedule(jobs, m, bicriteria.Options{})
-		if err != nil {
-			return nil, err
-		}
-		return res.Schedule, nil
-	case "smart":
-		s, _, err := smart.Schedule(jobs, m, smart.FirstFit)
-		return s, err
-	case "fcfs", "easy":
-		var pol cluster.Policy = cluster.FCFSPolicy{}
-		if name == "easy" {
-			pol = cluster.EASYPolicy{}
-		}
-		sim, err := cluster.New(des.New(), m, 1, pol, cluster.KillNewest)
-		if err != nil {
-			return nil, err
-		}
-		for _, j := range jobs {
-			if err := sim.Submit(j); err != nil {
-				return nil, err
-			}
-		}
-		if err := sim.Run(); err != nil {
-			return nil, err
-		}
-		return completionsToSchedule(sim.Completions(), m), nil
-	case "conservative":
-		return rigid.Conservative(jobs, m)
-	case "ffdh":
-		shelves, err := rigid.FFDH(jobs, m)
-		if err != nil {
-			return nil, err
-		}
-		return rigid.ShelvesToSchedule(shelves, m), nil
-	default:
-		return nil, fmt.Errorf("unknown policy %q", name)
+// runPolicy resolves the policy in the registry and runs it: offline
+// policies build the schedule directly; online policies (or dual-mode
+// ones with -online) run through the event-driven cluster simulator.
+func runPolicy(name string, jobs []*workload.Job, m int, online bool) (*sched.Schedule, error) {
+	entry, err := registry.Get(name)
+	if err != nil {
+		return nil, err
 	}
+	if online && !entry.Caps.Online {
+		return nil, fmt.Errorf("policy %q is offline-only; -online does not apply", name)
+	}
+	if entry.Caps.Offline && !(online && entry.Caps.Online) {
+		return entry.Offline(jobs, m)
+	}
+	sim, err := cluster.New(des.New(), m, 1, entry.NewPolicy(), cluster.KillNewest)
+	if err != nil {
+		return nil, err
+	}
+	for _, j := range jobs {
+		if err := sim.Submit(j); err != nil {
+			return nil, err
+		}
+	}
+	if err := sim.Run(); err != nil {
+		return nil, err
+	}
+	return completionsToSchedule(sim.Completions(), m), nil
 }
 
 func completionsToSchedule(cs []metrics.Completion, m int) *sched.Schedule {

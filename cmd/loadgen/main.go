@@ -1,0 +1,254 @@
+// Command loadgen drives a running gridd daemon: it submits a stream of
+// jobs — synthetic (workload.GenConfig shapes) or replayed from an SWF
+// trace — at a target submission rate with concurrent workers, then
+// prints a latency/throughput summary and optionally waits until the
+// daemon reports every accepted job complete.
+//
+// Usage examples:
+//
+//	loadgen -addr http://localhost:8042 -n 200 -rps 100 -workers 4 -wait
+//	loadgen -swf trace.swf -use-release -rps 0
+//	loadgen -n 5000 -workers 8 -wait          # max-rate throughput probe
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "http://localhost:8042", "gridd base URL")
+		n       = flag.Int("n", 200, "number of jobs to submit (synthetic mode)")
+		m       = flag.Int("m", 64, "platform width shaping the synthetic jobs")
+		rps     = flag.Float64("rps", 0, "target submissions per second (0 = as fast as possible)")
+		workers = flag.Int("workers", 4, "concurrent submission workers")
+		seed    = flag.Uint64("seed", 42, "synthetic workload seed")
+		swf     = flag.String("swf", "", "replay this SWF trace instead of generating jobs")
+		useRel  = flag.Bool("use-release", false, "forward workload release dates as virtual arrival times")
+		wait    = flag.Bool("wait", false, "poll /stats until every accepted job completed")
+		timeout = flag.Duration("timeout", 2*time.Minute, "overall deadline (submission + wait)")
+	)
+	flag.Parse()
+
+	specs, err := buildSpecs(*swf, *n, *m, *seed, *useRel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		os.Exit(1)
+	}
+	base := strings.TrimRight(*addr, "/")
+	client := &http.Client{Timeout: 10 * time.Second}
+	deadline := time.Now().Add(*timeout)
+
+	// Snapshot the daemon's counters first: a long-lived gridd may carry
+	// completions from earlier runs, and -wait must account only for the
+	// jobs this run submits.
+	baseline := 0
+	if *wait {
+		st, err := fetchStats(client, base)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		baseline = st.Completed
+	}
+
+	res := fire(client, base, specs, *rps, *workers)
+	res.print(os.Stdout)
+
+	exit := 0
+	if res.failed > 0 {
+		exit = 1
+	}
+	if *wait {
+		lost, err := waitComplete(client, base, baseline, res.accepted, deadline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: wait: %v\n", err)
+			exit = 1
+		} else if lost > 0 {
+			fmt.Printf("LOST %d of %d accepted jobs\n", lost, res.accepted)
+			exit = 1
+		} else {
+			fmt.Printf("all %d accepted jobs completed\n", res.accepted)
+		}
+	}
+	os.Exit(exit)
+}
+
+// buildSpecs materializes the submission stream.
+func buildSpecs(swf string, n, m int, seed uint64, useRel bool) ([]service.JobSpec, error) {
+	var specs []service.JobSpec
+	if swf != "" {
+		f, err := os.Open(swf)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		recs, err := trace.ReadSWFRecords(f)
+		if err != nil {
+			return nil, err
+		}
+		for _, rec := range recs {
+			sp := service.JobSpec{
+				Name: fmt.Sprintf("swf-%d", rec.ID), Class: "swf",
+				SeqTime:  rec.Runtime * float64(rec.Procs),
+				MinProcs: rec.Procs, Weight: rec.Weight,
+			}
+			if useRel {
+				sp.Release = rec.Submit
+			}
+			specs = append(specs, sp)
+		}
+		return specs, nil
+	}
+	jobs := workload.Parallel(workload.GenConfig{N: n, M: m, Seed: seed, ArrivalRate: 0.5})
+	for _, j := range jobs {
+		sp := service.JobSpec{
+			Name: j.Name, Class: j.Class, SeqTime: j.SeqTime,
+			MinProcs: j.MinProcs, MaxProcs: j.MaxProcs, Weight: j.Weight,
+		}
+		if useRel {
+			sp.Release = j.Release
+		}
+		specs = append(specs, sp)
+	}
+	return specs, nil
+}
+
+type result struct {
+	accepted, failed int
+	elapsed          time.Duration
+	latencies        []time.Duration
+	firstErr         string
+}
+
+// fire submits the specs with the worker pool, pacing the stream at rps
+// submissions per second (absolute schedule, so pacing does not drift).
+func fire(client *http.Client, base string, specs []service.JobSpec, rps float64, workers int) *result {
+	if workers < 1 {
+		workers = 1
+	}
+	feed := make(chan service.JobSpec, workers)
+	var mu sync.Mutex
+	res := &result{}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lats []time.Duration
+			acc, fail := 0, 0
+			firstErr := ""
+			for sp := range feed {
+				body, _ := json.Marshal(sp)
+				t0 := time.Now()
+				resp, err := client.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+				lat := time.Since(t0)
+				if err != nil {
+					fail++
+					if firstErr == "" {
+						firstErr = err.Error()
+					}
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusAccepted {
+					fail++
+					if firstErr == "" {
+						firstErr = fmt.Sprintf("status %d", resp.StatusCode)
+					}
+					continue
+				}
+				acc++
+				lats = append(lats, lat)
+			}
+			mu.Lock()
+			res.accepted += acc
+			res.failed += fail
+			res.latencies = append(res.latencies, lats...)
+			if res.firstErr == "" {
+				res.firstErr = firstErr
+			}
+			mu.Unlock()
+		}()
+	}
+	for i, sp := range specs {
+		if rps > 0 {
+			due := start.Add(time.Duration(float64(i) / rps * float64(time.Second)))
+			if d := time.Until(due); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		feed <- sp
+	}
+	close(feed)
+	wg.Wait()
+	res.elapsed = time.Since(start)
+	return res
+}
+
+func (r *result) print(w io.Writer) {
+	fmt.Fprintf(w, "submitted %d (accepted %d, failed %d) in %v  →  %.0f jobs/s\n",
+		r.accepted+r.failed, r.accepted, r.failed, r.elapsed.Round(time.Millisecond),
+		float64(r.accepted)/r.elapsed.Seconds())
+	if r.firstErr != "" {
+		fmt.Fprintf(w, "first error: %s\n", r.firstErr)
+	}
+	if len(r.latencies) == 0 {
+		return
+	}
+	sort.Slice(r.latencies, func(i, k int) bool { return r.latencies[i] < r.latencies[k] })
+	pct := func(p float64) time.Duration {
+		i := int(p * float64(len(r.latencies)-1))
+		return r.latencies[i]
+	}
+	fmt.Fprintf(w, "latency p50=%v p90=%v p99=%v max=%v\n",
+		pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
+		pct(0.99).Round(time.Microsecond), r.latencies[len(r.latencies)-1].Round(time.Microsecond))
+}
+
+// fetchStats reads the daemon's /stats endpoint.
+func fetchStats(client *http.Client, base string) (service.Stats, error) {
+	var st service.Stats
+	resp, err := client.Get(base + "/stats")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+// waitComplete polls /stats until the daemon has completed `accepted`
+// jobs beyond the pre-run baseline or the deadline passes, returning the
+// number of this run's jobs still unfinished.
+func waitComplete(client *http.Client, base string, baseline, accepted int, deadline time.Time) (lost int, err error) {
+	for {
+		st, err := fetchStats(client, base)
+		if err != nil {
+			return accepted, err
+		}
+		done := st.Completed - baseline
+		if done >= accepted {
+			return 0, nil
+		}
+		if time.Now().After(deadline) {
+			return accepted - done, nil
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

@@ -7,6 +7,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -15,6 +16,12 @@ import (
 	"repro/internal/rigid"
 	"repro/internal/workload"
 )
+
+// ErrDrained rejects submissions into a simulation whose event stream has
+// already drained: the DES clock cannot accept arrivals once Run has
+// returned (previously such submissions were silently queued into events
+// that would never fire, or double-ran the heap). Check with errors.Is.
+var ErrDrained = errors.New("cluster: simulation drained; no further submissions accepted")
 
 // Decision is one start decision of a policy: run Job on Procs
 // processors now.
@@ -160,6 +167,7 @@ type Sim struct {
 	beSeq     uint64
 	beStats   BEStats
 	submitted int
+	drained   bool
 
 	// OnBEKilled, when set, receives killed tasks (the grid server
 	// resubmits them). OnBEDone receives completed tasks.
@@ -168,6 +176,12 @@ type Sim struct {
 	// OnIdle, when set, is invoked after every reschedule with the
 	// number of free processors (the grid server refills holes).
 	OnIdle func(free int)
+	// OnLocalStart, when set, observes every local-job start (the gridd
+	// service tracks job lifecycles through it).
+	OnLocalStart func(j *workload.Job, procs int, now float64)
+	// OnLocalDone, when set, observes every local-job completion in
+	// event order.
+	OnLocalDone func(c metrics.Completion)
 }
 
 type localRunning struct {
@@ -201,6 +215,9 @@ func New(sim *des.Simulator, m int, speed float64, policy Policy, kill KillPolic
 
 // Submit registers a local job: it arrives at its release date.
 func (s *Sim) Submit(j *workload.Job) error {
+	if s.drained {
+		return ErrDrained
+	}
 	if j.MinProcs > s.M {
 		return fmt.Errorf("cluster: job %d needs %d > %d procs", j.ID, j.MinProcs, s.M)
 	}
@@ -291,6 +308,9 @@ func (s *Sim) start(d Decision, now float64) {
 	run := &localRunning{job: d.Job, procs: d.Procs, start: now, end: now + dur}
 	s.running = append(s.running, run)
 	s.localProcs += d.Procs
+	if s.OnLocalStart != nil {
+		s.OnLocalStart(run.job, run.procs, now)
+	}
 	_ = s.DES.At(run.end, func() {
 		s.finish(run)
 	})
@@ -304,9 +324,13 @@ func (s *Sim) finish(run *localRunning) {
 		}
 	}
 	s.localProcs -= run.procs
-	s.completions = append(s.completions, metrics.Completion{
+	c := metrics.Completion{
 		Job: run.job, Start: run.start, End: run.end, Procs: run.procs,
-	})
+	}
+	s.completions = append(s.completions, c)
+	if s.OnLocalDone != nil {
+		s.OnLocalDone(c)
+	}
 	s.reschedule()
 }
 
@@ -404,9 +428,12 @@ func (s *Sim) finishBE(b *beRunning) {
 }
 
 // Run drives the simulation to completion (all submitted local jobs done
-// and the event queue drained).
+// and the event queue drained). Afterwards the simulation is drained:
+// further Submit/InjectNow calls return ErrDrained.
 func (s *Sim) Run() error {
-	if err := s.DES.Run(); err != nil {
+	err := s.DES.Run()
+	s.drained = true
+	if err != nil {
 		return err
 	}
 	if len(s.completions) != s.submitted {
@@ -415,6 +442,14 @@ func (s *Sim) Run() error {
 	}
 	return nil
 }
+
+// Drain marks the simulation as no longer accepting submissions without
+// running it (the gridd service drives the DES clock itself and calls
+// this on graceful shutdown before fast-forwarding the remaining events).
+func (s *Sim) Drain() { s.drained = true }
+
+// Drained reports whether the simulation still accepts submissions.
+func (s *Sim) Drained() bool { return s.drained }
 
 // Completions returns the local-job completion records.
 func (s *Sim) Completions() []metrics.Completion {
@@ -437,6 +472,30 @@ func (s *Sim) Free() int { return s.free() }
 // QueueLength returns the current waiting-queue length (used by the
 // decentralized load exchange to compare cluster loads).
 func (s *Sim) QueueLength() int { return len(s.queue) }
+
+// Queued returns a copy of the waiting queue in submission order.
+func (s *Sim) Queued() []*workload.Job {
+	return append([]*workload.Job(nil), s.queue...)
+}
+
+// RunningSnapshot describes one running local job to external observers
+// (the gridd /queue endpoint).
+type RunningSnapshot struct {
+	Job   *workload.Job
+	Procs int
+	Start float64
+	End   float64
+}
+
+// Running returns a snapshot of the currently running local jobs in
+// start order.
+func (s *Sim) Running() []RunningSnapshot {
+	out := make([]RunningSnapshot, 0, len(s.running))
+	for _, r := range s.running {
+		out = append(out, RunningSnapshot{Job: r.job, Procs: r.procs, Start: r.start, End: r.end})
+	}
+	return out
+}
 
 // QueuedWork returns the total minimal work waiting in the queue at
 // reference speed (the load-balance signal of §5.2's decentralized
@@ -469,6 +528,9 @@ func (s *Sim) StealQueued(n int) []*workload.Job {
 // InjectNow enqueues a job immediately (migration arrival from another
 // cluster; its release date is in the past by construction).
 func (s *Sim) InjectNow(j *workload.Job) error {
+	if s.drained {
+		return ErrDrained
+	}
 	if j.MinProcs > s.M {
 		return fmt.Errorf("cluster: job %d needs %d > %d procs", j.ID, j.MinProcs, s.M)
 	}

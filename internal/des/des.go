@@ -151,6 +151,16 @@ func (s *Simulator) pop() (float64, func()) {
 // Stop makes Run return after the current event.
 func (s *Simulator) Stop() { s.stopped = true }
 
+// PeekTime returns the timestamp of the earliest pending event, or
+// ok=false when the queue is empty. Wall-clock drivers use it to decide
+// how long they may sleep before virtual time has to advance again.
+func (s *Simulator) PeekTime() (t float64, ok bool) {
+	if len(s.events) == 0 {
+		return 0, false
+	}
+	return s.events[0].time, true
+}
+
 // Pending returns the number of queued events.
 func (s *Simulator) Pending() int { return len(s.events) }
 

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/des"
+	"repro/internal/lowerbound"
+	"repro/internal/metrics"
+	"repro/internal/registry"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// OnlinePolicyTable compares every online-capable policy of the
+// internal/registry catalog head-to-head on the same arrival streams:
+// the queue policies that gridd can serve, scored with the §3 criteria.
+// Rows are grouped by arrival rate; the job stream is identical across
+// policies for a fixed seed, so differences are purely the policy's.
+func OnlinePolicyTable(seed uint64, sc Scale) (*trace.Table, error) {
+	t := trace.NewTable(
+		"T14 — online policy catalog (registry): §3 criteria per queue policy on shared arrival streams",
+		"rate", "n", "policy", "Cmax ratio", "mean flow", "max flow", "mean stretch", "util%")
+	m := 64
+	rates := []float64{0.05, 0.2}
+	entries := registry.Online()
+	rows, err := runCells(sc, len(rates), func(i int) ([][]any, error) {
+		rate := rates[i]
+		n := sc.jobs(300)
+		var out [][]any
+		for _, e := range entries {
+			jobs := workload.Parallel(workload.GenConfig{
+				N: n, M: m, Seed: seed + uint64(i), ArrivalRate: rate, RigidFraction: 0.5,
+			})
+			sim, err := cluster.New(des.New(), m, 1, e.NewPolicy(), cluster.KillNewest)
+			if err != nil {
+				return nil, err
+			}
+			for _, j := range jobs {
+				if err := sim.Submit(j); err != nil {
+					return nil, err
+				}
+			}
+			if err := sim.Run(); err != nil {
+				return nil, fmt.Errorf("experiments: %s: %w", e.Name, err)
+			}
+			cs := sim.Completions()
+			rep := metrics.NewReport(cs, m)
+			cmaxLB := lowerbound.Cmax(jobs, m)
+			out = append(out, []any{
+				rate, n, e.Name, rep.Makespan / cmaxLB,
+				rep.MeanFlow, rep.MaxFlow, rep.MeanStretch, 100 * rep.Utilization,
+			})
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, cellRows := range rows {
+		for _, r := range cellRows {
+			t.AddRow(r...)
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,128 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func edgeJob(id int, release, seq float64, procs int, due float64) *workload.Job {
+	return &workload.Job{
+		ID: id, Kind: workload.Rigid, Release: release, Weight: 1, DueDate: due,
+		SeqTime: seq, MinProcs: procs, MaxProcs: procs, Model: workload.Linear{},
+	}
+}
+
+// TestEmptyCompletions pins every aggregate on the empty slice: all must
+// return zero (not NaN, not panic), since a freshly started gridd serves
+// /stats before any job has completed.
+func TestEmptyCompletions(t *testing.T) {
+	var cs []Completion
+	checks := map[string]float64{
+		"Makespan":              Makespan(cs),
+		"SumCompletion":         SumCompletion(cs),
+		"SumWeightedCompletion": SumWeightedCompletion(cs),
+		"SumFlow":               SumFlow(cs),
+		"MeanFlow":              MeanFlow(cs),
+		"MaxFlow":               MaxFlow(cs),
+		"MeanStretch":           MeanStretch(cs, 8),
+		"MaxStretch":            MaxStretch(cs, 8),
+		"SumTardiness":          SumTardiness(cs),
+		"MaxTardiness":          MaxTardiness(cs),
+		"Utilization":           Utilization(cs, 8),
+	}
+	for name, v := range checks {
+		if v != 0 || math.IsNaN(v) {
+			t.Fatalf("%s(empty) = %v, want 0", name, v)
+		}
+	}
+	if LateCount(cs) != 0 {
+		t.Fatalf("LateCount(empty) = %d", LateCount(cs))
+	}
+	rep := NewReport(cs, 8)
+	if rep.N != 0 || rep.MeanStretch != 0 || rep.Utilization != 0 {
+		t.Fatalf("NewReport(empty) = %+v", rep)
+	}
+}
+
+// TestZeroDurationStretch covers jobs whose best possible execution time
+// is zero (degenerate SeqTime): Stretch's flow/0 must be suppressed to 0
+// rather than returning +Inf or NaN into MaxStretch.
+func TestZeroDurationStretch(t *testing.T) {
+	zero := &workload.Job{
+		ID: 1, Kind: workload.Rigid, Release: 0, Weight: 1, DueDate: -1,
+		SeqTime: 0, MinProcs: 1, MaxProcs: 1, Model: workload.Linear{},
+	}
+	c := Completion{Job: zero, Start: 5, End: 5, Procs: 1}
+	if s := c.Stretch(4); s != 0 {
+		t.Fatalf("Stretch of zero-duration job = %v, want 0", s)
+	}
+	// Mixed with a normal job, the zero-duration one must not dominate.
+	normal := Completion{Job: edgeJob(2, 0, 10, 1, -1), Start: 0, End: 20, Procs: 1}
+	cs := []Completion{c, normal}
+	if mx := MaxStretch(cs, 4); math.IsInf(mx, 1) || math.IsNaN(mx) || mx != 2 {
+		t.Fatalf("MaxStretch with zero-duration job = %v, want 2", mx)
+	}
+	if mean := MeanStretch(cs, 4); math.IsNaN(mean) || mean != 1 {
+		t.Fatalf("MeanStretch with zero-duration job = %v, want 1", mean)
+	}
+}
+
+// TestZeroDurationCompletion: a job that starts and ends at the same
+// instant contributes zero area and zero flow-from-start, and must keep
+// Utilization finite.
+func TestZeroDurationCompletion(t *testing.T) {
+	cs := []Completion{
+		{Job: edgeJob(1, 0, 10, 2, -1), Start: 3, End: 3, Procs: 2},
+		{Job: edgeJob(2, 0, 12, 3, -1), Start: 0, End: 4, Procs: 3},
+	}
+	if u := Utilization(cs, 4); math.IsNaN(u) || u != 12.0/16.0 {
+		t.Fatalf("Utilization = %v, want %v", u, 12.0/16.0)
+	}
+	if f := cs[0].Flow(); f != 3 {
+		t.Fatalf("Flow = %v, want 3 (End - Release)", f)
+	}
+}
+
+// TestTardinessNoDueDate pins the DueDate = -1 convention: such jobs are
+// never late no matter how long they run.
+func TestTardinessNoDueDate(t *testing.T) {
+	c := Completion{Job: edgeJob(1, 0, 10, 1, -1), Start: 0, End: 1e12, Procs: 1}
+	if d := c.Tardiness(); d != 0 {
+		t.Fatalf("Tardiness with DueDate=-1 = %v, want 0", d)
+	}
+	cs := []Completion{
+		c,
+		{Job: edgeJob(2, 0, 10, 1, 5), Start: 0, End: 8, Procs: 1},  // 3 late
+		{Job: edgeJob(3, 0, 10, 1, 20), Start: 0, End: 8, Procs: 1}, // on time
+	}
+	if n := LateCount(cs); n != 1 {
+		t.Fatalf("LateCount = %d, want 1", n)
+	}
+	if s := SumTardiness(cs); s != 3 {
+		t.Fatalf("SumTardiness = %v, want 3", s)
+	}
+	if mx := MaxTardiness(cs); mx != 3 {
+		t.Fatalf("MaxTardiness = %v, want 3", mx)
+	}
+}
+
+// TestThroughputGuards pins the panic contract on non-positive horizons
+// and the boundary inclusion (End <= horizon counts).
+func TestThroughputGuards(t *testing.T) {
+	cs := []Completion{
+		{Job: edgeJob(1, 0, 10, 1, -1), Start: 0, End: 5, Procs: 1},
+		{Job: edgeJob(2, 0, 10, 1, -1), Start: 0, End: 10, Procs: 1},
+		{Job: edgeJob(3, 0, 10, 1, -1), Start: 0, End: 15, Procs: 1},
+	}
+	if th := Throughput(cs, 10); th != 0.2 {
+		t.Fatalf("Throughput = %v, want 0.2", th)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Throughput(0) did not panic")
+		}
+	}()
+	Throughput(cs, 0)
+}

@@ -1,0 +1,221 @@
+// Package registry is the single policy catalog of the repo: every
+// scheduling policy is registered here under its CLI name together with
+// its capability flags (online/offline, rigid/moldable, best-effort
+// cooperation) and its constructors. cmd/gridsim, cmd/experiments and
+// the gridd service all resolve policies through this catalog instead of
+// maintaining their own switch statements.
+package registry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/batch"
+	"repro/internal/bicriteria"
+	"repro/internal/cluster"
+	"repro/internal/moldable"
+	"repro/internal/rigid"
+	"repro/internal/sched"
+	"repro/internal/smart"
+	"repro/internal/workload"
+)
+
+// Caps describes what a policy can do.
+type Caps struct {
+	// Online: the policy runs inside the event-driven cluster simulator,
+	// reacting to arrivals as they happen (NewPolicy is non-nil).
+	Online bool
+	// Offline: the policy builds a complete schedule from a closed batch
+	// of jobs (Offline is non-nil).
+	Offline bool
+	// Moldable: the policy exploits moldability (chooses processor
+	// counts). Policies without it treat every job as rigid at MinProcs.
+	Moldable bool
+	// BestEffort: when run online, the policy cooperates with the CiGri
+	// best-effort backfill layer (grid tasks fill its holes and are
+	// evicted on demand).
+	BestEffort bool
+}
+
+// String renders the flags compactly, e.g. "online,moldable,best-effort".
+func (c Caps) String() string {
+	var parts []string
+	if c.Online {
+		parts = append(parts, "online")
+	}
+	if c.Offline {
+		parts = append(parts, "offline")
+	}
+	if c.Moldable {
+		parts = append(parts, "moldable")
+	} else {
+		parts = append(parts, "rigid")
+	}
+	if c.BestEffort {
+		parts = append(parts, "best-effort")
+	}
+	return strings.Join(parts, ",")
+}
+
+// Entry is one catalogued policy.
+type Entry struct {
+	Name string
+	Desc string
+	Caps Caps
+	// NewPolicy constructs the online queue policy. Nil when !Caps.Online.
+	NewPolicy func() cluster.Policy
+	// Offline runs the batch algorithm over a closed job set. Nil when
+	// !Caps.Offline.
+	Offline func(jobs []*workload.Job, m int) (*sched.Schedule, error)
+}
+
+var catalog = map[string]*Entry{
+	"fcfs": {
+		Name:      "fcfs",
+		Desc:      "first-come first-served, no backfilling (strict queue order)",
+		Caps:      Caps{Online: true, BestEffort: true},
+		NewPolicy: func() cluster.Policy { return cluster.FCFSPolicy{} },
+	},
+	"easy": {
+		Name:      "easy",
+		Desc:      "EASY aggressive backfilling (shadow-time reservation for the head)",
+		Caps:      Caps{Online: true, BestEffort: true},
+		NewPolicy: func() cluster.Policy { return cluster.EASYPolicy{} },
+	},
+	"greedyfit": {
+		Name:      "greedyfit",
+		Desc:      "start anything that fits, in queue order (no starvation protection)",
+		Caps:      Caps{Online: true, BestEffort: true},
+		NewPolicy: func() cluster.Policy { return cluster.GreedyFitPolicy{} },
+	},
+	"conservative": {
+		Name:      "conservative",
+		Desc:      "conservative backfilling: every queued job holds a reservation",
+		Caps:      Caps{Online: true, Offline: true, BestEffort: true},
+		NewPolicy: func() cluster.Policy { return cluster.ConservativePolicy{} },
+		Offline: func(jobs []*workload.Job, m int) (*sched.Schedule, error) {
+			return rigid.Conservative(jobs, m)
+		},
+	},
+	"ffdh": {
+		Name: "ffdh",
+		Desc: "first-fit decreasing-height shelf packing (rigid strip baseline)",
+		Caps: Caps{Offline: true},
+		Offline: func(jobs []*workload.Job, m int) (*sched.Schedule, error) {
+			shelves, err := rigid.FFDH(jobs, m)
+			if err != nil {
+				return nil, err
+			}
+			return rigid.ShelvesToSchedule(shelves, m), nil
+		},
+	},
+	"mrt": {
+		Name: "mrt",
+		Desc: "moldable dual-approximation makespan algorithm (§4.1 MRT)",
+		Caps: Caps{Offline: true, Moldable: true},
+		Offline: func(jobs []*workload.Job, m int) (*sched.Schedule, error) {
+			res, err := moldable.MRT(jobs, m, 0.01)
+			if err != nil {
+				return nil, err
+			}
+			return res.Schedule, nil
+		},
+	},
+	"batch": {
+		Name: "batch",
+		Desc: "online-batch moldable scheduling (doubling batches over release dates)",
+		Caps: Caps{Offline: true, Moldable: true},
+		Offline: func(jobs []*workload.Job, m int) (*sched.Schedule, error) {
+			res, err := batch.OnlineMoldable(jobs, m, 0.01)
+			if err != nil {
+				return nil, err
+			}
+			return res.Schedule, nil
+		},
+	},
+	"bicriteria": {
+		Name: "bicriteria",
+		Desc: "bi-criteria (Cmax, ΣwC) moldable approximation (§4.2)",
+		Caps: Caps{Offline: true, Moldable: true},
+		Offline: func(jobs []*workload.Job, m int) (*sched.Schedule, error) {
+			res, err := bicriteria.Schedule(jobs, m, bicriteria.Options{})
+			if err != nil {
+				return nil, err
+			}
+			return res.Schedule, nil
+		},
+	},
+	"smart": {
+		Name: "smart",
+		Desc: "SMART shelf-based weighted-completion approximation",
+		Caps: Caps{Offline: true, Moldable: true},
+		Offline: func(jobs []*workload.Job, m int) (*sched.Schedule, error) {
+			s, _, err := smart.Schedule(jobs, m, smart.FirstFit)
+			return s, err
+		},
+	},
+}
+
+// Get resolves a policy by name.
+func Get(name string) (*Entry, error) {
+	e, ok := catalog[name]
+	if !ok {
+		return nil, fmt.Errorf("registry: unknown policy %q (have: %s)", name, strings.Join(Names(), " "))
+	}
+	return e, nil
+}
+
+// Names returns the sorted catalog names.
+func Names() []string {
+	names := make([]string, 0, len(catalog))
+	for n := range catalog {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// All returns the entries sorted by name.
+func All() []*Entry {
+	entries := make([]*Entry, 0, len(catalog))
+	for _, n := range Names() {
+		entries = append(entries, catalog[n])
+	}
+	return entries
+}
+
+// Online returns the online-capable entries sorted by name.
+func Online() []*Entry {
+	var out []*Entry
+	for _, e := range All() {
+		if e.Caps.Online {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// WriteCatalog prints the catalog as an aligned table (the -list-policies
+// output shared by every command).
+func WriteCatalog(w io.Writer) error {
+	width := 0
+	for n := range catalog {
+		if len(n) > width {
+			width = len(n)
+		}
+	}
+	capw := 0
+	for _, e := range All() {
+		if l := len(e.Caps.String()); l > capw {
+			capw = l
+		}
+	}
+	for _, e := range All() {
+		if _, err := fmt.Fprintf(w, "%-*s  %-*s  %s\n", width, e.Name, capw, e.Caps.String(), e.Desc); err != nil {
+			return err
+		}
+	}
+	return nil
+}

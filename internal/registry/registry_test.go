@@ -1,0 +1,89 @@
+package registry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestCatalogConsistency(t *testing.T) {
+	if len(All()) < 8 {
+		t.Fatalf("catalog unexpectedly small: %v", Names())
+	}
+	for _, e := range All() {
+		if e.Name == "" || e.Desc == "" {
+			t.Fatalf("entry %+v missing name/desc", e)
+		}
+		if e.Caps.Online != (e.NewPolicy != nil) {
+			t.Fatalf("%s: Online flag %v but NewPolicy nil=%v", e.Name, e.Caps.Online, e.NewPolicy == nil)
+		}
+		if e.Caps.Offline != (e.Offline != nil) {
+			t.Fatalf("%s: Offline flag %v but Offline nil=%v", e.Name, e.Caps.Offline, e.Offline == nil)
+		}
+		if !e.Caps.Online && !e.Caps.Offline {
+			t.Fatalf("%s: supports neither mode", e.Name)
+		}
+		if e.Caps.Online {
+			p := e.NewPolicy()
+			if p.Name() == "" {
+				t.Fatalf("%s: constructed policy has empty name", e.Name)
+			}
+		}
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("definitely-not-a-policy"); err == nil {
+		t.Fatal("unknown policy resolved")
+	}
+	e, err := Get("easy")
+	if err != nil || e.Name != "easy" {
+		t.Fatalf("Get(easy) = %v, %v", e, err)
+	}
+}
+
+func TestOfflineEntriesSchedule(t *testing.T) {
+	jobs := workload.Parallel(workload.GenConfig{N: 30, M: 16, Seed: 3})
+	for _, e := range All() {
+		if !e.Caps.Offline {
+			continue
+		}
+		s, err := e.Offline(jobs, 16)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		if len(s.Allocs) != len(jobs) {
+			t.Fatalf("%s: scheduled %d of %d jobs", e.Name, len(s.Allocs), len(jobs))
+		}
+	}
+}
+
+func TestWriteCatalog(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCatalog(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, name := range Names() {
+		if !strings.Contains(out, name) {
+			t.Fatalf("catalog output missing %s:\n%s", name, out)
+		}
+	}
+	if !strings.Contains(out, "online") || !strings.Contains(out, "offline") {
+		t.Fatalf("catalog output missing capability flags:\n%s", out)
+	}
+}
+
+func TestOnlineSubset(t *testing.T) {
+	online := Online()
+	if len(online) == 0 {
+		t.Fatal("no online policies")
+	}
+	for _, e := range online {
+		if !e.Caps.Online {
+			t.Fatalf("%s in Online() without the flag", e.Name)
+		}
+	}
+}

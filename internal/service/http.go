@@ -1,0 +1,164 @@
+// HTTP layer of the gridd daemon: a JSON API over the Engine mailbox
+// plus a Prometheus-style text exposition of the §3 criteria.
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/cluster"
+	"repro/internal/registry"
+)
+
+// Handler returns the gridd HTTP API:
+//
+//	POST /jobs      submit a JobSpec, returns the JobStatus (202)
+//	GET  /jobs/{id} status of one job
+//	GET  /queue     waiting + running jobs
+//	GET  /stats     aggregate statistics and criteria report
+//	GET  /metrics   Prometheus text exposition
+//	GET  /policies  the registry catalog with capability flags
+func (e *Engine) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", e.handleSubmit)
+	mux.HandleFunc("GET /jobs/{id}", e.handleJob)
+	mux.HandleFunc("GET /queue", e.handleQueue)
+	mux.HandleFunc("GET /stats", e.handleStats)
+	mux.HandleFunc("GET /metrics", e.handleMetrics)
+	mux.HandleFunc("GET /policies", handlePolicies)
+	return mux
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (e *Engine) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("bad job spec: %v", err)})
+		return
+	}
+	st, err := e.Submit(spec)
+	switch {
+	case errors.Is(err, cluster.ErrDrained):
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
+		return
+	case errors.Is(err, ErrStopped):
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
+		return
+	case err != nil:
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (e *Engine) handleJob(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "job id must be an integer"})
+		return
+	}
+	st, ok, err := e.Job(id)
+	if err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
+		return
+	}
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: fmt.Sprintf("unknown job %d", id)})
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (e *Engine) handleQueue(w http.ResponseWriter, r *http.Request) {
+	snap, err := e.Queue()
+	if err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
+		return
+	}
+	if snap.Waiting == nil {
+		snap.Waiting = []JobStatus{}
+	}
+	if snap.Running == nil {
+		snap.Running = []JobStatus{}
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func (e *Engine) handleStats(w http.ResponseWriter, r *http.Request) {
+	st, err := e.Stats()
+	if err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleMetrics renders the stats as Prometheus text exposition format
+// (fed from internal/metrics via Stats.Report).
+func (e *Engine) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st, err := e.Stats()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	g := func(name, help, typ string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", name, help, name, typ, name, v)
+	}
+	g("gridd_jobs_submitted_total", "Jobs accepted since start.", "counter", float64(st.Submitted))
+	g("gridd_jobs_completed_total", "Jobs completed since start.", "counter", float64(st.Completed))
+	g("gridd_jobs_waiting", "Jobs waiting (pending arrival or queued).", "gauge", float64(st.Waiting))
+	g("gridd_jobs_running", "Jobs currently running.", "gauge", float64(st.Running))
+	g("gridd_processors", "Cluster width.", "gauge", float64(st.M))
+	g("gridd_virtual_time_seconds", "Virtual simulation clock.", "gauge", st.VirtualNow)
+	g("gridd_uptime_seconds", "Wall-clock uptime.", "gauge", st.UptimeSeconds)
+	g("gridd_time_dilation", "Simulated seconds per wall second (0 = free-running).", "gauge", st.Dilation)
+	g("gridd_makespan_seconds", "Cmax over completed jobs.", "gauge", st.Report.Makespan)
+	g("gridd_mean_flow_seconds", "Mean flow time over completed jobs.", "gauge", st.Report.MeanFlow)
+	g("gridd_max_flow_seconds", "Max flow time over completed jobs.", "gauge", st.Report.MaxFlow)
+	g("gridd_mean_stretch", "Mean normalized stretch over completed jobs.", "gauge", st.Report.MeanStretch)
+	g("gridd_max_stretch", "Max normalized stretch over completed jobs.", "gauge", st.Report.MaxStretch)
+	g("gridd_utilization_ratio", "Fraction of the processor-time area used.", "gauge", st.Report.Utilization)
+	g("gridd_best_effort_completed_total", "Best-effort tasks completed.", "counter", float64(st.BestEffort.Completed))
+	g("gridd_best_effort_killed_total", "Best-effort tasks killed.", "counter", float64(st.BestEffort.Killed))
+	drained := 0.0
+	if st.Drained {
+		drained = 1
+	}
+	g("gridd_drained", "1 once the service stopped accepting submissions.", "gauge", drained)
+}
+
+type policyInfo struct {
+	Name       string `json:"name"`
+	Caps       string `json:"caps"`
+	Online     bool   `json:"online"`
+	Offline    bool   `json:"offline"`
+	Moldable   bool   `json:"moldable"`
+	BestEffort bool   `json:"best_effort"`
+	Desc       string `json:"desc"`
+}
+
+func handlePolicies(w http.ResponseWriter, r *http.Request) {
+	var out []policyInfo
+	for _, e := range registry.All() {
+		out = append(out, policyInfo{
+			Name: e.Name, Caps: e.Caps.String(),
+			Online: e.Caps.Online, Offline: e.Caps.Offline,
+			Moldable: e.Caps.Moldable, BestEffort: e.Caps.BestEffort,
+			Desc: e.Desc,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}

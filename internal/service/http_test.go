@@ -1,0 +1,187 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Engine, *httptest.Server) {
+	t.Helper()
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Start()
+	srv := httptest.NewServer(e.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		e.Stop()
+	})
+	return e, srv
+}
+
+func postJob(t *testing.T, url string, spec JobSpec) (JobStatus, int) {
+	t.Helper()
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(url+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st JobStatus
+	_ = json.NewDecoder(resp.Body).Decode(&st)
+	return st, resp.StatusCode
+}
+
+func TestHTTPSubmitQueryLifecycle(t *testing.T) {
+	_, srv := newTestServer(t, Config{M: 16, Policy: "easy"})
+
+	st, code := postJob(t, srv.URL, JobSpec{Name: "web", SeqTime: 50, MinProcs: 2})
+	if code != http.StatusAccepted {
+		t.Fatalf("POST /jobs status %d", code)
+	}
+	if st.ID != 0 || st.State != StateWaiting {
+		t.Fatalf("submit response %+v", st)
+	}
+
+	// In free-running mode the job completes as soon as the mailbox
+	// turns; poll briefly since a query can land in the same command
+	// burst as the submission, before the events run.
+	var got JobStatus
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(srv.URL + "/jobs/0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /jobs/0 status %d", resp.StatusCode)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&got)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.State == StateDone {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job state %q, want done", got.State)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if resp, _ := http.Get(srv.URL + "/jobs/99"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /jobs/99 status %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := http.Get(srv.URL + "/jobs/zzz"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("GET /jobs/zzz status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestHTTPBadSpec(t *testing.T) {
+	_, srv := newTestServer(t, Config{M: 4, Policy: "fcfs"})
+	resp, err := http.Post(srv.URL+"/jobs", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body: status %d, want 400", resp.StatusCode)
+	}
+	if _, code := postJob(t, srv.URL, JobSpec{SeqTime: 5, MinProcs: 100}); code != http.StatusBadRequest {
+		t.Fatalf("too-wide job: status %d, want 400", code)
+	}
+}
+
+func TestHTTPStatsAndQueue(t *testing.T) {
+	_, srv := newTestServer(t, Config{M: 8, Policy: "easy"})
+	for i := 0; i < 5; i++ {
+		if _, code := postJob(t, srv.URL, JobSpec{SeqTime: 10, MinProcs: 1}); code != http.StatusAccepted {
+			t.Fatalf("submit %d: status %d", i, code)
+		}
+	}
+	var stats Stats
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Submitted != 5 {
+		t.Fatalf("stats.Submitted = %d, want 5", stats.Submitted)
+	}
+	if stats.Policy != "easy" || stats.M != 8 {
+		t.Fatalf("stats identity: %+v", stats)
+	}
+
+	var snap QueueSnapshot
+	resp, err = http.Get(srv.URL + "/queue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if snap.Waiting == nil || snap.Running == nil {
+		t.Fatal("queue arrays must be non-null JSON")
+	}
+}
+
+func TestHTTPMetricsExposition(t *testing.T) {
+	_, srv := newTestServer(t, Config{M: 8, Policy: "easy"})
+	postJob(t, srv.URL, JobSpec{SeqTime: 10, MinProcs: 1})
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	text := string(body)
+	if !strings.Contains(resp.Header.Get("Content-Type"), "text/plain") {
+		t.Fatalf("metrics content type %q", resp.Header.Get("Content-Type"))
+	}
+	for _, metric := range []string{
+		"gridd_jobs_submitted_total 1",
+		"gridd_processors 8",
+		"# TYPE gridd_virtual_time_seconds gauge",
+		"gridd_utilization_ratio",
+	} {
+		if !strings.Contains(text, metric) {
+			t.Fatalf("metrics output missing %q:\n%s", metric, text)
+		}
+	}
+}
+
+func TestHTTPPolicies(t *testing.T) {
+	_, srv := newTestServer(t, Config{M: 8, Policy: "easy"})
+	resp, err := http.Get(srv.URL + "/policies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out []map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, p := range out {
+		names[fmt.Sprint(p["name"])] = true
+	}
+	for _, want := range []string{"easy", "fcfs", "conservative", "mrt"} {
+		if !names[want] {
+			t.Fatalf("policy catalog missing %q: %v", want, names)
+		}
+	}
+}

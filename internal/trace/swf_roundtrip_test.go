@@ -1,0 +1,151 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/des"
+	"repro/internal/metrics"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// TestSWFRoundTripByteStable is the write→read→write property: for
+// randomized record sets, parsing a written trace and writing it again
+// must reproduce the bytes exactly. The record layer (not Completion) is
+// the canonical unit precisely because wait = Start - Release does not
+// survive float re-derivation; this pins that design.
+func TestSWFRoundTripByteStable(t *testing.T) {
+	rng := stats.NewRNG(99)
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.IntRange(1, 40)
+		recs := make([]SWFRecord, n)
+		for i := range recs {
+			recs[i] = SWFRecord{
+				ID: i,
+				// Adversarial magnitudes: tiny, huge and plain values mixed,
+				// the shapes that expose %g precision drift.
+				Submit:  rng.LogNormal(0, 8),
+				Wait:    rng.LogNormal(0, 8),
+				Runtime: rng.LogNormal(0, 8),
+				Procs:   rng.IntRange(1, 512),
+				Weight:  float64(rng.Zipf(1.1, 10)),
+			}
+		}
+		var first bytes.Buffer
+		if err := WriteSWFRecords(&first, recs); err != nil {
+			t.Fatal(err)
+		}
+		parsed, err := ReadSWFRecords(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(parsed) != n {
+			t.Fatalf("trial %d: parsed %d of %d records", trial, len(parsed), n)
+		}
+		var second bytes.Buffer
+		if err := WriteSWFRecords(&second, parsed); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("trial %d: write→read→write not byte-stable:\n--- first ---\n%s--- second ---\n%s",
+				trial, first.String(), second.String())
+		}
+	}
+}
+
+// TestSWFRoundTripFromSimulation runs real workloads through the cluster
+// simulator and round-trips the resulting completions — the end-to-end
+// path gridsim -swf and loadgen -swf users exercise.
+func TestSWFRoundTripFromSimulation(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42} {
+		jobs := workload.Parallel(workload.GenConfig{N: 60, M: 16, Seed: seed, ArrivalRate: 0.3})
+		sim, err := cluster.New(des.New(), 16, 1, cluster.EASYPolicy{}, cluster.KillNewest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, j := range jobs {
+			if err := sim.Submit(j); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := sim.Run(); err != nil {
+			t.Fatal(err)
+		}
+		var first bytes.Buffer
+		if err := WriteSWF(&first, sim.Completions()); err != nil {
+			t.Fatal(err)
+		}
+		recs, err := ReadSWFRecords(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var second bytes.Buffer
+		if err := WriteSWFRecords(&second, recs); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("seed %d: simulated trace not byte-stable", seed)
+		}
+		// And the job view still parses into runnable rigid jobs.
+		parsed, err := ReadSWF(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(parsed) != len(jobs) {
+			t.Fatalf("seed %d: %d jobs parsed, want %d", seed, len(parsed), len(jobs))
+		}
+		for _, j := range parsed {
+			if err := j.Validate(); err != nil {
+				t.Fatalf("seed %d: parsed job invalid: %v", seed, err)
+			}
+		}
+	}
+}
+
+// TestSWFEqualIDOrderStable pins the ordering fix the round-trip
+// uncovered: records sharing an ID must keep their relative order across
+// writes (the sort is stable), or a rewrite reshuffles the file.
+func TestSWFEqualIDOrderStable(t *testing.T) {
+	recs := []SWFRecord{
+		{ID: 3, Submit: 1, Wait: 0, Runtime: 5, Procs: 1, Weight: 1},
+		{ID: 3, Submit: 2, Wait: 0, Runtime: 6, Procs: 2, Weight: 1},
+		{ID: 1, Submit: 9, Wait: 0, Runtime: 7, Procs: 3, Weight: 1},
+	}
+	var a bytes.Buffer
+	if err := WriteSWFRecords(&a, recs); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ReadSWFRecords(bytes.NewReader(a.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	if err := WriteSWFRecords(&b, parsed); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("equal-ID records reordered:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}
+
+// TestRecordOfCompletion checks the Completion→record derivation.
+func TestRecordOfCompletion(t *testing.T) {
+	j := &workload.Job{ID: 4, Kind: workload.Rigid, Release: 10, Weight: 2,
+		DueDate: -1, SeqTime: 30, MinProcs: 3, MaxProcs: 3, Model: workload.Linear{}}
+	rec := RecordOf(metrics.Completion{Job: j, Start: 15, End: 25, Procs: 3})
+	if rec.ID != 4 || rec.Submit != 10 || rec.Wait != 5 || rec.Runtime != 10 || rec.Procs != 3 || rec.Weight != 2 {
+		t.Fatalf("RecordOf = %+v", rec)
+	}
+	job, err := rec.Job()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.SeqTime != 30 || job.MinProcs != 3 || job.Release != 10 {
+		t.Fatalf("record job = %+v", job)
+	}
+	if _, err := (SWFRecord{ID: 1, Runtime: 0, Procs: 1}).Job(); err == nil {
+		t.Fatal("zero-runtime record materialized a job")
+	}
+}

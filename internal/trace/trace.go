@@ -91,27 +91,74 @@ func WriteCSV(w io.Writer, s *sched.Schedule) error {
 	return bw.Flush()
 }
 
-// WriteSWF writes completions in the spirit of the Standard Workload
-// Format: whitespace-separated fields, one job per line, -1 for unknown.
-// Fields: id, submit, wait, runtime, procs, weight.
-func WriteSWF(w io.Writer, cs []metrics.Completion) error {
+// SWFRecord is one line of the SWF-flavoured trace, kept in its on-disk
+// field layout (submit + wait + runtime) so that a read trace can be
+// rewritten byte-identically. Deriving the fields from a Completion and
+// re-adding them are NOT inverse operations in floating point — e.g.
+// (submit+wait)-submit can round differently from wait — so the record,
+// not the Completion, is the canonical round-trip unit.
+type SWFRecord struct {
+	ID      int
+	Submit  float64
+	Wait    float64
+	Runtime float64
+	Procs   int
+	Weight  float64
+}
+
+// RecordOf derives the SWF line of one completion.
+func RecordOf(c metrics.Completion) SWFRecord {
+	return SWFRecord{
+		ID: c.Job.ID, Submit: c.Job.Release,
+		Wait: c.Start - c.Job.Release, Runtime: c.End - c.Start,
+		Procs: c.Procs, Weight: c.Job.Weight,
+	}
+}
+
+// Job materializes a record as a rigid job (runtime frozen as the
+// sequential profile on the recorded processor count).
+func (rec SWFRecord) Job() (*workload.Job, error) {
+	if rec.Procs <= 0 || rec.Runtime <= 0 {
+		return nil, fmt.Errorf("trace: record %d: procs %d runtime %v", rec.ID, rec.Procs, rec.Runtime)
+	}
+	return &workload.Job{
+		ID: rec.ID, Kind: workload.Rigid, Release: math.Max(rec.Submit, 0),
+		Weight: rec.Weight, DueDate: -1,
+		SeqTime: rec.Runtime * float64(rec.Procs), MinProcs: rec.Procs, MaxProcs: rec.Procs,
+		Model: workload.Linear{},
+	}, nil
+}
+
+// WriteSWFRecords writes records verbatim in SWF field order, sorted by
+// ID. Floats use %g (shortest uniquely-parsing form), so writing what
+// ReadSWFRecords returned reproduces the input bytes exactly.
+func WriteSWFRecords(w io.Writer, recs []SWFRecord) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintln(bw, "; id submit wait runtime procs weight")
-	rows := append([]metrics.Completion(nil), cs...)
-	sort.Slice(rows, func(i, k int) bool { return rows[i].Job.ID < rows[k].Job.ID })
-	for _, c := range rows {
+	rows := append([]SWFRecord(nil), recs...)
+	sort.SliceStable(rows, func(i, k int) bool { return rows[i].ID < rows[k].ID })
+	for _, rec := range rows {
 		fmt.Fprintf(bw, "%d %g %g %g %d %g\n",
-			c.Job.ID, c.Job.Release, c.Start-c.Job.Release, c.End-c.Start,
-			c.Procs, c.Job.Weight)
+			rec.ID, rec.Submit, rec.Wait, rec.Runtime, rec.Procs, rec.Weight)
 	}
 	return bw.Flush()
 }
 
-// ReadSWF parses the WriteSWF format back into rigid jobs (runtime frozen
-// as the sequential profile on the recorded processor count).
-func ReadSWF(r io.Reader) ([]*workload.Job, error) {
+// WriteSWF writes completions in the spirit of the Standard Workload
+// Format: whitespace-separated fields, one job per line, -1 for unknown.
+// Fields: id, submit, wait, runtime, procs, weight.
+func WriteSWF(w io.Writer, cs []metrics.Completion) error {
+	recs := make([]SWFRecord, len(cs))
+	for i, c := range cs {
+		recs[i] = RecordOf(c)
+	}
+	return WriteSWFRecords(w, recs)
+}
+
+// ReadSWFRecords parses the WriteSWF format, preserving every field.
+func ReadSWFRecords(r io.Reader) ([]SWFRecord, error) {
 	sc := bufio.NewScanner(r)
-	var jobs []*workload.Job
+	var recs []SWFRecord
 	line := 0
 	for sc.Scan() {
 		line++
@@ -131,20 +178,31 @@ func ReadSWF(r io.Reader) ([]*workload.Job, error) {
 			}
 			vals[i] = v
 		}
-		procs := int(vals[4])
-		runtime := vals[3]
-		if procs <= 0 || runtime <= 0 {
-			return nil, fmt.Errorf("trace: line %d: procs %d runtime %v", line, procs, runtime)
-		}
-		jobs = append(jobs, &workload.Job{
-			ID: int(vals[0]), Kind: workload.Rigid, Release: math.Max(vals[1], 0),
-			Weight: vals[5], DueDate: -1,
-			SeqTime: runtime * float64(procs), MinProcs: procs, MaxProcs: procs,
-			Model: workload.Linear{},
+		recs = append(recs, SWFRecord{
+			ID: int(vals[0]), Submit: vals[1], Wait: vals[2],
+			Runtime: vals[3], Procs: int(vals[4]), Weight: vals[5],
 		})
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
+	}
+	return recs, nil
+}
+
+// ReadSWF parses the WriteSWF format back into rigid jobs (runtime frozen
+// as the sequential profile on the recorded processor count).
+func ReadSWF(r io.Reader) ([]*workload.Job, error) {
+	recs, err := ReadSWFRecords(r)
+	if err != nil {
+		return nil, err
+	}
+	jobs := make([]*workload.Job, 0, len(recs))
+	for _, rec := range recs {
+		j, err := rec.Job()
+		if err != nil {
+			return nil, err
+		}
+		jobs = append(jobs, j)
 	}
 	return jobs, nil
 }

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Smoke-test the online scheduler service end to end: build gridd and
+# loadgen, start the daemon, fire a paced batch of jobs and assert every
+# one completes, then run a max-rate probe and assert the service
+# sustains at least MIN_RPS submissions per second with zero lost jobs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PORT="${PORT:-18142}"
+MIN_RPS="${MIN_RPS:-5000}"
+PROBE_JOBS="${PROBE_JOBS:-20000}"
+BIN="$(mktemp -d)"
+trap 'kill "${GRIDD_PID:-}" 2>/dev/null || true; rm -rf "$BIN"' EXIT
+
+go build -o "$BIN/gridd" ./cmd/gridd
+go build -o "$BIN/loadgen" ./cmd/loadgen
+
+"$BIN/gridd" -addr "127.0.0.1:$PORT" -m 128 -policy easy -dilation 0 >"$BIN/gridd.log" 2>&1 &
+GRIDD_PID=$!
+
+# Wait for the daemon to listen.
+for _ in $(seq 1 50); do
+  if curl -sf "http://127.0.0.1:$PORT/stats" >/dev/null 2>&1; then break; fi
+  sleep 0.1
+done
+curl -sf "http://127.0.0.1:$PORT/stats" >/dev/null
+
+echo "== smoke: 200 paced jobs, all must complete =="
+"$BIN/loadgen" -addr "http://127.0.0.1:$PORT" -n 200 -rps 500 -workers 4 -wait -timeout 60s
+
+echo "== probe: $PROBE_JOBS jobs at max rate, >= $MIN_RPS jobs/s =="
+OUT="$("$BIN/loadgen" -addr "http://127.0.0.1:$PORT" -n "$PROBE_JOBS" -workers 8 -wait -timeout 120s)"
+echo "$OUT"
+RPS="$(echo "$OUT" | awk '{for (i = 2; i <= NF; i++) if ($i == "jobs/s") print $(i-1)}' | head -1)"
+if [ -z "$RPS" ] || [ "$(printf '%.0f' "$RPS")" -lt "$MIN_RPS" ]; then
+  echo "FAIL: sustained $RPS jobs/s < $MIN_RPS" >&2
+  exit 1
+fi
+
+kill -TERM "$GRIDD_PID"
+wait "$GRIDD_PID" || true
+grep -q "drained" "$BIN/gridd.log" || { echo "FAIL: gridd did not drain gracefully" >&2; cat "$BIN/gridd.log" >&2; exit 1; }
+echo "OK: service smoke passed ($RPS jobs/s sustained)"
