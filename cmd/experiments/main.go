@@ -44,7 +44,7 @@ func main() {
 	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: experiments [-seed N] [-quick] [-csv] [-parallel] [-workers N] <id>|all")
-		fmt.Fprintln(os.Stderr, "ids: fig2 mrt batch smart bicriteria dlt cigri decentralized mixed reservations malleable treedlt criteria heterogrid policies ablations")
+		fmt.Fprintln(os.Stderr, "ids: fig2 mrt batch smart bicriteria dlt cigri decentralized mixed reservations malleable treedlt criteria heterogrid policies gridpolicies ablations")
 		os.Exit(2)
 	}
 	sc := experiments.Scale{}
@@ -84,6 +84,7 @@ var tables = []struct {
 	{"criteria", experiments.CriteriaMatrixTable},
 	{"heterogrid", experiments.HeteroGridTable},
 	{"policies", experiments.OnlinePolicyTable},
+	{"gridpolicies", experiments.GridPolicyTable},
 }
 
 var ablations = []struct {

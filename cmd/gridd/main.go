@@ -1,20 +1,25 @@
-// Command gridd is the online scheduler daemon: it runs one simulated
-// cluster as a long-lived service, accepts job submissions over an HTTP
-// JSON API, and advances the deterministic virtual clock against wall
-// time with a configurable dilation factor.
+// Command gridd is the online scheduler daemon. In its default mode it
+// runs one simulated cluster as a long-lived service; with -topology it
+// becomes a federated grid broker serving a whole fleet of clusters
+// behind one API, routing jobs and CiGri-style best-effort campaigns
+// across them with a pluggable grid policy.
 //
 // Usage examples:
 //
 //	gridd -m 128 -policy easy -dilation 60        # 1 wall second = 60 sim seconds
 //	gridd -policy conservative -dilation 0        # free-running (as fast as possible)
-//	gridd -list-policies
+//	gridd -topology fleet.json                    # multi-cluster broker mode
+//	gridd -list-policies                          # local + grid policy catalogs
 //
-// Endpoints: POST /jobs, GET /jobs/{id}, GET /queue, GET /stats,
-// GET /metrics (Prometheus text), GET /policies.
+// Single-cluster endpoints: POST /jobs, GET /jobs/{id}, GET /queue,
+// GET /stats, GET /metrics (Prometheus text), GET /policies. Broker mode
+// adds POST /campaigns, GET /campaigns[/{id}], GET /topology, and labels
+// per-cluster metrics with {cluster="name"}.
 //
 // On SIGTERM/SIGINT the daemon drains gracefully: it stops accepting
-// submissions, fast-forwards every accepted job to completion, prints
-// the final criteria report, and exits.
+// submissions, fast-forwards every accepted job (and, in broker mode,
+// every campaign task) to completion, prints the final report, and
+// exits.
 package main
 
 import (
@@ -29,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/gridservice"
 	"repro/internal/registry"
 	"repro/internal/service"
 )
@@ -41,12 +47,29 @@ func main() {
 		policy   = flag.String("policy", "easy", "online policy name (see -list-policies)")
 		kill     = flag.String("kill", "newest", "best-effort eviction policy: newest|largest")
 		dilation = flag.Float64("dilation", 60, "simulated seconds per wall second (0 = free-running)")
+		topology = flag.String("topology", "", "fleet topology file: serve a multi-cluster grid broker")
 		drainT   = flag.Duration("drain-timeout", 30*time.Second, "graceful drain deadline on shutdown")
-		list     = flag.Bool("list-policies", false, "print the policy catalog and exit")
+		list     = flag.Bool("list-policies", false, "print the policy catalogs and exit")
 	)
 	flag.Parse()
 	if *list {
+		fmt.Println("local queue policies:")
 		_ = registry.WriteCatalog(os.Stdout)
+		fmt.Println("\ngrid routing policies (-topology mode):")
+		_ = registry.WriteGridCatalog(os.Stdout)
+		return
+	}
+	if *topology != "" {
+		// Broker mode takes its whole configuration from the topology
+		// file; warn about explicitly passed single-cluster flags that
+		// would otherwise be dropped silently.
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "m", "speed", "policy", "kill", "dilation":
+				log.Printf("gridd: -%s is ignored in -topology mode (set it in %s)", f.Name, *topology)
+			}
+		})
+		runBroker(*topology, *addr, *drainT)
 		return
 	}
 	kp := cluster.KillNewest
@@ -66,19 +89,8 @@ func main() {
 	eng.Start()
 	srv := &http.Server{Addr: *addr, Handler: eng.Handler()}
 
-	sigc := make(chan os.Signal, 1)
-	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
-	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("gridd: serving on %s (m=%d policy=%s dilation=%gx)", *addr, *m, *policy, *dilation)
-
-	select {
-	case sig := <-sigc:
-		log.Printf("gridd: %v: draining", sig)
-	case err := <-errc:
-		eng.Stop()
-		log.Fatalf("gridd: %v", err)
-	}
+	serve(srv, func() { eng.Stop() })
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainT)
 	defer cancel()
@@ -91,4 +103,59 @@ func main() {
 	}
 	_ = srv.Shutdown(ctx)
 	eng.Stop()
+}
+
+// runBroker serves a multi-cluster fleet from a topology file.
+func runBroker(path, addr string, drainT time.Duration) {
+	topo, err := gridservice.LoadTopology(path)
+	if err != nil {
+		log.Fatalf("gridd: %v", err)
+	}
+	b, err := gridservice.NewBroker(topo)
+	if err != nil {
+		log.Fatalf("gridd: %v", err)
+	}
+	b.Start()
+	srv := &http.Server{Addr: addr, Handler: b.Handler()}
+
+	procs := 0
+	for _, c := range topo.Clusters {
+		procs += c.M
+	}
+	log.Printf("gridd: broker serving on %s (%d clusters, %d procs, grid policy %s, dilation %gx)",
+		addr, len(topo.Clusters), procs, topo.GridPolicy, topo.Dilation)
+	serve(srv, func() { b.Stop() })
+
+	ctx, cancel := context.WithTimeout(context.Background(), drainT)
+	defer cancel()
+	st, err := b.Drain(ctx)
+	if err != nil {
+		log.Printf("gridd: drain: %v", err)
+	} else {
+		fmt.Printf("gridd: drained fleet: submitted=%d completed=%d campaigns=%d/%d best-effort=%d (killed %d)\n",
+			st.Fleet.Submitted, st.Fleet.Completed, st.Fleet.CampaignsDone, st.Fleet.Campaigns,
+			st.Fleet.BestEffort.Completed, st.Fleet.BestEffort.Killed)
+		for _, cs := range st.Clusters {
+			fmt.Printf("gridd:   %-12s m=%-4d completed=%-6d best-effort=%d\n",
+				cs.Name, cs.Stats.M, cs.Stats.Completed, cs.Stats.BestEffort.Completed)
+		}
+	}
+	_ = srv.Shutdown(ctx)
+	b.Stop()
+}
+
+// serve runs the HTTP server until SIGTERM/SIGINT (returning normally,
+// so the caller drains) or a listen error (fatal, after cleanup).
+func serve(srv *http.Server, cleanup func()) {
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case sig := <-sigc:
+		log.Printf("gridd: %v: draining", sig)
+	case err := <-errc:
+		cleanup()
+		log.Fatalf("gridd: %v", err)
+	}
 }

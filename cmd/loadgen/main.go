@@ -2,13 +2,17 @@
 // jobs — synthetic (workload.GenConfig shapes) or replayed from an SWF
 // trace — at a target submission rate with concurrent workers, then
 // prints a latency/throughput summary and optionally waits until the
-// daemon reports every accepted job complete.
+// daemon reports every accepted job complete. Against a broker
+// (-topology gridd) the summary additionally breaks submission latency
+// down per cluster, and -campaign fans a bag-of-tasks campaign across
+// the fleet and waits for it to finish.
 //
 // Usage examples:
 //
 //	loadgen -addr http://localhost:8042 -n 200 -rps 100 -workers 4 -wait
 //	loadgen -swf trace.swf -use-release -rps 0
 //	loadgen -n 5000 -workers 8 -wait          # max-rate throughput probe
+//	loadgen -campaign 500 -run-time 30 -wait  # campaign mode (broker only)
 package main
 
 import (
@@ -31,39 +35,46 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", "http://localhost:8042", "gridd base URL")
-		n       = flag.Int("n", 200, "number of jobs to submit (synthetic mode)")
-		m       = flag.Int("m", 64, "platform width shaping the synthetic jobs")
-		rps     = flag.Float64("rps", 0, "target submissions per second (0 = as fast as possible)")
-		workers = flag.Int("workers", 4, "concurrent submission workers")
-		seed    = flag.Uint64("seed", 42, "synthetic workload seed")
-		swf     = flag.String("swf", "", "replay this SWF trace instead of generating jobs")
-		useRel  = flag.Bool("use-release", false, "forward workload release dates as virtual arrival times")
-		wait    = flag.Bool("wait", false, "poll /stats until every accepted job completed")
-		timeout = flag.Duration("timeout", 2*time.Minute, "overall deadline (submission + wait)")
+		addr     = flag.String("addr", "http://localhost:8042", "gridd base URL")
+		n        = flag.Int("n", 200, "number of jobs to submit (synthetic mode)")
+		m        = flag.Int("m", 64, "platform width shaping the synthetic jobs")
+		rps      = flag.Float64("rps", 0, "target submissions per second (0 = as fast as possible)")
+		workers  = flag.Int("workers", 4, "concurrent submission workers")
+		seed     = flag.Uint64("seed", 42, "synthetic workload seed")
+		swf      = flag.String("swf", "", "replay this SWF trace instead of generating jobs")
+		useRel   = flag.Bool("use-release", false, "forward workload release dates as virtual arrival times")
+		wait     = flag.Bool("wait", false, "poll until every accepted job (or the campaign) completed")
+		campaign = flag.Int("campaign", 0, "campaign mode: POST a bag of this many tasks instead of jobs")
+		runTime  = flag.Float64("run-time", 30, "campaign task duration (virtual seconds)")
+		timeout  = flag.Duration("timeout", 2*time.Minute, "overall deadline (submission + wait)")
 	)
 	flag.Parse()
+
+	base := strings.TrimRight(*addr, "/")
+	client := &http.Client{Timeout: 10 * time.Second}
+	deadline := time.Now().Add(*timeout)
+
+	if *campaign > 0 {
+		os.Exit(runCampaign(client, base, *campaign, *runTime, *wait, deadline))
+	}
 
 	specs, err := buildSpecs(*swf, *n, *m, *seed, *useRel)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
 		os.Exit(1)
 	}
-	base := strings.TrimRight(*addr, "/")
-	client := &http.Client{Timeout: 10 * time.Second}
-	deadline := time.Now().Add(*timeout)
 
 	// Snapshot the daemon's counters first: a long-lived gridd may carry
 	// completions from earlier runs, and -wait must account only for the
 	// jobs this run submits.
 	baseline := 0
 	if *wait {
-		st, err := fetchStats(client, base)
+		done, err := fetchCompleted(client, base)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
 			os.Exit(1)
 		}
-		baseline = st.Completed
+		baseline = done
 	}
 
 	res := fire(client, base, specs, *rps, *workers)
@@ -86,6 +97,73 @@ func main() {
 		}
 	}
 	os.Exit(exit)
+}
+
+// campaignStatus mirrors the broker's Campaign payload.
+type campaignStatus struct {
+	ID        int   `json:"id"`
+	Tasks     int   `json:"tasks"`
+	Completed int   `json:"completed"`
+	Killed    int   `json:"killed"`
+	PerClus   []int `json:"per_cluster"`
+	Done      bool  `json:"done"`
+}
+
+// runCampaign submits one campaign and optionally polls it to completion.
+func runCampaign(client *http.Client, base string, tasks int, runTime float64, wait bool, deadline time.Time) int {
+	body, _ := json.Marshal(map[string]interface{}{
+		"name": "loadgen", "tasks": tasks, "run_time": runTime,
+	})
+	t0 := time.Now()
+	resp, err := client.Post(base+"/campaigns", "application/json", bytes.NewReader(body))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: campaign: %v\n", err)
+		return 1
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		fmt.Fprintf(os.Stderr, "loadgen: campaign: status %d: %s\n", resp.StatusCode, raw)
+		return 1
+	}
+	var c campaignStatus
+	if err := json.Unmarshal(raw, &c); err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: campaign: %v\n", err)
+		return 1
+	}
+	fmt.Printf("campaign %d accepted: %d tasks x %gs\n", c.ID, c.Tasks, runTime)
+	if !wait {
+		return 0
+	}
+	for {
+		resp, err := client.Get(fmt.Sprintf("%s/campaigns/%d", base, c.ID))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: campaign poll: %v\n", err)
+			return 1
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			fmt.Fprintf(os.Stderr, "loadgen: campaign poll: status %d: %s\n", resp.StatusCode, raw)
+			return 1
+		}
+		var st campaignStatus
+		if err := json.Unmarshal(raw, &st); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: campaign poll: %v\n", err)
+			return 1
+		}
+		if st.Done {
+			fmt.Printf("campaign done in %v: %d tasks completed, %d kills, per-cluster %v\n",
+				time.Since(t0).Round(time.Millisecond), st.Completed, st.Killed, st.PerClus)
+			return 0
+		}
+		if time.Now().After(deadline) {
+			fmt.Fprintf(os.Stderr, "loadgen: campaign incomplete at deadline: %d of %d\n",
+				st.Completed, st.Tasks)
+			return 1
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
 }
 
 // buildSpecs materializes the submission stream.
@@ -132,7 +210,14 @@ type result struct {
 	accepted, failed int
 	elapsed          time.Duration
 	latencies        []time.Duration
+	perCluster       map[string][]time.Duration
 	firstErr         string
+}
+
+// submitResponse is the slice of the daemon's answer loadgen cares
+// about: brokers tag every accepted job with its cluster.
+type submitResponse struct {
+	Cluster string `json:"cluster"`
 }
 
 // fire submits the specs with the worker pool, pacing the stream at rps
@@ -143,7 +228,7 @@ func fire(client *http.Client, base string, specs []service.JobSpec, rps float64
 	}
 	feed := make(chan service.JobSpec, workers)
 	var mu sync.Mutex
-	res := &result{}
+	res := &result{perCluster: map[string][]time.Duration{}}
 	var wg sync.WaitGroup
 	start := time.Now()
 	for w := 0; w < workers; w++ {
@@ -151,6 +236,7 @@ func fire(client *http.Client, base string, specs []service.JobSpec, rps float64
 		go func() {
 			defer wg.Done()
 			var lats []time.Duration
+			byCluster := map[string][]time.Duration{}
 			acc, fail := 0, 0
 			firstErr := ""
 			for sp := range feed {
@@ -165,7 +251,7 @@ func fire(client *http.Client, base string, specs []service.JobSpec, rps float64
 					}
 					continue
 				}
-				io.Copy(io.Discard, resp.Body)
+				raw, _ := io.ReadAll(resp.Body)
 				resp.Body.Close()
 				if resp.StatusCode != http.StatusAccepted {
 					fail++
@@ -176,11 +262,18 @@ func fire(client *http.Client, base string, specs []service.JobSpec, rps float64
 				}
 				acc++
 				lats = append(lats, lat)
+				var sub submitResponse
+				if json.Unmarshal(raw, &sub) == nil && sub.Cluster != "" {
+					byCluster[sub.Cluster] = append(byCluster[sub.Cluster], lat)
+				}
 			}
 			mu.Lock()
 			res.accepted += acc
 			res.failed += fail
 			res.latencies = append(res.latencies, lats...)
+			for name, ls := range byCluster {
+				res.perCluster[name] = append(res.perCluster[name], ls...)
+			}
 			if res.firstErr == "" {
 				res.firstErr = firstErr
 			}
@@ -202,6 +295,11 @@ func fire(client *http.Client, base string, specs []service.JobSpec, rps float64
 	return res
 }
 
+// pctOf returns the p-quantile of a sorted latency slice.
+func pctOf(sorted []time.Duration, p float64) time.Duration {
+	return sorted[int(p*float64(len(sorted)-1))]
+}
+
 func (r *result) print(w io.Writer) {
 	fmt.Fprintf(w, "submitted %d (accepted %d, failed %d) in %v  →  %.0f jobs/s\n",
 		r.accepted+r.failed, r.accepted, r.failed, r.elapsed.Round(time.Millisecond),
@@ -213,24 +311,49 @@ func (r *result) print(w io.Writer) {
 		return
 	}
 	sort.Slice(r.latencies, func(i, k int) bool { return r.latencies[i] < r.latencies[k] })
-	pct := func(p float64) time.Duration {
-		i := int(p * float64(len(r.latencies)-1))
-		return r.latencies[i]
-	}
 	fmt.Fprintf(w, "latency p50=%v p90=%v p99=%v max=%v\n",
-		pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
-		pct(0.99).Round(time.Microsecond), r.latencies[len(r.latencies)-1].Round(time.Microsecond))
+		pctOf(r.latencies, 0.50).Round(time.Microsecond), pctOf(r.latencies, 0.90).Round(time.Microsecond),
+		pctOf(r.latencies, 0.99).Round(time.Microsecond), r.latencies[len(r.latencies)-1].Round(time.Microsecond))
+	if len(r.perCluster) == 0 {
+		return
+	}
+	names := make([]string, 0, len(r.perCluster))
+	for name := range r.perCluster {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ls := r.perCluster[name]
+		sort.Slice(ls, func(i, k int) bool { return ls[i] < ls[k] })
+		fmt.Fprintf(w, "  cluster %-12s %6d jobs  p50=%v p99=%v max=%v\n",
+			name, len(ls),
+			pctOf(ls, 0.50).Round(time.Microsecond), pctOf(ls, 0.99).Round(time.Microsecond),
+			ls[len(ls)-1].Round(time.Microsecond))
+	}
 }
 
-// fetchStats reads the daemon's /stats endpoint.
-func fetchStats(client *http.Client, base string) (service.Stats, error) {
-	var st service.Stats
+// fetchCompleted reads the daemon's completed-job counter, transparently
+// handling both the single-cluster /stats shape and the broker's
+// fleet-wide shape.
+func fetchCompleted(client *http.Client, base string) (int, error) {
 	resp, err := client.Get(base + "/stats")
 	if err != nil {
-		return st, err
+		return 0, err
 	}
 	defer resp.Body.Close()
-	return st, json.NewDecoder(resp.Body).Decode(&st)
+	var probe struct {
+		Completed int `json:"completed"`
+		Fleet     *struct {
+			Completed int `json:"completed"`
+		} `json:"fleet"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&probe); err != nil {
+		return 0, err
+	}
+	if probe.Fleet != nil {
+		return probe.Fleet.Completed, nil
+	}
+	return probe.Completed, nil
 }
 
 // waitComplete polls /stats until the daemon has completed `accepted`
@@ -238,11 +361,11 @@ func fetchStats(client *http.Client, base string) (service.Stats, error) {
 // number of this run's jobs still unfinished.
 func waitComplete(client *http.Client, base string, baseline, accepted int, deadline time.Time) (lost int, err error) {
 	for {
-		st, err := fetchStats(client, base)
+		completed, err := fetchCompleted(client, base)
 		if err != nil {
 			return accepted, err
 		}
-		done := st.Completed - baseline
+		done := completed - baseline
 		if done >= accepted {
 			return 0, nil
 		}

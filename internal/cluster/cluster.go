@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"repro/internal/des"
 	"repro/internal/metrics"
@@ -114,6 +115,33 @@ type BETask struct {
 	Duration float64 // at reference speed 1.0
 }
 
+// LoadInfo is a point-in-time load snapshot of one cluster, published
+// atomically at event granularity so external observers (the grid broker
+// routing submissions across a fleet) can poll it from any goroutine
+// without going through the simulator's owner.
+type LoadInfo struct {
+	// M and Speed are the static cluster dimensions.
+	M     int
+	Speed float64
+	// Free is the physically free processor count.
+	Free int
+	// Queued and QueuedWork describe the waiting local jobs (work at
+	// reference speed, the §5.2 load-balance signal).
+	Queued     int
+	QueuedWork float64
+	// BEQueued and BEActive count waiting / running best-effort tasks.
+	BEQueued, BEActive int
+}
+
+// NormLoad returns the normalized queued load: time to drain the waiting
+// work on the full cluster (QueuedWork / (M × Speed)).
+func (l LoadInfo) NormLoad() float64 {
+	if l.M <= 0 || l.Speed <= 0 {
+		return 0
+	}
+	return l.QueuedWork / (float64(l.M) * l.Speed)
+}
+
 // BEStats aggregates the best-effort activity of one cluster.
 type BEStats struct {
 	Completed  int
@@ -142,7 +170,10 @@ type Sim struct {
 	policy Policy
 	kill   KillPolicy
 
-	queue       []*workload.Job
+	queue []*workload.Job
+	// queuedWork tracks the queue's total minimal work incrementally (the
+	// LoadSnapshot signal; QueuedWork() recomputes it exactly).
+	queuedWork  float64
 	localProcs  int
 	running     []*localRunning
 	completions []metrics.Completion
@@ -168,6 +199,13 @@ type Sim struct {
 	beStats   BEStats
 	submitted int
 	drained   bool
+
+	// load is the atomically published LoadInfo snapshot behind
+	// LoadSnapshot, refreshed after every event that changes the queue or
+	// the processor occupation. Publication is gated on poll so offline
+	// simulations (no external observers) pay nothing per event.
+	load atomic.Pointer[LoadInfo]
+	poll bool
 
 	// OnBEKilled, when set, receives killed tasks (the grid server
 	// resubmits them). OnBEDone receives completed tasks.
@@ -207,11 +245,46 @@ func New(sim *des.Simulator, m int, speed float64, policy Policy, kill KillPolic
 	if sim == nil {
 		sim = des.New()
 	}
-	return &Sim{
+	s := &Sim{
 		DES: sim, M: m, Speed: speed, policy: policy, kill: kill,
 		profile: rigid.NewProfile(m),
-	}, nil
+	}
+	s.forcePublishLoad()
+	return s, nil
 }
+
+// publishLoad refreshes the atomic LoadSnapshot (loop/owner goroutine
+// only; readers are lock-free). A no-op until EnablePolling.
+func (s *Sim) publishLoad() {
+	if !s.poll {
+		return
+	}
+	s.forcePublishLoad()
+}
+
+func (s *Sim) forcePublishLoad() {
+	s.load.Store(&LoadInfo{
+		M: s.M, Speed: s.Speed, Free: s.free(),
+		Queued: len(s.queue), QueuedWork: s.queuedWork,
+		BEQueued: len(s.beQueue), BEActive: len(s.beActive),
+	})
+}
+
+// EnablePolling turns on per-event LoadSnapshot publication (the gridd
+// engines enable it; batch simulations skip the per-event cost). Must be
+// called before the simulation starts running — it flips owner-side
+// state.
+func (s *Sim) EnablePolling() {
+	s.poll = true
+	s.forcePublishLoad()
+}
+
+// LoadSnapshot returns the latest published load snapshot. Unlike every
+// other accessor it is safe to call from any goroutine while the
+// simulation runs elsewhere: the snapshot is replaced atomically at
+// event granularity, so readers see a consistent (if slightly stale)
+// view. Without EnablePolling it reports the construction-time state.
+func (s *Sim) LoadSnapshot() LoadInfo { return *s.load.Load() }
 
 // Submit registers a local job: it arrives at its release date.
 func (s *Sim) Submit(j *workload.Job) error {
@@ -224,6 +297,8 @@ func (s *Sim) Submit(j *workload.Job) error {
 	s.submitted++
 	return s.DES.At(math.Max(j.Release, s.DES.Now()), func() {
 		s.queue = append(s.queue, j)
+		w, _ := j.MinWork(s.M)
+		s.queuedWork += w
 		s.reschedule()
 	})
 }
@@ -231,6 +306,7 @@ func (s *Sim) Submit(j *workload.Job) error {
 // SubmitBestEffort enqueues a grid task; it will run in scheduling holes.
 func (s *Sim) SubmitBestEffort(t BETask) {
 	s.beQueue = append(s.beQueue, t)
+	s.publishLoad()
 	// Defer the fill to an immediate event so that submission during
 	// another event keeps deterministic ordering. Bursts of submissions
 	// coalesce into a single pending reschedule: one fill pass over the
@@ -270,6 +346,7 @@ func (s *Sim) reschedule() {
 		s.start(d, now)
 	}
 	s.fillBestEffort(now)
+	s.publishLoad()
 	if s.OnIdle != nil {
 		s.OnIdle(s.free())
 	}
@@ -297,6 +374,11 @@ func (s *Sim) start(d Decision, now float64) {
 		}
 	}
 	s.queue = append(s.queue[:idx], s.queue[idx+1:]...)
+	w, _ := d.Job.MinWork(s.M)
+	s.queuedWork -= w
+	if s.queuedWork < 0 {
+		s.queuedWork = 0 // float drift guard
+	}
 	dur := d.Job.TimeOn(d.Procs) / s.Speed
 	if err := s.profile.Reserve(now, dur, d.Procs); err != nil {
 		// Cannot happen while profile and running set agree (the Procs
@@ -456,6 +538,12 @@ func (s *Sim) Completions() []metrics.Completion {
 	return append([]metrics.Completion(nil), s.completions...)
 }
 
+// CompletionsView returns the live completion records without copying.
+// Owner-goroutine only, read-only, and not to be retained across events
+// — use Completions for a stable snapshot. It exists so per-scrape
+// metric reports need not copy an ever-growing slice.
+func (s *Sim) CompletionsView() []metrics.Completion { return s.completions }
+
 // BestEffort returns the best-effort statistics.
 func (s *Sim) BestEffort() BEStats { return s.beStats }
 
@@ -522,6 +610,14 @@ func (s *Sim) StealQueued(n int) []*workload.Job {
 	stolen := append([]*workload.Job(nil), s.queue[len(s.queue)-n:]...)
 	s.queue = s.queue[:len(s.queue)-n]
 	s.submitted -= n
+	for _, j := range stolen {
+		w, _ := j.MinWork(s.M)
+		s.queuedWork -= w
+	}
+	if s.queuedWork < 0 {
+		s.queuedWork = 0
+	}
+	s.publishLoad()
 	return stolen
 }
 
@@ -537,6 +633,8 @@ func (s *Sim) InjectNow(j *workload.Job) error {
 	s.submitted++
 	return s.DES.After(0, func() {
 		s.queue = append(s.queue, j)
+		w, _ := j.MinWork(s.M)
+		s.queuedWork += w
 		s.reschedule()
 	})
 }

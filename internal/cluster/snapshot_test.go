@@ -1,0 +1,113 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func snapJob(id int, dur float64, procs int, release float64) *workload.Job {
+	return &workload.Job{
+		ID: id, Kind: workload.Rigid, Weight: 1, DueDate: -1, Release: release,
+		SeqTime: dur * float64(procs), MinProcs: procs, MaxProcs: procs,
+		Model: workload.Linear{},
+	}
+}
+
+// TestLoadSnapshotConsistency checks the published snapshot against the
+// owner-side accessors at quiescent points.
+func TestLoadSnapshotConsistency(t *testing.T) {
+	sim, err := New(des.New(), 8, 1, FCFSPolicy{}, KillNewest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld := sim.LoadSnapshot()
+	if ld.M != 8 || ld.Speed != 1 || ld.Free != 8 || ld.Queued != 0 {
+		t.Fatalf("fresh snapshot %+v", ld)
+	}
+	sim.EnablePolling()
+	// Two jobs: one runs (4 procs), one waits behind it (8 procs).
+	if err := sim.Submit(snapJob(1, 10, 4, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Submit(snapJob(2, 5, 8, 0)); err != nil {
+		t.Fatal(err)
+	}
+	for _, task := range []BETask{{BagID: 0, Index: 0, Duration: 3}, {BagID: 0, Index: 1, Duration: 3}} {
+		sim.SubmitBestEffort(task)
+	}
+	if err := sim.DES.RunUntil(1); err != nil {
+		t.Fatal(err)
+	}
+	ld = sim.LoadSnapshot()
+	if ld.Free != sim.Free() || ld.Queued != sim.QueueLength() ||
+		ld.BEQueued != sim.BestEffortQueueLength() || ld.BEActive != sim.BestEffortActive() {
+		t.Fatalf("snapshot %+v diverges from accessors (free=%d queued=%d beq=%d bea=%d)",
+			ld, sim.Free(), sim.QueueLength(), sim.BestEffortQueueLength(), sim.BestEffortActive())
+	}
+	if got, want := ld.QueuedWork, sim.QueuedWork(); got != want {
+		t.Fatalf("snapshot queued work %v, accessor %v", got, want)
+	}
+	if ld.NormLoad() != want8(ld.QueuedWork) {
+		t.Fatalf("norm load %v", ld.NormLoad())
+	}
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	ld = sim.LoadSnapshot()
+	if ld.Free != 8 || ld.Queued != 0 || ld.QueuedWork != 0 || ld.BEActive != 0 {
+		t.Fatalf("drained snapshot %+v", ld)
+	}
+}
+
+func want8(w float64) float64 { return w / 8 }
+
+// TestLoadSnapshotRaceSafe polls the snapshot from concurrent readers
+// while the simulation runs — the broker's polling pattern. Run with
+// -race: any unsynchronized access to simulator state would trip it.
+func TestLoadSnapshotRaceSafe(t *testing.T) {
+	sim, err := New(des.New(), 16, 1, EASYPolicy{}, KillNewest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.EnablePolling()
+	rng := stats.NewRNG(11)
+	clock := 0.0
+	for i := 0; i < 300; i++ {
+		clock += rng.Exp(0.5)
+		if err := sim.Submit(snapJob(i, rng.Range(1, 20), rng.IntRange(1, 8), clock)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		sim.SubmitBestEffort(BETask{BagID: 0, Index: i, Duration: rng.Range(1, 5)})
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ld := sim.LoadSnapshot()
+				if ld.Free < 0 || ld.Free > ld.M || ld.Queued < 0 || ld.BEActive > ld.M {
+					t.Errorf("inconsistent snapshot %+v", ld)
+					return
+				}
+			}
+		}()
+	}
+	if err := sim.Run(); err != nil {
+		t.Error(err)
+	}
+	close(stop)
+	wg.Wait()
+}

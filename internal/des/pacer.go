@@ -45,12 +45,23 @@ func (p *Pacer) VirtualNow(now time.Time) float64 {
 	return p.virtStart + elapsed*p.dilation
 }
 
+// MaxSleep caps WallUntil: sleeping longer than this is pointless (the
+// caller re-evaluates on wake) and, crucially, far-future virtual times
+// would otherwise overflow time.Duration — the float→int64 conversion
+// wraps negative and a timer armed with it fires immediately, turning
+// the wait loop into a busy spin.
+const MaxSleep = time.Hour
+
 // WallUntil returns how long to sleep from the wall instant now until
-// virtual time virt is reached. Already-passed virtual times return 0.
+// virtual time virt is reached, capped at MaxSleep. Already-passed
+// virtual times return 0.
 func (p *Pacer) WallUntil(virt float64, now time.Time) time.Duration {
 	d := (virt - p.VirtualNow(now)) / p.dilation
 	if d <= 0 {
 		return 0
+	}
+	if d >= MaxSleep.Seconds() {
+		return MaxSleep
 	}
 	return time.Duration(d * float64(time.Second))
 }

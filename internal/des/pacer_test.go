@@ -29,6 +29,14 @@ func TestPacerMapping(t *testing.T) {
 	if got := p.WallUntil(60, anchor.Add(10*time.Second)); got != 0 {
 		t.Fatalf("WallUntil(past) = %v, want 0", got)
 	}
+	// Far-future virtual times clamp to MaxSleep instead of overflowing
+	// time.Duration into a negative (busy-spin) value.
+	if got := p.WallUntil(1e18, anchor); got != MaxSleep {
+		t.Fatalf("WallUntil(1e18) = %v, want %v", got, MaxSleep)
+	}
+	if got := p.WallUntil(1e308, anchor); got != MaxSleep {
+		t.Fatalf("WallUntil(1e308) = %v, want %v", got, MaxSleep)
+	}
 }
 
 func TestPacerAnchorOffset(t *testing.T) {

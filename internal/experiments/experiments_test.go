@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/registry"
 	"repro/internal/trace"
 )
 
@@ -146,6 +147,26 @@ func TestDecentralizedTable(t *testing.T) {
 	}
 	if mig := parseRatio(t, tb.Rows[1][1]); mig == 0 {
 		t.Fatal("no migrations recorded")
+	}
+}
+
+func TestGridPolicyTable(t *testing.T) {
+	tb, err := GridPolicyTable(8, quick)
+	checkTable(t, tb, err, len(registry.Grids()))
+	seen := map[string]bool{}
+	for _, row := range tb.Rows {
+		seen[row[0]] = true
+		// Every policy must finish the whole campaign (column "grid done").
+		done := parseRatio(t, row[5])
+		want := parseRatio(t, tb.Rows[0][5])
+		if done != want {
+			t.Fatalf("%s completed %v campaign tasks, others %v", row[0], done, want)
+		}
+	}
+	for _, e := range registry.Grids() {
+		if !seen[e.Name] {
+			t.Fatalf("grid policy %s missing from table (rows %v)", e.Name, tb.Rows)
+		}
 	}
 }
 

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/grid"
+	"repro/internal/metrics"
+	"repro/internal/platform"
+	"repro/internal/registry"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// gridPolicyMembers builds the heterogeneous 4-cluster fleet the grid
+// policies are compared on (mixed widths and speeds, EASY everywhere).
+func gridPolicyMembers() []grid.Member {
+	specs := []struct {
+		name  string
+		m     int
+		speed float64
+	}{
+		{"big", 64, 1}, {"fast", 32, 1.5}, {"old", 32, 0.75}, {"tiny", 16, 2},
+	}
+	var members []grid.Member
+	for _, s := range specs {
+		members = append(members, grid.Member{
+			Cluster: &platform.Cluster{Name: s.name, Nodes: s.m, ProcsPerNode: 1, Speed: s.speed},
+			Policy:  cluster.EASYPolicy{},
+		})
+	}
+	return members
+}
+
+// GridPolicyTable is experiment T15: the online grid routing catalog
+// (the policies the gridd broker serves) swept head-to-head on one
+// shared arrival stream plus one best-effort campaign, via the offline
+// routed-grid twin of the broker (grid.Routed). Reports the local §3
+// criteria and the campaign's best-effort loss per policy. Rows are
+// registry-driven: a policy added to the grid catalog shows up here
+// automatically.
+func GridPolicyTable(seed uint64, sc Scale) (*trace.Table, error) {
+	t := trace.NewTable(
+		"T15 — online grid policies (broker routing catalog): 4 heterogeneous clusters, shared stream + campaign",
+		"policy", "migr", "mean flow", "max flow", "makespan", "grid done", "kills", "wasted %", "grid Cmax")
+	n := sc.jobs(240)
+	tasks := sc.jobs(2400)
+	jobs := workload.Parallel(workload.GenConfig{
+		N: n, M: 32, Seed: seed, ArrivalRate: 0.1, RigidFraction: 1, MaxProcsCap: 32,
+	})
+	entries := registry.Grids()
+	if err := runRowCells(t, sc, len(entries), func(i int) ([]any, error) {
+		entry := entries[i]
+		router := entry.New(grid.RouterOptions{Seed: seed, Threshold: 1.3, MaxMove: 8})
+		bags := []*workload.Bag{{ID: 0, Runs: tasks, RunTime: 30, Name: "campaign"}}
+		r, err := grid.NewRouted(gridPolicyMembers(), cloneJobSlice(jobs), bags, router,
+			grid.RoutedOptions{ExchangePeriod: 30}, cluster.KillNewest)
+		if err != nil {
+			return nil, err
+		}
+		if err := r.Run(); err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", entry.Name, err)
+		}
+		st := r.Stats()
+		if st.Rejected > 0 {
+			return nil, fmt.Errorf("experiments: %s rejected %d jobs", entry.Name, st.Rejected)
+		}
+		cs := r.AllCompletions()
+		wastedPct := 0.0
+		if st.DoneWork+st.WastedWork > 0 {
+			wastedPct = 100 * st.WastedWork / (st.DoneWork + st.WastedWork)
+		}
+		return []any{entry.Name, st.Migrations,
+			metrics.MeanFlow(cs), metrics.MaxFlow(cs), metrics.Makespan(cs),
+			st.TasksCompleted, st.TasksKilled, wastedPct, st.GridMakespan}, nil
+	}); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -38,6 +38,7 @@ func TestParallelMatchesSequential(t *testing.T) {
 		"treedlt":       TreeDLTTable,
 		"criteria":      CriteriaMatrixTable,
 		"heterogrid":    HeteroGridTable,
+		"gridpolicies":  GridPolicyTable,
 		"abl-allot":     AblationAllotment,
 		"abl-doubling":  AblationDoublingBase,
 		"abl-shelf":     AblationShelfFill,

@@ -47,10 +47,13 @@ type CentralizedStats struct {
 	PerCluster []cluster.BEStats
 }
 
-// Centralized simulates the CiGri design.
+// Centralized simulates the CiGri design. Its placement decisions come
+// from the shared CentralizedFill policy, the same code the live broker
+// of internal/gridservice runs against a fleet of engines.
 type Centralized struct {
 	DES      *des.Simulator
 	sims     []*cluster.Sim
+	fill     CentralizedFill
 	stock    []cluster.BETask // central queue of not-yet-placed tasks
 	inFlight int
 	stats    CentralizedStats
@@ -115,14 +118,20 @@ func NewCentralized(members []Member, bags []*workload.Bag, kill cluster.KillPol
 	return c, nil
 }
 
-// feed hands up to free tasks from the central stock to cluster i.
+// feed hands stock tasks to cluster i after an idle notification: the
+// OnIdle hook reports free processors with the on-site queue already
+// refilled, so the top-up sees no queued best-effort backlog.
 func (c *Centralized) feed(i, free int) {
-	for free > 0 && len(c.stock) > 0 {
+	c.grant(i, c.fill.TopUp(free, 0, len(c.stock)))
+}
+
+// grant moves n tasks from the central stock to cluster i.
+func (c *Centralized) grant(i, n int) {
+	for ; n > 0 && len(c.stock) > 0; n-- {
 		t := c.stock[0]
 		c.stock = c.stock[1:]
 		c.inFlight++
 		c.sims[i].SubmitBestEffort(t)
-		free--
 	}
 }
 
@@ -160,25 +169,19 @@ func (c *Centralized) taskDone(t cluster.BETask) {
 	c.scheduleRedistribute()
 }
 
-// redistribute offers stock to clusters with free processors, topping up
-// each cluster's on-site best-effort queue to at most its free capacity.
-// Keeping the stock central (rather than dumping it into one cluster's
-// queue) is what lets killed work drift to whichever cluster has holes —
-// the essence of the CiGri server.
+// redistribute offers stock to clusters with free processors via the
+// shared CentralizedFill policy: each cluster's on-site best-effort
+// queue is topped up to at most its free capacity. Keeping the stock
+// central (rather than dumping it into one cluster's queue) is what lets
+// killed work drift to whichever cluster has holes — the essence of the
+// CiGri server.
 func (c *Centralized) redistribute() {
+	loads := make([]cluster.LoadInfo, len(c.sims))
 	for i, cs := range c.sims {
-		if len(c.stock) == 0 {
-			return
-		}
-		n := cs.Free() - cs.BestEffortQueueLength()
-		for n > 0 && len(c.stock) > 0 {
-			t := c.stock[0]
-			c.stock = c.stock[1:]
-			c.inFlight++
-			cs.SubmitBestEffort(t)
-			n--
-		}
-		_ = i
+		loads[i] = cluster.LoadInfo{Free: cs.Free(), BEQueued: cs.BestEffortQueueLength()}
+	}
+	for i, n := range c.fill.Grants(loads, len(c.stock)) {
+		c.grant(i, n)
 	}
 }
 

@@ -2,7 +2,6 @@ package grid
 
 import (
 	"fmt"
-	"math"
 
 	"repro/internal/cluster"
 	"repro/internal/des"
@@ -116,8 +115,8 @@ func (d *Decentralized) exchange() {
 				continue
 			}
 			for moved := 0; moved < d.opt.MaxMove; moved++ {
-				src := argmax(load)
-				if src == i || load[src] <= 0 {
+				src, ok := PullPick(load, i)
+				if !ok {
 					break
 				}
 				if !d.moveOne(src, i, load) {
@@ -127,8 +126,8 @@ func (d *Decentralized) exchange() {
 		}
 	default: // Push: repeatedly move from the most to the least loaded.
 		for moved := 0; moved < d.opt.MaxMove; moved++ {
-			src, dst := argmax(load), argmin(load)
-			if src == dst || load[src] <= d.opt.Threshold*math.Max(load[dst], 1e-12) {
+			src, dst, ok := PushPick(load, d.opt.Threshold)
+			if !ok {
 				break
 			}
 			if !d.moveOne(src, dst, load) {

@@ -1,0 +1,244 @@
+package grid
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/des"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// RoutedOptions tunes the offline routed-grid simulation.
+type RoutedOptions struct {
+	// Router options (seed, exchange threshold, max moves per round).
+	Router RouterOptions
+	// ExchangePeriod is the interval of the Moves rounds (virtual
+	// seconds; default 60, ignored for routers that never move jobs).
+	ExchangePeriod float64
+}
+
+func (o RoutedOptions) fill() RoutedOptions {
+	if o.ExchangePeriod <= 0 {
+		o.ExchangePeriod = 60
+	}
+	o.Router = o.Router.fill()
+	return o
+}
+
+// RoutedStats aggregates a routed run.
+type RoutedStats struct {
+	// Routed and Rejected count local-job placements.
+	Routed, Rejected int
+	// Migrations counts queued jobs moved by exchange rounds.
+	Migrations int
+	// Campaign accounting, mirroring CentralizedStats.
+	TasksCompleted, TasksKilled int
+	DoneWork, WastedWork        float64
+	GridMakespan                float64
+	PerCluster                  []cluster.BEStats
+}
+
+// Routed is the offline twin of the live broker: one DES, k member
+// clusters, and a grid Router deciding — with exactly the code the
+// broker runs — where each arriving job goes, how the campaign stock
+// fans out, and which queued jobs migrate. It exists so the online grid
+// policies can be swept deterministically in the paper tables.
+type Routed struct {
+	DES    *des.Simulator
+	sims   []*cluster.Sim
+	router Router
+	opt    RoutedOptions
+	stock  []cluster.BETask
+	stats  RoutedStats
+	nLocal int
+
+	redistributePending bool
+}
+
+// NewRouted wires the routed grid: members supply the platforms and
+// local queue policies (their Local job lists are ignored — routing is
+// the router's job), jobs is the single arrival stream, bags the
+// campaign load.
+func NewRouted(members []Member, jobs []*workload.Job, bags []*workload.Bag, router Router, opt RoutedOptions, kill cluster.KillPolicy) (*Routed, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("grid: no members")
+	}
+	if router == nil {
+		return nil, fmt.Errorf("grid: nil router")
+	}
+	opt = opt.fill()
+	sim := des.NewWithCapacity(len(jobs) + 64)
+	r := &Routed{DES: sim, router: router, opt: opt}
+	for _, mb := range members {
+		if err := mb.Cluster.Validate(); err != nil {
+			return nil, err
+		}
+		cs, err := cluster.New(sim, mb.Cluster.Procs(), mb.Cluster.Speed, mb.Policy, kill)
+		if err != nil {
+			return nil, err
+		}
+		cs.OnBEKilled = func(t cluster.BETask) { r.requeue(t) }
+		cs.OnBEDone = func(t cluster.BETask) { r.taskDone(t) }
+		r.sims = append(r.sims, cs)
+	}
+	// Each job arrives at its release date and is routed against the
+	// fleet's live load at that instant — the broker's Submit path.
+	for _, j := range jobs {
+		job := j
+		if err := sim.At(job.Release, func() { r.place(job) }); err != nil {
+			return nil, err
+		}
+	}
+	for _, b := range bags {
+		for i := 0; i < b.Runs; i++ {
+			r.stock = append(r.stock, cluster.BETask{BagID: b.ID, Index: i, Duration: b.RunTime})
+		}
+	}
+	_ = sim.At(0, r.redistribute)
+	// Exchange rounds are armed for every router; routers without a
+	// protocol return no moves and the round re-arms only while events
+	// remain, so the no-op rounds cost nothing once the grid drains.
+	_ = sim.At(opt.ExchangePeriod, r.exchange)
+	return r, nil
+}
+
+// loads builds the exact fleet load vector (single-threaded, so no
+// staleness — the broker reads the same fields via LoadSnapshot).
+func (r *Routed) loads() []cluster.LoadInfo {
+	out := make([]cluster.LoadInfo, len(r.sims))
+	for i, cs := range r.sims {
+		out[i] = cluster.LoadInfo{
+			M: cs.M, Speed: cs.Speed, Free: cs.Free(),
+			Queued: cs.QueueLength(), QueuedWork: cs.QueuedWork(),
+			BEQueued: cs.BestEffortQueueLength(), BEActive: cs.BestEffortActive(),
+		}
+	}
+	return out
+}
+
+// place routes one arriving job.
+func (r *Routed) place(j *workload.Job) {
+	idx := r.router.Route(j.MinProcs, r.loads())
+	if idx < 0 {
+		r.stats.Rejected++
+		return
+	}
+	if err := r.sims[idx].InjectNow(j); err != nil {
+		r.stats.Rejected++
+		return
+	}
+	r.stats.Routed++
+	r.nLocal++
+}
+
+// requeue returns a killed campaign task to the stock.
+func (r *Routed) requeue(t cluster.BETask) {
+	r.stats.TasksKilled++
+	r.stock = append(r.stock, t)
+	r.scheduleRedistribute()
+}
+
+func (r *Routed) taskDone(t cluster.BETask) {
+	r.stats.TasksCompleted++
+	r.stats.DoneWork += t.Duration
+	if now := r.DES.Now(); now > r.stats.GridMakespan {
+		r.stats.GridMakespan = now
+	}
+	r.scheduleRedistribute()
+}
+
+// scheduleRedistribute coalesces redistribution wakeups (kills and
+// completions arrive in bursts).
+func (r *Routed) scheduleRedistribute() {
+	if r.redistributePending || len(r.stock) == 0 {
+		return
+	}
+	r.redistributePending = true
+	_ = r.DES.After(0, func() {
+		r.redistributePending = false
+		r.redistribute()
+	})
+}
+
+// redistribute grants stock tasks per the router's fill rule.
+func (r *Routed) redistribute() {
+	if len(r.stock) == 0 {
+		return
+	}
+	grants := r.router.Grants(r.loads(), len(r.stock))
+	for i, n := range grants {
+		for ; n > 0 && len(r.stock) > 0; n-- {
+			t := r.stock[0]
+			r.stock = r.stock[1:]
+			r.sims[i].SubmitBestEffort(t)
+		}
+	}
+}
+
+// exchange runs one Moves round and re-arms while the grid is alive.
+func (r *Routed) exchange() {
+	for _, mv := range r.router.Moves(r.loads()) {
+		if mv.Src == mv.Dst || mv.Src < 0 || mv.Dst < 0 ||
+			mv.Src >= len(r.sims) || mv.Dst >= len(r.sims) {
+			continue
+		}
+		for _, j := range r.sims[mv.Src].StealQueued(mv.N) {
+			dst := mv.Dst
+			if j.MinProcs > r.sims[dst].M {
+				dst = mv.Src // does not fit; back home
+			}
+			if err := r.sims[dst].InjectNow(j); err != nil {
+				_ = r.sims[mv.Src].InjectNow(j)
+				continue
+			}
+			if dst == mv.Dst {
+				r.stats.Migrations++
+			}
+		}
+	}
+	if r.DES.Pending() > 0 {
+		_ = r.DES.At(r.DES.Now()+r.opt.ExchangePeriod, r.exchange)
+	}
+}
+
+// Run drives the routed grid to completion: all routed jobs and all
+// campaign tasks done.
+func (r *Routed) Run() error {
+	for {
+		if err := r.DES.Run(); err != nil {
+			return err
+		}
+		if len(r.stock) == 0 {
+			break
+		}
+		before := len(r.stock)
+		r.redistribute()
+		if r.DES.Pending() == 0 && len(r.stock) == before {
+			return fmt.Errorf("grid: %d tasks stuck in routed stock", len(r.stock))
+		}
+	}
+	for _, cs := range r.sims {
+		st := cs.BestEffort()
+		r.stats.PerCluster = append(r.stats.PerCluster, st)
+		r.stats.WastedWork += st.WastedWork
+	}
+	return nil
+}
+
+// Stats returns the aggregated statistics (valid after Run).
+func (r *Routed) Stats() RoutedStats { return r.stats }
+
+// AllCompletions merges every cluster's local completion records.
+func (r *Routed) AllCompletions() []metrics.Completion {
+	var all []metrics.Completion
+	for _, cs := range r.sims {
+		all = append(all, cs.Completions()...)
+	}
+	return all
+}
+
+// LocalCompletions returns cluster i's completion records.
+func (r *Routed) LocalCompletions(i int) []metrics.Completion {
+	return r.sims[i].Completions()
+}

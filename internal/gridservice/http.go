@@ -1,0 +1,212 @@
+// HTTP layer of the broker: the gridd daemon in -topology (grid) mode.
+// The JSON API mirrors the single-engine service API and adds campaign
+// management plus fleet-wide aggregation; /metrics labels every
+// per-cluster series with {cluster="<name>"}.
+package gridservice
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/cluster"
+	"repro/internal/registry"
+	"repro/internal/service"
+)
+
+// Handler returns the broker HTTP API:
+//
+//	POST /jobs           submit a JobSpec (optional "cluster" pin), 202
+//	GET  /jobs/{id}      status of one job (includes its cluster)
+//	POST /campaigns      submit a CampaignSpec, returns the Campaign (202)
+//	GET  /campaigns      all campaigns
+//	GET  /campaigns/{id} one campaign
+//	GET  /stats          fleet-wide + per-cluster statistics
+//	GET  /metrics        Prometheus text, per-cluster labels
+//	GET  /policies       local policy catalog + grid policy catalog
+//	GET  /topology       the filled fleet configuration
+func (b *Broker) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", b.handleSubmit)
+	mux.HandleFunc("GET /jobs/{id}", b.handleJob)
+	mux.HandleFunc("POST /campaigns", b.handleSubmitCampaign)
+	mux.HandleFunc("GET /campaigns", b.handleCampaigns)
+	mux.HandleFunc("GET /campaigns/{id}", b.handleCampaign)
+	mux.HandleFunc("GET /stats", b.handleStats)
+	mux.HandleFunc("GET /metrics", b.handleMetrics)
+	mux.HandleFunc("GET /policies", b.handlePolicies)
+	mux.HandleFunc("GET /topology", b.handleTopology)
+	return mux
+}
+
+func (b *Broker) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec service.JobSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		service.WriteJSON(w, http.StatusBadRequest, service.APIError{Error: fmt.Sprintf("bad job spec: %v", err)})
+		return
+	}
+	st, err := b.Submit(spec)
+	switch {
+	case errors.Is(err, cluster.ErrDrained) || errors.Is(err, service.ErrStopped):
+		service.WriteJSON(w, http.StatusServiceUnavailable, service.APIError{Error: err.Error()})
+	case err != nil:
+		service.WriteJSON(w, http.StatusBadRequest, service.APIError{Error: err.Error()})
+	default:
+		service.WriteJSON(w, http.StatusAccepted, st)
+	}
+}
+
+func (b *Broker) handleJob(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		service.WriteJSON(w, http.StatusBadRequest, service.APIError{Error: "job id must be an integer"})
+		return
+	}
+	st, ok, err := b.Job(id)
+	if err != nil {
+		service.WriteJSON(w, http.StatusServiceUnavailable, service.APIError{Error: err.Error()})
+		return
+	}
+	if !ok {
+		service.WriteJSON(w, http.StatusNotFound, service.APIError{Error: fmt.Sprintf("unknown job %d", id)})
+		return
+	}
+	service.WriteJSON(w, http.StatusOK, st)
+}
+
+func (b *Broker) handleSubmitCampaign(w http.ResponseWriter, r *http.Request) {
+	var spec CampaignSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		service.WriteJSON(w, http.StatusBadRequest, service.APIError{Error: fmt.Sprintf("bad campaign spec: %v", err)})
+		return
+	}
+	c, err := b.SubmitCampaign(spec)
+	if err != nil {
+		service.WriteJSON(w, http.StatusBadRequest, service.APIError{Error: err.Error()})
+		return
+	}
+	service.WriteJSON(w, http.StatusAccepted, c)
+}
+
+func (b *Broker) handleCampaigns(w http.ResponseWriter, r *http.Request) {
+	out := b.Campaigns()
+	if out == nil {
+		out = []Campaign{}
+	}
+	service.WriteJSON(w, http.StatusOK, out)
+}
+
+func (b *Broker) handleCampaign(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		service.WriteJSON(w, http.StatusBadRequest, service.APIError{Error: "campaign id must be an integer"})
+		return
+	}
+	c, ok := b.CampaignStatus(id)
+	if !ok {
+		service.WriteJSON(w, http.StatusNotFound, service.APIError{Error: fmt.Sprintf("unknown campaign %d", id)})
+		return
+	}
+	service.WriteJSON(w, http.StatusOK, c)
+}
+
+func (b *Broker) handleStats(w http.ResponseWriter, r *http.Request) {
+	st, err := b.Stats()
+	if err != nil {
+		service.WriteJSON(w, http.StatusServiceUnavailable, service.APIError{Error: err.Error()})
+		return
+	}
+	service.WriteJSON(w, http.StatusOK, st)
+}
+
+// handleMetrics renders fleet and per-cluster series in Prometheus text
+// exposition format. Per-cluster series carry a {cluster="name"} label.
+func (b *Broker) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st, err := b.Stats()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	head := func(name, help, typ string) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	}
+	fleet := func(name, help, typ string, v float64) {
+		head(name, help, typ)
+		fmt.Fprintf(w, "%s %g\n", name, v)
+	}
+	perCluster := func(name, help, typ string, get func(s service.Stats) float64) {
+		head(name, help, typ)
+		for _, c := range st.Clusters {
+			fmt.Fprintf(w, "%s{cluster=%q} %g\n", name, c.Name, get(c.Stats))
+		}
+	}
+	fleet("gridd_fleet_clusters", "Clusters in the fleet.", "gauge", float64(st.Fleet.Clusters))
+	fleet("gridd_fleet_processors", "Total processors across the fleet.", "gauge", float64(st.Fleet.Procs))
+	fleet("gridd_fleet_jobs_submitted_total", "Jobs accepted by the broker since start.", "counter", float64(st.Fleet.Submitted))
+	fleet("gridd_fleet_jobs_completed_total", "Jobs completed across the fleet.", "counter", float64(st.Fleet.Completed))
+	fleet("gridd_fleet_jobs_waiting", "Jobs waiting across the fleet.", "gauge", float64(st.Fleet.Waiting))
+	fleet("gridd_fleet_jobs_running", "Jobs running across the fleet.", "gauge", float64(st.Fleet.Running))
+	fleet("gridd_fleet_migrations_total", "Queued jobs migrated between clusters.", "counter", float64(st.Fleet.Migrations))
+	fleet("gridd_fleet_campaigns_total", "Campaigns accepted.", "counter", float64(st.Fleet.Campaigns))
+	fleet("gridd_fleet_campaigns_done", "Campaigns fully completed.", "gauge", float64(st.Fleet.CampaignsDone))
+	fleet("gridd_fleet_campaign_stock", "Campaign tasks waiting in the central stock.", "gauge", float64(st.Fleet.Stock))
+	fleet("gridd_fleet_best_effort_completed_total", "Best-effort tasks completed fleet-wide.", "counter", float64(st.Fleet.BestEffort.Completed))
+	fleet("gridd_fleet_best_effort_killed_total", "Best-effort tasks killed fleet-wide.", "counter", float64(st.Fleet.BestEffort.Killed))
+	fleet("gridd_fleet_virtual_time_seconds", "Fleet virtual clock (max across clusters).", "gauge", st.Fleet.VirtualNow)
+	fleet("gridd_fleet_uptime_seconds", "Broker wall-clock uptime.", "gauge", st.Fleet.UptimeSeconds)
+	perCluster("gridd_cluster_processors", "Cluster width.", "gauge",
+		func(s service.Stats) float64 { return float64(s.M) })
+	// Gauge, not counter: migrations move tracked jobs between clusters,
+	// so the per-cluster value can decrease.
+	perCluster("gridd_cluster_jobs_tracked", "Jobs tracked by this cluster (migrations move them).", "gauge",
+		func(s service.Stats) float64 { return float64(s.Submitted) })
+	perCluster("gridd_cluster_jobs_completed_total", "Jobs completed on this cluster.", "counter",
+		func(s service.Stats) float64 { return float64(s.Completed) })
+	perCluster("gridd_cluster_jobs_waiting", "Jobs waiting on this cluster.", "gauge",
+		func(s service.Stats) float64 { return float64(s.Waiting) })
+	perCluster("gridd_cluster_jobs_running", "Jobs running on this cluster.", "gauge",
+		func(s service.Stats) float64 { return float64(s.Running) })
+	perCluster("gridd_cluster_utilization_ratio", "Processor-time utilization.", "gauge",
+		func(s service.Stats) float64 { return s.Report.Utilization })
+	perCluster("gridd_cluster_mean_flow_seconds", "Mean flow over completed jobs.", "gauge",
+		func(s service.Stats) float64 { return s.Report.MeanFlow })
+	perCluster("gridd_cluster_best_effort_completed_total", "Best-effort tasks completed here.", "counter",
+		func(s service.Stats) float64 { return float64(s.BestEffort.Completed) })
+	perCluster("gridd_cluster_best_effort_killed_total", "Best-effort tasks killed here.", "counter",
+		func(s service.Stats) float64 { return float64(s.BestEffort.Killed) })
+	perCluster("gridd_cluster_virtual_time_seconds", "Cluster virtual clock.", "gauge",
+		func(s service.Stats) float64 { return s.VirtualNow })
+}
+
+type gridPolicyInfo struct {
+	Name      string `json:"name"`
+	Kind      string `json:"kind"`
+	Exchanges bool   `json:"exchanges"`
+	Desc      string `json:"desc"`
+}
+
+type policyCatalog struct {
+	Local []service.PolicyInfo `json:"local"`
+	Grid  []gridPolicyInfo     `json:"grid"`
+}
+
+func (b *Broker) handlePolicies(w http.ResponseWriter, r *http.Request) {
+	out := policyCatalog{Local: service.CatalogPolicies()}
+	for _, e := range registry.Grids() {
+		kind := "routing"
+		if e.Exchanges {
+			kind = "routing+exchange"
+		}
+		out.Grid = append(out.Grid, gridPolicyInfo{
+			Name: e.Name, Kind: kind, Exchanges: e.Exchanges, Desc: e.Desc,
+		})
+	}
+	service.WriteJSON(w, http.StatusOK, out)
+}
+
+func (b *Broker) handleTopology(w http.ResponseWriter, r *http.Request) {
+	service.WriteJSON(w, http.StatusOK, b.Topology())
+}

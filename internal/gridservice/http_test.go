@@ -1,0 +1,215 @@
+package gridservice
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func startTestBroker(t *testing.T) (*Broker, *httptest.Server) {
+	t.Helper()
+	b, err := NewBroker(fleetTopo(4, 16, "centralized"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Start()
+	srv := httptest.NewServer(b.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		b.Stop()
+	})
+	return b, srv
+}
+
+func postJSON(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func getJSON(t *testing.T, url string, v interface{}) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("%s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestBrokerHTTPJobLifecycle(t *testing.T) {
+	_, srv := startTestBroker(t)
+
+	resp, body := postJSON(t, srv.URL+"/jobs", `{"seq_time": 20, "min_procs": 2}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Cluster == "" {
+		t.Fatalf("no cluster in %s", body)
+	}
+
+	// Pinned submission lands on the named cluster.
+	resp, body = postJSON(t, srv.URL+"/jobs", `{"seq_time": 5, "min_procs": 1, "cluster": "c2"}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("pinned submit: %d %s", resp.StatusCode, body)
+	}
+	var pinned JobStatus
+	if err := json.Unmarshal(body, &pinned); err != nil {
+		t.Fatal(err)
+	}
+	if pinned.Cluster != "c2" {
+		t.Fatalf("pinned to %q", pinned.Cluster)
+	}
+
+	var got JobStatus
+	if code := getJSON(t, fmt.Sprintf("%s/jobs/%d", srv.URL, pinned.ID), &got); code != http.StatusOK {
+		t.Fatalf("job lookup: %d", code)
+	}
+	if got.Cluster != "c2" || got.ID != pinned.ID {
+		t.Fatalf("lookup %+v", got)
+	}
+
+	if code := getJSON(t, srv.URL+"/jobs/99999", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown job: %d", code)
+	}
+	if code := getJSON(t, srv.URL+"/jobs/abc", nil); code != http.StatusBadRequest {
+		t.Fatalf("bad job id: %d", code)
+	}
+	if resp, _ := postJSON(t, srv.URL+"/jobs", `{"seq_time": -1}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid spec: %d", resp.StatusCode)
+	}
+	if resp, _ := postJSON(t, srv.URL+"/jobs", `{"seq_time": 1, "cluster": "nope"}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown cluster: %d", resp.StatusCode)
+	}
+}
+
+func TestBrokerHTTPCampaignAndStats(t *testing.T) {
+	_, srv := startTestBroker(t)
+
+	resp, body := postJSON(t, srv.URL+"/campaigns", `{"name": "sweep", "tasks": 48, "run_time": 2}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("campaign: %d %s", resp.StatusCode, body)
+	}
+	var camp Campaign
+	if err := json.Unmarshal(body, &camp); err != nil {
+		t.Fatal(err)
+	}
+	if camp.Tasks != 48 || camp.Name != "sweep" {
+		t.Fatalf("campaign %+v", camp)
+	}
+
+	// Free-running fleet: the fan-out completes within a few ticks.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var c Campaign
+		if code := getJSON(t, fmt.Sprintf("%s/campaigns/%d", srv.URL, camp.ID), &c); code != http.StatusOK {
+			t.Fatalf("campaign status: %d", code)
+		}
+		if c.Done {
+			if c.Completed != 48 {
+				t.Fatalf("done with %d of 48", c.Completed)
+			}
+			sum := 0
+			for _, n := range c.PerCluster {
+				sum += n
+			}
+			if sum != 48 {
+				t.Fatalf("per-cluster sums to %d", sum)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign never completed: %+v", c)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	var list []Campaign
+	if code := getJSON(t, srv.URL+"/campaigns", &list); code != http.StatusOK || len(list) != 1 {
+		t.Fatalf("campaign list: %d %v", code, list)
+	}
+	if code := getJSON(t, srv.URL+"/campaigns/99", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown campaign: %d", code)
+	}
+	if resp, _ := postJSON(t, srv.URL+"/campaigns", `{"tasks": 0, "run_time": 1}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty campaign: %d", resp.StatusCode)
+	}
+
+	var st FleetStats
+	if code := getJSON(t, srv.URL+"/stats", &st); code != http.StatusOK {
+		t.Fatalf("stats: %d", code)
+	}
+	if st.Fleet.Clusters != 4 || st.Fleet.Procs != 64 {
+		t.Fatalf("fleet %+v", st.Fleet)
+	}
+	if st.Fleet.BestEffort.Completed != 48 {
+		t.Fatalf("fleet best-effort %+v", st.Fleet.BestEffort)
+	}
+	if len(st.Clusters) != 4 || st.Clusters[2].Name != "c2" {
+		t.Fatalf("per-cluster stats %+v", st.Clusters)
+	}
+	if st.GridPolicy != "centralized" {
+		t.Fatalf("grid policy %q", st.GridPolicy)
+	}
+}
+
+func TestBrokerHTTPMetricsAndCatalogs(t *testing.T) {
+	_, srv := startTestBroker(t)
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	_, _ = buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	text := buf.String()
+	for _, want := range []string{
+		"gridd_fleet_clusters 4",
+		"gridd_fleet_processors 64",
+		`gridd_cluster_jobs_completed_total{cluster="c0"}`,
+		`gridd_cluster_processors{cluster="c3"} 16`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, text)
+		}
+	}
+
+	var cat policyCatalog
+	if code := getJSON(t, srv.URL+"/policies", &cat); code != http.StatusOK {
+		t.Fatalf("policies: %d", code)
+	}
+	if len(cat.Local) == 0 || len(cat.Grid) < 4 {
+		t.Fatalf("catalog %d local, %d grid", len(cat.Local), len(cat.Grid))
+	}
+
+	var topo Topology
+	if code := getJSON(t, srv.URL+"/topology", &topo); code != http.StatusOK {
+		t.Fatalf("topology: %d", code)
+	}
+	if len(topo.Clusters) != 4 || topo.GridPolicy != "centralized" {
+		t.Fatalf("topology %+v", topo)
+	}
+}

@@ -4,6 +4,11 @@
 // cooperation) and its constructors. cmd/gridsim, cmd/experiments and
 // the gridd service all resolve policies through this catalog instead of
 // maintaining their own switch statements.
+//
+// Alongside the per-cluster queue policies the registry also catalogs
+// the grid routing policies (internal/grid.Router): the multi-cluster
+// designs the gridd broker serves and the offline grid experiments
+// sweep.
 package registry
 
 import (
@@ -15,6 +20,7 @@ import (
 	"repro/internal/batch"
 	"repro/internal/bicriteria"
 	"repro/internal/cluster"
+	"repro/internal/grid"
 	"repro/internal/moldable"
 	"repro/internal/rigid"
 	"repro/internal/sched"
@@ -195,6 +201,90 @@ func Online() []*Entry {
 		}
 	}
 	return out
+}
+
+// GridEntry is one catalogued grid routing policy.
+type GridEntry struct {
+	Name string
+	Desc string
+	// Exchanges reports whether the policy migrates queued jobs between
+	// clusters (the decentralized load-exchange protocol).
+	Exchanges bool
+	// New constructs a fresh router; routers carry private state
+	// (cursors, RNGs) and must not be shared between brokers.
+	New func(opt grid.RouterOptions) grid.Router
+}
+
+var gridCatalog = map[string]*GridEntry{
+	"centralized": {
+		Name: "centralized",
+		Desc: "CiGri server: jobs stay on their home cluster, campaign tasks top up each cluster's free slots from a central stock",
+		New:  grid.NewCentralizedRouter,
+	},
+	"decentralized": {
+		Name:      "decentralized",
+		Desc:      "neighbour redistribution: campaigns split by capacity, queued jobs pushed from overloaded to underloaded clusters",
+		Exchanges: true,
+		New:       grid.NewDecentralizedRouter,
+	},
+	"least-loaded": {
+		Name: "least-loaded",
+		Desc: "route every job to the cluster with the smallest normalized queued load",
+		New:  grid.NewLeastLoadedRouter,
+	},
+	"weighted-random": {
+		Name: "weighted-random",
+		Desc: "route jobs randomly, weighted by cluster capacity (seeded, deterministic)",
+		New:  grid.NewWeightedRandomRouter,
+	},
+}
+
+// GetGrid resolves a grid routing policy by name.
+func GetGrid(name string) (*GridEntry, error) {
+	e, ok := gridCatalog[name]
+	if !ok {
+		return nil, fmt.Errorf("registry: unknown grid policy %q (have: %s)", name, strings.Join(GridNames(), " "))
+	}
+	return e, nil
+}
+
+// GridNames returns the sorted grid-policy names.
+func GridNames() []string {
+	names := make([]string, 0, len(gridCatalog))
+	for n := range gridCatalog {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Grids returns the grid entries sorted by name.
+func Grids() []*GridEntry {
+	out := make([]*GridEntry, 0, len(gridCatalog))
+	for _, n := range GridNames() {
+		out = append(out, gridCatalog[n])
+	}
+	return out
+}
+
+// WriteGridCatalog prints the grid-policy catalog as an aligned table.
+func WriteGridCatalog(w io.Writer) error {
+	width := 0
+	for n := range gridCatalog {
+		if len(n) > width {
+			width = len(n)
+		}
+	}
+	for _, e := range Grids() {
+		kind := "routing"
+		if e.Exchanges {
+			kind = "routing+exchange"
+		}
+		if _, err := fmt.Fprintf(w, "%-*s  %-16s  %s\n", width, e.Name, kind, e.Desc); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // WriteCatalog prints the catalog as an aligned table (the -list-policies

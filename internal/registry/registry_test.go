@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/grid"
 	"repro/internal/workload"
 )
 
@@ -73,6 +74,37 @@ func TestWriteCatalog(t *testing.T) {
 	}
 	if !strings.Contains(out, "online") || !strings.Contains(out, "offline") {
 		t.Fatalf("catalog output missing capability flags:\n%s", out)
+	}
+}
+
+func TestGridCatalog(t *testing.T) {
+	if len(Grids()) < 4 {
+		t.Fatalf("grid catalog unexpectedly small: %v", GridNames())
+	}
+	for _, e := range Grids() {
+		if e.Name == "" || e.Desc == "" || e.New == nil {
+			t.Fatalf("grid entry %+v incomplete", e)
+		}
+		r := e.New(grid.RouterOptions{Seed: 1})
+		if r.Name() != e.Name {
+			t.Fatalf("grid entry %q constructs router %q", e.Name, r.Name())
+		}
+	}
+	if _, err := GetGrid("nope"); err == nil {
+		t.Fatal("unknown grid policy resolved")
+	}
+	e, err := GetGrid("centralized")
+	if err != nil || e.Name != "centralized" {
+		t.Fatalf("GetGrid(centralized) = %v, %v", e, err)
+	}
+	var buf bytes.Buffer
+	if err := WriteGridCatalog(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range GridNames() {
+		if !strings.Contains(buf.String(), name) {
+			t.Fatalf("grid catalog output missing %s:\n%s", name, buf.String())
+		}
 	}
 }
 

@@ -50,6 +50,21 @@ type Config struct {
 	Dilation float64
 	// Mailbox is the command-channel capacity. Default 256.
 	Mailbox int
+	// Label names this engine in multi-cluster fleets (Prometheus
+	// per-cluster labels; empty for a standalone daemon).
+	Label string
+	// Anchor, when non-zero, is the shared wall-clock instant that maps
+	// to virtual time 0. A grid broker starts every engine of a fleet
+	// with the same anchor so their paced virtual clocks advance in
+	// lockstep; zero anchors the clock at Start time.
+	Anchor time.Time
+	// OnBEKilled and OnBEDone observe best-effort task kills and
+	// completions. Both run on the engine loop goroutine while it holds
+	// the simulator — handlers must not call back into this Engine and
+	// should hand the task off quickly (the grid broker appends to its
+	// own requeue list under a private lock).
+	OnBEKilled func(t cluster.BETask)
+	OnBEDone   func(t cluster.BETask)
 }
 
 func (c Config) fill() Config {
@@ -72,8 +87,12 @@ func (c Config) fill() Config {
 // jobs set min_procs only; moldable jobs set max_procs > min_procs and
 // are priced with an Amdahl speedup (alpha defaulting to 0.05).
 type JobSpec struct {
-	Name     string  `json:"name,omitempty"`
-	Class    string  `json:"class,omitempty"`
+	Name  string `json:"name,omitempty"`
+	Class string `json:"class,omitempty"`
+	// Cluster pins the job to a named cluster in broker (grid) mode: the
+	// CiGri contract that local users submit to their own machine. Empty
+	// lets the grid policy place the job; single-engine daemons ignore it.
+	Cluster  string  `json:"cluster,omitempty"`
 	SeqTime  float64 `json:"seq_time"`
 	MinProcs int     `json:"min_procs,omitempty"` // 0 → 1
 	MaxProcs int     `json:"max_procs,omitempty"` // 0 → min_procs
@@ -193,6 +212,12 @@ type Engine struct {
 	nextID  int
 	started time.Time
 	counts  struct{ waiting, running, completed int }
+	// reportCache memoizes the §3 criteria report between completions:
+	// stats() is called per scrape (and per broker aggregation), and
+	// recomputing the report over an ever-growing completion history on
+	// the loop goroutine would stall scheduling as the daemon ages.
+	reportCache metrics.Report
+	reportFor   int // counts.completed the cache was built at; -1 = never
 }
 
 // New builds an engine from the config; Start launches it.
@@ -209,13 +234,17 @@ func New(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Engines are polled from outside (brokers read Load lock-free), so
+	// the per-event snapshot publication is always on here.
+	sim.EnablePolling()
 	e := &Engine{
-		cfg:  cfg,
-		sim:  sim,
-		cmds: make(chan func(), cfg.Mailbox),
-		quit: make(chan struct{}),
-		done: make(chan struct{}),
-		jobs: make(map[int]*JobStatus),
+		cfg:       cfg,
+		sim:       sim,
+		cmds:      make(chan func(), cfg.Mailbox),
+		quit:      make(chan struct{}),
+		done:      make(chan struct{}),
+		jobs:      make(map[int]*JobStatus),
+		reportFor: -1,
 	}
 	sim.OnLocalStart = func(j *workload.Job, procs int, now float64) {
 		if st := e.jobs[j.ID]; st != nil {
@@ -232,15 +261,28 @@ func New(cfg Config) (*Engine, error) {
 			e.order = append(e.order, c.Job.ID)
 		}
 	}
+	sim.OnBEKilled = cfg.OnBEKilled
+	sim.OnBEDone = cfg.OnBEDone
 	return e, nil
 }
 
-// Start launches the engine loop. The wall-clock anchor is taken now:
-// with dilation D, virtual time t maps to Start time + t/D wall seconds.
+// Label returns the engine's fleet label (empty for standalone daemons).
+func (e *Engine) Label() string { return e.cfg.Label }
+
+// M returns the cluster width.
+func (e *Engine) M() int { return e.cfg.M }
+
+// Start launches the engine loop. The wall-clock anchor is taken now
+// unless Config.Anchor pins it (shared fleet clock): with dilation D,
+// virtual time t maps to anchor + t/D wall seconds.
 func (e *Engine) Start() {
 	e.started = time.Now()
+	anchor := e.started
+	if !e.cfg.Anchor.IsZero() {
+		anchor = e.cfg.Anchor
+	}
 	if e.cfg.Dilation > 0 {
-		e.pacer, _ = des.NewPacer(e.cfg.Dilation, e.started, 0)
+		e.pacer, _ = des.NewPacer(e.cfg.Dilation, anchor, 0)
 	}
 	go e.loop()
 }
@@ -467,8 +509,14 @@ func (e *Engine) Stats() (Stats, error) {
 	return st, err
 }
 
-// stats builds the Stats payload (loop goroutine only).
+// stats builds the Stats payload (loop goroutine only). The criteria
+// report is memoized until the next completion, so idle-time scrapes are
+// O(1) instead of walking the whole completion history.
 func (e *Engine) stats() Stats {
+	if e.reportFor != e.counts.completed {
+		e.reportCache = metrics.NewReport(e.sim.CompletionsView(), e.cfg.M)
+		e.reportFor = e.counts.completed
+	}
 	return Stats{
 		Policy:        e.cfg.Policy,
 		M:             e.cfg.M,
@@ -482,7 +530,7 @@ func (e *Engine) stats() Stats {
 		Completed:     e.counts.completed,
 		Drained:       e.sim.Drained(),
 		BestEffort:    e.sim.BestEffort(),
-		Report:        metrics.NewReport(e.sim.Completions(), e.cfg.M),
+		Report:        e.reportCache,
 	}
 }
 
@@ -491,6 +539,58 @@ func (e *Engine) stats() Stats {
 func (e *Engine) CompletionOrder() ([]int, error) {
 	var out []int
 	err := e.do(func() { out = append([]int(nil), e.order...) })
+	return out, err
+}
+
+// Completions returns the local-job completion records so far.
+func (e *Engine) Completions() ([]metrics.Completion, error) {
+	var out []metrics.Completion
+	err := e.do(func() { out = e.sim.Completions() })
+	return out, err
+}
+
+// Load returns the cluster's latest load snapshot without going through
+// the mailbox: the snapshot is published atomically by the simulator at
+// event granularity, so brokers can poll a whole fleet lock-free.
+func (e *Engine) Load() cluster.LoadInfo { return e.sim.LoadSnapshot() }
+
+// SubmitBestEffort hands grid campaign tasks to this cluster; they run
+// in scheduling holes and are killed (and reported through
+// Config.OnBEKilled) whenever a local job claims their processors.
+// Unlike local submissions, best-effort work is accepted even after
+// Drain: the broker keeps redistributing killed tasks until the stock
+// runs dry.
+func (e *Engine) SubmitBestEffort(tasks ...cluster.BETask) error {
+	return e.do(func() {
+		for _, t := range tasks {
+			e.sim.SubmitBestEffort(t)
+		}
+	})
+}
+
+// Sync runs every pending virtual event immediately and returns once the
+// simulator is quiescent. Only meaningful in free-running engines (or
+// drained ones): under a pacer it would fast-forward the virtual clock
+// past its wall mapping.
+func (e *Engine) Sync() error {
+	return e.do(func() { _ = e.sim.DES.Run() })
+}
+
+// StealQueued removes and returns up to n jobs from the tail of this
+// cluster's waiting queue (the decentralized exchange protocol). Stolen
+// jobs vanish from this engine's tracking; the broker re-injects them
+// into another engine.
+func (e *Engine) StealQueued(n int) ([]*workload.Job, error) {
+	var out []*workload.Job
+	err := e.do(func() {
+		out = e.sim.StealQueued(n)
+		for _, j := range out {
+			if st := e.jobs[j.ID]; st != nil && st.State == StateWaiting {
+				e.counts.waiting--
+			}
+			delete(e.jobs, j.ID)
+		}
+	})
 	return out, err
 }
 
@@ -506,6 +606,10 @@ func (e *Engine) Drain(ctx context.Context) (Stats, error) {
 		done <- e.do(func() {
 			e.sim.Drain()
 			_ = e.sim.DES.Run()
+			// Post-drain the engine free-runs: the broker keeps
+			// redistributing leftover best-effort campaign work across a
+			// drained fleet, and those tasks must not wait for wall time.
+			e.pacer = nil
 			st = e.stats()
 		})
 	}()

@@ -32,11 +32,15 @@ func (e *Engine) Handler() http.Handler {
 	return mux
 }
 
-type apiError struct {
+// APIError is the JSON error envelope shared by the single-cluster API
+// and the broker (internal/gridservice).
+type APIError struct {
 	Error string `json:"error"`
 }
 
-func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+// WriteJSON writes v as the response body with the given status code
+// (shared by the broker handlers).
+func WriteJSON(w http.ResponseWriter, code int, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	_ = json.NewEncoder(w).Encode(v)
@@ -45,46 +49,46 @@ func writeJSON(w http.ResponseWriter, code int, v interface{}) {
 func (e *Engine) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec JobSpec
 	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
-		writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("bad job spec: %v", err)})
+		WriteJSON(w, http.StatusBadRequest, APIError{Error: fmt.Sprintf("bad job spec: %v", err)})
 		return
 	}
 	st, err := e.Submit(spec)
 	switch {
 	case errors.Is(err, cluster.ErrDrained):
-		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
+		WriteJSON(w, http.StatusServiceUnavailable, APIError{Error: err.Error()})
 		return
 	case errors.Is(err, ErrStopped):
-		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
+		WriteJSON(w, http.StatusServiceUnavailable, APIError{Error: err.Error()})
 		return
 	case err != nil:
-		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		WriteJSON(w, http.StatusBadRequest, APIError{Error: err.Error()})
 		return
 	}
-	writeJSON(w, http.StatusAccepted, st)
+	WriteJSON(w, http.StatusAccepted, st)
 }
 
 func (e *Engine) handleJob(w http.ResponseWriter, r *http.Request) {
 	id, err := strconv.Atoi(r.PathValue("id"))
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, apiError{Error: "job id must be an integer"})
+		WriteJSON(w, http.StatusBadRequest, APIError{Error: "job id must be an integer"})
 		return
 	}
 	st, ok, err := e.Job(id)
 	if err != nil {
-		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
+		WriteJSON(w, http.StatusServiceUnavailable, APIError{Error: err.Error()})
 		return
 	}
 	if !ok {
-		writeJSON(w, http.StatusNotFound, apiError{Error: fmt.Sprintf("unknown job %d", id)})
+		WriteJSON(w, http.StatusNotFound, APIError{Error: fmt.Sprintf("unknown job %d", id)})
 		return
 	}
-	writeJSON(w, http.StatusOK, st)
+	WriteJSON(w, http.StatusOK, st)
 }
 
 func (e *Engine) handleQueue(w http.ResponseWriter, r *http.Request) {
 	snap, err := e.Queue()
 	if err != nil {
-		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
+		WriteJSON(w, http.StatusServiceUnavailable, APIError{Error: err.Error()})
 		return
 	}
 	if snap.Waiting == nil {
@@ -93,16 +97,16 @@ func (e *Engine) handleQueue(w http.ResponseWriter, r *http.Request) {
 	if snap.Running == nil {
 		snap.Running = []JobStatus{}
 	}
-	writeJSON(w, http.StatusOK, snap)
+	WriteJSON(w, http.StatusOK, snap)
 }
 
 func (e *Engine) handleStats(w http.ResponseWriter, r *http.Request) {
 	st, err := e.Stats()
 	if err != nil {
-		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
+		WriteJSON(w, http.StatusServiceUnavailable, APIError{Error: err.Error()})
 		return
 	}
-	writeJSON(w, http.StatusOK, st)
+	WriteJSON(w, http.StatusOK, st)
 }
 
 // handleMetrics renders the stats as Prometheus text exposition format
@@ -140,7 +144,9 @@ func (e *Engine) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	g("gridd_drained", "1 once the service stopped accepting submissions.", "gauge", drained)
 }
 
-type policyInfo struct {
+// PolicyInfo is the /policies JSON shape for one local queue policy,
+// shared with the broker's catalog endpoint.
+type PolicyInfo struct {
 	Name       string `json:"name"`
 	Caps       string `json:"caps"`
 	Online     bool   `json:"online"`
@@ -150,15 +156,20 @@ type policyInfo struct {
 	Desc       string `json:"desc"`
 }
 
-func handlePolicies(w http.ResponseWriter, r *http.Request) {
-	var out []policyInfo
+// CatalogPolicies renders the registry catalog as PolicyInfo records.
+func CatalogPolicies() []PolicyInfo {
+	var out []PolicyInfo
 	for _, e := range registry.All() {
-		out = append(out, policyInfo{
+		out = append(out, PolicyInfo{
 			Name: e.Name, Caps: e.Caps.String(),
 			Online: e.Caps.Online, Offline: e.Caps.Offline,
 			Moldable: e.Caps.Moldable, BestEffort: e.Caps.BestEffort,
 			Desc: e.Desc,
 		})
 	}
-	writeJSON(w, http.StatusOK, out)
+	return out
+}
+
+func handlePolicies(w http.ResponseWriter, r *http.Request) {
+	WriteJSON(w, http.StatusOK, CatalogPolicies())
 }
