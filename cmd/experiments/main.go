@@ -1,18 +1,22 @@
-// Command experiments regenerates every table and figure of the paper's
-// evaluation (see DESIGN.md for the experiment index).
+// Command experiments runs scenarios from the declarative catalog
+// (internal/scenario): every table and figure of the paper's
+// evaluation is a built-in Spec, and arbitrary new workload × platform
+// × policy × routing combinations load from JSON files.
 //
 // Usage:
 //
-//	experiments [-seed N] [-quick] [-csv] [-parallel] [-workers N] <id>|all
+//	experiments [-seed N] [-quick] [-csv] [-parallel] [-workers N] run <id>|<file.json>
+//	experiments [flags] <id>|all|ablations|<file.json>    (legacy form)
+//	experiments -list-scenarios
 //	experiments -list-policies
 //
-// Experiment ids: fig2, mrt, batch, smart, bicriteria, dlt, cigri,
-// decentralized, mixed, reservations, malleable, treedlt, policies,
-// ablations.
+// The id list in the usage text is generated from the scenario
+// catalog; see -list-scenarios for descriptions and kinds.
 //
 // -parallel fans independent experiment cells out over the worker-pool
-// replication runner (bounded by GOMAXPROCS); tables are bit-identical
-// to a sequential run for the same seed.
+// replication runner (bounded by GOMAXPROCS); passing -workers
+// explicitly (any value; 0 means GOMAXPROCS) also selects the pool.
+// Tables are bit-identical to a sequential run for the same seed.
 package main
 
 import (
@@ -20,20 +24,31 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 
-	"repro/internal/bicriteria"
-	"repro/internal/experiments"
+	_ "repro/internal/experiments" // registers the scenario kinds and built-in catalog
 	"repro/internal/registry"
-	"repro/internal/trace"
+	"repro/internal/scenario"
 )
 
+func usage(w *os.File) {
+	fmt.Fprintln(w, "usage: experiments [-seed N] [-quick] [-csv] [-parallel] [-workers N] run <id>|<file.json>")
+	fmt.Fprintln(w, "       experiments [flags] <id>|all|ablations|<file.json>")
+	fmt.Fprintln(w, "       experiments -list-scenarios | -list-policies")
+	fmt.Fprintf(w, "ids: %s\n", strings.Join(append(scenario.CatalogIDs(scenario.GroupFigure),
+		append(scenario.CatalogIDs(scenario.GroupTable), "ablations")...), " "))
+	fmt.Fprintf(w, "ablations: %s\n", strings.Join(scenario.CatalogIDs(scenario.GroupAblation), " "))
+}
+
 func main() {
-	seed := flag.Uint64("seed", 42, "base RNG seed")
+	seed := flag.Uint64("seed", 42, "base RNG seed (overrides a spec-pinned seed)")
 	quickFlag := flag.Bool("quick", false, "shrink workloads ~10x for a fast pass")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	parallel := flag.Bool("parallel", false, "run independent experiment cells on a worker pool")
-	workers := flag.Int("workers", 0, "worker-pool size for -parallel (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "worker-pool size; passing this flag implies the pool (0 = GOMAXPROCS)")
 	list := flag.Bool("list-policies", false, "print the policy catalog with capability flags and exit")
+	listScenarios := flag.Bool("list-scenarios", false, "print the scenario catalog and exit")
+	flag.Usage = func() { usage(os.Stderr); flag.PrintDefaults() }
 	flag.Parse()
 	if *list {
 		if err := registry.WriteCatalog(os.Stdout); err != nil {
@@ -42,108 +57,91 @@ func main() {
 		}
 		return
 	}
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: experiments [-seed N] [-quick] [-csv] [-parallel] [-workers N] <id>|all")
-		fmt.Fprintln(os.Stderr, "ids: fig2 mrt batch smart bicriteria dlt cigri decentralized mixed reservations malleable treedlt criteria heterogrid policies gridpolicies ablations")
+	if *listScenarios {
+		if err := scenario.WriteCatalog(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	args := flag.Args()
+	if len(args) == 2 && args[0] == "run" {
+		args = args[1:]
+	}
+	if len(args) != 1 {
+		usage(os.Stderr)
 		os.Exit(2)
 	}
-	sc := experiments.Scale{}
+	opt := scenario.RunOptions{Seed: *seed}
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "seed":
+			opt.SeedExplicit = true
+		case "workers":
+			// Any explicit -workers selects the pool, -workers 1
+			// included (a pool of one runs cells sequentially but keeps
+			// the pool semantics) — the flag is never silently ignored.
+			*parallel = true
+		}
+	})
 	if *quickFlag {
-		sc.JobFactor = 10
+		opt.Scale.JobFactor = 10
 	}
-	if *parallel || *workers > 1 {
-		sc.Workers = *workers
-		if sc.Workers <= 0 {
-			sc.Workers = runtime.GOMAXPROCS(0)
+	if *parallel {
+		opt.Scale.Workers = *workers
+		if opt.Scale.Workers <= 0 {
+			opt.Scale.Workers = runtime.GOMAXPROCS(0)
 		}
 	}
-	id := flag.Arg(0)
-	if err := run(id, *seed, sc, *csv); err != nil {
+	if err := run(args[0], opt, *csv); err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-type tableFn func(uint64, experiments.Scale) (*trace.Table, error)
-
-var tables = []struct {
-	id string
-	fn tableFn
-}{
-	{"mrt", experiments.MRTTable},
-	{"batch", experiments.BatchTable},
-	{"smart", experiments.SMARTTable},
-	{"bicriteria", experiments.BiCriteriaTable},
-	{"dlt", experiments.DLTTable},
-	{"cigri", experiments.CiGriTable},
-	{"decentralized", experiments.DecentralizedTable},
-	{"mixed", experiments.MixedTable},
-	{"reservations", experiments.ReservationsTable},
-	{"malleable", experiments.MalleableTable},
-	{"treedlt", experiments.TreeDLTTable},
-	{"criteria", experiments.CriteriaMatrixTable},
-	{"heterogrid", experiments.HeteroGridTable},
-	{"policies", experiments.OnlinePolicyTable},
-	{"gridpolicies", experiments.GridPolicyTable},
-}
-
-var ablations = []struct {
-	id string
-	fn tableFn
-}{
-	{"ablation-allotment", experiments.AblationAllotment},
-	{"ablation-doubling-base", experiments.AblationDoublingBase},
-	{"ablation-shelf-fill", experiments.AblationShelfFill},
-	{"ablation-chunk", experiments.AblationChunk},
-	{"ablation-kill-policy", experiments.AblationKillPolicy},
-	{"ablation-compaction", experiments.AblationCompaction},
-}
-
-func run(id string, seed uint64, sc experiments.Scale, csv bool) error {
-	emit := func(t *trace.Table) error {
-		defer fmt.Println()
-		if csv {
-			return t.WriteCSV(os.Stdout)
+// run resolves the argument — "all", "ablations", a catalog id, or a
+// scenario JSON file — and emits each resulting scenario's output
+// followed by a blank line.
+func run(id string, opt scenario.RunOptions, csv bool) error {
+	var specs []*scenario.Spec
+	switch {
+	case id == "all":
+		specs = scenario.Catalog()
+	case id == "ablations":
+		for _, s := range scenario.Catalog() {
+			if s.Group == scenario.GroupAblation {
+				specs = append(specs, s)
+			}
 		}
-		return t.Write(os.Stdout)
+	default:
+		if s, ok := scenario.Lookup(id); ok {
+			specs = []*scenario.Spec{s}
+			break
+		}
+		if strings.HasSuffix(id, ".json") || fileExists(id) {
+			s, err := scenario.Load(id)
+			if err != nil {
+				return err
+			}
+			specs = []*scenario.Spec{s}
+			break
+		}
+		return fmt.Errorf("unknown experiment %q (see -list-scenarios)", id)
 	}
-	runOne := func(fn tableFn) error {
-		t, err := fn(seed, sc)
+	for _, s := range specs {
+		res, err := scenario.Run(s, opt)
 		if err != nil {
-			return err
+			return fmt.Errorf("%s: %w", s.ID, err)
 		}
-		return emit(t)
-	}
-	if id == "fig2" || id == "all" {
-		np, p, err := experiments.Fig2Tables(seed, sc)
-		if err != nil {
-			return err
+		if err := res.Emit(os.Stdout, csv); err != nil {
+			return fmt.Errorf("%s: %w", s.ID, err)
 		}
-		bicriteria.WriteFig2(os.Stdout, np, p)
 		fmt.Println()
-		if id == "fig2" {
-			return nil
-		}
-	}
-	matched := false
-	for _, e := range tables {
-		if id == e.id || id == "all" {
-			matched = true
-			if err := runOne(e.fn); err != nil {
-				return fmt.Errorf("%s: %w", e.id, err)
-			}
-		}
-	}
-	for _, e := range ablations {
-		if id == e.id || id == "ablations" || id == "all" {
-			matched = true
-			if err := runOne(e.fn); err != nil {
-				return fmt.Errorf("%s: %w", e.id, err)
-			}
-		}
-	}
-	if !matched {
-		return fmt.Errorf("unknown experiment %q", id)
 	}
 	return nil
+}
+
+func fileExists(path string) bool {
+	st, err := os.Stat(path)
+	return err == nil && !st.IsDir()
 }

@@ -12,9 +12,11 @@
 //	gridd -list-policies                          # local + grid policy catalogs
 //
 // Single-cluster endpoints: POST /jobs, GET /jobs/{id}, GET /queue,
-// GET /stats, GET /metrics (Prometheus text), GET /policies. Broker mode
-// adds POST /campaigns, GET /campaigns[/{id}], GET /topology, and labels
-// per-cluster metrics with {cluster="name"}.
+// GET /stats, GET /metrics (Prometheus text), GET /policies, and
+// POST /scenarios (run a declarative internal/scenario spec server-side
+// and get the table back as JSON). Broker mode adds POST /campaigns,
+// GET /campaigns[/{id}], GET /topology, keeps POST /scenarios, and
+// labels per-cluster metrics with {cluster="name"}.
 //
 // On SIGTERM/SIGINT the daemon drains gracefully: it stops accepting
 // submissions, fast-forwards every accepted job (and, in broker mode,
@@ -34,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	_ "repro/internal/experiments" // registers the scenario kinds + catalog for POST /scenarios
 	"repro/internal/gridservice"
 	"repro/internal/registry"
 	"repro/internal/service"

@@ -9,7 +9,13 @@
 //	gridsim -policy bicriteria -n 200 -m 100 -weighted
 //	gridsim -policy easy -n 50 -m 32 -rate 0.1 -gantt
 //	gridsim -policy conservative -online -n 80 -m 16
+//	gridsim -scenario examples/scenario/offline-sweep.json
 //	gridsim -list-policies
+//
+// -scenario runs a declarative internal/scenario spec file through the
+// experiment engine and prints its table (honouring -seed, -csv and
+// -quick), so one binary covers both the single-run quick look and
+// full declarative scenarios.
 package main
 
 import (
@@ -19,9 +25,11 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/des"
+	_ "repro/internal/experiments" // registers the scenario kinds + catalog
 	"repro/internal/lowerbound"
 	"repro/internal/metrics"
 	"repro/internal/registry"
+	"repro/internal/scenario"
 	"repro/internal/sched"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -40,9 +48,38 @@ func main() {
 		gantt    = flag.Bool("gantt", false, "print an ASCII Gantt chart")
 		csvOut   = flag.Bool("csv", false, "dump the schedule as CSV")
 		swf      = flag.String("swf", "", "read the workload from an SWF-style trace file instead of generating one")
+		scen     = flag.String("scenario", "", "run a scenario spec file (JSON) instead of a single policy")
+		quick    = flag.Bool("quick", false, "with -scenario: shrink workloads ~10x")
 		list     = flag.Bool("list-policies", false, "print the policy catalog with capability flags and exit")
 	)
 	flag.Parse()
+
+	if *scen != "" {
+		spec, err := scenario.Load(*scen)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gridsim: %v\n", err)
+			os.Exit(1)
+		}
+		opt := scenario.RunOptions{Seed: *seed}
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "seed" {
+				opt.SeedExplicit = true
+			}
+		})
+		if *quick {
+			opt.Scale.JobFactor = 10
+		}
+		res, err := scenario.Run(spec, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gridsim: %v\n", err)
+			os.Exit(1)
+		}
+		if err := res.Emit(os.Stdout, *csvOut); err != nil {
+			fmt.Fprintf(os.Stderr, "gridsim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		if err := registry.WriteCatalog(os.Stdout); err != nil {

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+
 	"repro/internal/bicriteria"
 	"repro/internal/cluster"
 	"repro/internal/des"
@@ -8,29 +10,35 @@ import (
 	"repro/internal/lowerbound"
 	"repro/internal/moldable"
 	"repro/internal/rigid"
+	"repro/internal/scenario"
 	"repro/internal/smart"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
-// AblationAllotment compares the MRT knapsack allotment against the
-// greedy γ(λ) allotment (DESIGN.md ablation 1).
-func AblationAllotment(seed uint64, sc Scale) (*trace.Table, error) {
+// ablationAllotmentRun compares the MRT knapsack allotment against the
+// greedy γ(λ) allotment (DESIGN.md ablation 1). Params: "ms", "n",
+// "eps".
+func ablationAllotmentRun(spec *scenario.Spec, seed uint64, sc Scale) (*trace.Table, error) {
+	if err := spec.CheckParams(map[string]scenario.ParamType{"ms": scenario.IntsParam, "n": scenario.IntParam, "eps": scenario.FloatParam}); err != nil {
+		return nil, err
+	}
 	t := trace.NewTable(
-		"Ablation — MRT allotment selection: knapsack (paper) vs greedy γ(λ)",
+		title(spec, "Ablation — MRT allotment selection: knapsack (paper) vs greedy γ(λ)"),
 		"m", "n", "knapsack ratio", "greedy ratio", "knapsack iters", "greedy iters")
-	ms := []int{32, 100}
+	ms := spec.Ints("ms", []int{32, 100})
+	eps := spec.Float("eps", 0.01)
 	if err := runRowCells(t, sc, len(ms), func(i int) ([]any, error) {
 		m := ms[i]
-		n := sc.jobs(300)
+		n := sc.jobs(spec.Int("n", 300))
 		jobs := workload.Parallel(workload.GenConfig{N: n, M: m, Seed: seed + uint64(i)})
 		lb := lowerbound.CmaxDual(jobs, m)
-		knap, err := moldable.MRTWithAllot(jobs, m, 0.01, moldable.SelectAllotments)
+		knap, err := moldable.MRTWithAllot(jobs, m, eps, moldable.SelectAllotments)
 		if err != nil {
 			return nil, err
 		}
-		greedy, err := moldable.MRTWithAllot(jobs, m, 0.01, moldable.GreedyAllotments)
+		greedy, err := moldable.MRTWithAllot(jobs, m, eps, moldable.GreedyAllotments)
 		if err != nil {
 			return nil, err
 		}
@@ -43,15 +51,24 @@ func AblationAllotment(seed uint64, sc Scale) (*trace.Table, error) {
 	return t, nil
 }
 
-// AblationDoublingBase compares initial-deadline choices in the
+// AblationAllotment is the compatibility entry point for ablation 1.
+func AblationAllotment(seed uint64, sc Scale) (*trace.Table, error) {
+	return ablationAllotmentRun(mustSpec("ablation-allotment"), seed, sc)
+}
+
+// ablationDoublingBaseRun compares initial-deadline choices in the
 // bi-criteria algorithm: smallest job time (default) vs the instance
-// lower bound vs an oversized base (DESIGN.md ablation 2).
-func AblationDoublingBase(seed uint64, sc Scale) (*trace.Table, error) {
+// lower bound vs an oversized base (DESIGN.md ablation 2). Params:
+// "m", "n".
+func ablationDoublingBaseRun(spec *scenario.Spec, seed uint64, sc Scale) (*trace.Table, error) {
+	if err := spec.CheckParams(map[string]scenario.ParamType{"m": scenario.IntParam, "n": scenario.IntParam}); err != nil {
+		return nil, err
+	}
 	t := trace.NewTable(
-		"Ablation — bi-criteria initial deadline d",
+		title(spec, "Ablation — bi-criteria initial deadline d"),
 		"d choice", "batches", "Cmax ratio", "ΣwC ratio")
-	m := 64
-	n := sc.jobs(300)
+	m := spec.Int("m", 64)
+	n := sc.jobs(spec.Int("n", 300))
 	jobs := workload.Parallel(workload.GenConfig{N: n, M: m, Seed: seed, Weighted: true})
 	lb := lowerbound.CmaxDual(jobs, m)
 	choices := []struct {
@@ -76,16 +93,24 @@ func AblationDoublingBase(seed uint64, sc Scale) (*trace.Table, error) {
 	return t, nil
 }
 
-// AblationShelfFill compares SMART's first-fit shelf filling against
-// best-fit (DESIGN.md ablation 3).
-func AblationShelfFill(seed uint64, sc Scale) (*trace.Table, error) {
+// AblationDoublingBase is the compatibility entry point for ablation 2.
+func AblationDoublingBase(seed uint64, sc Scale) (*trace.Table, error) {
+	return ablationDoublingBaseRun(mustSpec("ablation-doubling-base"), seed, sc)
+}
+
+// ablationShelfFillRun compares SMART's first-fit shelf filling against
+// best-fit (DESIGN.md ablation 3). Params: "ms", "n".
+func ablationShelfFillRun(spec *scenario.Spec, seed uint64, sc Scale) (*trace.Table, error) {
+	if err := spec.CheckParams(map[string]scenario.ParamType{"ms": scenario.IntsParam, "n": scenario.IntParam}); err != nil {
+		return nil, err
+	}
 	t := trace.NewTable(
-		"Ablation — SMART shelf filling rule",
+		title(spec, "Ablation — SMART shelf filling rule"),
 		"m", "n", "first-fit ΣwC", "best-fit ΣwC", "FF shelves", "BF shelves")
-	ms := []int{16, 64}
+	ms := spec.Ints("ms", []int{16, 64})
 	if err := runRowCells(t, sc, len(ms), func(i int) ([]any, error) {
 		m := ms[i]
-		n := sc.jobs(400)
+		n := sc.jobs(spec.Int("n", 400))
 		jobs := workload.Parallel(workload.GenConfig{
 			N: n, M: m, Seed: seed + uint64(i), Weighted: true, RigidFraction: 1,
 		})
@@ -108,19 +133,28 @@ func AblationShelfFill(seed uint64, sc Scale) (*trace.Table, error) {
 	return t, nil
 }
 
-// AblationChunk sweeps the self-scheduling chunk size under latency
-// (DESIGN.md ablation 4).
-func AblationChunk(seed uint64, sc Scale) (*trace.Table, error) {
+// AblationShelfFill is the compatibility entry point for ablation 3.
+func AblationShelfFill(seed uint64, sc Scale) (*trace.Table, error) {
+	return ablationShelfFillRun(mustSpec("ablation-shelf-fill"), seed, sc)
+}
+
+// ablationChunkRun sweeps the self-scheduling chunk size under latency
+// (DESIGN.md ablation 4). Params: "w", "latency", "chunks".
+func ablationChunkRun(spec *scenario.Spec, seed uint64, sc Scale) (*trace.Table, error) {
+	if err := spec.CheckParams(map[string]scenario.ParamType{"w": scenario.FloatParam, "latency": scenario.FloatParam, "chunks": scenario.FloatsParam}); err != nil {
+		return nil, err
+	}
+	W := spec.Float("w", 10000)
+	latency := spec.Float("latency", 1)
 	t := trace.NewTable(
-		"Ablation — DLT self-scheduling chunk size (W=10000, latency 1)",
+		title(spec, fmt.Sprintf("Ablation — DLT self-scheduling chunk size (W=%g, latency %g)", W, latency)),
 		"chunk", "makespan", "messages", "vs 1-round")
-	const W = 10000.0
-	mkStar := func() *dlt.Star { return dlt.Bus([]float64{1, 1, 1, 1, 1, 1, 1, 1}, 0.05, 1) }
+	mkStar := func() *dlt.Star { return dlt.Bus([]float64{1, 1, 1, 1, 1, 1, 1, 1}, 0.05, latency) }
 	one, err := dlt.SingleRound(mkStar(), W)
 	if err != nil {
 		return nil, err
 	}
-	chunks := []float64{W / 1000, W / 100, W / 20, W / 8}
+	chunks := spec.Floats("chunks", []float64{W / 1000, W / 100, W / 20, W / 8})
 	if err := runRowCells(t, sc, len(chunks), func(i int) ([]any, error) {
 		d, err := dlt.SelfSchedule(mkStar(), W, chunks[i])
 		if err != nil {
@@ -133,13 +167,21 @@ func AblationChunk(seed uint64, sc Scale) (*trace.Table, error) {
 	return t, nil
 }
 
-// AblationKillPolicy compares best-effort eviction rules on a loaded
-// cluster (DESIGN.md ablation 5).
-func AblationKillPolicy(seed uint64, sc Scale) (*trace.Table, error) {
+// AblationChunk is the compatibility entry point for ablation 4.
+func AblationChunk(seed uint64, sc Scale) (*trace.Table, error) {
+	return ablationChunkRun(mustSpec("ablation-chunk"), seed, sc)
+}
+
+// ablationKillPolicyRun compares best-effort eviction rules on a loaded
+// cluster (DESIGN.md ablation 5). Params: "n", "tasks".
+func ablationKillPolicyRun(spec *scenario.Spec, seed uint64, sc Scale) (*trace.Table, error) {
+	if err := spec.CheckParams(map[string]scenario.ParamType{"n": scenario.IntParam, "tasks": scenario.IntParam}); err != nil {
+		return nil, err
+	}
 	t := trace.NewTable(
-		"Ablation — best-effort kill policy (single 64-proc cluster)",
+		title(spec, "Ablation — best-effort kill policy (single 64-proc cluster)"),
 		"policy", "BE done", "kills", "wasted work", "local Δ")
-	n := sc.jobs(60)
+	n := sc.jobs(spec.Int("n", 60))
 	kps := []struct {
 		name string
 		kill cluster.KillPolicy
@@ -151,7 +193,7 @@ func AblationKillPolicy(seed uint64, sc Scale) (*trace.Table, error) {
 		jobs := workload.Parallel(workload.GenConfig{
 			N: n, M: 64, Seed: seed, RigidFraction: 1, ArrivalRate: 0.01,
 		})
-		nBE := sc.jobs(2000)
+		nBE := sc.jobs(spec.Int("tasks", 2000))
 		sim := des.NewWithCapacity(len(jobs) + nBE)
 		cs, err := cluster.New(sim, 64, 1, cluster.EASYPolicy{}, kps[i].kill)
 		if err != nil {
@@ -181,15 +223,23 @@ func AblationKillPolicy(seed uint64, sc Scale) (*trace.Table, error) {
 	return t, nil
 }
 
-// AblationCompaction measures the left-shift compaction post-pass
+// AblationKillPolicy is the compatibility entry point for ablation 5.
+func AblationKillPolicy(seed uint64, sc Scale) (*trace.Table, error) {
+	return ablationKillPolicyRun(mustSpec("ablation-kill-policy"), seed, sc)
+}
+
+// ablationCompactionRun measures the left-shift compaction post-pass
 // (rigid.Compact) applied to the batch-structured bi-criteria schedules:
 // batches leave idle steps at batch boundaries that compaction reclaims
-// without moving any job later.
-func AblationCompaction(seed uint64, sc Scale) (*trace.Table, error) {
+// without moving any job later. Params: "m", "n".
+func ablationCompactionRun(spec *scenario.Spec, seed uint64, sc Scale) (*trace.Table, error) {
+	if err := spec.CheckParams(map[string]scenario.ParamType{"m": scenario.IntParam, "n": scenario.IntParam}); err != nil {
+		return nil, err
+	}
 	t := trace.NewTable(
-		"Ablation — compaction post-pass on bi-criteria schedules",
+		title(spec, "Ablation — compaction post-pass on bi-criteria schedules"),
 		"family", "n", "Cmax ratio", "compacted", "ΣwC ratio", "compacted ")
-	m := 64
+	m := spec.Int("m", 64)
 	families := []bool{false, true}
 	if err := runRowCells(t, sc, len(families), func(i int) ([]any, error) {
 		parallel := families[i]
@@ -197,7 +247,7 @@ func AblationCompaction(seed uint64, sc Scale) (*trace.Table, error) {
 		if parallel {
 			family = "parallel"
 		}
-		n := sc.jobs(300)
+		n := sc.jobs(spec.Int("n", 300))
 		cfg := workload.GenConfig{N: n, M: m, Seed: seed + uint64(i), Weighted: true}
 		var jobs []*workload.Job
 		if parallel {
@@ -227,4 +277,9 @@ func AblationCompaction(seed uint64, sc Scale) (*trace.Table, error) {
 		return nil, err
 	}
 	return t, nil
+}
+
+// AblationCompaction is the compatibility entry point for ablation 6.
+func AblationCompaction(seed uint64, sc Scale) (*trace.Table, error) {
+	return ablationCompactionRun(mustSpec("ablation-compaction"), seed, sc)
 }

@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/bicriteria"
+	"repro/internal/scenario"
+	"repro/internal/trace"
+)
+
+// This file wires the experiment engine into internal/scenario: it
+// registers every kind interpreter and the built-in Spec catalog that
+// reproduces the paper's evaluation. Catalog registration order is the
+// CLI display and "all"-expansion order (figures, tables, ablations —
+// the historical cmd/experiments order).
+
+// fromScenarioScale converts the declarative scale to the engine one.
+func fromScenarioScale(sc scenario.Scale) Scale {
+	return Scale{JobFactor: sc.JobFactor, Workers: sc.Workers}
+}
+
+// tableRun is the signature every table kind implements.
+type tableRun func(spec *scenario.Spec, seed uint64, sc Scale) (*trace.Table, error)
+
+// tableKind adapts a tableRun into a scenario.Runner.
+func tableKind(fn tableRun) scenario.Runner {
+	return func(spec *scenario.Spec, opt scenario.RunOptions) (*scenario.Result, error) {
+		t, err := fn(spec, opt.Seed, fromScenarioScale(opt.Scale))
+		if err != nil {
+			return nil, err
+		}
+		return scenario.TableResult(t), nil
+	}
+}
+
+// fig2Kind renders Figure 2's two series through the bespoke figure
+// writer (it has no table form, matching the historical output).
+func fig2Kind(spec *scenario.Spec, opt scenario.RunOptions) (*scenario.Result, error) {
+	np, p, err := fig2Run(spec, opt.Seed, fromScenarioScale(opt.Scale))
+	if err != nil {
+		return nil, err
+	}
+	return scenario.CustomResult(func(w io.Writer) error {
+		bicriteria.WriteFig2(w, np, p)
+		return nil
+	}), nil
+}
+
+// mustSpec resolves a built-in catalog Spec (the compatibility entry
+// points run through it so exported XxxTable calls see the same
+// defaults as the scenario engine).
+func mustSpec(id string) *scenario.Spec {
+	s, ok := scenario.Lookup(id)
+	if !ok {
+		panic(fmt.Sprintf("experiments: built-in spec %q not registered", id))
+	}
+	return s
+}
+
+func init() {
+	// Kind interpreters. One per bespoke table, plus the generic
+	// JSON-composable kinds ("offline", "online", "grid") that the
+	// built-in T14/T15 specs are themselves instances of.
+	scenario.RegisterKind("fig2", fig2Kind)
+	scenario.RegisterKind("mrt", tableKind(mrtRun))
+	scenario.RegisterKind("batch", tableKind(batchRun))
+	scenario.RegisterKind("smart", tableKind(smartRun))
+	scenario.RegisterKind("bicriteria", tableKind(bicriteriaRun))
+	scenario.RegisterKind("dlt", tableKind(dltRun))
+	scenario.RegisterKind("cigri", tableKind(cigriRun))
+	scenario.RegisterKind("decentralized", tableKind(decentralizedRun))
+	scenario.RegisterKind("mixed", tableKind(mixedRun))
+	scenario.RegisterKind("reservations", tableKind(reservationsRun))
+	scenario.RegisterKind("malleable", tableKind(malleableRun))
+	scenario.RegisterKind("treedlt", tableKind(treeDLTRun))
+	scenario.RegisterKind("criteria", tableKind(criteriaRun))
+	scenario.RegisterKind("heterogrid", tableKind(heteroGridRun))
+	scenario.RegisterKind("online", tableKind(onlineRun))
+	scenario.RegisterKind("grid", tableKind(gridRun))
+	scenario.RegisterKind("offline", tableKind(offlineRun))
+	scenario.RegisterKind("ablation-allotment", tableKind(ablationAllotmentRun))
+	scenario.RegisterKind("ablation-doubling-base", tableKind(ablationDoublingBaseRun))
+	scenario.RegisterKind("ablation-shelf-fill", tableKind(ablationShelfFillRun))
+	scenario.RegisterKind("ablation-chunk", tableKind(ablationChunkRun))
+	scenario.RegisterKind("ablation-kill-policy", tableKind(ablationKillPolicyRun))
+	scenario.RegisterKind("ablation-compaction", tableKind(ablationCompactionRun))
+
+	// Built-in catalog: the paper's evaluation as Specs. Each records
+	// its headline parameters explicitly (same values the kind would
+	// default to) so an encoded spec documents the experiment and a
+	// tweaked copy is a complete starting point.
+	scenario.Register(scenario.New("fig2", "fig2",
+		scenario.WithGroup(scenario.GroupFigure),
+		scenario.WithDesc("Figure 2: bi-criteria doubling ratios vs n, both job families"),
+		scenario.WithParam("m", 100), scenario.WithParam("reps", 3)))
+	scenario.Register(scenario.New("mrt", "mrt",
+		scenario.WithTitle("T1 — §4.1 offline moldable Cmax: MRT (3/2+ε) vs baselines (ratios to lower bound)"),
+		scenario.WithDesc("T1: offline MRT vs naive allotment baselines"),
+		scenario.WithParam("ms", []int{16, 64, 100}),
+		scenario.WithParam("ns", []int{50, 200, 1000}),
+		scenario.WithParam("eps", 0.01)))
+	scenario.Register(scenario.New("batch", "batch",
+		scenario.WithTitle("T2 — §4.2 online moldable Cmax: batches over MRT (ratios to lower bound, bound 3+ε)"),
+		scenario.WithDesc("T2: online batch framework across arrival intensities"),
+		scenario.WithParam("m", 64), scenario.WithParam("n", 300),
+		scenario.WithParam("rates", []float64{0.05, 0.5, 5})))
+	scenario.Register(scenario.New("smart", "smart",
+		scenario.WithTitle("T3 — §4.3 rigid completion-time sums: SMART shelves (ratios to lower bound)"),
+		scenario.WithDesc("T3: SMART shelves vs list baseline, weighted and not"),
+		scenario.WithParam("ms", []int{16, 64}), scenario.WithParam("n", 400)))
+	scenario.Register(scenario.New("bicriteria", "bicriteria",
+		scenario.WithTitle("T4 — §4.4 bi-criteria doubling: both ratios bounded by 4ρ = 6"),
+		scenario.WithDesc("T4: doubling algorithm vs pure MRT on both families"),
+		scenario.WithParam("m", 64), scenario.WithParam("ns", []int{100, 500})))
+	scenario.Register(scenario.New("dlt", "dlt",
+		scenario.WithTitle("T5 — §2.1 divisible load policies (makespans, lower bound in last column)"),
+		scenario.WithDesc("T5: divisible load single/multi-round vs self-scheduling"),
+		scenario.WithParam("latencies", []float64{0, 1, 10, 100}),
+		scenario.WithParam("w", 10000)))
+	scenario.Register(scenario.New("cigri", "cigri",
+		scenario.WithTitle("T6 — §5.2 centralized CiGri on CIMENT (Figure 3 platform)"),
+		scenario.WithDesc("T6: centralized CiGri campaign over community load"),
+		scenario.WithParam("runs", 5000), scenario.WithParam("run_time", 60)))
+	scenario.Register(scenario.New("decentralized", "decentralized",
+		scenario.WithTitle("T7 — §5.2 decentralized load exchange (4×32-proc clusters, all load on cluster 0)"),
+		scenario.WithDesc("T7: isolated vs push vs pull load exchange"),
+		scenario.WithParam("n", 200), scenario.WithParam("period", 30),
+		scenario.WithParam("threshold", 1.3), scenario.WithParam("max_move", 8)))
+	scenario.Register(scenario.New("mixed", "mixed",
+		scenario.WithTitle("T8 — §5.1 rigid+moldable mixes: the three proposed strategies (Cmax/ΣwC ratios to lower bounds)"),
+		scenario.WithDesc("T8: three strategies for mixing rigid and moldable jobs"),
+		scenario.WithParam("m", 64), scenario.WithParam("n", 200),
+		scenario.WithParam("fracs", []float64{0.3, 0.7})))
+	scenario.Register(scenario.New("reservations", "reservations",
+		scenario.WithTitle("T9 — §5.1 reservations: makespan ratios to the reservation-free lower bound"),
+		scenario.WithDesc("T9: FCFS vs conservative backfilling around reservations"),
+		scenario.WithParam("m", 32), scenario.WithParam("n", 100)))
+	scenario.Register(scenario.New("malleable", "malleable",
+		scenario.WithTitle("EXT1 — §2.2 malleable jobs (paper's future work): EQUI vs moldable MRT (ratios to lower bound)"),
+		scenario.WithDesc("EXT1: malleable EQUI vs moldable MRT"),
+		scenario.WithParam("ms", []int{16, 64}), scenario.WithParam("n", 150)))
+	scenario.Register(scenario.New("treedlt", "treedlt",
+		scenario.WithTitle("EXT2 — [4] divisible load on tree networks (same 13 workers, growing depth; W=10000)"),
+		scenario.WithDesc("EXT2: divisible load on trees of growing depth"),
+		scenario.WithParam("w", 10000)))
+	scenario.Register(scenario.New("criteria", "criteria",
+		scenario.WithTitle("EXT3 — §3 criteria matrix: one workload, every policy, every criterion (ratios to lower bounds where defined)"),
+		scenario.WithDesc("EXT3: every policy scored on every §3 criterion"),
+		scenario.WithParam("m", 64), scenario.WithParam("n", 200)))
+	scenario.Register(scenario.New("heterogrid", "heterogrid",
+		scenario.WithTitle("EXT4 — two-level moldable scheduling on the CIMENT grid (makespans, ratios to grid LB)"),
+		scenario.WithDesc("EXT4: two-level scheduling on the heterogeneous grid")))
+	scenario.Register(scenario.New("policies", "online",
+		scenario.WithTitle("T14 — online policy catalog (registry): §3 criteria per queue policy on shared arrival streams"),
+		scenario.WithDesc("T14: every online registry policy on shared arrival streams"),
+		scenario.WithWorkload(scenario.Workload{N: 300, M: 64, RigidFraction: 0.5}),
+		scenario.WithParam("rates", []float64{0.05, 0.2})))
+	scenario.Register(scenario.New("gridpolicies", "grid",
+		scenario.WithTitle("T15 — online grid policies (broker routing catalog): 4 heterogeneous clusters, shared stream + campaign"),
+		scenario.WithDesc("T15: every grid routing policy on one fleet + campaign"),
+		scenario.WithWorkload(scenario.Workload{N: 240, M: 32, ArrivalRate: 0.1, RigidFraction: 1, MaxProcsCap: 32}),
+		scenario.WithGrid(scenario.Grid{ExchangePeriod: 30, Threshold: 1.3, MaxMove: 8,
+			CampaignTasks: 2400, CampaignRunTime: 30})))
+
+	scenario.Register(scenario.New("ablation-allotment", "ablation-allotment",
+		scenario.WithGroup(scenario.GroupAblation),
+		scenario.WithDesc("MRT allotment selection: knapsack vs greedy γ(λ)")))
+	scenario.Register(scenario.New("ablation-doubling-base", "ablation-doubling-base",
+		scenario.WithGroup(scenario.GroupAblation),
+		scenario.WithDesc("bi-criteria initial deadline choice")))
+	scenario.Register(scenario.New("ablation-shelf-fill", "ablation-shelf-fill",
+		scenario.WithGroup(scenario.GroupAblation),
+		scenario.WithDesc("SMART shelf filling: first-fit vs best-fit")))
+	scenario.Register(scenario.New("ablation-chunk", "ablation-chunk",
+		scenario.WithGroup(scenario.GroupAblation),
+		scenario.WithDesc("DLT self-scheduling chunk size under latency")))
+	scenario.Register(scenario.New("ablation-kill-policy", "ablation-kill-policy",
+		scenario.WithGroup(scenario.GroupAblation),
+		scenario.WithDesc("best-effort eviction rule comparison")))
+	scenario.Register(scenario.New("ablation-compaction", "ablation-compaction",
+		scenario.WithGroup(scenario.GroupAblation),
+		scenario.WithDesc("left-shift compaction post-pass on bi-criteria schedules")))
+}

@@ -1,7 +1,14 @@
-// Package experiments contains the drivers that regenerate every table
-// and figure of the paper's evaluation (see DESIGN.md §1 for the
-// experiment index). Each driver returns a trace.Table so the same code
-// backs cmd/experiments and the root benchmark suite.
+// Package experiments contains the engine behind the scenario catalog:
+// every table and figure of the paper's evaluation (see DESIGN.md §1
+// for the experiment index) is expressed as a kind runner that expands
+// a declarative scenario.Spec into independent cells and feeds them to
+// the worker-pool replication runner (parallel.go).
+//
+// The package registers two things with internal/scenario at init time
+// (catalog.go): the kind interpreters, and the built-in Specs that
+// reproduce the paper's tables bit-identically. The exported XxxTable
+// functions are thin compatibility wrappers over the built-in Specs so
+// the root benchmark and integration suites keep their entry points.
 //
 // Every table is structured as a list of independent cells (one
 // parameter combination each, with a deterministic per-cell seed) that
@@ -17,6 +24,7 @@ import (
 	"repro/internal/lowerbound"
 	"repro/internal/moldable"
 	"repro/internal/rigid"
+	"repro/internal/scenario"
 	"repro/internal/sched"
 	"repro/internal/smart"
 	"repro/internal/trace"
@@ -45,19 +53,31 @@ func (s Scale) jobs(n int) int {
 	return 10
 }
 
-// MRTTable is experiment T1 (§4.1): the offline MRT algorithm versus its
+// title returns the spec's title override, or the kind's default.
+func title(spec *scenario.Spec, def string) string {
+	if spec != nil && spec.Title != "" {
+		return spec.Title
+	}
+	return def
+}
+
+// mrtRun is experiment T1 (§4.1): the offline MRT algorithm versus its
 // 3/2 + ε guarantee and the naive allotment baselines, across platform
-// widths and job counts.
-func MRTTable(seed uint64, sc Scale) (*trace.Table, error) {
+// widths and job counts. Params: "ms", "ns" (the sweep axes), "eps".
+func mrtRun(spec *scenario.Spec, seed uint64, sc Scale) (*trace.Table, error) {
+	if err := spec.CheckParams(map[string]scenario.ParamType{"ms": scenario.IntsParam, "ns": scenario.IntsParam, "eps": scenario.FloatParam}); err != nil {
+		return nil, err
+	}
 	t := trace.NewTable(
-		"T1 — §4.1 offline moldable Cmax: MRT (3/2+ε) vs baselines (ratios to lower bound)",
+		title(spec, "T1 — §4.1 offline moldable Cmax: MRT (3/2+ε) vs baselines (ratios to lower bound)"),
 		"m", "n", "MRT", "λ-accepted", "MinWork+LPT", "MaxProcs+LPT", "γ(LB)+LPT", "bound")
+	eps := spec.Float("eps", 0.01)
 	type cell struct {
 		m, n int
 	}
 	var cells []cell
-	for _, m := range []int{16, 64, 100} {
-		for _, n := range []int{50, 200, 1000} {
+	for _, m := range spec.Ints("ms", []int{16, 64, 100}) {
+		for _, n := range spec.Ints("ns", []int{50, 200, 1000}) {
 			cells = append(cells, cell{m, n})
 		}
 	}
@@ -65,7 +85,7 @@ func MRTTable(seed uint64, sc Scale) (*trace.Table, error) {
 		m, n := cells[i].m, sc.jobs(cells[i].n)
 		jobs := workload.Parallel(workload.GenConfig{N: n, M: m, Seed: seed + uint64(i)})
 		lb := lowerbound.CmaxDual(jobs, m)
-		res, err := moldable.MRT(jobs, m, 0.01)
+		res, err := moldable.MRT(jobs, m, eps)
 		if err != nil {
 			return nil, err
 		}
@@ -94,23 +114,33 @@ func MRTTable(seed uint64, sc Scale) (*trace.Table, error) {
 	return t, nil
 }
 
-// BatchTable is experiment T2 (§4.2): the batch framework over MRT with
+// MRTTable is the compatibility entry point for T1 (the built-in "mrt"
+// scenario run at the given seed and scale).
+func MRTTable(seed uint64, sc Scale) (*trace.Table, error) {
+	return mrtRun(mustSpec("mrt"), seed, sc)
+}
+
+// batchRun is experiment T2 (§4.2): the batch framework over MRT with
 // release dates versus its 2ρ = 3 + ε guarantee, across arrival
-// intensities.
-func BatchTable(seed uint64, sc Scale) (*trace.Table, error) {
+// intensities. Params: "m", "n", "rates", "eps".
+func batchRun(spec *scenario.Spec, seed uint64, sc Scale) (*trace.Table, error) {
+	if err := spec.CheckParams(map[string]scenario.ParamType{"m": scenario.IntParam, "n": scenario.IntParam, "rates": scenario.FloatsParam, "eps": scenario.FloatParam}); err != nil {
+		return nil, err
+	}
 	t := trace.NewTable(
-		"T2 — §4.2 online moldable Cmax: batches over MRT (ratios to lower bound, bound 3+ε)",
+		title(spec, "T2 — §4.2 online moldable Cmax: batches over MRT (ratios to lower bound, bound 3+ε)"),
 		"m", "n", "arrival rate", "batches", "online ratio", "offline-MRT ratio")
-	m := 64
-	rates := []float64{0.05, 0.5, 5}
+	m := spec.Int("m", 64)
+	eps := spec.Float("eps", 0.01)
+	rates := spec.Floats("rates", []float64{0.05, 0.5, 5})
 	if err := runRowCells(t, sc, len(rates), func(i int) ([]any, error) {
 		rate := rates[i]
-		n := sc.jobs(300)
+		n := sc.jobs(spec.Int("n", 300))
 		jobs := workload.Parallel(workload.GenConfig{
 			N: n, M: m, Seed: seed + uint64(i), ArrivalRate: rate,
 		})
 		lb := lowerbound.Cmax(jobs, m)
-		res, err := batch.OnlineMoldable(jobs, m, 0.01)
+		res, err := batch.OnlineMoldable(jobs, m, eps)
 		if err != nil {
 			return nil, err
 		}
@@ -121,7 +151,7 @@ func BatchTable(seed uint64, sc Scale) (*trace.Table, error) {
 			c.Release = 0
 			offline[k] = c
 		}
-		off, err := moldable.MRT(offline, m, 0.01)
+		off, err := moldable.MRT(offline, m, eps)
 		if err != nil {
 			return nil, err
 		}
@@ -134,25 +164,33 @@ func BatchTable(seed uint64, sc Scale) (*trace.Table, error) {
 	return t, nil
 }
 
-// SMARTTable is experiment T3 (§4.3): SMART shelves versus the 8 / 8.53
-// bounds and a submission-order list baseline.
-func SMARTTable(seed uint64, sc Scale) (*trace.Table, error) {
+// BatchTable is the compatibility entry point for T2.
+func BatchTable(seed uint64, sc Scale) (*trace.Table, error) {
+	return batchRun(mustSpec("batch"), seed, sc)
+}
+
+// smartRun is experiment T3 (§4.3): SMART shelves versus the 8 / 8.53
+// bounds and a submission-order list baseline. Params: "ms", "n".
+func smartRun(spec *scenario.Spec, seed uint64, sc Scale) (*trace.Table, error) {
+	if err := spec.CheckParams(map[string]scenario.ParamType{"ms": scenario.IntsParam, "n": scenario.IntParam}); err != nil {
+		return nil, err
+	}
 	t := trace.NewTable(
-		"T3 — §4.3 rigid completion-time sums: SMART shelves (ratios to lower bound)",
+		title(spec, "T3 — §4.3 rigid completion-time sums: SMART shelves (ratios to lower bound)"),
 		"m", "n", "weighted", "SMART ΣwC", "list ΣwC", "shelves", "bound")
 	type cell struct {
 		m        int
 		weighted bool
 	}
 	var cells []cell
-	for _, m := range []int{16, 64} {
+	for _, m := range spec.Ints("ms", []int{16, 64}) {
 		for _, weighted := range []bool{false, true} {
 			cells = append(cells, cell{m, weighted})
 		}
 	}
 	if err := runRowCells(t, sc, len(cells), func(i int) ([]any, error) {
 		m, weighted := cells[i].m, cells[i].weighted
-		n := sc.jobs(400)
+		n := sc.jobs(spec.Int("n", 400))
 		jobs := workload.Parallel(workload.GenConfig{
 			N: n, M: m, Seed: seed + uint64(i), Weighted: weighted, RigidFraction: 1,
 		})
@@ -180,11 +218,20 @@ func SMARTTable(seed uint64, sc Scale) (*trace.Table, error) {
 	return t, nil
 }
 
-// BiCriteriaTable is experiment T4 (§4.4): the doubling algorithm's two
-// ratios versus 4ρ, contrasted with pure MRT (good Cmax, unmanaged ΣwC).
-func BiCriteriaTable(seed uint64, sc Scale) (*trace.Table, error) {
+// SMARTTable is the compatibility entry point for T3.
+func SMARTTable(seed uint64, sc Scale) (*trace.Table, error) {
+	return smartRun(mustSpec("smart"), seed, sc)
+}
+
+// bicriteriaRun is experiment T4 (§4.4): the doubling algorithm's two
+// ratios versus 4ρ, contrasted with pure MRT (good Cmax, unmanaged
+// ΣwC). Params: "m", "ns" (per-family job counts), "eps".
+func bicriteriaRun(spec *scenario.Spec, seed uint64, sc Scale) (*trace.Table, error) {
+	if err := spec.CheckParams(map[string]scenario.ParamType{"m": scenario.IntParam, "ns": scenario.IntsParam, "eps": scenario.FloatParam}); err != nil {
+		return nil, err
+	}
 	t := trace.NewTable(
-		"T4 — §4.4 bi-criteria doubling: both ratios bounded by 4ρ = 6",
+		title(spec, "T4 — §4.4 bi-criteria doubling: both ratios bounded by 4ρ = 6"),
 		"family", "n", "doubling Cmax", "doubling ΣwC", "MRT Cmax", "MRT ΣwC", "bound")
 	type cell struct {
 		parallel bool
@@ -192,11 +239,12 @@ func BiCriteriaTable(seed uint64, sc Scale) (*trace.Table, error) {
 	}
 	var cells []cell
 	for _, parallel := range []bool{false, true} {
-		for _, n0 := range []int{100, 500} {
+		for _, n0 := range spec.Ints("ns", []int{100, 500}) {
 			cells = append(cells, cell{parallel, n0})
 		}
 	}
-	m := 64
+	m := spec.Int("m", 64)
+	eps := spec.Float("eps", 0.01)
 	if err := runRowCells(t, sc, len(cells), func(i int) ([]any, error) {
 		parallel := cells[i].parallel
 		family := "non-parallel"
@@ -215,7 +263,7 @@ func BiCriteriaTable(seed uint64, sc Scale) (*trace.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		mrt, err := moldable.MRT(jobs, m, 0.01)
+		mrt, err := moldable.MRT(jobs, m, eps)
 		if err != nil {
 			return nil, err
 		}
@@ -232,16 +280,29 @@ func BiCriteriaTable(seed uint64, sc Scale) (*trace.Table, error) {
 	return t, nil
 }
 
-// Fig2Tables regenerates both series of Figure 2 (the two series run as
-// independent cells).
-func Fig2Tables(seed uint64, sc Scale) (np, p []bicriteria.Fig2Point, err error) {
-	ns := bicriteria.DefaultNs()
-	if sc.JobFactor > 1 {
-		ns = []int{10, 50, 100, 200}
+// BiCriteriaTable is the compatibility entry point for T4.
+func BiCriteriaTable(seed uint64, sc Scale) (*trace.Table, error) {
+	return bicriteriaRun(mustSpec("bicriteria"), seed, sc)
+}
+
+// fig2Run regenerates both series of Figure 2 (the two series run as
+// independent cells). Params: "m", "reps", "ns" (full-scale axis).
+func fig2Run(spec *scenario.Spec, seed uint64, sc Scale) (np, p []bicriteria.Fig2Point, err error) {
+	if err := spec.CheckParams(map[string]scenario.ParamType{
+		"m": scenario.IntParam, "reps": scenario.IntParam,
+		"ns": scenario.IntsParam, "quick_ns": scenario.IntsParam,
+	}); err != nil {
+		return nil, nil, err
 	}
+	ns := spec.Ints("ns", bicriteria.DefaultNs())
+	if sc.JobFactor > 1 {
+		ns = spec.Ints("quick_ns", []int{10, 50, 100, 200})
+	}
+	m := spec.Int("m", 100)
+	reps := spec.Int("reps", 3)
 	series, err := runCells(sc, 2, func(i int) ([]bicriteria.Fig2Point, error) {
 		return bicriteria.Fig2Series(bicriteria.Fig2Config{
-			M: 100, Ns: ns, Seed: seed + uint64(i), Reps: 3, Parallel: i == 1,
+			M: m, Ns: ns, Seed: seed + uint64(i), Reps: reps, Parallel: i == 1,
 		})
 	})
 	if err != nil {
@@ -250,17 +311,25 @@ func Fig2Tables(seed uint64, sc Scale) (np, p []bicriteria.Fig2Point, err error)
 	return series[0], series[1], nil
 }
 
-// MixedTable is experiment T8 (§5.1): the three strategies for mixing
-// rigid and moldable jobs on one cluster.
-func MixedTable(seed uint64, sc Scale) (*trace.Table, error) {
+// Fig2Tables is the compatibility entry point for Figure 2.
+func Fig2Tables(seed uint64, sc Scale) (np, p []bicriteria.Fig2Point, err error) {
+	return fig2Run(mustSpec("fig2"), seed, sc)
+}
+
+// mixedRun is experiment T8 (§5.1): the three strategies for mixing
+// rigid and moldable jobs on one cluster. Params: "m", "n", "fracs".
+func mixedRun(spec *scenario.Spec, seed uint64, sc Scale) (*trace.Table, error) {
+	if err := spec.CheckParams(map[string]scenario.ParamType{"m": scenario.IntParam, "n": scenario.IntParam, "fracs": scenario.FloatsParam}); err != nil {
+		return nil, err
+	}
 	t := trace.NewTable(
-		"T8 — §5.1 rigid+moldable mixes: the three proposed strategies (Cmax/ΣwC ratios to lower bounds)",
+		title(spec, "T8 — §5.1 rigid+moldable mixes: the three proposed strategies (Cmax/ΣwC ratios to lower bounds)"),
 		"rigid frac", "n", "strategy", "Cmax ratio", "ΣwC ratio")
-	m := 64
-	fracs := []float64{0.3, 0.7}
+	m := spec.Int("m", 64)
+	fracs := spec.Floats("fracs", []float64{0.3, 0.7})
 	rows, err := runCells(sc, len(fracs), func(i int) ([][]any, error) {
 		frac := fracs[i]
-		n := sc.jobs(200)
+		n := sc.jobs(spec.Int("n", 200))
 		jobs := workload.Mixed(workload.GenConfig{
 			N: n, M: m, Seed: seed + uint64(i), Weighted: true, RigidFraction: frac,
 		})
@@ -289,6 +358,11 @@ func MixedTable(seed uint64, sc Scale) (*trace.Table, error) {
 		}
 	}
 	return t, nil
+}
+
+// MixedTable is the compatibility entry point for T8.
+func MixedTable(seed uint64, sc Scale) (*trace.Table, error) {
+	return mixedRun(mustSpec("mixed"), seed, sc)
 }
 
 // runMixedStrategy implements §5.1's three ideas.

@@ -11,26 +11,30 @@ import (
 	"repro/internal/moldable"
 	"repro/internal/platform"
 	"repro/internal/rigid"
+	"repro/internal/scenario"
 	"repro/internal/sched"
 	"repro/internal/smart"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
-// MalleableTable is the extension experiment for §2.2's third task
+// malleableRun is the extension experiment for §2.2's third task
 // class, which the paper defers ("we will not consider malleability
 // here"): EQUIPARTITION and weight-proportional malleable scheduling
 // versus the moldable MRT one-shot choice on the same jobs. It
 // quantifies the paper's expectation that "malleability is much more
-// easily usable from the scheduling point of view".
-func MalleableTable(seed uint64, sc Scale) (*trace.Table, error) {
+// easily usable from the scheduling point of view". Params: "ms", "n".
+func malleableRun(spec *scenario.Spec, seed uint64, sc Scale) (*trace.Table, error) {
+	if err := spec.CheckParams(map[string]scenario.ParamType{"ms": scenario.IntsParam, "n": scenario.IntParam}); err != nil {
+		return nil, err
+	}
 	t := trace.NewTable(
-		"EXT1 — §2.2 malleable jobs (paper's future work): EQUI vs moldable MRT (ratios to lower bound)",
+		title(spec, "EXT1 — §2.2 malleable jobs (paper's future work): EQUI vs moldable MRT (ratios to lower bound)"),
 		"m", "n", "moldable MRT", "malleable EQUI", "EQUI reallocs", "weighted EQUI ΣwC", "MRT ΣwC")
-	ms := []int{16, 64}
+	ms := spec.Ints("ms", []int{16, 64})
 	if err := runRowCells(t, sc, len(ms), func(i int) ([]any, error) {
 		m := ms[i]
-		n := sc.jobs(150)
+		n := sc.jobs(spec.Int("n", 150))
 		jobs := workload.Parallel(workload.GenConfig{N: n, M: m, Seed: seed + uint64(i), Weighted: true})
 		for _, j := range jobs {
 			j.Kind = workload.Malleable
@@ -66,16 +70,25 @@ func MalleableTable(seed uint64, sc Scale) (*trace.Table, error) {
 	return t, nil
 }
 
-// TreeDLTTable is the extension experiment for the paper's reference [4]
+// MalleableTable is the compatibility entry point for EXT1.
+func MalleableTable(seed uint64, sc Scale) (*trace.Table, error) {
+	return malleableRun(mustSpec("malleable"), seed, sc)
+}
+
+// treeDLTRun is the extension experiment for the paper's reference [4]
 // (Cheng & Robertazzi tree networks): optimal single-round distribution
 // on trees of growing depth with the same worker pool, quantifying the
 // store-and-forward cost of hierarchy versus a flat star — the paper's
 // §1.2 observation that interconnects "may be hierarchical".
-func TreeDLTTable(seed uint64, sc Scale) (*trace.Table, error) {
+// Params: "w" (total load).
+func treeDLTRun(spec *scenario.Spec, seed uint64, sc Scale) (*trace.Table, error) {
+	if err := spec.CheckParams(map[string]scenario.ParamType{"w": scenario.FloatParam}); err != nil {
+		return nil, err
+	}
 	t := trace.NewTable(
-		"EXT2 — [4] divisible load on tree networks (same 13 workers, growing depth; W=10000)",
+		title(spec, "EXT2 — [4] divisible load on tree networks (same 13 workers, growing depth; W=10000)"),
 		"topology", "nodes", "makespan", "vs flat star", "LB")
-	const W = 10000.0
+	W := spec.Float("w", 10000)
 	mkNode := func(name string, link float64) *dlt.TreeNode {
 		return &dlt.TreeNode{Name: name, Compute: 1, LinkToParent: link}
 	}
@@ -129,16 +142,25 @@ func TreeDLTTable(seed uint64, sc Scale) (*trace.Table, error) {
 	return t, nil
 }
 
-// CriteriaMatrixTable is extension experiment EXT3: the paper's title
-// question rendered as a matrix — every policy scored on every §3
-// criterion over one shared workload. No policy wins everywhere, which
-// is exactly the paper's argument for per-application policy selection.
-func CriteriaMatrixTable(seed uint64, sc Scale) (*trace.Table, error) {
+// TreeDLTTable is the compatibility entry point for EXT2.
+func TreeDLTTable(seed uint64, sc Scale) (*trace.Table, error) {
+	return treeDLTRun(mustSpec("treedlt"), seed, sc)
+}
+
+// criteriaRun is extension experiment EXT3: the paper's title question
+// rendered as a matrix — every policy scored on every §3 criterion over
+// one shared workload. No policy wins everywhere, which is exactly the
+// paper's argument for per-application policy selection. Params: "m",
+// "n".
+func criteriaRun(spec *scenario.Spec, seed uint64, sc Scale) (*trace.Table, error) {
+	if err := spec.CheckParams(map[string]scenario.ParamType{"m": scenario.IntParam, "n": scenario.IntParam}); err != nil {
+		return nil, err
+	}
 	t := trace.NewTable(
-		"EXT3 — §3 criteria matrix: one workload, every policy, every criterion (ratios to lower bounds where defined)",
+		title(spec, "EXT3 — §3 criteria matrix: one workload, every policy, every criterion (ratios to lower bounds where defined)"),
 		"policy", "Cmax", "ΣwC", "mean flow", "max stretch", "late", "util %")
-	m := 64
-	n := sc.jobs(200)
+	m := spec.Int("m", 64)
+	n := sc.jobs(spec.Int("n", 200))
 	jobs := workload.Parallel(workload.GenConfig{
 		N: n, M: m, Seed: seed, Weighted: true, DueDateSlack: 8,
 	})
@@ -199,13 +221,21 @@ func CriteriaMatrixTable(seed uint64, sc Scale) (*trace.Table, error) {
 	return t, nil
 }
 
-// HeteroGridTable is extension experiment EXT4: two-level scheduling
+// CriteriaMatrixTable is the compatibility entry point for EXT3.
+func CriteriaMatrixTable(seed uint64, sc Scale) (*trace.Table, error) {
+	return criteriaRun(mustSpec("criteria"), seed, sc)
+}
+
+// heteroGridRun is extension experiment EXT4: two-level scheduling
 // across the speed-heterogeneous CIMENT grid — the §2.2 "uniform
 // processors" view at grid scale. Compares the speed-aware partition
 // against using only the largest cluster and a speed-blind deal.
-func HeteroGridTable(seed uint64, sc Scale) (*trace.Table, error) {
+func heteroGridRun(spec *scenario.Spec, seed uint64, sc Scale) (*trace.Table, error) {
+	if err := spec.CheckParams(map[string]scenario.ParamType{}); err != nil {
+		return nil, err
+	}
 	t := trace.NewTable(
-		"EXT4 — two-level moldable scheduling on the CIMENT grid (makespans, ratios to grid LB)",
+		title(spec, "EXT4 — two-level moldable scheduling on the CIMENT grid (makespans, ratios to grid LB)"),
 		"workload", "partition", "grid makespan", "ratio", "clusters used")
 	workloads := []struct {
 		name string
@@ -261,4 +291,9 @@ func HeteroGridTable(seed uint64, sc Scale) (*trace.Table, error) {
 		return nil, err
 	}
 	return t, nil
+}
+
+// HeteroGridTable is the compatibility entry point for EXT4.
+func HeteroGridTable(seed uint64, sc Scale) (*trace.Table, error) {
+	return heteroGridRun(mustSpec("heterogrid"), seed, sc)
 }

@@ -10,6 +10,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/platform"
 	"repro/internal/rigid"
+	"repro/internal/scenario"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -35,16 +36,20 @@ func dltPlatforms() []struct {
 	}
 }
 
-// DLTTable is experiment T5 (§2.1): single-round vs multi-round vs
+// dltRun is experiment T5 (§2.1): single-round vs multi-round vs
 // dynamic self-scheduling across latency regimes on bus and star
 // platforms, with the crossover the paper's model discussion predicts.
-func DLTTable(seed uint64, sc Scale) (*trace.Table, error) {
+// Params: "latencies", "w" (total load).
+func dltRun(spec *scenario.Spec, seed uint64, sc Scale) (*trace.Table, error) {
+	if err := spec.CheckParams(map[string]scenario.ParamType{"latencies": scenario.FloatsParam, "w": scenario.FloatParam}); err != nil {
+		return nil, err
+	}
 	t := trace.NewTable(
-		"T5 — §2.1 divisible load policies (makespans, lower bound in last column)",
+		title(spec, "T5 — §2.1 divisible load policies (makespans, lower bound in last column)"),
 		"platform", "latency", "1 round", "4 rounds", "16 rounds", "self-sched", "LB")
-	latencies := []float64{0, 1, 10, 100}
+	latencies := spec.Floats("latencies", []float64{0, 1, 10, 100})
 	nPlatforms := len(dltPlatforms())
-	const W = 10000.0
+	W := spec.Float("w", 10000)
 	if err := runRowCells(t, sc, nPlatforms*len(latencies), func(i int) ([]any, error) {
 		pf := dltPlatforms()[i/len(latencies)]
 		pf.star.Latency = latencies[i%len(latencies)]
@@ -73,6 +78,11 @@ func DLTTable(seed uint64, sc Scale) (*trace.Table, error) {
 	return t, nil
 }
 
+// DLTTable is the compatibility entry point for T5.
+func DLTTable(seed uint64, sc Scale) (*trace.Table, error) {
+	return dltRun(mustSpec("dlt"), seed, sc)
+}
+
 // communityMembers builds the CIMENT members with per-cluster community
 // workloads (jobs IDs unique across the grid).
 func communityMembers(seed uint64, jobsPerCluster int, rate float64) []grid.Member {
@@ -91,18 +101,22 @@ func communityMembers(seed uint64, jobsPerCluster int, rate float64) []grid.Memb
 	return members
 }
 
-// CiGriTable is experiment T6 (§5.2 centralized): the CIMENT grid running
+// cigriRun is experiment T6 (§5.2 centralized): the CIMENT grid running
 // community jobs plus a multi-parametric campaign. Reports the fairness
 // contract (local mean flow identical with and without the grid), grid
-// throughput and the kill/resubmit overhead.
+// throughput and the kill/resubmit overhead. Params: "runs" (campaign
+// size), "run_time" (per-task duration).
 //
 // Each load level is a cell, and within a cell the isolated baseline and
 // the grid run are themselves independent cells (both rebuild the same
 // member workloads from the cell seed), so a full parallel run keeps all
 // four simulations in flight.
-func CiGriTable(seed uint64, sc Scale) (*trace.Table, error) {
+func cigriRun(spec *scenario.Spec, seed uint64, sc Scale) (*trace.Table, error) {
+	if err := spec.CheckParams(map[string]scenario.ParamType{"runs": scenario.IntParam, "run_time": scenario.FloatParam}); err != nil {
+		return nil, err
+	}
 	t := trace.NewTable(
-		"T6 — §5.2 centralized CiGri on CIMENT (Figure 3 platform)",
+		title(spec, "T6 — §5.2 centralized CiGri on CIMENT (Figure 3 platform)"),
 		"local load", "bag tasks", "local Δflow", "grid done", "kills", "wasted %", "grid makespan")
 	loads := []struct {
 		name string
@@ -112,6 +126,7 @@ func CiGriTable(seed uint64, sc Scale) (*trace.Table, error) {
 		{"light", 0.001, sc.jobs(40)},
 		{"heavy", 0.01, sc.jobs(120)},
 	}
+	runTime := spec.Float("run_time", 60)
 	type gridResult struct {
 		flowIso  float64 // isolated-run mean flow (sub-cell 0)
 		flowGrid float64 // grid-run mean flow (sub-cell 1)
@@ -120,7 +135,7 @@ func CiGriTable(seed uint64, sc Scale) (*trace.Table, error) {
 	if err := runRowCells(t, sc, len(loads), func(i int) ([]any, error) {
 		load := loads[i]
 		cellSeed := seed + uint64(10*i)
-		runs := sc.jobs(5000)
+		runs := sc.jobs(spec.Int("runs", 5000))
 		parts, err := runCells(sc, 2, func(sub int) (gridResult, error) {
 			members := communityMembers(cellSeed, load.jobs, load.rate)
 			if sub == 0 {
@@ -130,7 +145,7 @@ func CiGriTable(seed uint64, sc Scale) (*trace.Table, error) {
 				}
 				return gridResult{flowIso: metrics.MeanFlow(iso)}, nil
 			}
-			bags := []*workload.Bag{{ID: 0, Runs: runs, RunTime: 60, Name: "campaign"}}
+			bags := []*workload.Bag{{ID: 0, Runs: runs, RunTime: runTime, Name: "campaign"}}
 			g, err := grid.NewCentralized(members, bags, cluster.KillNewest)
 			if err != nil {
 				return gridResult{}, err
@@ -161,16 +176,28 @@ func CiGriTable(seed uint64, sc Scale) (*trace.Table, error) {
 	return t, nil
 }
 
-// DecentralizedTable is experiment T7 (§5.2 decentralized): the same
+// CiGriTable is the compatibility entry point for T6.
+func CiGriTable(seed uint64, sc Scale) (*trace.Table, error) {
+	return cigriRun(mustSpec("cigri"), seed, sc)
+}
+
+// decentralizedRun is experiment T7 (§5.2 decentralized): the same
 // imbalanced workload run isolated versus with periodic load exchange.
 // The three schemes (isolated, push, pull) are independent cells over
-// clones of one shared workload.
-func DecentralizedTable(seed uint64, sc Scale) (*trace.Table, error) {
+// clones of one shared workload. Params: "n", "period", "threshold",
+// "max_move".
+func decentralizedRun(spec *scenario.Spec, seed uint64, sc Scale) (*trace.Table, error) {
+	if err := spec.CheckParams(map[string]scenario.ParamType{"n": scenario.IntParam, "period": scenario.FloatParam, "threshold": scenario.FloatParam, "max_move": scenario.IntParam}); err != nil {
+		return nil, err
+	}
 	t := trace.NewTable(
-		"T7 — §5.2 decentralized load exchange (4×32-proc clusters, all load on cluster 0)",
+		title(spec, "T7 — §5.2 decentralized load exchange (4×32-proc clusters, all load on cluster 0)"),
 		"scheme", "migrations", "mean flow", "max flow", "makespan")
 	rng := stats.NewRNG(seed)
-	n := sc.jobs(200)
+	n := sc.jobs(spec.Int("n", 200))
+	period := spec.Float("period", 30)
+	threshold := spec.Float("threshold", 1.3)
+	maxMove := spec.Int("max_move", 8)
 	var jobs []*workload.Job
 	clock := 0.0
 	for i := 0; i < n; i++ {
@@ -208,7 +235,7 @@ func DecentralizedTable(seed uint64, sc Scale) (*trace.Table, error) {
 				metrics.MeanFlow(iso), metrics.MaxFlow(iso), metrics.Makespan(iso)}, nil
 		case 1:
 			d, err := grid.NewDecentralized(members, grid.DecentralizedOptions{
-				Period: 30, Threshold: 1.3, MaxMove: 8,
+				Period: period, Threshold: threshold, MaxMove: maxMove,
 			}, cluster.KillNewest)
 			if err != nil {
 				return nil, err
@@ -221,7 +248,7 @@ func DecentralizedTable(seed uint64, sc Scale) (*trace.Table, error) {
 				metrics.MeanFlow(ex), metrics.MaxFlow(ex), metrics.Makespan(ex)}, nil
 		default:
 			p, err := grid.NewDecentralized(members, grid.DecentralizedOptions{
-				Period: 30, MaxMove: 8, Protocol: grid.Pull,
+				Period: period, MaxMove: maxMove, Protocol: grid.Pull,
 			}, cluster.KillNewest)
 			if err != nil {
 				return nil, err
@@ -239,14 +266,23 @@ func DecentralizedTable(seed uint64, sc Scale) (*trace.Table, error) {
 	return t, nil
 }
 
-// ReservationsTable is experiment T9 (§5.1): scheduling around advance
-// reservations with FCFS versus conservative backfilling.
-func ReservationsTable(seed uint64, sc Scale) (*trace.Table, error) {
+// DecentralizedTable is the compatibility entry point for T7.
+func DecentralizedTable(seed uint64, sc Scale) (*trace.Table, error) {
+	return decentralizedRun(mustSpec("decentralized"), seed, sc)
+}
+
+// reservationsRun is experiment T9 (§5.1): scheduling around advance
+// reservations with FCFS versus conservative backfilling. Params: "m",
+// "n".
+func reservationsRun(spec *scenario.Spec, seed uint64, sc Scale) (*trace.Table, error) {
+	if err := spec.CheckParams(map[string]scenario.ParamType{"m": scenario.IntParam, "n": scenario.IntParam}); err != nil {
+		return nil, err
+	}
 	t := trace.NewTable(
-		"T9 — §5.1 reservations: makespan ratios to the reservation-free lower bound",
+		title(spec, "T9 — §5.1 reservations: makespan ratios to the reservation-free lower bound"),
 		"reserved", "window", "FCFS", "conservative", "no-reservation conservative")
-	m := 32
-	n := sc.jobs(100)
+	m := spec.Int("m", 32)
+	n := sc.jobs(spec.Int("n", 100))
 	jobs := workload.Parallel(workload.GenConfig{
 		N: n, M: m, Seed: seed, RigidFraction: 1, MaxProcsCap: 16, ArrivalRate: 0.05,
 	})
@@ -300,6 +336,11 @@ func ReservationsTable(seed uint64, sc Scale) (*trace.Table, error) {
 			1.0)
 	}
 	return t, nil
+}
+
+// ReservationsTable is the compatibility entry point for T9.
+func ReservationsTable(seed uint64, sc Scale) (*trace.Table, error) {
+	return reservationsRun(mustSpec("reservations"), seed, sc)
 }
 
 func cloneJobSlice(jobs []*workload.Job) []*workload.Job {

@@ -8,53 +8,139 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/platform"
 	"repro/internal/registry"
+	"repro/internal/scenario"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
-// gridPolicyMembers builds the heterogeneous 4-cluster fleet the grid
-// policies are compared on (mixed widths and speeds, EASY everywhere).
-func gridPolicyMembers() []grid.Member {
-	specs := []struct {
-		name  string
-		m     int
-		speed float64
-	}{
-		{"big", 64, 1}, {"fast", 32, 1.5}, {"old", 32, 0.75}, {"tiny", 16, 2},
+// defaultGridClusters is the heterogeneous 4-cluster fleet the grid
+// policies are compared on by default (mixed widths and speeds).
+func defaultGridClusters() []scenario.Cluster {
+	return []scenario.Cluster{
+		{Name: "big", M: 64, Speed: 1},
+		{Name: "fast", M: 32, Speed: 1.5},
+		{Name: "old", M: 32, Speed: 0.75},
+		{Name: "tiny", M: 16, Speed: 2},
 	}
+}
+
+// gridMembers materializes a declarative fleet with one shared queue
+// policy on every cluster.
+func gridMembers(clusters []scenario.Cluster, newPolicy func() cluster.Policy) []grid.Member {
 	var members []grid.Member
-	for _, s := range specs {
+	for _, c := range clusters {
+		speed := c.Speed
+		if speed == 0 {
+			speed = 1
+		}
 		members = append(members, grid.Member{
-			Cluster: &platform.Cluster{Name: s.name, Nodes: s.m, ProcsPerNode: 1, Speed: s.speed},
-			Policy:  cluster.EASYPolicy{},
+			Cluster: &platform.Cluster{Name: c.Name, Nodes: c.M, ProcsPerNode: 1, Speed: speed},
+			Policy:  newPolicy(),
 		})
 	}
 	return members
 }
 
-// GridPolicyTable is experiment T15: the online grid routing catalog
+// gridRun is the generic "grid" kind: the online grid routing catalog
 // (the policies the gridd broker serves) swept head-to-head on one
 // shared arrival stream plus one best-effort campaign, via the offline
 // routed-grid twin of the broker (grid.Routed). Reports the local §3
-// criteria and the campaign's best-effort loss per policy. Rows are
-// registry-driven: a policy added to the grid catalog shows up here
-// automatically.
-func GridPolicyTable(seed uint64, sc Scale) (*trace.Table, error) {
+// criteria and the campaign's best-effort loss per routing policy.
+//
+// Spec surface: Platform.Clusters (the fleet; default the 4-cluster
+// mix), Workload (the shared stream), Policies (a single queue policy
+// for every cluster; default "easy"), and Grid (campaign size/run time,
+// exchange period, threshold, max move, and Policy — one routing policy
+// to run, or empty to sweep the whole grid catalog). The built-in
+// "gridpolicies" Spec (T15) is an instance of this kind with the paper
+// defaults, and stays registry-driven: a policy added to the grid
+// catalog shows up there automatically.
+func gridRun(spec *scenario.Spec, seed uint64, sc Scale) (*trace.Table, error) {
+	if err := spec.CheckParams(map[string]scenario.ParamType{"kill": scenario.StringParam}); err != nil {
+		return nil, err
+	}
 	t := trace.NewTable(
-		"T15 — online grid policies (broker routing catalog): 4 heterogeneous clusters, shared stream + campaign",
+		title(spec, "T15 — online grid policies (broker routing catalog): 4 heterogeneous clusters, shared stream + campaign"),
 		"policy", "migr", "mean flow", "max flow", "makespan", "grid done", "kills", "wasted %", "grid Cmax")
-	n := sc.jobs(240)
-	tasks := sc.jobs(2400)
-	jobs := workload.Parallel(workload.GenConfig{
-		N: n, M: 32, Seed: seed, ArrivalRate: 0.1, RigidFraction: 1, MaxProcsCap: 32,
+	gen, cfg := genConfig(spec.Workload, workload.GenConfig{
+		N: 240, M: 32, ArrivalRate: 0.1, RigidFraction: 1, MaxProcsCap: 32,
 	})
-	entries := registry.Grids()
+	g := spec.Grid
+	if g == nil {
+		g = &scenario.Grid{}
+	}
+	// campaign_tasks: -1 disables the campaign; 0/absent keeps the
+	// paper default.
+	tasks := g.CampaignTasks
+	if tasks == 0 {
+		tasks = 2400
+	}
+	if tasks < 0 {
+		tasks = 0
+	} else {
+		tasks = sc.jobs(tasks)
+	}
+	runTime := g.CampaignRunTime
+	if runTime == 0 {
+		runTime = 30
+	}
+	ropt := grid.RouterOptions{Seed: seed, Threshold: g.Threshold, MaxMove: g.MaxMove}
+	if ropt.Threshold == 0 {
+		ropt.Threshold = 1.3
+	}
+	if ropt.MaxMove == 0 {
+		ropt.MaxMove = 8
+	}
+	period := g.ExchangePeriod
+	if period == 0 {
+		period = 30
+	}
+	clusters := defaultGridClusters()
+	if spec.Platform != nil && len(spec.Platform.Clusters) > 0 {
+		clusters = spec.Platform.Clusters
+	}
+	queueName := "easy"
+	if len(spec.Policies) == 1 {
+		queueName = spec.Policies[0]
+	} else if len(spec.Policies) > 1 {
+		return nil, fmt.Errorf("experiments: grid kind takes at most one queue policy, got %d", len(spec.Policies))
+	}
+	queue, err := registry.Get(queueName)
+	if err != nil {
+		return nil, err
+	}
+	if !queue.Caps.Online {
+		return nil, fmt.Errorf("experiments: grid queue policy %q is not online-capable", queueName)
+	}
+	kill, err := killPolicy(spec.String("kill", "newest"))
+	if err != nil {
+		return nil, err
+	}
+	var entries []*registry.GridEntry
+	if g.Policy != "" {
+		e, err := registry.GetGrid(g.Policy)
+		if err != nil {
+			return nil, err
+		}
+		entries = []*registry.GridEntry{e}
+	} else {
+		entries = registry.Grids()
+	}
+	n := sc.jobs(cfg.N)
+	cfg.N, cfg.Seed = n, seed
+	jobs, err := generate(gen, cfg)
+	if err != nil {
+		return nil, err
+	}
 	if err := runRowCells(t, sc, len(entries), func(i int) ([]any, error) {
 		entry := entries[i]
-		router := entry.New(grid.RouterOptions{Seed: seed, Threshold: 1.3, MaxMove: 8})
-		bags := []*workload.Bag{{ID: 0, Runs: tasks, RunTime: 30, Name: "campaign"}}
-		r, err := grid.NewRouted(gridPolicyMembers(), cloneJobSlice(jobs), bags, router,
-			grid.RoutedOptions{ExchangePeriod: 30}, cluster.KillNewest)
+		router := entry.New(ropt)
+		var bags []*workload.Bag
+		if tasks > 0 {
+			bags = []*workload.Bag{{ID: 0, Runs: tasks, RunTime: runTime, Name: "campaign"}}
+		}
+		r, err := grid.NewRouted(gridMembers(clusters, queue.NewPolicy), cloneJobSlice(jobs), bags, router,
+			grid.RoutedOptions{ExchangePeriod: period}, kill)
 		if err != nil {
 			return nil, err
 		}
@@ -77,4 +163,9 @@ func GridPolicyTable(seed uint64, sc Scale) (*trace.Table, error) {
 		return nil, err
 	}
 	return t, nil
+}
+
+// GridPolicyTable is the compatibility entry point for T15.
+func GridPolicyTable(seed uint64, sc Scale) (*trace.Table, error) {
+	return gridRun(mustSpec("gridpolicies"), seed, sc)
 }

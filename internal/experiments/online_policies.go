@@ -7,32 +7,61 @@ import (
 	"repro/internal/des"
 	"repro/internal/lowerbound"
 	"repro/internal/metrics"
-	"repro/internal/registry"
+	"repro/internal/scenario"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
-// OnlinePolicyTable compares every online-capable policy of the
-// internal/registry catalog head-to-head on the same arrival streams:
-// the queue policies that gridd can serve, scored with the §3 criteria.
-// Rows are grouped by arrival rate; the job stream is identical across
-// policies for a fixed seed, so differences are purely the policy's.
-func OnlinePolicyTable(seed uint64, sc Scale) (*trace.Table, error) {
+// onlineRun is the generic "online" kind: every named online-capable
+// policy of the internal/registry catalog head-to-head on the same
+// arrival streams, scored with the §3 criteria. Rows are grouped by
+// arrival rate; the job stream is identical across policies for a
+// fixed seed, so differences are purely the policy's.
+//
+// Spec surface: Workload (generator/N/M/rigid fraction/...), Policies
+// (default: the whole online catalog), params "rates" (the arrival-rate
+// axis; alternatively workload.arrival_rate pins a single rate — setting
+// both is an error) and "kill" ("newest"|"largest"). The built-in
+// "policies" Spec (T14) is an instance of this kind with the paper
+// defaults.
+func onlineRun(spec *scenario.Spec, seed uint64, sc Scale) (*trace.Table, error) {
+	if err := spec.CheckParams(map[string]scenario.ParamType{"rates": scenario.FloatsParam, "kill": scenario.StringParam}); err != nil {
+		return nil, err
+	}
 	t := trace.NewTable(
-		"T14 — online policy catalog (registry): §3 criteria per queue policy on shared arrival streams",
+		title(spec, "T14 — online policy catalog (registry): §3 criteria per queue policy on shared arrival streams"),
 		"rate", "n", "policy", "Cmax ratio", "mean flow", "max flow", "mean stretch", "util%")
-	m := 64
-	rates := []float64{0.05, 0.2}
-	entries := registry.Online()
+	gen, cfg := genConfig(spec.Workload, workload.GenConfig{N: 300, M: 64, RigidFraction: 0.5})
+	rates := spec.Floats("rates", nil)
+	if spec.Workload != nil && spec.Workload.ArrivalRate != 0 {
+		if rates != nil {
+			return nil, fmt.Errorf("experiments: online kind: set workload.arrival_rate or params.rates, not both")
+		}
+		rates = []float64{cfg.ArrivalRate} // -1 sentinel already resolved to 0
+	}
+	if rates == nil {
+		rates = []float64{0.05, 0.2}
+	}
+	entries, err := resolvePolicies(spec.Policies, true)
+	if err != nil {
+		return nil, err
+	}
+	kill, err := killPolicy(spec.String("kill", "newest"))
+	if err != nil {
+		return nil, err
+	}
 	rows, err := runCells(sc, len(rates), func(i int) ([][]any, error) {
 		rate := rates[i]
-		n := sc.jobs(300)
+		n := sc.jobs(cfg.N)
 		var out [][]any
 		for _, e := range entries {
-			jobs := workload.Parallel(workload.GenConfig{
-				N: n, M: m, Seed: seed + uint64(i), ArrivalRate: rate, RigidFraction: 0.5,
-			})
-			sim, err := cluster.New(des.New(), m, 1, e.NewPolicy(), cluster.KillNewest)
+			c := cfg
+			c.N, c.Seed, c.ArrivalRate = n, seed+uint64(i), rate
+			jobs, err := generate(gen, c)
+			if err != nil {
+				return nil, err
+			}
+			sim, err := cluster.New(des.New(), c.M, 1, e.NewPolicy(), kill)
 			if err != nil {
 				return nil, err
 			}
@@ -45,8 +74,8 @@ func OnlinePolicyTable(seed uint64, sc Scale) (*trace.Table, error) {
 				return nil, fmt.Errorf("experiments: %s: %w", e.Name, err)
 			}
 			cs := sim.Completions()
-			rep := metrics.NewReport(cs, m)
-			cmaxLB := lowerbound.Cmax(jobs, m)
+			rep := metrics.NewReport(cs, c.M)
+			cmaxLB := lowerbound.Cmax(jobs, c.M)
 			out = append(out, []any{
 				rate, n, e.Name, rep.Makespan / cmaxLB,
 				rep.MeanFlow, rep.MaxFlow, rep.MeanStretch, 100 * rep.Utilization,
@@ -63,4 +92,20 @@ func OnlinePolicyTable(seed uint64, sc Scale) (*trace.Table, error) {
 		}
 	}
 	return t, nil
+}
+
+// OnlinePolicyTable is the compatibility entry point for T14.
+func OnlinePolicyTable(seed uint64, sc Scale) (*trace.Table, error) {
+	return onlineRun(mustSpec("policies"), seed, sc)
+}
+
+// killPolicy resolves the best-effort eviction rule by name.
+func killPolicy(name string) (cluster.KillPolicy, error) {
+	switch name {
+	case "", "newest":
+		return cluster.KillNewest, nil
+	case "largest":
+		return cluster.KillLargestRemaining, nil
+	}
+	return cluster.KillNewest, fmt.Errorf("experiments: unknown kill policy %q (newest|largest)", name)
 }

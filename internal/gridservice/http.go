@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/registry"
+	"repro/internal/scenario"
 	"repro/internal/service"
 )
 
@@ -27,6 +28,7 @@ import (
 //	GET  /metrics        Prometheus text, per-cluster labels
 //	GET  /policies       local policy catalog + grid policy catalog
 //	GET  /topology       the filled fleet configuration
+//	POST /scenarios      run a declarative scenario, return its table
 func (b *Broker) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", b.handleSubmit)
@@ -38,6 +40,7 @@ func (b *Broker) Handler() http.Handler {
 	mux.HandleFunc("GET /metrics", b.handleMetrics)
 	mux.HandleFunc("GET /policies", b.handlePolicies)
 	mux.HandleFunc("GET /topology", b.handleTopology)
+	mux.HandleFunc("POST /scenarios", scenario.HandleRun)
 	return mux
 }
 

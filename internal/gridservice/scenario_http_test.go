@@ -1,0 +1,33 @@
+package gridservice
+
+import (
+	"encoding/json"
+	"net/http"
+	"reflect"
+	"testing"
+
+	_ "repro/internal/experiments" // register scenario kinds + catalog
+	"repro/internal/scenario"
+)
+
+// TestBrokerScenariosEndpoint: broker mode serves the same POST
+// /scenarios as the single-cluster daemon, returning the CLI's table.
+func TestBrokerScenariosEndpoint(t *testing.T) {
+	_, srv := startTestBroker(t)
+	resp, body := postJSON(t, srv.URL+"/scenarios", `{"id":"treedlt","quick":true}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var got scenario.HTTPResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	spec, _ := scenario.Lookup("treedlt")
+	want, err := scenario.Run(spec, scenario.RunOptions{Seed: 42, Scale: scenario.Scale{JobFactor: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Rows, want.Table.Rows) {
+		t.Fatalf("broker table differs from engine:\n got %+v\nwant %+v", got.Rows, want.Table.Rows)
+	}
+}

@@ -2,6 +2,7 @@ package registry
 
 import (
 	"bytes"
+	"sort"
 	"strings"
 	"testing"
 
@@ -116,6 +117,83 @@ func TestOnlineSubset(t *testing.T) {
 	for _, e := range online {
 		if !e.Caps.Online {
 			t.Fatalf("%s in Online() without the flag", e.Name)
+		}
+	}
+}
+
+// TestGridCatalogOrderingStable: the grid catalog (and its rendering)
+// is sorted by name and stable across calls — consumers like the T15
+// scenario sweep and the usage text rely on deterministic order.
+func TestGridCatalogOrderingStable(t *testing.T) {
+	names := GridNames()
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("GridNames not sorted: %v", names)
+	}
+	for _, want := range []string{"centralized", "decentralized", "least-loaded", "weighted-random"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("grid catalog missing %q (have %v)", want, names)
+		}
+	}
+	entries := Grids()
+	for i, e := range entries {
+		if e.Name != names[i] {
+			t.Fatalf("Grids()[%d] = %q, want %q (order must match GridNames)", i, e.Name, names[i])
+		}
+	}
+	var a, b bytes.Buffer
+	if err := WriteGridCatalog(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteGridCatalog(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("WriteGridCatalog not byte-stable across calls")
+	}
+	lines := strings.Split(strings.TrimRight(a.String(), "\n"), "\n")
+	if len(lines) != len(entries) {
+		t.Fatalf("%d catalog lines for %d entries", len(lines), len(entries))
+	}
+	for i, line := range lines {
+		if !strings.HasPrefix(line, entries[i].Name) {
+			t.Fatalf("line %d %q does not lead with %q", i, line, entries[i].Name)
+		}
+		wantKind := "routing"
+		if entries[i].Exchanges {
+			wantKind = "routing+exchange"
+		}
+		if !strings.Contains(line, wantKind) {
+			t.Fatalf("line %d %q missing kind %q", i, line, wantKind)
+		}
+	}
+}
+
+// TestWriteCatalogOrderingStable mirrors the grid test for the queue
+// policy catalog.
+func TestWriteCatalogOrderingStable(t *testing.T) {
+	if !sort.StringsAreSorted(Names()) {
+		t.Fatalf("Names not sorted: %v", Names())
+	}
+	var a, b bytes.Buffer
+	if err := WriteCatalog(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCatalog(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("WriteCatalog not byte-stable across calls")
+	}
+	lines := strings.Split(strings.TrimRight(a.String(), "\n"), "\n")
+	for i, e := range All() {
+		if !strings.HasPrefix(lines[i], e.Name) {
+			t.Fatalf("line %d %q does not lead with %q", i, lines[i], e.Name)
 		}
 	}
 }

@@ -1,0 +1,192 @@
+package scenario
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// RunOptions carries the invocation-time inputs a Spec does not pin:
+// the base seed and the scale. Effective values resolve in Run.
+type RunOptions struct {
+	// Seed is the base RNG seed (the CLI -seed flag).
+	Seed uint64
+	// SeedExplicit marks Seed as user-chosen: it then overrides a
+	// Spec-pinned seed instead of deferring to it.
+	SeedExplicit bool
+	// Scale overrides the Spec's pinned scale fieldwise (nonzero
+	// fields win).
+	Scale Scale
+}
+
+// Result is the output of running one Spec: a table for almost every
+// kind, or a custom renderer for figure kinds (fig2's two series).
+type Result struct {
+	// Table is the produced table; nil when the kind renders custom
+	// output (then Render is the only way to emit it).
+	Table *trace.Table
+	// Options echoes the fully resolved RunOptions the runner saw
+	// (Spec-pinned seed/scale merged with the invocation's), so
+	// callers can report the effective seed without re-deriving the
+	// precedence rules.
+	Options RunOptions
+	// render emits custom (non-table) output; nil for table results.
+	render func(w io.Writer) error
+}
+
+// TableResult wraps a table as a Result.
+func TableResult(t *trace.Table) *Result { return &Result{Table: t} }
+
+// CustomResult wraps a bespoke renderer (figures) as a Result.
+func CustomResult(render func(w io.Writer) error) *Result {
+	return &Result{render: render}
+}
+
+// Emit writes the result: tables aligned (or CSV), custom renders
+// verbatim (they have no CSV form, matching the legacy fig2 output).
+func (r *Result) Emit(w io.Writer, csv bool) error {
+	if r.Table != nil {
+		if csv {
+			return r.Table.WriteCSV(w)
+		}
+		return r.Table.Write(w)
+	}
+	if r.render != nil {
+		return r.render(w)
+	}
+	return fmt.Errorf("scenario: empty result")
+}
+
+// Runner expands one Spec into cells and runs them (on the experiment
+// worker pool when opt.Scale.Workers > 1). The seed and scale in opt
+// are already resolved against the Spec.
+type Runner func(spec *Spec, opt RunOptions) (*Result, error)
+
+var (
+	kinds = map[string]Runner{}
+	// builtins is the ordered catalog: registration order is display
+	// and "all"-expansion order (the legacy CLI order).
+	builtins []*Spec
+	byID     = map[string]*Spec{}
+)
+
+// RegisterKind installs the interpreter for a kind. Panics on
+// duplicates: kinds register from init functions and a collision is a
+// programming error.
+func RegisterKind(kind string, r Runner) {
+	if kind == "" || r == nil {
+		panic("scenario: RegisterKind with empty kind or nil runner")
+	}
+	if _, dup := kinds[kind]; dup {
+		panic(fmt.Sprintf("scenario: kind %q registered twice", kind))
+	}
+	kinds[kind] = r
+}
+
+// Kinds returns the sorted registered kind names.
+func Kinds() []string {
+	out := make([]string, 0, len(kinds))
+	for k := range kinds {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Register adds a built-in Spec to the catalog (panics on duplicate
+// ids or invalid specs — built-ins register from init functions).
+func Register(s *Spec) {
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	if _, dup := byID[s.ID]; dup {
+		panic(fmt.Sprintf("scenario: spec %q registered twice", s.ID))
+	}
+	if s.Group == "" {
+		s.Group = GroupTable
+	}
+	builtins = append(builtins, s)
+	byID[s.ID] = s
+}
+
+// Lookup resolves a catalog id.
+func Lookup(id string) (*Spec, bool) {
+	s, ok := byID[id]
+	return s, ok
+}
+
+// Catalog returns the built-in specs in registration order (figures,
+// then tables, then ablations — the legacy "all" order).
+func Catalog() []*Spec {
+	return append([]*Spec(nil), builtins...)
+}
+
+// CatalogIDs returns the built-in ids in catalog order, optionally
+// filtered by group ("" = all groups).
+func CatalogIDs(group string) []string {
+	var out []string
+	for _, s := range builtins {
+		if group == "" || s.Group == group {
+			out = append(out, s.ID)
+		}
+	}
+	return out
+}
+
+// Run validates and executes a Spec: it resolves the kind, merges the
+// Spec-pinned seed/scale with the invocation options (an explicit
+// -seed wins over the Spec; nonzero option scale fields win), and
+// invokes the registered runner.
+func Run(s *Spec, opt RunOptions) (*Result, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	runner, ok := kinds[s.Kind]
+	if !ok {
+		return nil, fmt.Errorf("scenario: spec %q: unknown kind %q (have: %s)",
+			s.ID, s.Kind, strings.Join(Kinds(), " "))
+	}
+	if s.Seed != nil && !opt.SeedExplicit {
+		opt.Seed = *s.Seed
+	}
+	if s.Scale != nil {
+		if opt.Scale.JobFactor == 0 {
+			opt.Scale.JobFactor = s.Scale.JobFactor
+		}
+		if opt.Scale.Workers == 0 {
+			opt.Scale.Workers = s.Scale.Workers
+		}
+	}
+	res, err := runner(s, opt)
+	if res != nil {
+		res.Options = opt
+	}
+	return res, err
+}
+
+// WriteCatalog prints the scenario catalog as an aligned listing
+// (the -list-scenarios output, and the source of the usage id list).
+func WriteCatalog(w io.Writer) error {
+	idw, kindw := 0, 0
+	for _, s := range builtins {
+		if len(s.ID) > idw {
+			idw = len(s.ID)
+		}
+		if len(s.Kind) > kindw {
+			kindw = len(s.Kind)
+		}
+	}
+	for _, s := range builtins {
+		desc := s.Desc
+		if desc == "" {
+			desc = s.Title
+		}
+		if _, err := fmt.Fprintf(w, "%-*s  %-8s  %-*s  %s\n", idw, s.ID, s.Group, kindw, s.Kind, desc); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,352 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestBuilderAndValidate(t *testing.T) {
+	s := New("demo", "offline",
+		WithTitle("demo title"),
+		WithDesc("a demo"),
+		WithGroup(GroupTable),
+		WithSeed(7),
+		WithWorkload(Workload{Generator: "parallel", N: 50, M: 16, Weighted: true}),
+		WithPlatform(Platform{M: 16}),
+		WithPolicies("mrt", "ffdh"),
+		WithMetrics("cmax_ratio", "util"),
+		WithScale(Scale{JobFactor: 10}),
+		WithParam("eps", 0.05),
+		WithParam("ms", []int{8, 16}),
+	)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Seed == nil || *s.Seed != 7 {
+		t.Fatalf("seed not pinned: %v", s.Seed)
+	}
+	if got := s.Float("eps", 0); got != 0.05 {
+		t.Fatalf("eps = %v", got)
+	}
+	if got := s.Ints("ms", nil); !reflect.DeepEqual(got, []int{8, 16}) {
+		t.Fatalf("ms = %v", got)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []*Spec{
+		{},        // no id
+		{ID: "x"}, // no kind
+		{ID: "x", Kind: "k", Group: "banana"},
+		{ID: "x", Kind: "k", Workload: &Workload{Generator: "quantum"}},
+		{ID: "x", Kind: "k", Workload: &Workload{N: -1}},
+		{ID: "x", Kind: "k", Platform: &Platform{Preset: "mars"}},
+		{ID: "x", Kind: "k", Platform: &Platform{Clusters: []Cluster{{Name: "a", M: 0}}}},
+		{ID: "x", Kind: "k", Params: map[string]any{"bad": struct{}{}}},
+	}
+	for i, s := range cases {
+		if err := s.Validate(); err == nil {
+			t.Fatalf("case %d: invalid spec %+v passed validation", i, s)
+		}
+	}
+}
+
+// TestParamCoercion: the accessors must behave identically on Go-native
+// values and on what encoding/json produces (float64 and []any).
+func TestParamCoercion(t *testing.T) {
+	native := New("p", "k",
+		WithParam("n", 300),
+		WithParam("eps", 0.01),
+		WithParam("ms", []int{16, 64}),
+		WithParam("rates", []float64{0.05, 0.5}),
+		WithParam("names", []string{"a", "b"}),
+		WithParam("flag", true),
+		WithParam("mode", "fast"),
+	)
+	var buf bytes.Buffer
+	if err := native.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []*Spec{native, decoded} {
+		if got := s.Int("n", 0); got != 300 {
+			t.Fatalf("Int(n) = %d", got)
+		}
+		if got := s.Float("eps", 0); got != 0.01 {
+			t.Fatalf("Float(eps) = %v", got)
+		}
+		if got := s.Ints("ms", nil); !reflect.DeepEqual(got, []int{16, 64}) {
+			t.Fatalf("Ints(ms) = %v", got)
+		}
+		if got := s.Floats("rates", nil); !reflect.DeepEqual(got, []float64{0.05, 0.5}) {
+			t.Fatalf("Floats(rates) = %v", got)
+		}
+		if got := s.Strings("names", nil); !reflect.DeepEqual(got, []string{"a", "b"}) {
+			t.Fatalf("Strings(names) = %v", got)
+		}
+		if !s.Bool("flag", false) {
+			t.Fatal("Bool(flag) = false")
+		}
+		if got := s.String("mode", ""); got != "fast" {
+			t.Fatalf("String(mode) = %q", got)
+		}
+		// Defaults on absent keys.
+		if got := s.Int("missing", 42); got != 42 {
+			t.Fatalf("Int default = %d", got)
+		}
+		if got := s.Ints("missing", []int{1}); !reflect.DeepEqual(got, []int{1}) {
+			t.Fatalf("Ints default = %v", got)
+		}
+	}
+}
+
+func TestDecodeRejectsUnknownFields(t *testing.T) {
+	_, err := Decode(strings.NewReader(`{"id":"x","kind":"k","wrokload":{"n":5}}`))
+	if err == nil {
+		t.Fatal("typo'd field accepted")
+	}
+}
+
+func TestCodecRoundTripStructural(t *testing.T) {
+	s := New("rt", "grid",
+		WithTitle("t"),
+		WithWorkload(Workload{N: 100, M: 32, ArrivalRate: 0.1, RigidFraction: 1}),
+		WithPlatform(Platform{Clusters: []Cluster{{Name: "a", M: 64}, {Name: "b", M: 32, Speed: 2}}}),
+		WithGrid(Grid{Policy: "centralized", CampaignTasks: 100}),
+		WithPolicies("easy"),
+	)
+	data, err := s.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Params aside (JSON numeric widening), the structures must match.
+	s2 := *got
+	if !reflect.DeepEqual(s.Workload, s2.Workload) ||
+		!reflect.DeepEqual(s.Platform, s2.Platform) ||
+		!reflect.DeepEqual(s.Grid, s2.Grid) ||
+		!reflect.DeepEqual(s.Policies, s2.Policies) ||
+		s.ID != s2.ID || s.Kind != s2.Kind || s.Title != s2.Title {
+		t.Fatalf("round trip mutated spec:\n  in:  %+v\n  out: %+v", s, got)
+	}
+	// And a second encode is byte-identical (canonical form).
+	data2, err := got.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Fatalf("re-encode not byte-stable:\n%s\nvs\n%s", data, data2)
+	}
+}
+
+func TestRunUnknownKind(t *testing.T) {
+	_, err := Run(New("x", "no-such-kind"), RunOptions{Seed: 1})
+	if err == nil || !strings.Contains(err.Error(), "unknown kind") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestRunSeedAndScaleResolution uses a private probe kind to check the
+// Spec/RunOptions merge rules.
+func TestRunSeedAndScaleResolution(t *testing.T) {
+	var gotSeed uint64
+	var gotScale Scale
+	RegisterKind("probe-kind", func(s *Spec, opt RunOptions) (*Result, error) {
+		gotSeed, gotScale = opt.Seed, opt.Scale
+		return TableResult(trace.NewTable("probe", "c")), nil
+	})
+	spec := New("probe", "probe-kind", WithSeed(99), WithScale(Scale{JobFactor: 5, Workers: 3}))
+
+	// Spec-pinned seed wins over the default.
+	if _, err := Run(spec, RunOptions{Seed: 42}); err != nil {
+		t.Fatal(err)
+	}
+	if gotSeed != 99 || gotScale.JobFactor != 5 || gotScale.Workers != 3 {
+		t.Fatalf("got seed=%d scale=%+v", gotSeed, gotScale)
+	}
+
+	// An explicit seed and explicit scale fields win over the Spec.
+	if _, err := Run(spec, RunOptions{Seed: 7, SeedExplicit: true, Scale: Scale{JobFactor: 20}}); err != nil {
+		t.Fatal(err)
+	}
+	if gotSeed != 7 || gotScale.JobFactor != 20 || gotScale.Workers != 3 {
+		t.Fatalf("got seed=%d scale=%+v", gotSeed, gotScale)
+	}
+}
+
+func TestCatalogRegistration(t *testing.T) {
+	Register(New("cat-test-b", "probe-kind2", WithGroup(GroupAblation)))
+	Register(New("cat-test-a", "probe-kind2"))
+	ids := CatalogIDs("")
+	ia, ib := -1, -1
+	for i, id := range ids {
+		switch id {
+		case "cat-test-a":
+			ia = i
+		case "cat-test-b":
+			ib = i
+		}
+	}
+	if ia < 0 || ib < 0 || ib > ia {
+		t.Fatalf("registration order not preserved: %v", ids)
+	}
+	if got, ok := Lookup("cat-test-a"); !ok || got.Group != GroupTable {
+		t.Fatalf("Lookup: %+v %v (default group not applied)", got, ok)
+	}
+	abl := CatalogIDs(GroupAblation)
+	found := false
+	for _, id := range abl {
+		if id == "cat-test-b" {
+			found = true
+		}
+		if s, _ := Lookup(id); s.Group != GroupAblation {
+			t.Fatalf("group filter leaked %q", id)
+		}
+	}
+	if !found {
+		t.Fatal("ablation filter missed cat-test-b")
+	}
+}
+
+func TestResultEmit(t *testing.T) {
+	tb := trace.NewTable("t", "a", "b")
+	tb.AddRow(1, 2.5)
+	var aligned, csv bytes.Buffer
+	if err := TableResult(tb).Emit(&aligned, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := TableResult(tb).Emit(&csv, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(aligned.String(), "t\n") || !strings.HasPrefix(csv.String(), "a,b\n") {
+		t.Fatalf("emit output wrong:\n%s\n%s", aligned.String(), csv.String())
+	}
+	var custom bytes.Buffer
+	r := CustomResult(func(w io.Writer) error { _, err := w.Write([]byte("fig")); return err })
+	if err := r.Emit(&custom, true); err != nil || custom.String() != "fig" {
+		t.Fatalf("custom emit: %v %q", err, custom.String())
+	}
+	if err := (&Result{}).Emit(&custom, false); err == nil {
+		t.Fatal("empty result emitted")
+	}
+}
+
+// keep encoding/json import honest about what Decode accepts for params
+func TestDecodeParams(t *testing.T) {
+	s, err := Decode(strings.NewReader(`{"id":"x","kind":"k","params":{"ns":[1,2,3],"eps":0.5}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Ints("ns", nil); !reflect.DeepEqual(got, []int{1, 2, 3}) {
+		t.Fatalf("ns = %v", got)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal([]byte(`{"eps":0.5}`), &raw); err != nil {
+		t.Fatal(err)
+	}
+	s.Params = raw
+	if got := s.Float("eps", 0); got != 0.5 {
+		t.Fatalf("eps = %v", got)
+	}
+}
+
+// TestCheckParams: unknown keys and mistyped values fail loudly — the
+// params mirror of the codec's unknown-field rejection.
+func TestCheckParams(t *testing.T) {
+	schema := map[string]ParamType{
+		"ms": IntsParam, "eps": FloatParam, "kill": StringParam, "flag": BoolParam,
+	}
+	ok := New("ok", "k",
+		WithParam("ms", []int{16, 64}),
+		WithParam("eps", 0.01),
+		WithParam("kill", "newest"),
+		WithParam("flag", true))
+	if err := ok.CheckParams(schema); err != nil {
+		t.Fatal(err)
+	}
+	// JSON-decoded params ([]any + float64) must also pass.
+	var buf bytes.Buffer
+	if err := ok.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := decoded.CheckParams(schema); err != nil {
+		t.Fatal(err)
+	}
+	bad := []struct {
+		name string
+		spec *Spec
+	}{
+		{"typo'd key", New("x", "k", WithParam("mss", []int{16}))},
+		{"string for number", New("x", "k", WithParam("eps", "0.005"))},
+		{"number for string", New("x", "k", WithParam("kill", 3))},
+		{"scalar for list", New("x", "k", WithParam("ms", 16))},
+		{"string list for number list", New("x", "k", WithParam("ms", []string{"a"}))},
+		{"number for bool", New("x", "k", WithParam("flag", 1))},
+	}
+	for _, c := range bad {
+		if err := c.spec.CheckParams(schema); err == nil {
+			t.Fatalf("%s accepted", c.name)
+		}
+	}
+}
+
+// TestCheckParamsStrictness: non-integer values for int params and
+// empty lists are rejected, not silently truncated/zero-rowed.
+func TestCheckParamsStrictness(t *testing.T) {
+	schema := map[string]ParamType{"m": IntParam, "ms": IntsParam, "rates": FloatsParam}
+	if err := New("x", "k", WithParam("m", 64.9)).CheckParams(schema); err == nil {
+		t.Fatal("fractional value accepted for IntParam")
+	}
+	if err := New("x", "k", WithParam("ms", []float64{16.5})).CheckParams(schema); err == nil {
+		t.Fatal("fractional element accepted for IntsParam")
+	}
+	if err := New("x", "k", WithParam("ms", []int{})).CheckParams(schema); err == nil {
+		t.Fatal("empty list accepted")
+	}
+	if err := New("x", "k", WithParam("rates", []any{})).CheckParams(schema); err == nil {
+		t.Fatal("empty []any accepted")
+	}
+	if err := New("x", "k", WithParam("m", 64.0)).CheckParams(schema); err != nil {
+		t.Fatalf("whole float rejected: %v", err)
+	}
+}
+
+// TestResultOptionsResolved: Run stamps the resolved options on the
+// Result (consumers report the effective seed without re-deriving the
+// precedence rules).
+func TestRunResultOptionsResolved(t *testing.T) {
+	RegisterKind("probe-kind3", func(s *Spec, opt RunOptions) (*Result, error) {
+		return TableResult(trace.NewTable("p", "c")), nil
+	})
+	spec := New("probe3", "probe-kind3", WithSeed(99))
+	res, err := Run(spec, RunOptions{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Options.Seed != 99 {
+		t.Fatalf("resolved seed = %d, want the spec-pinned 99", res.Options.Seed)
+	}
+	res, err = Run(spec, RunOptions{Seed: 7, SeedExplicit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Options.Seed != 7 {
+		t.Fatalf("resolved seed = %d, want the explicit 7", res.Options.Seed)
+	}
+}

@@ -1,0 +1,477 @@
+// Package scenario is the declarative experiment layer: a composable
+// Spec describes one scenario — workload generator, platform, policy
+// set (resolved through internal/registry), grid routing, metric
+// selection, seeds and scale — and a kind registry maps each Spec to
+// the engine code that expands it into independent cells for the
+// experiment worker pool.
+//
+// Specs are pure data: they build programmatically through functional
+// options (scenario.New), encode/decode losslessly as JSON (codec.go),
+// and run through the catalog (catalog.go). The built-in catalog
+// re-expresses every table and ablation of the paper's evaluation as a
+// Spec, and the generic kinds ("offline", "online", "grid") let a JSON
+// file describe arbitrary new workload × platform × policy × routing
+// combinations without writing Go.
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Group classifies a catalog entry for listing and for the "all" /
+// "ablations" expansions of cmd/experiments.
+const (
+	GroupFigure   = "figure"
+	GroupTable    = "table"
+	GroupAblation = "ablation"
+)
+
+// Workload declaratively describes a job stream. It mirrors
+// workload.GenConfig plus the generator choice; zero values defer to
+// the generator defaults (or to the kind's own defaults).
+type Workload struct {
+	// Generator selects the job-shape family: "parallel" (default),
+	// "sequential", "mixed" or "communities".
+	Generator string `json:"generator,omitempty"`
+	// N is the job count (before Scale.JobFactor shrinking).
+	N int `json:"n,omitempty"`
+	// M is the target platform width the generator shapes jobs for.
+	M int `json:"m,omitempty"`
+	// ArrivalRate is the Poisson arrival rate. 0 (or absent) defers to
+	// the kind's default; -1 forces an offline stream (all jobs
+	// released at t=0) even when the kind defaults to a positive rate.
+	ArrivalRate float64 `json:"arrival_rate,omitempty"`
+	// Weighted draws Zipf-biased job weights.
+	Weighted bool `json:"weighted,omitempty"`
+	// RigidFraction freezes this fraction of jobs rigid.
+	RigidFraction float64 `json:"rigid_fraction,omitempty"`
+	// MaxProcsCap caps each job's MaxProcs below M.
+	MaxProcsCap int `json:"max_procs_cap,omitempty"`
+	// SeqMu, SeqSigma override the lognormal sequential-time parameters.
+	SeqMu    float64 `json:"seq_mu,omitempty"`
+	SeqSigma float64 `json:"seq_sigma,omitempty"`
+	// DueDateSlack assigns due dates with slack in [1, DueDateSlack].
+	DueDateSlack float64 `json:"due_date_slack,omitempty"`
+}
+
+// Cluster declaratively describes one cluster of a grid platform.
+type Cluster struct {
+	Name  string  `json:"name"`
+	M     int     `json:"m"`
+	Speed float64 `json:"speed,omitempty"` // default 1
+}
+
+// Platform declaratively describes where a scenario runs: a flat
+// m-processor cluster, an explicit heterogeneous fleet, or a named
+// preset ("ciment").
+type Platform struct {
+	// M is the single-cluster width (kinds fall back to their default).
+	M int `json:"m,omitempty"`
+	// Preset names a built-in platform ("ciment" — the Figure 3 grid).
+	Preset string `json:"preset,omitempty"`
+	// Clusters lists an explicit fleet for grid kinds.
+	Clusters []Cluster `json:"clusters,omitempty"`
+}
+
+// Grid declaratively describes multi-cluster routing for grid kinds.
+type Grid struct {
+	// Policy names a registry grid-routing policy ("centralized", ...).
+	// Empty sweeps the whole grid catalog.
+	Policy string `json:"policy,omitempty"`
+	// ExchangePeriod is the router invocation period (virtual seconds).
+	ExchangePeriod float64 `json:"exchange_period,omitempty"`
+	// Threshold and MaxMove tune the exchange protocols.
+	Threshold float64 `json:"threshold,omitempty"`
+	MaxMove   int     `json:"max_move,omitempty"`
+	// CampaignTasks adds a best-effort campaign of this many tasks.
+	// 0 (or absent) defers to the kind's default; -1 disables the
+	// campaign entirely.
+	CampaignTasks int `json:"campaign_tasks,omitempty"`
+	// CampaignRunTime is the per-task duration (default 30).
+	CampaignRunTime float64 `json:"campaign_run_time,omitempty"`
+}
+
+// Scale shrinks a scenario and selects the replication runner. It is
+// the Spec-side mirror of experiments.Scale: a Spec may pin a scale,
+// and RunOptions may override it at invocation time.
+type Scale struct {
+	// JobFactor divides job counts (min result 10); 0/1 = paper scale.
+	JobFactor int `json:"job_factor,omitempty"`
+	// Workers bounds the cell worker pool (0/1 = sequential).
+	Workers int `json:"workers,omitempty"`
+}
+
+// Spec is one declarative scenario. Kind selects the engine
+// interpreter (a registered cell-expansion function); everything else
+// is data the interpreter reads, falling back to the kind's built-in
+// defaults for absent fields — so the zero Spec of a kind reproduces
+// the paper's table exactly.
+type Spec struct {
+	// ID is the catalog identity (and CLI argument).
+	ID string `json:"id"`
+	// Kind names the registered interpreter that expands this Spec.
+	Kind string `json:"kind"`
+	// Title overrides the output table's title line.
+	Title string `json:"title,omitempty"`
+	// Group is the catalog group (figure/table/ablation); defaults to
+	// "table" for registered specs.
+	Group string `json:"group,omitempty"`
+	// Desc is the one-line catalog description.
+	Desc string `json:"desc,omitempty"`
+	// Seed pins the base RNG seed; nil defers to RunOptions.Seed.
+	Seed *uint64 `json:"seed,omitempty"`
+
+	Workload *Workload `json:"workload,omitempty"`
+	Platform *Platform `json:"platform,omitempty"`
+	// Policies names registry queue/offline policies the kind sweeps.
+	Policies []string `json:"policies,omitempty"`
+	Grid     *Grid    `json:"grid,omitempty"`
+	// Metrics selects report columns for the generic kinds.
+	Metrics []string `json:"metrics,omitempty"`
+	// Scale pins a scale for this Spec (RunOptions overrides win).
+	Scale *Scale `json:"scale,omitempty"`
+
+	// Params carries kind-specific knobs (sweep axes, tolerances...).
+	// Values are JSON scalars or arrays; use the typed accessors, which
+	// coerce the float64s JSON decoding produces.
+	Params map[string]any `json:"params,omitempty"`
+}
+
+// Option is a functional Spec option for the Go builder.
+type Option func(*Spec)
+
+// New builds a Spec from functional options.
+func New(id, kind string, opts ...Option) *Spec {
+	s := &Spec{ID: id, Kind: kind}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// WithTitle sets the output title line.
+func WithTitle(t string) Option { return func(s *Spec) { s.Title = t } }
+
+// WithGroup sets the catalog group.
+func WithGroup(g string) Option { return func(s *Spec) { s.Group = g } }
+
+// WithDesc sets the catalog description.
+func WithDesc(d string) Option { return func(s *Spec) { s.Desc = d } }
+
+// WithSeed pins the base seed.
+func WithSeed(seed uint64) Option { return func(s *Spec) { s.Seed = &seed } }
+
+// WithWorkload sets the workload description.
+func WithWorkload(w Workload) Option { return func(s *Spec) { s.Workload = &w } }
+
+// WithPlatform sets the platform description.
+func WithPlatform(p Platform) Option { return func(s *Spec) { s.Platform = &p } }
+
+// WithPolicies sets the policy sweep list.
+func WithPolicies(names ...string) Option { return func(s *Spec) { s.Policies = names } }
+
+// WithGrid sets the grid routing description.
+func WithGrid(g Grid) Option { return func(s *Spec) { s.Grid = &g } }
+
+// WithMetrics selects report columns for the generic kinds.
+func WithMetrics(cols ...string) Option { return func(s *Spec) { s.Metrics = cols } }
+
+// WithScale pins a scale.
+func WithScale(sc Scale) Option { return func(s *Spec) { s.Scale = &sc } }
+
+// WithParam sets one kind-specific parameter.
+func WithParam(key string, value any) Option {
+	return func(s *Spec) {
+		if s.Params == nil {
+			s.Params = map[string]any{}
+		}
+		s.Params[key] = value
+	}
+}
+
+// Validate checks the structural invariants common to every kind.
+func (s *Spec) Validate() error {
+	if s == nil {
+		return fmt.Errorf("scenario: nil spec")
+	}
+	if s.ID == "" {
+		return fmt.Errorf("scenario: spec has no id")
+	}
+	if s.Kind == "" {
+		return fmt.Errorf("scenario: spec %q has no kind", s.ID)
+	}
+	switch s.Group {
+	case "", GroupFigure, GroupTable, GroupAblation:
+	default:
+		return fmt.Errorf("scenario: spec %q: unknown group %q", s.ID, s.Group)
+	}
+	if s.Workload != nil {
+		switch s.Workload.Generator {
+		case "", "parallel", "sequential", "mixed", "communities":
+		default:
+			return fmt.Errorf("scenario: spec %q: unknown workload generator %q", s.ID, s.Workload.Generator)
+		}
+		if s.Workload.N < 0 || s.Workload.M < 0 {
+			return fmt.Errorf("scenario: spec %q: negative workload size", s.ID)
+		}
+	}
+	if p := s.Platform; p != nil {
+		if p.Preset != "" && p.Preset != "ciment" {
+			return fmt.Errorf("scenario: spec %q: unknown platform preset %q", s.ID, p.Preset)
+		}
+		for _, c := range p.Clusters {
+			if c.M <= 0 {
+				return fmt.Errorf("scenario: spec %q: cluster %q has m=%d", s.ID, c.Name, c.M)
+			}
+		}
+	}
+	for k, v := range s.Params {
+		if !validParam(v) {
+			return fmt.Errorf("scenario: spec %q: param %q: unsupported value %T", s.ID, k, v)
+		}
+	}
+	return nil
+}
+
+func validParam(v any) bool {
+	switch v := v.(type) {
+	case nil, bool, string, float64, int:
+		return true
+	case []any:
+		for _, e := range v {
+			if !validParam(e) {
+				return false
+			}
+		}
+		return true
+	case []int, []float64, []string:
+		return true
+	default:
+		return false
+	}
+}
+
+// ParamKeys returns the sorted parameter names (for deterministic
+// listings and error messages).
+func (s *Spec) ParamKeys() []string {
+	keys := make([]string, 0, len(s.Params))
+	for k := range s.Params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// ParamType declares the expected shape of one kind parameter, for
+// CheckParams.
+type ParamType int
+
+const (
+	FloatParam  ParamType = iota // scalar number (ints coerce)
+	IntParam                     // scalar number, used as int
+	FloatsParam                  // list of numbers
+	IntsParam                    // list of numbers, used as ints
+	StringParam
+	StringsParam
+	BoolParam
+)
+
+func (p ParamType) String() string {
+	switch p {
+	case FloatParam:
+		return "number"
+	case IntParam:
+		return "integer"
+	case FloatsParam:
+		return "list of numbers"
+	case IntsParam:
+		return "list of integers"
+	case StringParam:
+		return "string"
+	case StringsParam:
+		return "list of strings"
+	case BoolParam:
+		return "boolean"
+	}
+	return "unknown"
+}
+
+// CheckParams enforces a kind's parameter schema: every present param
+// key must be declared and its value must coerce to the declared type.
+// Kind runners call this first so a typo'd key or a mistyped value in
+// a scenario file fails loudly instead of silently falling back to the
+// kind's default (the same contract the codec applies to struct
+// fields).
+func (s *Spec) CheckParams(allowed map[string]ParamType) error {
+	for _, key := range s.ParamKeys() {
+		pt, ok := allowed[key]
+		if !ok {
+			known := make([]string, 0, len(allowed))
+			for k := range allowed {
+				known = append(known, k)
+			}
+			sort.Strings(known)
+			return fmt.Errorf("scenario: spec %q: unknown param %q for kind %q (known: %s)",
+				s.ID, key, s.Kind, strings.Join(known, " "))
+		}
+		v := s.Params[key]
+		okType := false
+		switch pt {
+		case FloatParam:
+			_, okType = toFloat(v)
+		case IntParam:
+			var f float64
+			if f, okType = toFloat(v); okType {
+				okType = f == math.Trunc(f)
+			}
+		case FloatsParam, IntsParam:
+			fs := s.Floats(key, nil)
+			okType = len(fs) > 0
+			if okType && pt == IntsParam {
+				for _, f := range fs {
+					if f != math.Trunc(f) {
+						okType = false
+						break
+					}
+				}
+			}
+		case StringParam:
+			_, okType = v.(string)
+		case StringsParam:
+			okType = len(s.Strings(key, nil)) > 0
+		case BoolParam:
+			_, okType = v.(bool)
+		}
+		if !okType {
+			return fmt.Errorf("scenario: spec %q: param %q must be a %s (lists non-empty, integers whole), got %v (%T)",
+				s.ID, key, pt, v, v)
+		}
+	}
+	return nil
+}
+
+// --- typed parameter accessors -------------------------------------
+//
+// JSON decoding produces float64 and []any; Go-built specs hold native
+// ints and slices. The accessors coerce both so a round-tripped Spec
+// behaves identically to the Go-built one.
+
+// Float returns the named scalar, or def when absent.
+func (s *Spec) Float(key string, def float64) float64 {
+	v, ok := s.Params[key]
+	if !ok {
+		return def
+	}
+	f, ok := toFloat(v)
+	if !ok {
+		return def
+	}
+	return f
+}
+
+// Int returns the named scalar as an int, or def when absent.
+func (s *Spec) Int(key string, def int) int {
+	f := s.Float(key, math.NaN())
+	if math.IsNaN(f) {
+		return def
+	}
+	return int(f)
+}
+
+// Bool returns the named flag, or def when absent.
+func (s *Spec) Bool(key string, def bool) bool {
+	if v, ok := s.Params[key]; ok {
+		if b, ok := v.(bool); ok {
+			return b
+		}
+	}
+	return def
+}
+
+// String returns the named string, or def when absent.
+func (s *Spec) String(key, def string) string {
+	if v, ok := s.Params[key]; ok {
+		if str, ok := v.(string); ok {
+			return str
+		}
+	}
+	return def
+}
+
+// Floats returns the named list, or def when absent.
+func (s *Spec) Floats(key string, def []float64) []float64 {
+	v, ok := s.Params[key]
+	if !ok {
+		return def
+	}
+	switch v := v.(type) {
+	case []float64:
+		return v
+	case []int:
+		out := make([]float64, len(v))
+		for i, e := range v {
+			out[i] = float64(e)
+		}
+		return out
+	case []any:
+		out := make([]float64, 0, len(v))
+		for _, e := range v {
+			f, ok := toFloat(e)
+			if !ok {
+				return def
+			}
+			out = append(out, f)
+		}
+		return out
+	}
+	return def
+}
+
+// Ints returns the named list as ints, or def when absent.
+func (s *Spec) Ints(key string, def []int) []int {
+	fs := s.Floats(key, nil)
+	if fs == nil {
+		return def
+	}
+	out := make([]int, len(fs))
+	for i, f := range fs {
+		out[i] = int(f)
+	}
+	return out
+}
+
+// Strings returns the named string list, or def when absent.
+func (s *Spec) Strings(key string, def []string) []string {
+	v, ok := s.Params[key]
+	if !ok {
+		return def
+	}
+	switch v := v.(type) {
+	case []string:
+		return v
+	case []any:
+		out := make([]string, 0, len(v))
+		for _, e := range v {
+			str, ok := e.(string)
+			if !ok {
+				return def
+			}
+			out = append(out, str)
+		}
+		return out
+	}
+	return def
+}
+
+func toFloat(v any) (float64, bool) {
+	switch v := v.(type) {
+	case float64:
+		return v, true
+	case int:
+		return float64(v), true
+	}
+	return 0, false
+}

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/registry"
+	"repro/internal/scenario"
 )
 
 // Handler returns the gridd HTTP API:
@@ -21,6 +22,7 @@ import (
 //	GET  /stats     aggregate statistics and criteria report
 //	GET  /metrics   Prometheus text exposition
 //	GET  /policies  the registry catalog with capability flags
+//	POST /scenarios run a declarative scenario, return its table as JSON
 func (e *Engine) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", e.handleSubmit)
@@ -29,6 +31,7 @@ func (e *Engine) Handler() http.Handler {
 	mux.HandleFunc("GET /stats", e.handleStats)
 	mux.HandleFunc("GET /metrics", e.handleMetrics)
 	mux.HandleFunc("GET /policies", handlePolicies)
+	mux.HandleFunc("POST /scenarios", scenario.HandleRun)
 	return mux
 }
 

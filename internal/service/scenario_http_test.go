@@ -1,0 +1,106 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"reflect"
+	"testing"
+
+	_ "repro/internal/experiments" // register scenario kinds + catalog
+	"repro/internal/scenario"
+)
+
+func postScenario(t *testing.T, url string, req scenario.HTTPRequest) (scenario.HTTPResponse, int) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/scenarios", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out scenario.HTTPResponse
+	_ = json.NewDecoder(resp.Body).Decode(&out)
+	return out, resp.StatusCode
+}
+
+// TestHTTPScenarios: POST /scenarios returns the same table the CLI
+// produces for the same spec, seed and scale — for a built-in id and
+// for an inline spec.
+func TestHTTPScenarios(t *testing.T) {
+	_, srv := newTestServer(t, Config{M: 8, Policy: "easy", Dilation: 0})
+
+	seed := uint64(42)
+	// 1) A built-in catalog scenario by id.
+	got, code := postScenario(t, srv.URL, scenario.HTTPRequest{ID: "mrt", Seed: &seed, Quick: true})
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	spec, _ := scenario.Lookup("mrt")
+	want, err := scenario.Run(spec, scenario.RunOptions{
+		Seed: 42, SeedExplicit: true, Scale: scenario.Scale{JobFactor: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Title != want.Table.Title || !reflect.DeepEqual(got.Rows, want.Table.Rows) {
+		t.Fatalf("HTTP table differs from engine:\n got %+v\nwant %+v", got, want.Table)
+	}
+	if got.Kind != "mrt" || got.Seed != 42 {
+		t.Fatalf("metadata: %+v", got)
+	}
+
+	// 2) An inline spec (the generic offline kind).
+	inline := scenario.New("inline-sweep", "offline",
+		scenario.WithWorkload(scenario.Workload{N: 40, M: 16, Weighted: true}),
+		scenario.WithPolicies("mrt", "ffdh"),
+		scenario.WithMetrics("cmax_ratio", "util"))
+	got2, code := postScenario(t, srv.URL, scenario.HTTPRequest{Spec: inline, Seed: &seed})
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	want2, err := scenario.Run(inline, scenario.RunOptions{Seed: 42, SeedExplicit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got2.Rows, want2.Table.Rows) || !reflect.DeepEqual(got2.Headers, want2.Table.Headers) {
+		t.Fatalf("inline spec differs:\n got %+v\nwant %+v", got2, want2.Table)
+	}
+}
+
+func TestHTTPScenariosErrors(t *testing.T) {
+	_, srv := newTestServer(t, Config{M: 8, Policy: "easy", Dilation: 0})
+	post := func(body string) int {
+		resp, err := http.Post(srv.URL+"/scenarios", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post(`{`); code != http.StatusBadRequest {
+		t.Fatalf("malformed body: %d", code)
+	}
+	if code := post(`{}`); code != http.StatusBadRequest {
+		t.Fatalf("empty request: %d", code)
+	}
+	if code := post(`{"id":"mrt","spec":{"id":"x","kind":"mrt"}}`); code != http.StatusBadRequest {
+		t.Fatalf("id+spec: %d", code)
+	}
+	if code := post(`{"id":"no-such-scenario"}`); code != http.StatusNotFound {
+		t.Fatalf("unknown id: %d", code)
+	}
+	if code := post(`{"spec":{"id":"x","kind":"no-such-kind"}}`); code != http.StatusBadRequest {
+		t.Fatalf("unknown kind: %d", code)
+	}
+	// fig2 renders custom output — not servable as a table.
+	if code := post(`{"id":"fig2","quick":true}`); code != http.StatusUnprocessableEntity {
+		t.Fatalf("figure scenario: %d", code)
+	}
+	if code := post(`{"id":"mrt","bogus":true}`); code != http.StatusBadRequest {
+		t.Fatalf("unknown request field: %d", code)
+	}
+}

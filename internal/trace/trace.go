@@ -274,7 +274,8 @@ func (t *Table) Write(w io.Writer) error {
 	return bw.Flush()
 }
 
-// WriteCSV renders the table as CSV.
+// WriteCSV renders the table as CSV (the title line is not emitted —
+// CSV output is for plotting pipelines).
 func (t *Table) WriteCSV(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintln(bw, strings.Join(t.Headers, ","))
@@ -282,4 +283,29 @@ func (t *Table) WriteCSV(w io.Writer) error {
 		fmt.Fprintln(bw, strings.Join(r, ","))
 	}
 	return bw.Flush()
+}
+
+// ReadTableCSV parses the WriteCSV format back into a Table (first
+// line headers, remaining lines rows; the title is not part of the
+// format). Cells are kept verbatim, so WriteCSV of the result
+// reproduces the input bytes exactly — including rows whose cells
+// themselves contain commas (those split into extra columns, but the
+// comma-join emission is the identity on them).
+func ReadTableCSV(r io.Reader) (*Table, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(nil, 4<<20) // wide tables exceed the 64 KiB default line cap
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("trace: empty CSV table")
+	}
+	t := &Table{Headers: strings.Split(sc.Text(), ",")}
+	for sc.Scan() {
+		t.Rows = append(t.Rows, strings.Split(sc.Text(), ","))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
 }
