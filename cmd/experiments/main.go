@@ -43,7 +43,8 @@ func usage(w *os.File) {
 func main() {
 	seed := flag.Uint64("seed", 42, "base RNG seed (overrides a spec-pinned seed)")
 	quickFlag := flag.Bool("quick", false, "shrink workloads ~10x for a fast pass")
-	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	format := flag.String("format", "text", "output format: text (aligned tables, the default), json (typed result cells) or csv")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables (alias for -format csv)")
 	parallel := flag.Bool("parallel", false, "run independent experiment cells on a worker pool")
 	workers := flag.Int("workers", 0, "worker-pool size; passing this flag implies the pool (0 = GOMAXPROCS)")
 	list := flag.Bool("list-policies", false, "print the policy catalog with capability flags and exit")
@@ -93,7 +94,28 @@ func main() {
 			opt.Scale.Workers = runtime.GOMAXPROCS(0)
 		}
 	}
-	if err := run(args[0], opt, *csv); err != nil {
+	formatExplicit := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "format" {
+			formatExplicit = true
+		}
+	})
+	if *csv {
+		if formatExplicit && *format != "csv" {
+			fmt.Fprintf(os.Stderr, "experiments: -csv conflicts with -format %s\n", *format)
+			os.Exit(2)
+		}
+		*format = "csv"
+	}
+	switch *format {
+	case "text", "json", "csv":
+	default:
+		// Reject up front: discovering a typo after the first
+		// paper-scale experiment finished would waste its compute.
+		fmt.Fprintf(os.Stderr, "experiments: unknown format %q (text|json|csv)\n", *format)
+		os.Exit(2)
+	}
+	if err := run(args[0], opt, *format); err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(1)
 	}
@@ -102,7 +124,7 @@ func main() {
 // run resolves the argument — "all", "ablations", a catalog id, or a
 // scenario JSON file — and emits each resulting scenario's output
 // followed by a blank line.
-func run(id string, opt scenario.RunOptions, csv bool) error {
+func run(id string, opt scenario.RunOptions, format string) error {
 	var specs []*scenario.Spec
 	switch {
 	case id == "all":
@@ -133,7 +155,7 @@ func run(id string, opt scenario.RunOptions, csv bool) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", s.ID, err)
 		}
-		if err := res.Emit(os.Stdout, csv); err != nil {
+		if err := res.EmitFormat(os.Stdout, format); err != nil {
 			return fmt.Errorf("%s: %w", s.ID, err)
 		}
 		fmt.Println()

@@ -1,0 +1,216 @@
+// Command gridctl drives a running gridd daemon through the pkg/client
+// SDK and the /v1 run-lifecycle API: it submits scenario runs, watches
+// their per-cell progress live over SSE, lists, inspects and cancels
+// runs, and fetches results in any renderer format.
+//
+// Usage:
+//
+//	gridctl [-addr URL] run [-seed N] [-quick] [-workers N] [-watch]
+//	        [-format text|json|csv] [-legacy] <id>|<spec.json>
+//	gridctl [-addr URL] runs                 list stored runs
+//	gridctl [-addr URL] status <run-id>      typed status + cell timings
+//	gridctl [-addr URL] cancel <run-id>      cooperative cancellation
+//	gridctl [-addr URL] submit [run flags] <id>|<spec.json>
+//	                                         submit without waiting
+//
+// "run" submits, waits for the terminal state and prints the result
+// (the text format is byte-identical to the cmd/experiments output).
+// -watch additionally narrates every cell completion on stderr.
+// -legacy drives the compatibility POST /scenarios shim instead and
+// renders the returned table locally — diffing it against "run"
+// output verifies the shim serves exactly the /v1 pipeline's table.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/api"
+	_ "repro/internal/experiments" // register kinds + catalog (spec file validation)
+	"repro/internal/scenario"
+	"repro/internal/trace"
+	"repro/pkg/client"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: gridctl [-addr URL] run|submit [-seed N] [-quick] [-workers N] [-watch] [-format text|json|csv] [-legacy] <id>|<spec.json>")
+	fmt.Fprintln(os.Stderr, "       gridctl [-addr URL] runs")
+	fmt.Fprintln(os.Stderr, "       gridctl [-addr URL] status|cancel <run-id>")
+}
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8042", "gridd base URL")
+	timeout := flag.Duration("timeout", 10*time.Minute, "overall deadline")
+	flag.Usage = func() { usage(); flag.PrintDefaults() }
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+		os.Exit(2)
+	}
+	// No per-request transport timeout: the -legacy shim and result
+	// fetches can legitimately take as long as the run; -timeout (the
+	// context deadline) is the only clock that matters here.
+	c := client.New(*addr, client.WithHTTPClient(&http.Client{}))
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	var err error
+	switch cmd := flag.Arg(0); cmd {
+	case "run", "submit":
+		err = runCmd(ctx, c, cmd, flag.Args()[1:])
+	case "runs":
+		err = listCmd(ctx, c)
+	case "status":
+		err = statusCmd(ctx, c, flag.Args()[1:])
+	case "cancel":
+		err = cancelCmd(ctx, c, flag.Args()[1:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gridctl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// buildRequest resolves the scenario argument: a catalog id or a spec
+// file (validated locally before submission).
+func buildRequest(arg string, seed *uint64, quick bool, workers int) (scenario.HTTPRequest, error) {
+	req := scenario.HTTPRequest{Seed: seed, Quick: quick, Workers: workers}
+	if strings.HasSuffix(arg, ".json") {
+		spec, err := scenario.Load(arg)
+		if err != nil {
+			return req, err
+		}
+		req.Spec = spec
+	} else {
+		req.ID = arg
+	}
+	return req, nil
+}
+
+func runCmd(ctx context.Context, c *client.Client, cmd string, args []string) error {
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	seed := fs.Uint64("seed", 0, "base RNG seed (overrides a spec-pinned seed)")
+	quick := fs.Bool("quick", false, "shrink workloads ~10x")
+	workers := fs.Int("workers", 0, "server-side cell worker pool (0 = sequential)")
+	watch := fs.Bool("watch", false, "narrate per-cell progress (SSE) on stderr")
+	format := fs.String("format", "text", "result rendering: text|json|csv")
+	legacy := fs.Bool("legacy", false, "use the legacy synchronous POST /scenarios shim")
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("%s takes exactly one <id>|<spec.json> argument", cmd)
+	}
+	var seedp *uint64
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			seedp = seed
+		}
+	})
+	req, err := buildRequest(fs.Arg(0), seedp, *quick, *workers)
+	if err != nil {
+		return err
+	}
+
+	if *legacy {
+		if *format != "text" {
+			return fmt.Errorf("-legacy serves only the text table")
+		}
+		resp, err := c.SubmitScenarioLegacy(ctx, req)
+		if err != nil {
+			return err
+		}
+		t := &trace.Table{Title: resp.Title, Headers: resp.Headers, Rows: resp.Rows}
+		return t.Write(os.Stdout)
+	}
+
+	st, err := c.SubmitRun(ctx, req)
+	if err != nil {
+		return err
+	}
+	if cmd == "submit" {
+		fmt.Println(st.ID)
+		return nil
+	}
+	if *watch {
+		fmt.Fprintf(os.Stderr, "run %s submitted (%s/%s)\n", st.ID, st.SpecID, st.Kind)
+	}
+	streamErr := c.StreamEvents(ctx, st.ID, func(e api.Event) error {
+		if !*watch {
+			return nil
+		}
+		switch e.Type {
+		case "cell":
+			fmt.Fprintf(os.Stderr, "  cell %d done (%d/%d, %.3fs)\n",
+				e.Cell.Index, e.Cell.Done, e.Cell.Total, e.Cell.DurationSeconds)
+		case "state":
+			fmt.Fprintf(os.Stderr, "  state: %s %s\n", e.State, e.Error)
+		}
+		return nil
+	})
+	if streamErr != nil && ctx.Err() != nil {
+		return ctx.Err()
+	}
+	final, err := c.WaitRun(ctx, st.ID, 0)
+	if err != nil {
+		return err
+	}
+	switch final.State {
+	case api.RunDone:
+		out, err := c.RunResultText(ctx, st.ID, *format)
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+		return nil
+	case api.RunFailed:
+		return fmt.Errorf("run %s failed: %s", final.ID, final.Error)
+	default:
+		return fmt.Errorf("run %s %s: %s", final.ID, final.State, final.Error)
+	}
+}
+
+func listCmd(ctx context.Context, c *client.Client) error {
+	runs, err := c.Runs(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-9s %-16s %-10s %-9s %10s %10s\n", "ID", "SPEC", "STATE", "CELLS", "SECONDS", "ROWS")
+	for _, st := range runs {
+		fmt.Printf("%-9s %-16s %-10s %4d/%-4d %10.3f %10d\n",
+			st.ID, st.SpecID, st.State, st.CellsDone, st.CellsTotal, st.DurationSeconds, st.Rows)
+	}
+	return nil
+}
+
+func statusCmd(ctx context.Context, c *client.Client, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("status takes exactly one run id")
+	}
+	st, err := c.Run(ctx, args[0])
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(st)
+}
+
+func cancelCmd(ctx context.Context, c *client.Client, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("cancel takes exactly one run id")
+	}
+	st, err := c.CancelRun(ctx, args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Printf("run %s: %s\n", st.ID, st.State)
+	return nil
+}

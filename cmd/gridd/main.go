@@ -12,11 +12,13 @@
 //	gridd -list-policies                          # local + grid policy catalogs
 //
 // Single-cluster endpoints: POST /jobs, GET /jobs/{id}, GET /queue,
-// GET /stats, GET /metrics (Prometheus text), GET /policies, and
-// POST /scenarios (run a declarative internal/scenario spec server-side
-// and get the table back as JSON). Broker mode adds POST /campaigns,
-// GET /campaigns[/{id}], GET /topology, keeps POST /scenarios, and
-// labels per-cluster metrics with {cluster="name"}.
+// GET /stats, GET /metrics (Prometheus text), GET /policies, the
+// versioned /v1 run-lifecycle API (POST /v1/runs, GET /v1/runs[/{id}],
+// GET /v1/runs/{id}/events SSE stream, GET /v1/runs/{id}/result,
+// DELETE /v1/runs/{id}) and the legacy POST /scenarios shim over it
+// (-max-runs bounds concurrent scenario execution). Broker mode adds
+// POST /campaigns, GET /campaigns[/{id}], GET /topology, keeps the
+// whole run API, and labels per-cluster metrics with {cluster="name"}.
 //
 // On SIGTERM/SIGINT the daemon drains gracefully: it stops accepting
 // submissions, fast-forwards every accepted job (and, in broker mode,
@@ -35,8 +37,9 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/cluster"
-	_ "repro/internal/experiments" // registers the scenario kinds + catalog for POST /scenarios
+	_ "repro/internal/experiments" // registers the scenario kinds + catalog for the run API
 	"repro/internal/gridservice"
 	"repro/internal/registry"
 	"repro/internal/service"
@@ -52,6 +55,7 @@ func main() {
 		dilation = flag.Float64("dilation", 60, "simulated seconds per wall second (0 = free-running)")
 		topology = flag.String("topology", "", "fleet topology file: serve a multi-cluster grid broker")
 		drainT   = flag.Duration("drain-timeout", 30*time.Second, "graceful drain deadline on shutdown")
+		maxRuns  = flag.Int("max-runs", 2, "concurrent server-side scenario runs; further submissions queue, then get 429 + Retry-After")
 		list     = flag.Bool("list-policies", false, "print the policy catalogs and exit")
 	)
 	flag.Parse()
@@ -72,7 +76,7 @@ func main() {
 				log.Printf("gridd: -%s is ignored in -topology mode (set it in %s)", f.Name, *topology)
 			}
 		})
-		runBroker(*topology, *addr, *drainT)
+		runBroker(*topology, *addr, *drainT, *maxRuns)
 		return
 	}
 	kp := cluster.KillNewest
@@ -90,7 +94,9 @@ func main() {
 		log.Fatalf("gridd: %v", err)
 	}
 	eng.Start()
-	srv := &http.Server{Addr: *addr, Handler: eng.Handler()}
+	runs := api.NewRunService(api.Config{MaxActive: *maxRuns, Log: log.Default()})
+	defer runs.Close()
+	srv := &http.Server{Addr: *addr, Handler: eng.Handler(runs)}
 
 	log.Printf("gridd: serving on %s (m=%d policy=%s dilation=%gx)", *addr, *m, *policy, *dilation)
 	serve(srv, func() { eng.Stop() })
@@ -109,7 +115,7 @@ func main() {
 }
 
 // runBroker serves a multi-cluster fleet from a topology file.
-func runBroker(path, addr string, drainT time.Duration) {
+func runBroker(path, addr string, drainT time.Duration, maxRuns int) {
 	topo, err := gridservice.LoadTopology(path)
 	if err != nil {
 		log.Fatalf("gridd: %v", err)
@@ -119,7 +125,9 @@ func runBroker(path, addr string, drainT time.Duration) {
 		log.Fatalf("gridd: %v", err)
 	}
 	b.Start()
-	srv := &http.Server{Addr: addr, Handler: b.Handler()}
+	runs := api.NewRunService(api.Config{MaxActive: maxRuns, Log: log.Default()})
+	defer runs.Close()
+	srv := &http.Server{Addr: addr, Handler: b.Handler(runs)}
 
 	procs := 0
 	for _, c := range topo.Clusters {

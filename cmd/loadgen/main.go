@@ -1,11 +1,11 @@
-// Command loadgen drives a running gridd daemon: it submits a stream of
-// jobs — synthetic (workload.GenConfig shapes) or replayed from an SWF
-// trace — at a target submission rate with concurrent workers, then
-// prints a latency/throughput summary and optionally waits until the
-// daemon reports every accepted job complete. Against a broker
-// (-topology gridd) the summary additionally breaks submission latency
-// down per cluster, and -campaign fans a bag-of-tasks campaign across
-// the fleet and waits for it to finish.
+// Command loadgen drives a running gridd daemon through the pkg/client
+// SDK: it submits a stream of jobs — synthetic (workload.GenConfig
+// shapes) or replayed from an SWF trace — at a target submission rate
+// with concurrent workers, then prints a latency/throughput summary and
+// optionally waits until the daemon reports every accepted job
+// complete. Against a broker (-topology gridd) the summary additionally
+// breaks submission latency down per cluster, and -campaign fans a
+// bag-of-tasks campaign across the fleet and waits for it to finish.
 //
 // Usage examples:
 //
@@ -16,21 +16,19 @@
 package main
 
 import (
-	"bytes"
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
 	"io"
-	"net/http"
 	"os"
 	"sort"
-	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/service"
 	"repro/internal/trace"
 	"repro/internal/workload"
+	"repro/pkg/client"
 )
 
 func main() {
@@ -50,12 +48,14 @@ func main() {
 	)
 	flag.Parse()
 
-	base := strings.TrimRight(*addr, "/")
-	client := &http.Client{Timeout: 10 * time.Second}
-	deadline := time.Now().Add(*timeout)
+	// No retries: the measured latency must be one round trip, and a
+	// saturation probe should count rejections, not mask them.
+	cl := client.New(*addr, client.WithRetries(0))
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
 
 	if *campaign > 0 {
-		os.Exit(runCampaign(client, base, *campaign, *runTime, *wait, deadline))
+		os.Exit(runCampaign(ctx, cl, *campaign, *runTime, *wait))
 	}
 
 	specs, err := buildSpecs(*swf, *n, *m, *seed, *useRel)
@@ -69,7 +69,7 @@ func main() {
 	// jobs this run submits.
 	baseline := 0
 	if *wait {
-		done, err := fetchCompleted(client, base)
+		done, err := cl.Completed(ctx)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
 			os.Exit(1)
@@ -77,7 +77,7 @@ func main() {
 		baseline = done
 	}
 
-	res := fire(client, base, specs, *rps, *workers)
+	res := fire(ctx, cl, specs, *rps, *workers)
 	res.print(os.Stdout)
 
 	exit := 0
@@ -85,7 +85,7 @@ func main() {
 		exit = 1
 	}
 	if *wait {
-		lost, err := waitComplete(client, base, baseline, res.accepted, deadline)
+		lost, err := waitComplete(ctx, cl, baseline, res.accepted)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "loadgen: wait: %v\n", err)
 			exit = 1
@@ -99,35 +99,11 @@ func main() {
 	os.Exit(exit)
 }
 
-// campaignStatus mirrors the broker's Campaign payload.
-type campaignStatus struct {
-	ID        int   `json:"id"`
-	Tasks     int   `json:"tasks"`
-	Completed int   `json:"completed"`
-	Killed    int   `json:"killed"`
-	PerClus   []int `json:"per_cluster"`
-	Done      bool  `json:"done"`
-}
-
 // runCampaign submits one campaign and optionally polls it to completion.
-func runCampaign(client *http.Client, base string, tasks int, runTime float64, wait bool, deadline time.Time) int {
-	body, _ := json.Marshal(map[string]interface{}{
-		"name": "loadgen", "tasks": tasks, "run_time": runTime,
-	})
+func runCampaign(ctx context.Context, cl *client.Client, tasks int, runTime float64, wait bool) int {
 	t0 := time.Now()
-	resp, err := client.Post(base+"/campaigns", "application/json", bytes.NewReader(body))
+	c, err := cl.SubmitCampaign(ctx, "loadgen", tasks, runTime)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "loadgen: campaign: %v\n", err)
-		return 1
-	}
-	raw, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusAccepted {
-		fmt.Fprintf(os.Stderr, "loadgen: campaign: status %d: %s\n", resp.StatusCode, raw)
-		return 1
-	}
-	var c campaignStatus
-	if err := json.Unmarshal(raw, &c); err != nil {
 		fmt.Fprintf(os.Stderr, "loadgen: campaign: %v\n", err)
 		return 1
 	}
@@ -136,33 +112,23 @@ func runCampaign(client *http.Client, base string, tasks int, runTime float64, w
 		return 0
 	}
 	for {
-		resp, err := client.Get(fmt.Sprintf("%s/campaigns/%d", base, c.ID))
+		st, err := cl.CampaignStatus(ctx, c.ID)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "loadgen: campaign poll: %v\n", err)
-			return 1
-		}
-		raw, _ := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			fmt.Fprintf(os.Stderr, "loadgen: campaign poll: status %d: %s\n", resp.StatusCode, raw)
-			return 1
-		}
-		var st campaignStatus
-		if err := json.Unmarshal(raw, &st); err != nil {
 			fmt.Fprintf(os.Stderr, "loadgen: campaign poll: %v\n", err)
 			return 1
 		}
 		if st.Done {
 			fmt.Printf("campaign done in %v: %d tasks completed, %d kills, per-cluster %v\n",
-				time.Since(t0).Round(time.Millisecond), st.Completed, st.Killed, st.PerClus)
+				time.Since(t0).Round(time.Millisecond), st.Completed, st.Killed, st.PerCluster)
 			return 0
 		}
-		if time.Now().After(deadline) {
+		select {
+		case <-time.After(25 * time.Millisecond):
+		case <-ctx.Done():
 			fmt.Fprintf(os.Stderr, "loadgen: campaign incomplete at deadline: %d of %d\n",
 				st.Completed, st.Tasks)
 			return 1
 		}
-		time.Sleep(25 * time.Millisecond)
 	}
 }
 
@@ -214,15 +180,9 @@ type result struct {
 	firstErr         string
 }
 
-// submitResponse is the slice of the daemon's answer loadgen cares
-// about: brokers tag every accepted job with its cluster.
-type submitResponse struct {
-	Cluster string `json:"cluster"`
-}
-
 // fire submits the specs with the worker pool, pacing the stream at rps
 // submissions per second (absolute schedule, so pacing does not drift).
-func fire(client *http.Client, base string, specs []service.JobSpec, rps float64, workers int) *result {
+func fire(ctx context.Context, cl *client.Client, specs []service.JobSpec, rps float64, workers int) *result {
 	if workers < 1 {
 		workers = 1
 	}
@@ -240,9 +200,8 @@ func fire(client *http.Client, base string, specs []service.JobSpec, rps float64
 			acc, fail := 0, 0
 			firstErr := ""
 			for sp := range feed {
-				body, _ := json.Marshal(sp)
 				t0 := time.Now()
-				resp, err := client.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+				st, err := cl.SubmitJob(ctx, sp)
 				lat := time.Since(t0)
 				if err != nil {
 					fail++
@@ -251,20 +210,10 @@ func fire(client *http.Client, base string, specs []service.JobSpec, rps float64
 					}
 					continue
 				}
-				raw, _ := io.ReadAll(resp.Body)
-				resp.Body.Close()
-				if resp.StatusCode != http.StatusAccepted {
-					fail++
-					if firstErr == "" {
-						firstErr = fmt.Sprintf("status %d", resp.StatusCode)
-					}
-					continue
-				}
 				acc++
 				lats = append(lats, lat)
-				var sub submitResponse
-				if json.Unmarshal(raw, &sub) == nil && sub.Cluster != "" {
-					byCluster[sub.Cluster] = append(byCluster[sub.Cluster], lat)
+				if st.Cluster != "" {
+					byCluster[st.Cluster] = append(byCluster[st.Cluster], lat)
 				}
 			}
 			mu.Lock()
@@ -280,17 +229,34 @@ func fire(client *http.Client, base string, specs []service.JobSpec, rps float64
 			mu.Unlock()
 		}()
 	}
+	fed := 0
 	for i, sp := range specs {
 		if rps > 0 {
 			due := start.Add(time.Duration(float64(i) / rps * float64(time.Second)))
 			if d := time.Until(due); d > 0 {
-				time.Sleep(d)
+				select {
+				case <-time.After(d):
+				case <-ctx.Done():
+				}
 			}
 		}
+		// Stop feeding once the deadline fired: every further submission
+		// would fail instantly, and sleeping out the rest of a long
+		// paced schedule just to report that helps nobody.
+		if ctx.Err() != nil {
+			break
+		}
 		feed <- sp
+		fed++
 	}
 	close(feed)
 	wg.Wait()
+	if skipped := len(specs) - fed; skipped > 0 {
+		res.failed += skipped
+		if res.firstErr == "" {
+			res.firstErr = ctx.Err().Error()
+		}
+	}
 	res.elapsed = time.Since(start)
 	return res
 }
@@ -332,36 +298,12 @@ func (r *result) print(w io.Writer) {
 	}
 }
 
-// fetchCompleted reads the daemon's completed-job counter, transparently
-// handling both the single-cluster /stats shape and the broker's
-// fleet-wide shape.
-func fetchCompleted(client *http.Client, base string) (int, error) {
-	resp, err := client.Get(base + "/stats")
-	if err != nil {
-		return 0, err
-	}
-	defer resp.Body.Close()
-	var probe struct {
-		Completed int `json:"completed"`
-		Fleet     *struct {
-			Completed int `json:"completed"`
-		} `json:"fleet"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&probe); err != nil {
-		return 0, err
-	}
-	if probe.Fleet != nil {
-		return probe.Fleet.Completed, nil
-	}
-	return probe.Completed, nil
-}
-
 // waitComplete polls /stats until the daemon has completed `accepted`
-// jobs beyond the pre-run baseline or the deadline passes, returning the
-// number of this run's jobs still unfinished.
-func waitComplete(client *http.Client, base string, baseline, accepted int, deadline time.Time) (lost int, err error) {
+// jobs beyond the pre-run baseline or the context deadline passes,
+// returning the number of this run's jobs still unfinished.
+func waitComplete(ctx context.Context, cl *client.Client, baseline, accepted int) (lost int, err error) {
 	for {
-		completed, err := fetchCompleted(client, base)
+		completed, err := cl.Completed(ctx)
 		if err != nil {
 			return accepted, err
 		}
@@ -369,9 +311,10 @@ func waitComplete(client *http.Client, base string, baseline, accepted int, dead
 		if done >= accepted {
 			return 0, nil
 		}
-		if time.Now().After(deadline) {
+		select {
+		case <-time.After(50 * time.Millisecond):
+		case <-ctx.Done():
 			return accepted - done, nil
 		}
-		time.Sleep(50 * time.Millisecond)
 	}
 }

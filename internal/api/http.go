@@ -1,0 +1,114 @@
+// Package api is the shared HTTP surface of the gridd daemon family:
+// the versioned /v1 run-lifecycle API (asynchronous scenario runs with
+// typed status, per-cell SSE progress streams and cooperative
+// cancellation), the bounded in-memory run store behind it, the legacy
+// POST /scenarios compatibility shim, and the middleware stack (body
+// limits, JSON error envelope, request logging) that the single-cluster
+// service (internal/service) and the grid broker (internal/gridservice)
+// both mount instead of each carrying its own copy.
+package api
+
+import (
+	"encoding/json"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Error is the JSON error envelope shared by every endpoint.
+type Error struct {
+	Error string `json:"error"`
+}
+
+// WriteJSON writes v as the response body with the given status code.
+func WriteJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// WriteError writes the shared JSON error envelope.
+func WriteError(w http.ResponseWriter, code int, msg string) {
+	WriteJSON(w, code, Error{Error: msg})
+}
+
+// WriteBusy writes a 429 with a Retry-After hint (the back-pressure
+// answer of the run endpoints, replacing the legacy bare 503).
+func WriteBusy(w http.ResponseWriter, retryAfter time.Duration, msg string) {
+	secs := int(retryAfter / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	WriteError(w, http.StatusTooManyRequests, msg)
+}
+
+// DefaultMaxBody caps request bodies across the API: job specs and
+// scenario specs are a few KB of JSON, so 1 MiB is generous.
+const DefaultMaxBody = 1 << 20
+
+// RegisterBoth registers one handler at its legacy path and under the
+// /v1 prefix — the compatibility guarantee is structural: both routes
+// run the same code. pattern is a method-qualified mux pattern like
+// "GET /stats".
+func RegisterBoth(mux *http.ServeMux, pattern string, h http.HandlerFunc) {
+	mux.HandleFunc(pattern, h)
+	method, path, ok := strings.Cut(pattern, " ")
+	if !ok {
+		panic("api: RegisterBoth pattern must be \"METHOD /path\"")
+	}
+	mux.HandleFunc(method+" /v1"+path, h)
+}
+
+// statusWriter records the response code for the request log while
+// passing Flush through (the SSE stream needs the flusher).
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.code = code
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if sw.code == 0 {
+		sw.code = http.StatusOK
+	}
+	return sw.ResponseWriter.Write(b)
+}
+
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Wrap applies the shared middleware stack around a service mux: the
+// request-body cap and, when logger is non-nil, a request log line per
+// call (method, path, status, duration).
+func Wrap(h http.Handler, maxBody int64, logger *log.Logger) http.Handler {
+	if maxBody <= 0 {
+		maxBody = DefaultMaxBody
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, maxBody)
+		}
+		if logger == nil {
+			h.ServeHTTP(w, r)
+			return
+		}
+		sw := &statusWriter{ResponseWriter: w}
+		t0 := time.Now()
+		h.ServeHTTP(sw, r)
+		code := sw.code
+		if code == 0 {
+			code = http.StatusOK
+		}
+		logger.Printf("%s %s %d %s", r.Method, r.URL.Path, code, time.Since(t0).Round(time.Microsecond))
+	})
+}

@@ -1,0 +1,447 @@
+package api
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+// Config parameterizes a RunService.
+type Config struct {
+	// MaxActive bounds concurrently executing runs (the gridd
+	// -max-runs flag). Default 2: the daemon's first job is pacing
+	// live simulations; scenario runs are batch work riding along.
+	MaxActive int
+	// MaxPending bounds queued-but-not-started runs beyond MaxActive;
+	// submissions past the bound get 429 + Retry-After. Default
+	// 2×MaxActive.
+	MaxPending int
+	// MaxHistory bounds the run store: when exceeded, the oldest
+	// terminal runs are evicted (active runs never are). Default 64.
+	MaxHistory int
+	// MaxInlineJobs bounds the workload / campaign size an inline spec
+	// may request server-side (catalog ids are trusted). Default
+	// 100_000.
+	MaxInlineJobs int
+	// MaxBody caps request bodies (Wrap applies it). Default 1 MiB.
+	MaxBody int64
+	// Log, when set, receives request log lines from the middleware.
+	Log *log.Logger
+}
+
+func (c Config) fill() Config {
+	if c.MaxActive <= 0 {
+		c.MaxActive = 2
+	}
+	if c.MaxPending <= 0 {
+		c.MaxPending = 2 * c.MaxActive
+	}
+	if c.MaxHistory <= 0 {
+		c.MaxHistory = 64
+	}
+	if c.MaxInlineJobs <= 0 {
+		c.MaxInlineJobs = 100_000
+	}
+	if c.MaxBody <= 0 {
+		c.MaxBody = DefaultMaxBody
+	}
+	return c
+}
+
+// RunsSummary aggregates the run store for the /stats endpoints. It is
+// computed from the same Run records (and their Result cells) the /v1
+// endpoints serve, so the two surfaces cannot diverge.
+type RunsSummary struct {
+	Total      int `json:"total"`
+	Queued     int `json:"queued"`
+	Running    int `json:"running"`
+	Done       int `json:"done"`
+	Failed     int `json:"failed"`
+	Cancelled  int `json:"cancelled"`
+	CellsDone  int `json:"cells_done"`
+	CellsTotal int `json:"cells_total"`
+	// ResultRows counts typed result cells across completed runs —
+	// read from the stored scenario.Result artifacts themselves.
+	ResultRows int `json:"result_rows"`
+	// Evicted counts terminal runs dropped by the bounded store.
+	Evicted int `json:"evicted"`
+}
+
+// ErrBusy rejects submissions past the queue bound (HTTP 429).
+var ErrBusy = errors.New("api: run queue full; retry later")
+
+// ErrStopped rejects submissions into a closed service.
+var ErrStopped = errors.New("api: run service stopped")
+
+// RunService owns the run store and the executor pool behind the /v1
+// run-lifecycle API. One instance is shared by every handler of a
+// daemon (single-cluster service or broker), making it the single
+// source of truth for scenario-run state.
+type RunService struct {
+	cfg Config
+
+	mu      sync.Mutex
+	runs    map[string]*Run
+	order   []*Run // insertion order (listing + eviction)
+	seq     int
+	active  int // queued or executing (not yet finalized)
+	evicted int
+	stopped bool
+
+	queue chan *Run
+	wg    sync.WaitGroup
+}
+
+// NewRunService starts the executor pool (cfg.MaxActive workers).
+func NewRunService(cfg Config) *RunService {
+	cfg = cfg.fill()
+	s := &RunService{
+		cfg:   cfg,
+		runs:  map[string]*Run{},
+		queue: make(chan *Run, cfg.MaxActive+cfg.MaxPending),
+	}
+	for range cfg.MaxActive {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Config returns the filled configuration.
+func (s *RunService) Config() Config { return s.cfg }
+
+// Close cancels every live run, stops the executor pool and waits for
+// it to drain. Subsequent submissions fail with ErrStopped.
+func (s *RunService) Close() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.stopped = true
+	for _, r := range s.order {
+		if !r.state.Terminal() {
+			r.cancel()
+			if r.state == RunQueued {
+				s.terminateLocked(r, RunCancelled, "service shutting down")
+			}
+		}
+	}
+	close(s.queue)
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Summary aggregates the store (the /stats "runs" section).
+func (s *RunService) Summary() RunsSummary {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sum := RunsSummary{Total: len(s.order), Evicted: s.evicted}
+	for _, r := range s.order {
+		switch r.state {
+		case RunQueued:
+			sum.Queued++
+		case RunRunning:
+			sum.Running++
+		case RunDone:
+			sum.Done++
+		case RunFailed:
+			sum.Failed++
+		case RunCancelled:
+			sum.Cancelled++
+		}
+		sum.CellsDone += r.cellsDone
+		sum.CellsTotal += r.cellsTotal
+		if r.result != nil {
+			sum.ResultRows += len(r.result.Cells)
+		}
+	}
+	return sum
+}
+
+// httpErr pairs a status code with a message for the resolve step.
+type httpErr struct {
+	code int
+	msg  string
+}
+
+// resolveSpec validates a submission and resolves its Spec — at
+// submission time, so a bad request fails synchronously (400/404) and
+// only runnable Specs enter the queue.
+func (s *RunService) resolveSpec(req *scenario.HTTPRequest) (*scenario.Spec, *httpErr) {
+	var spec *scenario.Spec
+	switch {
+	case req.ID != "" && req.Spec != nil:
+		return nil, &httpErr{http.StatusBadRequest, "set either id or spec, not both"}
+	case req.ID != "":
+		s, ok := scenario.Lookup(req.ID)
+		if !ok {
+			return nil, &httpErr{http.StatusNotFound, fmt.Sprintf("unknown scenario %q", req.ID)}
+		}
+		spec = s
+	case req.Spec != nil:
+		spec = req.Spec
+		if spec.ID == "" {
+			spec.ID = "adhoc"
+		}
+		// Bound the work an inline spec can request of a live daemon
+		// (cancellation is cooperative per cell, so one huge cell could
+		// still pin a worker for its full duration).
+		if spec.Workload != nil && spec.Workload.N > s.cfg.MaxInlineJobs {
+			return nil, &httpErr{http.StatusBadRequest, fmt.Sprintf(
+				"inline spec requests %d jobs (max %d server-side; run it through the CLI)",
+				spec.Workload.N, s.cfg.MaxInlineJobs)}
+		}
+		if spec.Grid != nil && spec.Grid.CampaignTasks > s.cfg.MaxInlineJobs {
+			return nil, &httpErr{http.StatusBadRequest, fmt.Sprintf(
+				"inline spec requests %d campaign tasks (max %d server-side; run it through the CLI)",
+				spec.Grid.CampaignTasks, s.cfg.MaxInlineJobs)}
+		}
+	default:
+		return nil, &httpErr{http.StatusBadRequest, "set id or spec"}
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, &httpErr{http.StatusBadRequest, err.Error()}
+	}
+	if !scenario.HasKind(spec.Kind) {
+		return nil, &httpErr{http.StatusBadRequest, fmt.Sprintf("unknown scenario kind %q", spec.Kind)}
+	}
+	return spec, nil
+}
+
+// options resolves the effective RunOptions for a submission (same
+// precedence as the CLI: explicit seed beats a Spec-pinned one).
+func options(spec *scenario.Spec, req *scenario.HTTPRequest) scenario.RunOptions {
+	workers := req.Workers
+	if maxw := runtime.GOMAXPROCS(0); workers > maxw {
+		workers = maxw
+	}
+	opt := scenario.RunOptions{Seed: 42, Scale: scenario.Scale{Workers: workers}}
+	if req.Seed != nil {
+		opt.Seed = *req.Seed
+		opt.SeedExplicit = true
+	}
+	// One precedence rule, owned by the scenario package (the status
+	// endpoint shows the effective seed before the run executes).
+	opt.Seed = spec.EffectiveSeed(opt)
+	if req.Quick {
+		opt.Scale.JobFactor = 10
+	}
+	return opt
+}
+
+// Submit validates the request, registers a run and queues it for the
+// executor pool. It returns immediately; progress flows through the
+// run's event stream.
+func (s *RunService) Submit(req scenario.HTTPRequest) (*Run, *httpErr) {
+	spec, herr := s.resolveSpec(&req)
+	if herr != nil {
+		return nil, herr
+	}
+	opt := options(spec, &req)
+
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return nil, &httpErr{http.StatusServiceUnavailable, ErrStopped.Error()}
+	}
+	if s.active >= s.cfg.MaxActive+s.cfg.MaxPending {
+		s.mu.Unlock()
+		return nil, &httpErr{http.StatusTooManyRequests, ErrBusy.Error()}
+	}
+	s.seq++
+	ctx, cancel := context.WithCancel(context.Background())
+	r := &Run{
+		id: fmt.Sprintf("r%06d", s.seq), spec: spec, opt: opt,
+		ctx: ctx, cancel: cancel,
+		state: RunQueued, created: time.Now(),
+		wake: make(chan struct{}),
+	}
+	s.runs[r.id] = r
+	s.order = append(s.order, r)
+	s.active++
+	s.evictLocked()
+	// Send under the lock: it can never block (queue capacity equals
+	// the active bound just checked), and holding s.mu means Close
+	// cannot close the channel between the stopped check and the send.
+	s.queue <- r
+	s.mu.Unlock()
+	return r, nil
+}
+
+// evictLocked drops the oldest terminal runs past MaxHistory.
+func (s *RunService) evictLocked() {
+	for len(s.order) > s.cfg.MaxHistory {
+		victim := -1
+		for i, r := range s.order {
+			if r.state.Terminal() {
+				victim = i
+				break
+			}
+		}
+		if victim < 0 {
+			return // everything live; the active bound caps this
+		}
+		r := s.order[victim]
+		delete(s.runs, r.id)
+		s.order = append(s.order[:victim], s.order[victim+1:]...)
+		s.evicted++
+	}
+}
+
+// terminateLocked moves a run to a terminal state and publishes the
+// closing event. It does NOT release the run's active slot — the
+// worker that drains the run from the queue does, so the slot
+// accounting always matches the queue-channel occupancy and a
+// cancel-resubmit burst can never block on a full channel. s.mu must
+// be held.
+func (s *RunService) terminateLocked(r *Run, state RunState, errMsg string) {
+	r.state = state
+	r.err = errMsg
+	r.finished = time.Now()
+	r.publish(Event{Type: "state", State: state, Error: errMsg})
+}
+
+// worker executes queued runs one at a time.
+func (s *RunService) worker() {
+	defer s.wg.Done()
+	for r := range s.queue {
+		s.mu.Lock()
+		if r.state.Terminal() { // cancelled (or shut down) before start
+			s.active--
+			s.mu.Unlock()
+			continue
+		}
+		r.state = RunRunning
+		r.started = time.Now()
+		r.publish(Event{Type: "state", State: RunRunning})
+		opt := r.opt
+		s.mu.Unlock()
+
+		opt.Context = r.ctx
+		opt.OnCellsStart = func(n int) {
+			s.mu.Lock()
+			r.cellsTotal += n
+			s.mu.Unlock()
+		}
+		opt.OnCellDone = func(index int, d time.Duration) {
+			s.mu.Lock()
+			r.cellsDone++
+			r.timings = append(r.timings, CellTiming{Index: index, DurationSeconds: d.Seconds()})
+			r.publish(Event{Type: "cell", Cell: &CellEvent{
+				Index: index, Done: r.cellsDone, Total: r.cellsTotal,
+				DurationSeconds: d.Seconds(),
+			}})
+			s.mu.Unlock()
+		}
+
+		res, err := runSpec(r.spec, opt)
+
+		s.mu.Lock()
+		switch {
+		case err == nil:
+			r.result = res
+			s.terminateLocked(r, RunDone, "")
+		case r.ctx.Err() != nil || errors.Is(err, context.Canceled):
+			s.terminateLocked(r, RunCancelled, err.Error())
+		default:
+			s.terminateLocked(r, RunFailed, err.Error())
+		}
+		s.active--
+		s.mu.Unlock()
+		r.cancel() // release the context's resources
+	}
+}
+
+// runSpec executes the scenario, converting a runner panic into a
+// failed run: the executor runs on a plain goroutine, so without this
+// a pathological inline spec (validation is structural, not semantic)
+// would crash the whole daemon — including the live cluster
+// simulation it is pacing. The old synchronous handler got this
+// containment for free from net/http's per-request recover.
+func runSpec(spec *scenario.Spec, opt scenario.RunOptions) (res *scenario.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			res, err = nil, fmt.Errorf("api: scenario %q panicked: %v", spec.ID, p)
+		}
+	}()
+	return scenario.Run(spec, opt)
+}
+
+// Get returns a run by id.
+func (s *RunService) Get(id string) (*Run, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.runs[id]
+	return r, ok
+}
+
+// Status snapshots one run.
+func (s *RunService) Status(r *Run, includeCells bool) RunStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return r.status(includeCells)
+}
+
+// List snapshots every stored run in submission order.
+func (s *RunService) List() []RunStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]RunStatus, len(s.order))
+	for i, r := range s.order {
+		out[i] = r.status(false)
+	}
+	return out
+}
+
+// Cancel requests cooperative cancellation. Queued runs finalize
+// immediately; running ones stop after their in-flight cells. The
+// returned bool is false when the run had already finished.
+func (s *RunService) Cancel(r *Run) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case r.state == RunQueued:
+		r.cancel()
+		s.terminateLocked(r, RunCancelled, "cancelled before start")
+		return true
+	case r.state == RunRunning:
+		r.cancel()
+		return true
+	default:
+		return false
+	}
+}
+
+// Wait blocks until the run reaches a terminal state or ctx fires,
+// returning the final status.
+func (s *RunService) Wait(ctx context.Context, r *Run) (RunStatus, error) {
+	for {
+		s.mu.Lock()
+		st := r.status(false)
+		wake := r.wake
+		s.mu.Unlock()
+		if st.State.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-wake:
+		case <-ctx.Done():
+			return st, ctx.Err()
+		}
+	}
+}
+
+// Result returns the stored result artifact once the run is done.
+func (s *RunService) Result(r *Run) (*scenario.Result, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return r.result, r.result != nil
+}

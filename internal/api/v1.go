@@ -1,0 +1,237 @@
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+// Mount registers the versioned run-lifecycle API plus the legacy
+// POST /scenarios compatibility shim on mux:
+//
+//	POST   /v1/runs              submit a scenario run (202 + RunStatus)
+//	GET    /v1/runs              list stored runs
+//	GET    /v1/runs/{id}         typed status incl. per-cell timings
+//	GET    /v1/runs/{id}/events  SSE stream of cell/state events
+//	GET    /v1/runs/{id}/result  result (?format=json|text|csv)
+//	DELETE /v1/runs/{id}         cooperative cancellation
+//	POST   /scenarios            legacy synchronous shim over /v1
+//	                             (also served at /v1/scenarios)
+func (s *RunService) Mount(mux *http.ServeMux) {
+	mux.HandleFunc("POST /v1/runs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/runs", s.handleList)
+	mux.HandleFunc("GET /v1/runs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/runs/{id}/result", s.handleResult)
+	mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
+	RegisterBoth(mux, "POST /scenarios", s.handleLegacyScenario)
+}
+
+// decodeRequest parses a run submission (shared by /v1/runs and the
+// legacy shim — same body shape).
+func decodeRequest(w http.ResponseWriter, r *http.Request) (scenario.HTTPRequest, bool) {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req scenario.HTTPRequest
+	if err := dec.Decode(&req); err != nil {
+		WriteError(w, http.StatusBadRequest, fmt.Sprintf("bad scenario request: %v", err))
+		return req, false
+	}
+	return req, true
+}
+
+func (s *RunService) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	req, ok := decodeRequest(w, r)
+	if !ok {
+		return
+	}
+	run, herr := s.Submit(req)
+	if herr != nil {
+		if herr.code == http.StatusTooManyRequests {
+			WriteBusy(w, s.RetryAfter(), herr.msg)
+			return
+		}
+		WriteError(w, herr.code, herr.msg)
+		return
+	}
+	WriteJSON(w, http.StatusAccepted, s.Status(run, false))
+}
+
+func (s *RunService) handleList(w http.ResponseWriter, r *http.Request) {
+	out := s.List()
+	if out == nil {
+		out = []RunStatus{}
+	}
+	WriteJSON(w, http.StatusOK, out)
+}
+
+// lookup resolves the {id} path value, answering 404 itself.
+func (s *RunService) lookup(w http.ResponseWriter, r *http.Request) (*Run, bool) {
+	run, ok := s.Get(r.PathValue("id"))
+	if !ok {
+		WriteError(w, http.StatusNotFound, fmt.Sprintf("unknown run %q", r.PathValue("id")))
+	}
+	return run, ok
+}
+
+func (s *RunService) handleStatus(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	WriteJSON(w, http.StatusOK, s.Status(run, true))
+}
+
+func (s *RunService) handleCancel(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	if !s.Cancel(run) {
+		WriteJSON(w, http.StatusConflict, s.Status(run, false))
+		return
+	}
+	WriteJSON(w, http.StatusOK, s.Status(run, false))
+}
+
+func (s *RunService) handleResult(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	st := s.Status(run, false)
+	if st.State != RunDone {
+		WriteError(w, http.StatusConflict, fmt.Sprintf("run %s is %s, not done", st.ID, st.State))
+		return
+	}
+	res, ok := s.Result(run)
+	if !ok {
+		WriteError(w, http.StatusInternalServerError, "done run has no result")
+		return
+	}
+	format := r.URL.Query().Get("format")
+	switch format {
+	case "", "json":
+		out, err := res.JSON()
+		if err != nil {
+			WriteError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		WriteJSON(w, http.StatusOK, out)
+	case "text", "csv":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := res.EmitFormat(w, format); err != nil {
+			// Headers are gone; the body break is the best signal left.
+			fmt.Fprintf(w, "\nERROR: %v\n", err)
+		}
+	default:
+		WriteError(w, http.StatusBadRequest, fmt.Sprintf("unknown format %q (json|text|csv)", format))
+	}
+}
+
+// handleEvents streams the run's progress as Server-Sent Events: the
+// full event history first (late subscribers see every cell), then
+// live events until the terminal state event closes the stream. A
+// disconnected client is detected through the request context and
+// costs nothing afterwards.
+func (s *RunService) handleEvents(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		WriteError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	next := 0
+	for {
+		s.mu.Lock()
+		events := append([]Event(nil), run.events[next:]...)
+		terminal := run.state.Terminal()
+		wake := run.wake
+		s.mu.Unlock()
+		for _, e := range events {
+			data, err := json.Marshal(e)
+			if err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", e.Seq, e.Type, data); err != nil {
+				return
+			}
+		}
+		if len(events) > 0 {
+			flusher.Flush()
+		}
+		next += len(events)
+		if terminal {
+			return
+		}
+		select {
+		case <-wake:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// RetryAfter is the back-off hint a rejected client receives in the
+// Retry-After header: one second — quick runs clear in well under
+// that, and a still-saturated queue answers the retry with another
+// 429 carrying the same hint.
+func (s *RunService) RetryAfter() time.Duration { return time.Second }
+
+// handleLegacyScenario is the POST /scenarios compatibility shim: it
+// submits through the same run store the /v1 API uses, waits for the
+// terminal state, and answers with the legacy one-shot table payload
+// (same status codes as the historical synchronous handler: 400/404
+// on bad requests, 422 for figure scenarios, plus 429 + Retry-After
+// when the run queue is full, where the old handler answered a bare
+// 503). Client disconnects cancel the run.
+func (s *RunService) handleLegacyScenario(w http.ResponseWriter, r *http.Request) {
+	req, ok := decodeRequest(w, r)
+	if !ok {
+		return
+	}
+	run, herr := s.Submit(req)
+	if herr != nil {
+		if herr.code == http.StatusTooManyRequests {
+			WriteBusy(w, s.RetryAfter(), herr.msg)
+			return
+		}
+		WriteError(w, herr.code, herr.msg)
+		return
+	}
+	st, err := s.Wait(r.Context(), run)
+	if err != nil {
+		// The client went away: nobody wants this synchronous run.
+		s.Cancel(run)
+		return
+	}
+	switch st.State {
+	case RunFailed:
+		WriteError(w, http.StatusBadRequest, st.Error)
+		return
+	case RunCancelled:
+		WriteError(w, http.StatusServiceUnavailable, "run cancelled: "+st.Error)
+		return
+	}
+	res, ok := s.Result(run)
+	if !ok || res.Table == nil {
+		WriteError(w, http.StatusUnprocessableEntity,
+			fmt.Sprintf("scenario %q renders custom output; run it through the CLI", st.SpecID))
+		return
+	}
+	WriteJSON(w, http.StatusOK, scenario.HTTPResponse{
+		ID: st.SpecID, Kind: st.Kind, Seed: res.Seed,
+		Title: res.Table.Title, Headers: res.Table.Headers, Rows: res.Table.Rows,
+	})
+}

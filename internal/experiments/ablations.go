@@ -20,11 +20,11 @@ import (
 // ablationAllotmentRun compares the MRT knapsack allotment against the
 // greedy γ(λ) allotment (DESIGN.md ablation 1). Params: "ms", "n",
 // "eps".
-func ablationAllotmentRun(spec *scenario.Spec, seed uint64, sc Scale) (*trace.Table, error) {
+func ablationAllotmentRun(spec *scenario.Spec, seed uint64, sc Scale) (*scenario.Result, error) {
 	if err := spec.CheckParams(map[string]scenario.ParamType{"ms": scenario.IntsParam, "n": scenario.IntParam, "eps": scenario.FloatParam}); err != nil {
 		return nil, err
 	}
-	t := trace.NewTable(
+	t := newTable(2,
 		title(spec, "Ablation — MRT allotment selection: knapsack (paper) vs greedy γ(λ)"),
 		"m", "n", "knapsack ratio", "greedy ratio", "knapsack iters", "greedy iters")
 	ms := spec.Ints("ms", []int{32, 100})
@@ -48,23 +48,27 @@ func ablationAllotmentRun(spec *scenario.Spec, seed uint64, sc Scale) (*trace.Ta
 	}); err != nil {
 		return nil, err
 	}
-	return t, nil
+	return t.Result(), nil
 }
 
 // AblationAllotment is the compatibility entry point for ablation 1.
 func AblationAllotment(seed uint64, sc Scale) (*trace.Table, error) {
-	return ablationAllotmentRun(mustSpec("ablation-allotment"), seed, sc)
+	res, err := ablationAllotmentRun(mustSpec("ablation-allotment"), seed, sc)
+	if err != nil {
+		return nil, err
+	}
+	return res.Table, nil
 }
 
 // ablationDoublingBaseRun compares initial-deadline choices in the
 // bi-criteria algorithm: smallest job time (default) vs the instance
 // lower bound vs an oversized base (DESIGN.md ablation 2). Params:
 // "m", "n".
-func ablationDoublingBaseRun(spec *scenario.Spec, seed uint64, sc Scale) (*trace.Table, error) {
+func ablationDoublingBaseRun(spec *scenario.Spec, seed uint64, sc Scale) (*scenario.Result, error) {
 	if err := spec.CheckParams(map[string]scenario.ParamType{"m": scenario.IntParam, "n": scenario.IntParam}); err != nil {
 		return nil, err
 	}
-	t := trace.NewTable(
+	t := newTable(1,
 		title(spec, "Ablation — bi-criteria initial deadline d"),
 		"d choice", "batches", "Cmax ratio", "ΣwC ratio")
 	m := spec.Int("m", 64)
@@ -90,21 +94,25 @@ func ablationDoublingBaseRun(spec *scenario.Spec, seed uint64, sc Scale) (*trace
 	}); err != nil {
 		return nil, err
 	}
-	return t, nil
+	return t.Result(), nil
 }
 
 // AblationDoublingBase is the compatibility entry point for ablation 2.
 func AblationDoublingBase(seed uint64, sc Scale) (*trace.Table, error) {
-	return ablationDoublingBaseRun(mustSpec("ablation-doubling-base"), seed, sc)
+	res, err := ablationDoublingBaseRun(mustSpec("ablation-doubling-base"), seed, sc)
+	if err != nil {
+		return nil, err
+	}
+	return res.Table, nil
 }
 
 // ablationShelfFillRun compares SMART's first-fit shelf filling against
 // best-fit (DESIGN.md ablation 3). Params: "ms", "n".
-func ablationShelfFillRun(spec *scenario.Spec, seed uint64, sc Scale) (*trace.Table, error) {
+func ablationShelfFillRun(spec *scenario.Spec, seed uint64, sc Scale) (*scenario.Result, error) {
 	if err := spec.CheckParams(map[string]scenario.ParamType{"ms": scenario.IntsParam, "n": scenario.IntParam}); err != nil {
 		return nil, err
 	}
-	t := trace.NewTable(
+	t := newTable(2,
 		title(spec, "Ablation — SMART shelf filling rule"),
 		"m", "n", "first-fit ΣwC", "best-fit ΣwC", "FF shelves", "BF shelves")
 	ms := spec.Ints("ms", []int{16, 64})
@@ -130,23 +138,27 @@ func ablationShelfFillRun(spec *scenario.Spec, seed uint64, sc Scale) (*trace.Ta
 	}); err != nil {
 		return nil, err
 	}
-	return t, nil
+	return t.Result(), nil
 }
 
 // AblationShelfFill is the compatibility entry point for ablation 3.
 func AblationShelfFill(seed uint64, sc Scale) (*trace.Table, error) {
-	return ablationShelfFillRun(mustSpec("ablation-shelf-fill"), seed, sc)
+	res, err := ablationShelfFillRun(mustSpec("ablation-shelf-fill"), seed, sc)
+	if err != nil {
+		return nil, err
+	}
+	return res.Table, nil
 }
 
 // ablationChunkRun sweeps the self-scheduling chunk size under latency
 // (DESIGN.md ablation 4). Params: "w", "latency", "chunks".
-func ablationChunkRun(spec *scenario.Spec, seed uint64, sc Scale) (*trace.Table, error) {
+func ablationChunkRun(spec *scenario.Spec, seed uint64, sc Scale) (*scenario.Result, error) {
 	if err := spec.CheckParams(map[string]scenario.ParamType{"w": scenario.FloatParam, "latency": scenario.FloatParam, "chunks": scenario.FloatsParam}); err != nil {
 		return nil, err
 	}
 	W := spec.Float("w", 10000)
 	latency := spec.Float("latency", 1)
-	t := trace.NewTable(
+	t := newTable(1,
 		title(spec, fmt.Sprintf("Ablation — DLT self-scheduling chunk size (W=%g, latency %g)", W, latency)),
 		"chunk", "makespan", "messages", "vs 1-round")
 	mkStar := func() *dlt.Star { return dlt.Bus([]float64{1, 1, 1, 1, 1, 1, 1, 1}, 0.05, latency) }
@@ -164,21 +176,25 @@ func ablationChunkRun(spec *scenario.Spec, seed uint64, sc Scale) (*trace.Table,
 	}); err != nil {
 		return nil, err
 	}
-	return t, nil
+	return t.Result(), nil
 }
 
 // AblationChunk is the compatibility entry point for ablation 4.
 func AblationChunk(seed uint64, sc Scale) (*trace.Table, error) {
-	return ablationChunkRun(mustSpec("ablation-chunk"), seed, sc)
+	res, err := ablationChunkRun(mustSpec("ablation-chunk"), seed, sc)
+	if err != nil {
+		return nil, err
+	}
+	return res.Table, nil
 }
 
 // ablationKillPolicyRun compares best-effort eviction rules on a loaded
 // cluster (DESIGN.md ablation 5). Params: "n", "tasks".
-func ablationKillPolicyRun(spec *scenario.Spec, seed uint64, sc Scale) (*trace.Table, error) {
+func ablationKillPolicyRun(spec *scenario.Spec, seed uint64, sc Scale) (*scenario.Result, error) {
 	if err := spec.CheckParams(map[string]scenario.ParamType{"n": scenario.IntParam, "tasks": scenario.IntParam}); err != nil {
 		return nil, err
 	}
-	t := trace.NewTable(
+	t := newTable(1,
 		title(spec, "Ablation — best-effort kill policy (single 64-proc cluster)"),
 		"policy", "BE done", "kills", "wasted work", "local Δ")
 	n := sc.jobs(spec.Int("n", 60))
@@ -220,23 +236,27 @@ func ablationKillPolicyRun(spec *scenario.Spec, seed uint64, sc Scale) (*trace.T
 	}); err != nil {
 		return nil, err
 	}
-	return t, nil
+	return t.Result(), nil
 }
 
 // AblationKillPolicy is the compatibility entry point for ablation 5.
 func AblationKillPolicy(seed uint64, sc Scale) (*trace.Table, error) {
-	return ablationKillPolicyRun(mustSpec("ablation-kill-policy"), seed, sc)
+	res, err := ablationKillPolicyRun(mustSpec("ablation-kill-policy"), seed, sc)
+	if err != nil {
+		return nil, err
+	}
+	return res.Table, nil
 }
 
 // ablationCompactionRun measures the left-shift compaction post-pass
 // (rigid.Compact) applied to the batch-structured bi-criteria schedules:
 // batches leave idle steps at batch boundaries that compaction reclaims
 // without moving any job later. Params: "m", "n".
-func ablationCompactionRun(spec *scenario.Spec, seed uint64, sc Scale) (*trace.Table, error) {
+func ablationCompactionRun(spec *scenario.Spec, seed uint64, sc Scale) (*scenario.Result, error) {
 	if err := spec.CheckParams(map[string]scenario.ParamType{"m": scenario.IntParam, "n": scenario.IntParam}); err != nil {
 		return nil, err
 	}
-	t := trace.NewTable(
+	t := newTable(2,
 		title(spec, "Ablation — compaction post-pass on bi-criteria schedules"),
 		"family", "n", "Cmax ratio", "compacted", "ΣwC ratio", "compacted ")
 	m := spec.Int("m", 64)
@@ -276,10 +296,14 @@ func ablationCompactionRun(spec *scenario.Spec, seed uint64, sc Scale) (*trace.T
 	}); err != nil {
 		return nil, err
 	}
-	return t, nil
+	return t.Result(), nil
 }
 
 // AblationCompaction is the compatibility entry point for ablation 6.
 func AblationCompaction(seed uint64, sc Scale) (*trace.Table, error) {
-	return ablationCompactionRun(mustSpec("ablation-compaction"), seed, sc)
+	res, err := ablationCompactionRun(mustSpec("ablation-compaction"), seed, sc)
+	if err != nil {
+		return nil, err
+	}
+	return res.Table, nil
 }

@@ -6,7 +6,6 @@ import (
 
 	"repro/internal/bicriteria"
 	"repro/internal/scenario"
-	"repro/internal/trace"
 )
 
 // This file wires the experiment engine into internal/scenario: it
@@ -15,29 +14,32 @@ import (
 // CLI display and "all"-expansion order (figures, tables, ablations —
 // the historical cmd/experiments order).
 
-// fromScenarioScale converts the declarative scale to the engine one.
-func fromScenarioScale(sc scenario.Scale) Scale {
-	return Scale{JobFactor: sc.JobFactor, Workers: sc.Workers}
+// fromOptions converts the invocation options to the engine scale,
+// carrying the run-lifecycle plumbing (cancellation context, progress
+// callbacks) through to the cell worker pool.
+func fromOptions(opt scenario.RunOptions) Scale {
+	return Scale{
+		JobFactor: opt.Scale.JobFactor, Workers: opt.Scale.Workers,
+		Ctx: opt.Context, OnCellsStart: opt.OnCellsStart, OnCellDone: opt.OnCellDone,
+	}
 }
 
-// tableRun is the signature every table kind implements.
-type tableRun func(spec *scenario.Spec, seed uint64, sc Scale) (*trace.Table, error)
+// tableRun is the signature every table kind implements: it expands
+// the Spec into cells and returns the typed scenario.Result (the text
+// table derives from the cells through the one renderer).
+type tableRun func(spec *scenario.Spec, seed uint64, sc Scale) (*scenario.Result, error)
 
 // tableKind adapts a tableRun into a scenario.Runner.
 func tableKind(fn tableRun) scenario.Runner {
 	return func(spec *scenario.Spec, opt scenario.RunOptions) (*scenario.Result, error) {
-		t, err := fn(spec, opt.Seed, fromScenarioScale(opt.Scale))
-		if err != nil {
-			return nil, err
-		}
-		return scenario.TableResult(t), nil
+		return fn(spec, opt.Seed, fromOptions(opt))
 	}
 }
 
 // fig2Kind renders Figure 2's two series through the bespoke figure
 // writer (it has no table form, matching the historical output).
 func fig2Kind(spec *scenario.Spec, opt scenario.RunOptions) (*scenario.Result, error) {
-	np, p, err := fig2Run(spec, opt.Seed, fromScenarioScale(opt.Scale))
+	np, p, err := fig2Run(spec, opt.Seed, fromOptions(opt))
 	if err != nil {
 		return nil, err
 	}

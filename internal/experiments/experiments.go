@@ -17,7 +17,9 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/batch"
 	"repro/internal/bicriteria"
@@ -41,6 +43,15 @@ type Scale struct {
 	// min(Workers, GOMAXPROCS) goroutines. Tables are bit-identical
 	// across worker counts for a fixed seed.
 	Workers int
+
+	// Ctx, when non-nil, cancels cell dispatch cooperatively (see
+	// runCells); it does not affect determinism of completed cells.
+	Ctx context.Context
+	// OnCellsStart and OnCellDone observe worker-pool progress (cells
+	// discovered by a fan-out / one cell finished with its duration).
+	// OnCellDone may fire concurrently from worker goroutines.
+	OnCellsStart func(n int)
+	OnCellDone   func(index int, d time.Duration)
 }
 
 func (s Scale) jobs(n int) int {
@@ -64,11 +75,11 @@ func title(spec *scenario.Spec, def string) string {
 // mrtRun is experiment T1 (§4.1): the offline MRT algorithm versus its
 // 3/2 + ε guarantee and the naive allotment baselines, across platform
 // widths and job counts. Params: "ms", "ns" (the sweep axes), "eps".
-func mrtRun(spec *scenario.Spec, seed uint64, sc Scale) (*trace.Table, error) {
+func mrtRun(spec *scenario.Spec, seed uint64, sc Scale) (*scenario.Result, error) {
 	if err := spec.CheckParams(map[string]scenario.ParamType{"ms": scenario.IntsParam, "ns": scenario.IntsParam, "eps": scenario.FloatParam}); err != nil {
 		return nil, err
 	}
-	t := trace.NewTable(
+	t := newTable(2,
 		title(spec, "T1 — §4.1 offline moldable Cmax: MRT (3/2+ε) vs baselines (ratios to lower bound)"),
 		"m", "n", "MRT", "λ-accepted", "MinWork+LPT", "MaxProcs+LPT", "γ(LB)+LPT", "bound")
 	eps := spec.Float("eps", 0.01)
@@ -111,23 +122,27 @@ func mrtRun(spec *scenario.Spec, seed uint64, sc Scale) (*trace.Table, error) {
 	}); err != nil {
 		return nil, err
 	}
-	return t, nil
+	return t.Result(), nil
 }
 
 // MRTTable is the compatibility entry point for T1 (the built-in "mrt"
 // scenario run at the given seed and scale).
 func MRTTable(seed uint64, sc Scale) (*trace.Table, error) {
-	return mrtRun(mustSpec("mrt"), seed, sc)
+	res, err := mrtRun(mustSpec("mrt"), seed, sc)
+	if err != nil {
+		return nil, err
+	}
+	return res.Table, nil
 }
 
 // batchRun is experiment T2 (§4.2): the batch framework over MRT with
 // release dates versus its 2ρ = 3 + ε guarantee, across arrival
 // intensities. Params: "m", "n", "rates", "eps".
-func batchRun(spec *scenario.Spec, seed uint64, sc Scale) (*trace.Table, error) {
+func batchRun(spec *scenario.Spec, seed uint64, sc Scale) (*scenario.Result, error) {
 	if err := spec.CheckParams(map[string]scenario.ParamType{"m": scenario.IntParam, "n": scenario.IntParam, "rates": scenario.FloatsParam, "eps": scenario.FloatParam}); err != nil {
 		return nil, err
 	}
-	t := trace.NewTable(
+	t := newTable(3,
 		title(spec, "T2 — §4.2 online moldable Cmax: batches over MRT (ratios to lower bound, bound 3+ε)"),
 		"m", "n", "arrival rate", "batches", "online ratio", "offline-MRT ratio")
 	m := spec.Int("m", 64)
@@ -161,21 +176,25 @@ func batchRun(spec *scenario.Spec, seed uint64, sc Scale) (*trace.Table, error) 
 	}); err != nil {
 		return nil, err
 	}
-	return t, nil
+	return t.Result(), nil
 }
 
 // BatchTable is the compatibility entry point for T2.
 func BatchTable(seed uint64, sc Scale) (*trace.Table, error) {
-	return batchRun(mustSpec("batch"), seed, sc)
+	res, err := batchRun(mustSpec("batch"), seed, sc)
+	if err != nil {
+		return nil, err
+	}
+	return res.Table, nil
 }
 
 // smartRun is experiment T3 (§4.3): SMART shelves versus the 8 / 8.53
 // bounds and a submission-order list baseline. Params: "ms", "n".
-func smartRun(spec *scenario.Spec, seed uint64, sc Scale) (*trace.Table, error) {
+func smartRun(spec *scenario.Spec, seed uint64, sc Scale) (*scenario.Result, error) {
 	if err := spec.CheckParams(map[string]scenario.ParamType{"ms": scenario.IntsParam, "n": scenario.IntParam}); err != nil {
 		return nil, err
 	}
-	t := trace.NewTable(
+	t := newTable(3,
 		title(spec, "T3 — §4.3 rigid completion-time sums: SMART shelves (ratios to lower bound)"),
 		"m", "n", "weighted", "SMART ΣwC", "list ΣwC", "shelves", "bound")
 	type cell struct {
@@ -215,22 +234,26 @@ func smartRun(spec *scenario.Spec, seed uint64, sc Scale) (*trace.Table, error) 
 	}); err != nil {
 		return nil, err
 	}
-	return t, nil
+	return t.Result(), nil
 }
 
 // SMARTTable is the compatibility entry point for T3.
 func SMARTTable(seed uint64, sc Scale) (*trace.Table, error) {
-	return smartRun(mustSpec("smart"), seed, sc)
+	res, err := smartRun(mustSpec("smart"), seed, sc)
+	if err != nil {
+		return nil, err
+	}
+	return res.Table, nil
 }
 
 // bicriteriaRun is experiment T4 (§4.4): the doubling algorithm's two
 // ratios versus 4ρ, contrasted with pure MRT (good Cmax, unmanaged
 // ΣwC). Params: "m", "ns" (per-family job counts), "eps".
-func bicriteriaRun(spec *scenario.Spec, seed uint64, sc Scale) (*trace.Table, error) {
+func bicriteriaRun(spec *scenario.Spec, seed uint64, sc Scale) (*scenario.Result, error) {
 	if err := spec.CheckParams(map[string]scenario.ParamType{"m": scenario.IntParam, "ns": scenario.IntsParam, "eps": scenario.FloatParam}); err != nil {
 		return nil, err
 	}
-	t := trace.NewTable(
+	t := newTable(2,
 		title(spec, "T4 — §4.4 bi-criteria doubling: both ratios bounded by 4ρ = 6"),
 		"family", "n", "doubling Cmax", "doubling ΣwC", "MRT Cmax", "MRT ΣwC", "bound")
 	type cell struct {
@@ -277,12 +300,16 @@ func bicriteriaRun(spec *scenario.Spec, seed uint64, sc Scale) (*trace.Table, er
 	}); err != nil {
 		return nil, err
 	}
-	return t, nil
+	return t.Result(), nil
 }
 
 // BiCriteriaTable is the compatibility entry point for T4.
 func BiCriteriaTable(seed uint64, sc Scale) (*trace.Table, error) {
-	return bicriteriaRun(mustSpec("bicriteria"), seed, sc)
+	res, err := bicriteriaRun(mustSpec("bicriteria"), seed, sc)
+	if err != nil {
+		return nil, err
+	}
+	return res.Table, nil
 }
 
 // fig2Run regenerates both series of Figure 2 (the two series run as
@@ -318,11 +345,11 @@ func Fig2Tables(seed uint64, sc Scale) (np, p []bicriteria.Fig2Point, err error)
 
 // mixedRun is experiment T8 (§5.1): the three strategies for mixing
 // rigid and moldable jobs on one cluster. Params: "m", "n", "fracs".
-func mixedRun(spec *scenario.Spec, seed uint64, sc Scale) (*trace.Table, error) {
+func mixedRun(spec *scenario.Spec, seed uint64, sc Scale) (*scenario.Result, error) {
 	if err := spec.CheckParams(map[string]scenario.ParamType{"m": scenario.IntParam, "n": scenario.IntParam, "fracs": scenario.FloatsParam}); err != nil {
 		return nil, err
 	}
-	t := trace.NewTable(
+	t := newTable(3,
 		title(spec, "T8 — §5.1 rigid+moldable mixes: the three proposed strategies (Cmax/ΣwC ratios to lower bounds)"),
 		"rigid frac", "n", "strategy", "Cmax ratio", "ΣwC ratio")
 	m := spec.Int("m", 64)
@@ -357,12 +384,16 @@ func mixedRun(spec *scenario.Spec, seed uint64, sc Scale) (*trace.Table, error) 
 			t.AddRow(r...)
 		}
 	}
-	return t, nil
+	return t.Result(), nil
 }
 
 // MixedTable is the compatibility entry point for T8.
 func MixedTable(seed uint64, sc Scale) (*trace.Table, error) {
-	return mixedRun(mustSpec("mixed"), seed, sc)
+	res, err := mixedRun(mustSpec("mixed"), seed, sc)
+	if err != nil {
+		return nil, err
+	}
+	return res.Table, nil
 }
 
 // runMixedStrategy implements §5.1's three ideas.

@@ -24,11 +24,11 @@ import (
 // versus the moldable MRT one-shot choice on the same jobs. It
 // quantifies the paper's expectation that "malleability is much more
 // easily usable from the scheduling point of view". Params: "ms", "n".
-func malleableRun(spec *scenario.Spec, seed uint64, sc Scale) (*trace.Table, error) {
+func malleableRun(spec *scenario.Spec, seed uint64, sc Scale) (*scenario.Result, error) {
 	if err := spec.CheckParams(map[string]scenario.ParamType{"ms": scenario.IntsParam, "n": scenario.IntParam}); err != nil {
 		return nil, err
 	}
-	t := trace.NewTable(
+	t := newTable(2,
 		title(spec, "EXT1 — §2.2 malleable jobs (paper's future work): EQUI vs moldable MRT (ratios to lower bound)"),
 		"m", "n", "moldable MRT", "malleable EQUI", "EQUI reallocs", "weighted EQUI ΣwC", "MRT ΣwC")
 	ms := spec.Ints("ms", []int{16, 64})
@@ -67,12 +67,16 @@ func malleableRun(spec *scenario.Spec, seed uint64, sc Scale) (*trace.Table, err
 	}); err != nil {
 		return nil, err
 	}
-	return t, nil
+	return t.Result(), nil
 }
 
 // MalleableTable is the compatibility entry point for EXT1.
 func MalleableTable(seed uint64, sc Scale) (*trace.Table, error) {
-	return malleableRun(mustSpec("malleable"), seed, sc)
+	res, err := malleableRun(mustSpec("malleable"), seed, sc)
+	if err != nil {
+		return nil, err
+	}
+	return res.Table, nil
 }
 
 // treeDLTRun is the extension experiment for the paper's reference [4]
@@ -81,11 +85,11 @@ func MalleableTable(seed uint64, sc Scale) (*trace.Table, error) {
 // store-and-forward cost of hierarchy versus a flat star — the paper's
 // §1.2 observation that interconnects "may be hierarchical".
 // Params: "w" (total load).
-func treeDLTRun(spec *scenario.Spec, seed uint64, sc Scale) (*trace.Table, error) {
+func treeDLTRun(spec *scenario.Spec, seed uint64, sc Scale) (*scenario.Result, error) {
 	if err := spec.CheckParams(map[string]scenario.ParamType{"w": scenario.FloatParam}); err != nil {
 		return nil, err
 	}
-	t := trace.NewTable(
+	t := newTable(2,
 		title(spec, "EXT2 — [4] divisible load on tree networks (same 13 workers, growing depth; W=10000)"),
 		"topology", "nodes", "makespan", "vs flat star", "LB")
 	W := spec.Float("w", 10000)
@@ -139,12 +143,16 @@ func treeDLTRun(spec *scenario.Spec, seed uint64, sc Scale) (*trace.Table, error
 	for i, c := range topologies {
 		t.AddRow(c.name, cells[i].size, cells[i].makespan, cells[i].makespan/flat, cells[i].lb)
 	}
-	return t, nil
+	return t.Result(), nil
 }
 
 // TreeDLTTable is the compatibility entry point for EXT2.
 func TreeDLTTable(seed uint64, sc Scale) (*trace.Table, error) {
-	return treeDLTRun(mustSpec("treedlt"), seed, sc)
+	res, err := treeDLTRun(mustSpec("treedlt"), seed, sc)
+	if err != nil {
+		return nil, err
+	}
+	return res.Table, nil
 }
 
 // criteriaRun is extension experiment EXT3: the paper's title question
@@ -152,11 +160,11 @@ func TreeDLTTable(seed uint64, sc Scale) (*trace.Table, error) {
 // one shared workload. No policy wins everywhere, which is exactly the
 // paper's argument for per-application policy selection. Params: "m",
 // "n".
-func criteriaRun(spec *scenario.Spec, seed uint64, sc Scale) (*trace.Table, error) {
+func criteriaRun(spec *scenario.Spec, seed uint64, sc Scale) (*scenario.Result, error) {
 	if err := spec.CheckParams(map[string]scenario.ParamType{"m": scenario.IntParam, "n": scenario.IntParam}); err != nil {
 		return nil, err
 	}
-	t := trace.NewTable(
+	t := newTable(1,
 		title(spec, "EXT3 — §3 criteria matrix: one workload, every policy, every criterion (ratios to lower bounds where defined)"),
 		"policy", "Cmax", "ΣwC", "mean flow", "max stretch", "late", "util %")
 	m := spec.Int("m", 64)
@@ -218,23 +226,27 @@ func criteriaRun(spec *scenario.Spec, seed uint64, sc Scale) (*trace.Table, erro
 	}); err != nil {
 		return nil, err
 	}
-	return t, nil
+	return t.Result(), nil
 }
 
 // CriteriaMatrixTable is the compatibility entry point for EXT3.
 func CriteriaMatrixTable(seed uint64, sc Scale) (*trace.Table, error) {
-	return criteriaRun(mustSpec("criteria"), seed, sc)
+	res, err := criteriaRun(mustSpec("criteria"), seed, sc)
+	if err != nil {
+		return nil, err
+	}
+	return res.Table, nil
 }
 
 // heteroGridRun is extension experiment EXT4: two-level scheduling
 // across the speed-heterogeneous CIMENT grid — the §2.2 "uniform
 // processors" view at grid scale. Compares the speed-aware partition
 // against using only the largest cluster and a speed-blind deal.
-func heteroGridRun(spec *scenario.Spec, seed uint64, sc Scale) (*trace.Table, error) {
+func heteroGridRun(spec *scenario.Spec, seed uint64, sc Scale) (*scenario.Result, error) {
 	if err := spec.CheckParams(map[string]scenario.ParamType{}); err != nil {
 		return nil, err
 	}
-	t := trace.NewTable(
+	t := newTable(2,
 		title(spec, "EXT4 — two-level moldable scheduling on the CIMENT grid (makespans, ratios to grid LB)"),
 		"workload", "partition", "grid makespan", "ratio", "clusters used")
 	workloads := []struct {
@@ -290,10 +302,14 @@ func heteroGridRun(spec *scenario.Spec, seed uint64, sc Scale) (*trace.Table, er
 	}); err != nil {
 		return nil, err
 	}
-	return t, nil
+	return t.Result(), nil
 }
 
 // HeteroGridTable is the compatibility entry point for EXT4.
 func HeteroGridTable(seed uint64, sc Scale) (*trace.Table, error) {
-	return heteroGridRun(mustSpec("heterogrid"), seed, sc)
+	res, err := heteroGridRun(mustSpec("heterogrid"), seed, sc)
+	if err != nil {
+		return nil, err
+	}
+	return res.Table, nil
 }

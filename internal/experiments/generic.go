@@ -7,7 +7,6 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/registry"
 	"repro/internal/scenario"
-	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -150,7 +149,7 @@ func MetricNames() []string {
 // Spec surface: Workload, Platform.M (falls back to Workload.M),
 // Policies (default: every offline-capable policy), Metrics (default:
 // cmax_ratio, swc_ratio, mean_flow, max_stretch, late, util).
-func offlineRun(spec *scenario.Spec, seed uint64, sc Scale) (*trace.Table, error) {
+func offlineRun(spec *scenario.Spec, seed uint64, sc Scale) (*scenario.Result, error) {
 	if err := spec.CheckParams(map[string]scenario.ParamType{}); err != nil {
 		return nil, err
 	}
@@ -177,7 +176,7 @@ func offlineRun(spec *scenario.Spec, seed uint64, sc Scale) (*trace.Table, error
 		cols = append(cols, c)
 		headers = append(headers, c.header)
 	}
-	t := trace.NewTable(title(spec, fmt.Sprintf("offline policy sweep (m=%d, n=%d)", m, sc.jobs(cfg.N))), headers...)
+	t := newTable(1, title(spec, fmt.Sprintf("offline policy sweep (m=%d, n=%d)", m, sc.jobs(cfg.N))), headers...)
 	cfg.N, cfg.Seed = sc.jobs(cfg.N), seed
 	jobs, err := generate(gen, cfg)
 	if err != nil {
@@ -200,5 +199,5 @@ func offlineRun(spec *scenario.Spec, seed uint64, sc Scale) (*trace.Table, error
 	}); err != nil {
 		return nil, err
 	}
-	return t, nil
+	return t.Result(), nil
 }

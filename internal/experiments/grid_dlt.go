@@ -40,11 +40,11 @@ func dltPlatforms() []struct {
 // dynamic self-scheduling across latency regimes on bus and star
 // platforms, with the crossover the paper's model discussion predicts.
 // Params: "latencies", "w" (total load).
-func dltRun(spec *scenario.Spec, seed uint64, sc Scale) (*trace.Table, error) {
+func dltRun(spec *scenario.Spec, seed uint64, sc Scale) (*scenario.Result, error) {
 	if err := spec.CheckParams(map[string]scenario.ParamType{"latencies": scenario.FloatsParam, "w": scenario.FloatParam}); err != nil {
 		return nil, err
 	}
-	t := trace.NewTable(
+	t := newTable(2,
 		title(spec, "T5 — §2.1 divisible load policies (makespans, lower bound in last column)"),
 		"platform", "latency", "1 round", "4 rounds", "16 rounds", "self-sched", "LB")
 	latencies := spec.Floats("latencies", []float64{0, 1, 10, 100})
@@ -75,12 +75,16 @@ func dltRun(spec *scenario.Spec, seed uint64, sc Scale) (*trace.Table, error) {
 	}); err != nil {
 		return nil, err
 	}
-	return t, nil
+	return t.Result(), nil
 }
 
 // DLTTable is the compatibility entry point for T5.
 func DLTTable(seed uint64, sc Scale) (*trace.Table, error) {
-	return dltRun(mustSpec("dlt"), seed, sc)
+	res, err := dltRun(mustSpec("dlt"), seed, sc)
+	if err != nil {
+		return nil, err
+	}
+	return res.Table, nil
 }
 
 // communityMembers builds the CIMENT members with per-cluster community
@@ -111,11 +115,11 @@ func communityMembers(seed uint64, jobsPerCluster int, rate float64) []grid.Memb
 // the grid run are themselves independent cells (both rebuild the same
 // member workloads from the cell seed), so a full parallel run keeps all
 // four simulations in flight.
-func cigriRun(spec *scenario.Spec, seed uint64, sc Scale) (*trace.Table, error) {
+func cigriRun(spec *scenario.Spec, seed uint64, sc Scale) (*scenario.Result, error) {
 	if err := spec.CheckParams(map[string]scenario.ParamType{"runs": scenario.IntParam, "run_time": scenario.FloatParam}); err != nil {
 		return nil, err
 	}
-	t := trace.NewTable(
+	t := newTable(2,
 		title(spec, "T6 — §5.2 centralized CiGri on CIMENT (Figure 3 platform)"),
 		"local load", "bag tasks", "local Δflow", "grid done", "kills", "wasted %", "grid makespan")
 	loads := []struct {
@@ -173,12 +177,16 @@ func cigriRun(spec *scenario.Spec, seed uint64, sc Scale) (*trace.Table, error) 
 	}); err != nil {
 		return nil, err
 	}
-	return t, nil
+	return t.Result(), nil
 }
 
 // CiGriTable is the compatibility entry point for T6.
 func CiGriTable(seed uint64, sc Scale) (*trace.Table, error) {
-	return cigriRun(mustSpec("cigri"), seed, sc)
+	res, err := cigriRun(mustSpec("cigri"), seed, sc)
+	if err != nil {
+		return nil, err
+	}
+	return res.Table, nil
 }
 
 // decentralizedRun is experiment T7 (§5.2 decentralized): the same
@@ -186,11 +194,11 @@ func CiGriTable(seed uint64, sc Scale) (*trace.Table, error) {
 // The three schemes (isolated, push, pull) are independent cells over
 // clones of one shared workload. Params: "n", "period", "threshold",
 // "max_move".
-func decentralizedRun(spec *scenario.Spec, seed uint64, sc Scale) (*trace.Table, error) {
+func decentralizedRun(spec *scenario.Spec, seed uint64, sc Scale) (*scenario.Result, error) {
 	if err := spec.CheckParams(map[string]scenario.ParamType{"n": scenario.IntParam, "period": scenario.FloatParam, "threshold": scenario.FloatParam, "max_move": scenario.IntParam}); err != nil {
 		return nil, err
 	}
-	t := trace.NewTable(
+	t := newTable(1,
 		title(spec, "T7 — §5.2 decentralized load exchange (4×32-proc clusters, all load on cluster 0)"),
 		"scheme", "migrations", "mean flow", "max flow", "makespan")
 	rng := stats.NewRNG(seed)
@@ -263,22 +271,26 @@ func decentralizedRun(spec *scenario.Spec, seed uint64, sc Scale) (*trace.Table,
 	}); err != nil {
 		return nil, err
 	}
-	return t, nil
+	return t.Result(), nil
 }
 
 // DecentralizedTable is the compatibility entry point for T7.
 func DecentralizedTable(seed uint64, sc Scale) (*trace.Table, error) {
-	return decentralizedRun(mustSpec("decentralized"), seed, sc)
+	res, err := decentralizedRun(mustSpec("decentralized"), seed, sc)
+	if err != nil {
+		return nil, err
+	}
+	return res.Table, nil
 }
 
 // reservationsRun is experiment T9 (§5.1): scheduling around advance
 // reservations with FCFS versus conservative backfilling. Params: "m",
 // "n".
-func reservationsRun(spec *scenario.Spec, seed uint64, sc Scale) (*trace.Table, error) {
+func reservationsRun(spec *scenario.Spec, seed uint64, sc Scale) (*scenario.Result, error) {
 	if err := spec.CheckParams(map[string]scenario.ParamType{"m": scenario.IntParam, "n": scenario.IntParam}); err != nil {
 		return nil, err
 	}
-	t := trace.NewTable(
+	t := newTable(2,
 		title(spec, "T9 — §5.1 reservations: makespan ratios to the reservation-free lower bound"),
 		"reserved", "window", "FCFS", "conservative", "no-reservation conservative")
 	m := spec.Int("m", 32)
@@ -335,12 +347,16 @@ func reservationsRun(spec *scenario.Spec, seed uint64, sc Scale) (*trace.Table, 
 			cells[i+1].cons/base,
 			1.0)
 	}
-	return t, nil
+	return t.Result(), nil
 }
 
 // ReservationsTable is the compatibility entry point for T9.
 func ReservationsTable(seed uint64, sc Scale) (*trace.Table, error) {
-	return reservationsRun(mustSpec("reservations"), seed, sc)
+	res, err := reservationsRun(mustSpec("reservations"), seed, sc)
+	if err != nil {
+		return nil, err
+	}
+	return res.Table, nil
 }
 
 func cloneJobSlice(jobs []*workload.Job) []*workload.Job {

@@ -55,11 +55,11 @@ func gridMembers(clusters []scenario.Cluster, newPolicy func() cluster.Policy) [
 // "gridpolicies" Spec (T15) is an instance of this kind with the paper
 // defaults, and stays registry-driven: a policy added to the grid
 // catalog shows up there automatically.
-func gridRun(spec *scenario.Spec, seed uint64, sc Scale) (*trace.Table, error) {
+func gridRun(spec *scenario.Spec, seed uint64, sc Scale) (*scenario.Result, error) {
 	if err := spec.CheckParams(map[string]scenario.ParamType{"kill": scenario.StringParam}); err != nil {
 		return nil, err
 	}
-	t := trace.NewTable(
+	t := newTable(1,
 		title(spec, "T15 — online grid policies (broker routing catalog): 4 heterogeneous clusters, shared stream + campaign"),
 		"policy", "migr", "mean flow", "max flow", "makespan", "grid done", "kills", "wasted %", "grid Cmax")
 	gen, cfg := genConfig(spec.Workload, workload.GenConfig{
@@ -162,10 +162,14 @@ func gridRun(spec *scenario.Spec, seed uint64, sc Scale) (*trace.Table, error) {
 	}); err != nil {
 		return nil, err
 	}
-	return t, nil
+	return t.Result(), nil
 }
 
 // GridPolicyTable is the compatibility entry point for T15.
 func GridPolicyTable(seed uint64, sc Scale) (*trace.Table, error) {
-	return gridRun(mustSpec("gridpolicies"), seed, sc)
+	res, err := gridRun(mustSpec("gridpolicies"), seed, sc)
+	if err != nil {
+		return nil, err
+	}
+	return res.Table, nil
 }

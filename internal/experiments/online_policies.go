@@ -24,11 +24,11 @@ import (
 // both is an error) and "kill" ("newest"|"largest"). The built-in
 // "policies" Spec (T14) is an instance of this kind with the paper
 // defaults.
-func onlineRun(spec *scenario.Spec, seed uint64, sc Scale) (*trace.Table, error) {
+func onlineRun(spec *scenario.Spec, seed uint64, sc Scale) (*scenario.Result, error) {
 	if err := spec.CheckParams(map[string]scenario.ParamType{"rates": scenario.FloatsParam, "kill": scenario.StringParam}); err != nil {
 		return nil, err
 	}
-	t := trace.NewTable(
+	t := newTable(3,
 		title(spec, "T14 — online policy catalog (registry): §3 criteria per queue policy on shared arrival streams"),
 		"rate", "n", "policy", "Cmax ratio", "mean flow", "max flow", "mean stretch", "util%")
 	gen, cfg := genConfig(spec.Workload, workload.GenConfig{N: 300, M: 64, RigidFraction: 0.5})
@@ -91,12 +91,16 @@ func onlineRun(spec *scenario.Spec, seed uint64, sc Scale) (*trace.Table, error)
 			t.AddRow(r...)
 		}
 	}
-	return t, nil
+	return t.Result(), nil
 }
 
 // OnlinePolicyTable is the compatibility entry point for T14.
 func OnlinePolicyTable(seed uint64, sc Scale) (*trace.Table, error) {
-	return onlineRun(mustSpec("policies"), seed, sc)
+	res, err := onlineRun(mustSpec("policies"), seed, sc)
+	if err != nil {
+		return nil, err
+	}
+	return res.Table, nil
 }
 
 // killPolicy resolves the best-effort eviction rule by name.

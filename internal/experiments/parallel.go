@@ -3,8 +3,9 @@ package experiments
 import (
 	"runtime"
 	"sync"
+	"time"
 
-	"repro/internal/trace"
+	"repro/internal/scenario"
 )
 
 // Workers in a Scale selects the replication runner: 0 or 1 runs every
@@ -34,11 +35,42 @@ func (s Scale) workers() int {
 // error (lowest cell index) wins, matching what the sequential loop
 // would have reported.
 //
+// When sc.Ctx is cancelled, no further cells are dispatched and the
+// pool returns the context's error after the in-flight cells finish —
+// the cooperative-cancellation contract of the /v1 run API (a cancel
+// is answered within roughly one cell's duration). sc.OnCellsStart /
+// sc.OnCellDone observe progress; OnCellDone fires from worker
+// goroutines and must be safe for concurrent use.
+//
 // Cells may themselves call runCells (CiGriTable fans each load level
 // out into isolated/grid sub-runs); the outer workers then block in
 // Wait, so runnable goroutines stay near the bound though momentary
 // in-flight work can exceed it by the nesting factor.
 func runCells[T any](sc Scale, n int, fn func(cell int) (T, error)) ([]T, error) {
+	out, _, err := runCellsTimed(sc, n, fn)
+	return out, err
+}
+
+// runCellsTimed is runCells plus the per-cell wall durations (indexed
+// by cell). Each cell is timed exactly once, and the same measurement
+// feeds both the OnCellDone progress event and the returned slice —
+// so the /v1 event stream and the stored result cells agree to the
+// nanosecond.
+func runCellsTimed[T any](sc Scale, n int, fn func(cell int) (T, error)) ([]T, []time.Duration, error) {
+	if sc.OnCellsStart != nil {
+		sc.OnCellsStart(n)
+	}
+	ctx := sc.Ctx
+	durs := make([]time.Duration, n)
+	run := func(i int) (T, error) {
+		t0 := time.Now()
+		v, err := fn(i)
+		durs[i] = time.Since(t0)
+		if err == nil && sc.OnCellDone != nil {
+			sc.OnCellDone(i, durs[i])
+		}
+		return v, err
+	}
 	out := make([]T, n)
 	if w := sc.workers(); w > 1 && n > 1 {
 		errs := make([]error, n)
@@ -52,40 +84,98 @@ func runCells[T any](sc Scale, n int, fn func(cell int) (T, error)) ([]T, error)
 			go func() {
 				defer wg.Done()
 				for i := range next {
-					out[i], errs[i] = fn(i)
+					// A cell dispatched before the cancel but not yet
+					// started is skipped, not run.
+					if ctx != nil && ctx.Err() != nil {
+						errs[i] = ctx.Err()
+						continue
+					}
+					out[i], errs[i] = run(i)
 				}
 			}()
 		}
 		for i := range n {
-			next <- i
+			if ctx == nil {
+				next <- i
+				continue
+			}
+			if err := ctx.Err(); err != nil {
+				// Undispatched cells fail with the cancellation error
+				// (slots untouched by any worker — no data race).
+				errs[i] = err
+				continue
+			}
+			select {
+			case next <- i:
+			case <-ctx.Done():
+				errs[i] = ctx.Err()
+			}
 		}
 		close(next)
 		wg.Wait()
 		for _, err := range errs {
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 		}
-		return out, nil
+		return out, durs, nil
 	}
 	for i := range n {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, err
+			}
+		}
 		var err error
-		if out[i], err = fn(i); err != nil {
-			return nil, err
+		if out[i], err = run(i); err != nil {
+			return nil, nil, err
 		}
 	}
-	return out, nil
+	return out, durs, nil
+}
+
+// rtable accumulates the typed rows of one experiment table and
+// finalizes them as a scenario.Result — the typed cells plus the text
+// rendering derived from them by the one table renderer. The leading
+// axes columns are the sweep coordinates; the rest are metrics.
+type rtable struct {
+	title   string
+	axes    int
+	headers []string
+	cells   []scenario.Cell
+}
+
+// newTable starts a result table (the replacement for the historical
+// direct trace.NewTable construction in kind runners).
+func newTable(axes int, title string, headers ...string) *rtable {
+	return &rtable{title: title, axes: axes, headers: headers}
+}
+
+// AddRow appends one typed row (rows assembled outside the worker
+// pool carry no per-cell duration).
+func (t *rtable) AddRow(vals ...any) { t.addCell(vals, 0) }
+
+func (t *rtable) addCell(vals []any, d time.Duration) {
+	t.cells = append(t.cells, scenario.Cell{
+		Index: len(t.cells), Values: vals, Duration: d.Seconds(),
+	})
+}
+
+// Result finalizes the table as the kind runner's Result.
+func (t *rtable) Result() *scenario.Result {
+	return scenario.NewCellResult(t.title, t.headers, t.axes, t.cells)
 }
 
 // runRowCells is the one-row-per-cell convenience over runCells: it runs
-// the cells and appends each resulting row to the table in cell order.
-func runRowCells(t *trace.Table, sc Scale, n int, fn func(cell int) ([]any, error)) error {
-	rows, err := runCells(sc, n, fn)
+// the cells on the pool and appends each resulting row — with its wall
+// duration — to the table in cell order.
+func runRowCells(t *rtable, sc Scale, n int, fn func(cell int) ([]any, error)) error {
+	rows, durs, err := runCellsTimed(sc, n, fn)
 	if err != nil {
 		return err
 	}
-	for _, r := range rows {
-		t.AddRow(r...)
+	for i, vals := range rows {
+		t.addCell(vals, durs[i])
 	}
 	return nil
 }

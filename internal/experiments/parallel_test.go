@@ -1,10 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/trace"
 )
@@ -116,6 +120,65 @@ func TestRunCellsOrderAndErrors(t *testing.T) {
 		})
 		if err == nil || err.Error() != boom7.Error() {
 			t.Fatalf("workers=%d: err = %v, want %v", workers, err, boom7)
+		}
+	}
+}
+
+// TestRunCellsCancel: cancelling the scale context stops dispatch in
+// both runners within one cell's work, returns the context error, and
+// leaves the already-completed cells untouched.
+func TestRunCellsCancel(t *testing.T) {
+	for _, workers := range []int{0, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int32
+		_, err := runCells(Scale{Workers: workers, Ctx: ctx}, 1000, func(i int) (int, error) {
+			if ran.Add(1) == 3 {
+				cancel()
+			}
+			time.Sleep(time.Millisecond)
+			return i, nil
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		// Dispatch stops after the cancelling cell (plus at most the
+		// cells already picked up by the pool).
+		if n := ran.Load(); n >= 100 {
+			t.Fatalf("workers=%d: %d cells ran after cancel", workers, n)
+		}
+	}
+}
+
+// TestRunCellsProgress: the progress hooks see the fan-out size and
+// every completed cell exactly once, with a positive duration.
+func TestRunCellsProgress(t *testing.T) {
+	for _, workers := range []int{0, 4} {
+		var mu sync.Mutex
+		total := 0
+		seen := map[int]int{}
+		sc := Scale{
+			Workers:      workers,
+			OnCellsStart: func(n int) { mu.Lock(); total += n; mu.Unlock() },
+			OnCellDone: func(i int, d time.Duration) {
+				mu.Lock()
+				seen[i]++
+				if d < 0 {
+					t.Errorf("cell %d: negative duration", i)
+				}
+				mu.Unlock()
+			},
+		}
+		if _, err := runCells(sc, 17, func(i int) (int, error) { return i, nil }); err != nil {
+			t.Fatal(err)
+		}
+		if total != 17 || len(seen) != 17 {
+			t.Fatalf("workers=%d: total %d, distinct done %d", workers, total, len(seen))
+		}
+		for i, n := range seen {
+			if n != 1 {
+				t.Fatalf("workers=%d: cell %d reported %d times", workers, i, n)
+			}
 		}
 	}
 }

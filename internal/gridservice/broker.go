@@ -31,6 +31,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/cluster"
 	"repro/internal/grid"
 	"repro/internal/registry"
@@ -99,6 +100,9 @@ type FleetStats struct {
 	Dilation   float64        `json:"dilation"`
 	Fleet      FleetTotals    `json:"fleet"`
 	Clusters   []ClusterStats `json:"per_cluster"`
+	// Runs summarizes the scenario run store (filled by the HTTP
+	// layer from the same store the /v1/runs endpoints serve).
+	Runs *api.RunsSummary `json:"runs,omitempty"`
 }
 
 type doneEvent struct {

@@ -11,37 +11,45 @@ import (
 	"net/http"
 	"strconv"
 
+	"repro/internal/api"
 	"repro/internal/cluster"
 	"repro/internal/registry"
-	"repro/internal/scenario"
 	"repro/internal/service"
 )
 
-// Handler returns the broker HTTP API:
+// Handler returns the broker HTTP API. Every legacy route is also
+// served under /v1 (same handlers), and runs mounts the shared
+// run-lifecycle API (POST /v1/runs, status, SSE events, cancel, plus
+// the legacy POST /scenarios shim):
 //
 //	POST /jobs           submit a JobSpec (optional "cluster" pin), 202
 //	GET  /jobs/{id}      status of one job (includes its cluster)
 //	POST /campaigns      submit a CampaignSpec, returns the Campaign (202)
 //	GET  /campaigns      all campaigns
 //	GET  /campaigns/{id} one campaign
-//	GET  /stats          fleet-wide + per-cluster statistics
+//	GET  /stats          fleet-wide + per-cluster statistics + runs summary
 //	GET  /metrics        Prometheus text, per-cluster labels
 //	GET  /policies       local policy catalog + grid policy catalog
 //	GET  /topology       the filled fleet configuration
-//	POST /scenarios      run a declarative scenario, return its table
-func (b *Broker) Handler() http.Handler {
+//
+// A nil runs service gets a default-config one (tests; cmd/gridd
+// passes its flag-configured instance).
+func (b *Broker) Handler(runs *api.RunService) http.Handler {
+	if runs == nil {
+		runs = api.NewRunService(api.Config{})
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /jobs", b.handleSubmit)
-	mux.HandleFunc("GET /jobs/{id}", b.handleJob)
-	mux.HandleFunc("POST /campaigns", b.handleSubmitCampaign)
-	mux.HandleFunc("GET /campaigns", b.handleCampaigns)
-	mux.HandleFunc("GET /campaigns/{id}", b.handleCampaign)
-	mux.HandleFunc("GET /stats", b.handleStats)
-	mux.HandleFunc("GET /metrics", b.handleMetrics)
-	mux.HandleFunc("GET /policies", b.handlePolicies)
-	mux.HandleFunc("GET /topology", b.handleTopology)
-	mux.HandleFunc("POST /scenarios", scenario.HandleRun)
-	return mux
+	api.RegisterBoth(mux, "POST /jobs", b.handleSubmit)
+	api.RegisterBoth(mux, "GET /jobs/{id}", b.handleJob)
+	api.RegisterBoth(mux, "POST /campaigns", b.handleSubmitCampaign)
+	api.RegisterBoth(mux, "GET /campaigns", b.handleCampaigns)
+	api.RegisterBoth(mux, "GET /campaigns/{id}", b.handleCampaign)
+	api.RegisterBoth(mux, "GET /stats", b.statsHandler(runs))
+	api.RegisterBoth(mux, "GET /metrics", b.handleMetrics)
+	api.RegisterBoth(mux, "GET /policies", b.handlePolicies)
+	api.RegisterBoth(mux, "GET /topology", b.handleTopology)
+	runs.Mount(mux)
+	return api.Wrap(mux, runs.Config().MaxBody, runs.Config().Log)
 }
 
 func (b *Broker) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -115,13 +123,20 @@ func (b *Broker) handleCampaign(w http.ResponseWriter, r *http.Request) {
 	service.WriteJSON(w, http.StatusOK, c)
 }
 
-func (b *Broker) handleStats(w http.ResponseWriter, r *http.Request) {
-	st, err := b.Stats()
-	if err != nil {
-		service.WriteJSON(w, http.StatusServiceUnavailable, service.APIError{Error: err.Error()})
-		return
+// statsHandler serves /stats: fleet statistics plus the scenario runs
+// summary, read from the same run store the /v1/runs endpoints serve
+// (single source of truth for run state).
+func (b *Broker) statsHandler(runs *api.RunService) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		st, err := b.Stats()
+		if err != nil {
+			service.WriteJSON(w, http.StatusServiceUnavailable, service.APIError{Error: err.Error()})
+			return
+		}
+		sum := runs.Summary()
+		st.Runs = &sum
+		service.WriteJSON(w, http.StatusOK, st)
 	}
-	service.WriteJSON(w, http.StatusOK, st)
 }
 
 // handleMetrics renders fleet and per-cluster series in Prometheus text

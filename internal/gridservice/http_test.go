@@ -9,6 +9,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/api"
 )
 
 func startTestBroker(t *testing.T) (*Broker, *httptest.Server) {
@@ -18,9 +20,11 @@ func startTestBroker(t *testing.T) (*Broker, *httptest.Server) {
 		t.Fatal(err)
 	}
 	b.Start()
-	srv := httptest.NewServer(b.Handler())
+	runs := api.NewRunService(api.Config{})
+	srv := httptest.NewServer(b.Handler(runs))
 	t.Cleanup(func() {
 		srv.Close()
+		runs.Close()
 		b.Stop()
 	})
 	return b, srv

@@ -5,7 +5,9 @@ import (
 	"net/http"
 	"reflect"
 	"testing"
+	"time"
 
+	"repro/internal/api"
 	_ "repro/internal/experiments" // register scenario kinds + catalog
 	"repro/internal/scenario"
 )
@@ -29,5 +31,79 @@ func TestBrokerScenariosEndpoint(t *testing.T) {
 	}
 	if !reflect.DeepEqual(got.Rows, want.Table.Rows) {
 		t.Fatalf("broker table differs from engine:\n got %+v\nwant %+v", got.Rows, want.Table.Rows)
+	}
+}
+
+// TestBrokerStatsRunsSingleSource: the broker's fleet-wide /stats runs
+// section must equal an aggregation recomputed from the /v1/runs
+// listing — both read the same run store, so any divergence is a bug.
+func TestBrokerStatsRunsSingleSource(t *testing.T) {
+	_, srv := startTestBroker(t)
+
+	// One synchronous shim run + one async /v1 run, both stored.
+	if resp, body := postJSON(t, srv.URL+"/scenarios", `{"id":"treedlt","quick":true}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("shim: %d %s", resp.StatusCode, body)
+	}
+	resp, body := postJSON(t, srv.URL+"/v1/runs", `{"id":"mrt","quick":true}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("v1 submit: %d %s", resp.StatusCode, body)
+	}
+	var sub api.RunStatus
+	if err := json.Unmarshal(body, &sub); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var st api.RunStatus
+		if code := getJSON(t, srv.URL+"/v1/runs/"+sub.ID, &st); code != http.StatusOK {
+			t.Fatalf("run status: %d", code)
+		}
+		if st.State.Terminal() {
+			if st.State != api.RunDone {
+				t.Fatalf("run ended %q: %s", st.State, st.Error)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("run never finished")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	var fleet FleetStats
+	if code := getJSON(t, srv.URL+"/stats", &fleet); code != http.StatusOK {
+		t.Fatalf("stats: %d", code)
+	}
+	if fleet.Runs == nil {
+		t.Fatal("stats has no runs section")
+	}
+	var list []api.RunStatus
+	if code := getJSON(t, srv.URL+"/v1/runs", &list); code != http.StatusOK {
+		t.Fatalf("runs list: %d", code)
+	}
+	recomputed := api.RunsSummary{Evicted: fleet.Runs.Evicted}
+	for _, st := range list {
+		recomputed.Total++
+		switch st.State {
+		case api.RunDone:
+			recomputed.Done++
+			recomputed.ResultRows += st.Rows
+		case api.RunFailed:
+			recomputed.Failed++
+		case api.RunCancelled:
+			recomputed.Cancelled++
+		case api.RunQueued:
+			recomputed.Queued++
+		case api.RunRunning:
+			recomputed.Running++
+		}
+		recomputed.CellsDone += st.CellsDone
+		recomputed.CellsTotal += st.CellsTotal
+	}
+	if *fleet.Runs != recomputed {
+		t.Fatalf("/stats runs diverges from /v1/runs:\nstats: %+v\n  v1: %+v", *fleet.Runs, recomputed)
+	}
+	if recomputed.Done != 2 || recomputed.ResultRows == 0 {
+		t.Fatalf("unexpected aggregation %+v", recomputed)
 	}
 }

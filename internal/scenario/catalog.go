@@ -1,16 +1,22 @@
 package scenario
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/trace"
 )
 
 // RunOptions carries the invocation-time inputs a Spec does not pin:
-// the base seed and the scale. Effective values resolve in Run.
+// the base seed, the scale, and — for services running Specs on behalf
+// of live clients — the cancellation and progress plumbing. Effective
+// values resolve in Run.
 type RunOptions struct {
 	// Seed is the base RNG seed (the CLI -seed flag).
 	Seed uint64
@@ -20,13 +26,66 @@ type RunOptions struct {
 	// Scale overrides the Spec's pinned scale fieldwise (nonzero
 	// fields win).
 	Scale Scale
+
+	// Context, when non-nil, cancels the run cooperatively: the cell
+	// worker pool stops dispatching new cells and the run returns the
+	// context's error. Cells already executing finish first, so a
+	// cancel is answered within roughly one cell's duration.
+	Context context.Context
+	// OnCellsStart observes the worker pool discovering work: it is
+	// called with the cell count of every fan-out the run performs
+	// (nested fan-outs report too, so the running total is the number
+	// of cells discovered so far, not a final figure known up front).
+	OnCellsStart func(n int)
+	// OnCellDone observes one cell finishing with its wall duration.
+	// It may be called concurrently from worker goroutines.
+	OnCellDone func(index int, d time.Duration)
 }
 
-// Result is the output of running one Spec: a table for almost every
-// kind, or a custom renderer for figure kinds (fig2's two series).
+// Cell is one typed row of a table Result: the raw (unformatted)
+// values the text renderer formats, aligned with Result.Headers. The
+// leading Result.Axes values are the cell's sweep coordinates; the
+// remaining values are measured metrics.
+type Cell struct {
+	// Index is the row position (stable across runs for a fixed spec).
+	Index int `json:"index"`
+	// Values holds the raw row values (ints, floats, strings, bools).
+	Values []any `json:"values"`
+	// Duration is the cell's wall-clock compute time in seconds; 0 for
+	// rows assembled from shared work (multi-row fan-out cells).
+	Duration float64 `json:"duration_seconds,omitempty"`
+}
+
+// CellView is the machine-readable form of one cell: axis and metric
+// values keyed by column header (the /v1 API and -format json shape).
+// Should a table repeat a header name, the later column wins.
+type CellView struct {
+	Index           int            `json:"index"`
+	Axes            map[string]any `json:"axes,omitempty"`
+	Metrics         map[string]any `json:"metrics,omitempty"`
+	DurationSeconds float64        `json:"duration_seconds,omitempty"`
+}
+
+// Result is the primary artifact of running one Spec: the typed cells
+// (plus identity — spec id, kind, effective seed) for machine
+// consumers, with the legacy aligned-text table demoted to one
+// renderer over those cells. Figure kinds carry a custom renderer and
+// no cells.
 type Result struct {
-	// Table is the produced table; nil when the kind renders custom
-	// output (then Render is the only way to emit it).
+	// SpecID, Kind and Seed echo the resolved identity of the run
+	// (filled by Run; empty when a runner is invoked directly).
+	SpecID string
+	Kind   string
+	Seed   uint64
+	// Title and Headers name the table; Axes counts the leading
+	// sweep-coordinate columns (the rest are metrics).
+	Title   string
+	Headers []string
+	Axes    int
+	// Cells are the typed rows (nil for custom-rendered figures).
+	Cells []Cell
+	// Table is the text rendering of Cells, built once by the table
+	// renderer so every consumer shows byte-identical output.
 	Table *trace.Table
 	// Options echoes the fully resolved RunOptions the runner saw
 	// (Spec-pinned seed/scale merged with the invocation's), so
@@ -37,22 +96,145 @@ type Result struct {
 	render func(w io.Writer) error
 }
 
-// TableResult wraps a table as a Result.
-func TableResult(t *trace.Table) *Result { return &Result{Table: t} }
+// RenderTable is the one text renderer: it formats the typed cells as
+// the aligned-text table (identical, byte for byte, to the historical
+// direct table construction — trace.Table formatting is unchanged).
+func RenderTable(title string, headers []string, cells []Cell) *trace.Table {
+	t := trace.NewTable(title, headers...)
+	for _, c := range cells {
+		t.AddRow(c.Values...)
+	}
+	return t
+}
+
+// NewCellResult builds a table Result from typed cells, deriving the
+// text table through RenderTable.
+func NewCellResult(title string, headers []string, axes int, cells []Cell) *Result {
+	return &Result{
+		Title: title, Headers: headers, Axes: axes, Cells: cells,
+		Table: RenderTable(title, headers, cells),
+	}
+}
+
+// TableResult wraps a pre-rendered table as a Result (no typed cells).
+func TableResult(t *trace.Table) *Result {
+	return &Result{Table: t, Title: t.Title, Headers: t.Headers}
+}
 
 // CustomResult wraps a bespoke renderer (figures) as a Result.
 func CustomResult(render func(w io.Writer) error) *Result {
 	return &Result{render: render}
 }
 
+// CellViews returns the cells keyed by column header, split into axis
+// and metric maps. Results built from a pre-rendered table
+// (TableResult — no typed cells) fall back to the formatted row
+// strings so the machine formats never silently drop rows.
+func (r *Result) CellViews() []CellView {
+	cells := r.Cells
+	if cells == nil && r.Table != nil {
+		cells = make([]Cell, len(r.Table.Rows))
+		for i, row := range r.Table.Rows {
+			vals := make([]any, len(row))
+			for k, c := range row {
+				vals[k] = c
+			}
+			cells[i] = Cell{Index: i, Values: vals}
+		}
+	}
+	out := make([]CellView, len(cells))
+	for i, c := range cells {
+		v := CellView{Index: c.Index, DurationSeconds: c.Duration}
+		for k, val := range c.Values {
+			if k >= len(r.Headers) {
+				break
+			}
+			if k < r.Axes {
+				if v.Axes == nil {
+					v.Axes = map[string]any{}
+				}
+				v.Axes[r.Headers[k]] = val
+			} else {
+				if v.Metrics == nil {
+					v.Metrics = map[string]any{}
+				}
+				v.Metrics[r.Headers[k]] = val
+			}
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// ResultJSON is the machine-readable envelope of a Result (the
+// -format json output and the /v1 result payload body).
+type ResultJSON struct {
+	ID      string     `json:"id,omitempty"`
+	Kind    string     `json:"kind,omitempty"`
+	Seed    uint64     `json:"seed"`
+	Title   string     `json:"title,omitempty"`
+	Headers []string   `json:"headers,omitempty"`
+	Axes    int        `json:"axes,omitempty"`
+	Cells   []CellView `json:"cells,omitempty"`
+	// Text carries custom (figure) renders, which have no cell form.
+	Text string `json:"text,omitempty"`
+}
+
+// JSON returns the machine-readable envelope of the result.
+func (r *Result) JSON() (ResultJSON, error) {
+	out := ResultJSON{
+		ID: r.SpecID, Kind: r.Kind, Seed: r.Seed,
+		Title: r.Title, Headers: r.Headers, Axes: r.Axes,
+	}
+	if r.Table != nil || r.Cells != nil {
+		out.Cells = r.CellViews()
+		return out, nil
+	}
+	if r.render != nil {
+		var buf bytes.Buffer
+		if err := r.render(&buf); err != nil {
+			return out, err
+		}
+		out.Text = buf.String()
+		return out, nil
+	}
+	return out, fmt.Errorf("scenario: empty result")
+}
+
 // Emit writes the result: tables aligned (or CSV), custom renders
 // verbatim (they have no CSV form, matching the legacy fig2 output).
 func (r *Result) Emit(w io.Writer, csv bool) error {
-	if r.Table != nil {
-		if csv {
+	if csv {
+		return r.EmitFormat(w, "csv")
+	}
+	return r.EmitFormat(w, "text")
+}
+
+// EmitFormat writes the result as "text" (the aligned table — byte
+// identical to the historical output), "csv", or "json" (the typed
+// cell envelope). Custom renders emit their bespoke text under "text"
+// and "csv", and wrap it in the JSON envelope under "json".
+func (r *Result) EmitFormat(w io.Writer, format string) error {
+	switch format {
+	case "", "text":
+		if r.Table != nil {
+			return r.Table.Write(w)
+		}
+	case "csv":
+		if r.Table != nil {
 			return r.Table.WriteCSV(w)
 		}
-		return r.Table.Write(w)
+	case "json":
+		out, err := r.JSON()
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.SetEscapeHTML(false)
+		return enc.Encode(out)
+	default:
+		return fmt.Errorf("scenario: unknown output format %q (text|json|csv)", format)
 	}
 	if r.render != nil {
 		return r.render(w)
@@ -84,6 +266,13 @@ func RegisterKind(kind string, r Runner) {
 		panic(fmt.Sprintf("scenario: kind %q registered twice", kind))
 	}
 	kinds[kind] = r
+}
+
+// HasKind reports whether an interpreter is registered for kind (so
+// services can reject a Spec at submission time, before queueing it).
+func HasKind(kind string) bool {
+	_, ok := kinds[kind]
+	return ok
 }
 
 // Kinds returns the sorted registered kind names.
@@ -136,6 +325,16 @@ func CatalogIDs(group string) []string {
 	return out
 }
 
+// EffectiveSeed resolves the seed precedence rule in one place (Run
+// and the HTTP submission path both use it): an explicitly chosen
+// invocation seed wins over a Spec-pinned one.
+func (s *Spec) EffectiveSeed(opt RunOptions) uint64 {
+	if s.Seed != nil && !opt.SeedExplicit {
+		return *s.Seed
+	}
+	return opt.Seed
+}
+
 // Run validates and executes a Spec: it resolves the kind, merges the
 // Spec-pinned seed/scale with the invocation options (an explicit
 // -seed wins over the Spec; nonzero option scale fields win), and
@@ -149,9 +348,7 @@ func Run(s *Spec, opt RunOptions) (*Result, error) {
 		return nil, fmt.Errorf("scenario: spec %q: unknown kind %q (have: %s)",
 			s.ID, s.Kind, strings.Join(Kinds(), " "))
 	}
-	if s.Seed != nil && !opt.SeedExplicit {
-		opt.Seed = *s.Seed
-	}
+	opt.Seed = s.EffectiveSeed(opt)
 	if s.Scale != nil {
 		if opt.Scale.JobFactor == 0 {
 			opt.Scale.JobFactor = s.Scale.JobFactor
@@ -163,6 +360,7 @@ func Run(s *Spec, opt RunOptions) (*Result, error) {
 	res, err := runner(s, opt)
 	if res != nil {
 		res.Options = opt
+		res.SpecID, res.Kind, res.Seed = s.ID, s.Kind, opt.Seed
 	}
 	return res, err
 }

@@ -1,15 +1,14 @@
 package scenario
 
-import (
-	"encoding/json"
-	"fmt"
-	"net/http"
-	"runtime"
-)
+// This file holds the wire types of the scenario-run HTTP surface.
+// The handlers themselves live in internal/api (the shared /v1
+// run-lifecycle API plus the legacy POST /scenarios shim); keeping the
+// request/response shapes here lets api, the services and the client
+// SDK share one definition without an import cycle.
 
-// HTTPRequest is the POST /scenarios body: either a catalog id or an
-// inline Spec, plus invocation options. Exactly one of ID and Spec
-// must be set.
+// HTTPRequest is the body of POST /v1/runs and of the legacy
+// POST /scenarios shim: either a catalog id or an inline Spec, plus
+// invocation options. Exactly one of ID and Spec must be set.
 type HTTPRequest struct {
 	// ID names a built-in catalog scenario.
 	ID string `json:"id,omitempty"`
@@ -20,12 +19,15 @@ type HTTPRequest struct {
 	Seed *uint64 `json:"seed,omitempty"`
 	// Quick shrinks workloads ~10x (the CLI -quick flag).
 	Quick bool `json:"quick,omitempty"`
-	// Workers selects the cell worker pool (0/1 = sequential).
+	// Workers selects the cell worker pool (0/1 = sequential; capped
+	// at GOMAXPROCS server-side).
 	Workers int `json:"workers,omitempty"`
 }
 
-// HTTPResponse is the POST /scenarios reply: the scenario's table.
-// Scenarios that render custom output (figures) are rejected with 422.
+// HTTPResponse is the legacy POST /scenarios reply: the scenario's
+// finished table. Scenarios that render custom output (figures) are
+// rejected with 422 on that route; the /v1 result endpoint serves
+// them as text.
 type HTTPResponse struct {
 	ID      string     `json:"id"`
 	Kind    string     `json:"kind"`
@@ -33,118 +35,4 @@ type HTTPResponse struct {
 	Title   string     `json:"title"`
 	Headers []string   `json:"headers"`
 	Rows    [][]string `json:"rows"`
-}
-
-// writeJSON mirrors the service envelope without importing it (the
-// service packages mount this handler, not the other way around).
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(v)
-}
-
-type httpError struct {
-	Error string `json:"error"`
-}
-
-// maxScenarioBody bounds the POST /scenarios request body: a spec is
-// a few KB of JSON, so 1 MiB is generous.
-const maxScenarioBody = 1 << 20
-
-// maxInlineJobs bounds the workload / campaign size an inline spec may
-// request server-side (built-in catalog ids are trusted; paper scale
-// is well under this).
-const maxInlineJobs = 100_000
-
-// scenarioSlots bounds concurrent server-side scenario runs. The
-// daemon's first job is pacing live simulations; scenarios are batch
-// work riding along, so at most two run at once and further requests
-// get 503 instead of stacking unbounded CPU behind the DES loops.
-var scenarioSlots = make(chan struct{}, 2)
-
-// HandleRun is the POST /scenarios handler mounted by the gridd
-// single-cluster service and the grid broker: it executes a scenario
-// server-side and returns the resulting table as JSON. The table is
-// identical cell-for-cell to what the experiments CLI prints for the
-// same spec, seed and scale.
-func HandleRun(w http.ResponseWriter, r *http.Request) {
-	select {
-	case scenarioSlots <- struct{}{}:
-		defer func() { <-scenarioSlots }()
-	default:
-		writeJSON(w, http.StatusServiceUnavailable,
-			httpError{Error: "scenario runner busy; retry later"})
-		return
-	}
-	r.Body = http.MaxBytesReader(w, r.Body, maxScenarioBody)
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	var req HTTPRequest
-	if err := dec.Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, httpError{Error: fmt.Sprintf("bad scenario request: %v", err)})
-		return
-	}
-	var spec *Spec
-	switch {
-	case req.ID != "" && req.Spec != nil:
-		writeJSON(w, http.StatusBadRequest, httpError{Error: "set either id or spec, not both"})
-		return
-	case req.ID != "":
-		s, ok := Lookup(req.ID)
-		if !ok {
-			writeJSON(w, http.StatusNotFound, httpError{Error: fmt.Sprintf("unknown scenario %q", req.ID)})
-			return
-		}
-		spec = s
-	case req.Spec != nil:
-		spec = req.Spec
-		if spec.ID == "" {
-			spec.ID = "adhoc"
-		}
-		// Bound the work an inline spec can request of a live daemon.
-		// (Runners take no context yet, so an accepted run cannot be
-		// cancelled — the slot limiter plus these caps keep one bad
-		// request from pinning the process for long.)
-		if spec.Workload != nil && spec.Workload.N > maxInlineJobs {
-			writeJSON(w, http.StatusBadRequest, httpError{Error: fmt.Sprintf(
-				"inline spec requests %d jobs (max %d server-side; run it through the CLI)",
-				spec.Workload.N, maxInlineJobs)})
-			return
-		}
-		if spec.Grid != nil && spec.Grid.CampaignTasks > maxInlineJobs {
-			writeJSON(w, http.StatusBadRequest, httpError{Error: fmt.Sprintf(
-				"inline spec requests %d campaign tasks (max %d server-side; run it through the CLI)",
-				spec.Grid.CampaignTasks, maxInlineJobs)})
-			return
-		}
-	default:
-		writeJSON(w, http.StatusBadRequest, httpError{Error: "set id or spec"})
-		return
-	}
-	workers := req.Workers
-	if maxw := runtime.GOMAXPROCS(0); workers > maxw {
-		workers = maxw
-	}
-	opt := RunOptions{Seed: 42, Scale: Scale{Workers: workers}}
-	if req.Seed != nil {
-		opt.Seed = *req.Seed
-		opt.SeedExplicit = true
-	}
-	if req.Quick {
-		opt.Scale.JobFactor = 10
-	}
-	res, err := Run(spec, opt)
-	if err != nil {
-		writeJSON(w, http.StatusBadRequest, httpError{Error: err.Error()})
-		return
-	}
-	if res.Table == nil {
-		writeJSON(w, http.StatusUnprocessableEntity,
-			httpError{Error: fmt.Sprintf("scenario %q renders custom output; run it through the CLI", spec.ID)})
-		return
-	}
-	writeJSON(w, http.StatusOK, HTTPResponse{
-		ID: spec.ID, Kind: spec.Kind, Seed: res.Options.Seed,
-		Title: res.Table.Title, Headers: res.Table.Headers, Rows: res.Table.Rows,
-	})
 }

@@ -22,6 +22,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/cluster"
 	"repro/internal/des"
 	"repro/internal/metrics"
@@ -191,6 +192,9 @@ type Stats struct {
 	Drained       bool            `json:"drained"`
 	BestEffort    cluster.BEStats `json:"best_effort"`
 	Report        metrics.Report  `json:"report"`
+	// Runs summarizes the scenario run store (filled by the HTTP
+	// layer from the same store the /v1/runs endpoints serve).
+	Runs *api.RunsSummary `json:"runs,omitempty"`
 }
 
 // Engine runs one online cluster scheduler. All simulator state is owned

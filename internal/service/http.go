@@ -1,5 +1,7 @@
 // HTTP layer of the gridd daemon: a JSON API over the Engine mailbox
-// plus a Prometheus-style text exposition of the §3 criteria.
+// plus a Prometheus-style text exposition of the §3 criteria. The
+// run-lifecycle endpoints, the middleware stack and the JSON helpers
+// live in the shared internal/api package.
 package service
 
 import (
@@ -9,44 +11,52 @@ import (
 	"net/http"
 	"strconv"
 
+	"repro/internal/api"
 	"repro/internal/cluster"
 	"repro/internal/registry"
-	"repro/internal/scenario"
 )
 
-// Handler returns the gridd HTTP API:
+// Handler returns the gridd HTTP API. Every legacy route is also
+// served under /v1 (the legacy paths are thin shims registering the
+// same handlers), and runs mounts the shared run-lifecycle API:
 //
-//	POST /jobs      submit a JobSpec, returns the JobStatus (202)
-//	GET  /jobs/{id} status of one job
-//	GET  /queue     waiting + running jobs
-//	GET  /stats     aggregate statistics and criteria report
-//	GET  /metrics   Prometheus text exposition
-//	GET  /policies  the registry catalog with capability flags
-//	POST /scenarios run a declarative scenario, return its table as JSON
-func (e *Engine) Handler() http.Handler {
+//	POST   /jobs                 submit a JobSpec, returns the JobStatus (202)
+//	GET    /jobs/{id}            status of one job
+//	GET    /queue                waiting + running jobs
+//	GET    /stats                aggregate statistics, criteria report, runs summary
+//	GET    /metrics              Prometheus text exposition
+//	GET    /policies             the registry catalog with capability flags
+//	POST   /v1/runs              submit a scenario run asynchronously (202)
+//	GET    /v1/runs[/{id}]       run listing / typed status
+//	GET    /v1/runs/{id}/events  per-cell SSE progress stream
+//	GET    /v1/runs/{id}/result  result (?format=json|text|csv)
+//	DELETE /v1/runs/{id}         cooperative cancellation
+//	POST   /scenarios            legacy synchronous shim over /v1
+//
+// A nil runs service gets a default-config one (tests; cmd/gridd
+// passes its flag-configured instance).
+func (e *Engine) Handler(runs *api.RunService) http.Handler {
+	if runs == nil {
+		runs = api.NewRunService(api.Config{})
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /jobs", e.handleSubmit)
-	mux.HandleFunc("GET /jobs/{id}", e.handleJob)
-	mux.HandleFunc("GET /queue", e.handleQueue)
-	mux.HandleFunc("GET /stats", e.handleStats)
-	mux.HandleFunc("GET /metrics", e.handleMetrics)
-	mux.HandleFunc("GET /policies", handlePolicies)
-	mux.HandleFunc("POST /scenarios", scenario.HandleRun)
-	return mux
+	api.RegisterBoth(mux, "POST /jobs", e.handleSubmit)
+	api.RegisterBoth(mux, "GET /jobs/{id}", e.handleJob)
+	api.RegisterBoth(mux, "GET /queue", e.handleQueue)
+	api.RegisterBoth(mux, "GET /stats", e.statsHandler(runs))
+	api.RegisterBoth(mux, "GET /metrics", e.handleMetrics)
+	api.RegisterBoth(mux, "GET /policies", handlePolicies)
+	runs.Mount(mux)
+	return api.Wrap(mux, runs.Config().MaxBody, runs.Config().Log)
 }
 
-// APIError is the JSON error envelope shared by the single-cluster API
-// and the broker (internal/gridservice).
-type APIError struct {
-	Error string `json:"error"`
-}
+// APIError is the JSON error envelope (alias of the shared api type,
+// kept for the broker and existing callers).
+type APIError = api.Error
 
-// WriteJSON writes v as the response body with the given status code
-// (shared by the broker handlers).
+// WriteJSON forwards to the shared api helper.
 func WriteJSON(w http.ResponseWriter, code int, v interface{}) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(v)
+	api.WriteJSON(w, code, v)
 }
 
 func (e *Engine) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -103,13 +113,20 @@ func (e *Engine) handleQueue(w http.ResponseWriter, r *http.Request) {
 	WriteJSON(w, http.StatusOK, snap)
 }
 
-func (e *Engine) handleStats(w http.ResponseWriter, r *http.Request) {
-	st, err := e.Stats()
-	if err != nil {
-		WriteJSON(w, http.StatusServiceUnavailable, APIError{Error: err.Error()})
-		return
+// statsHandler serves /stats: the engine statistics plus the scenario
+// runs summary, aggregated from the same run store /v1/runs serves so
+// the two surfaces cannot diverge.
+func (e *Engine) statsHandler(runs *api.RunService) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		st, err := e.Stats()
+		if err != nil {
+			WriteJSON(w, http.StatusServiceUnavailable, APIError{Error: err.Error()})
+			return
+		}
+		sum := runs.Summary()
+		st.Runs = &sum
+		WriteJSON(w, http.StatusOK, st)
 	}
-	WriteJSON(w, http.StatusOK, st)
 }
 
 // handleMetrics renders the stats as Prometheus text exposition format

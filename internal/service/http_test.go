@@ -10,6 +10,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/api"
 )
 
 func newTestServer(t *testing.T, cfg Config) (*Engine, *httptest.Server) {
@@ -19,9 +21,11 @@ func newTestServer(t *testing.T, cfg Config) (*Engine, *httptest.Server) {
 		t.Fatal(err)
 	}
 	e.Start()
-	srv := httptest.NewServer(e.Handler())
+	runs := api.NewRunService(api.Config{})
+	srv := httptest.NewServer(e.Handler(runs))
 	t.Cleanup(func() {
 		srv.Close()
+		runs.Close()
 		e.Stop()
 	})
 	return e, srv

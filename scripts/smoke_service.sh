@@ -1,11 +1,16 @@
 #!/usr/bin/env bash
-# Smoke-test the online scheduler service end to end: build gridd and
-# loadgen, start the daemon, fire a paced batch of jobs and assert every
-# one completes, then run a max-rate probe and assert the service
-# sustains at least MIN_RPS submissions per second with zero lost jobs.
-# Then repeat the exercise against a 4-cluster broker fleet: a campaign
-# of CAMPAIGN_TASKS best-effort tasks must fan out and complete, and the
-# max-rate probe must sustain MIN_RPS through the routing layer too.
+# Smoke-test the online scheduler service end to end: build gridd,
+# loadgen and gridctl, start the daemon, fire a paced batch of jobs and
+# assert every one completes, then run a max-rate probe and assert the
+# service sustains at least MIN_RPS submissions per second with zero
+# lost jobs. Exercise the /v1 run-lifecycle API through the pkg/client
+# SDK (gridctl): submit a run and stream its per-cell events, assert
+# the legacy POST /scenarios shim returns byte-identically the same
+# table as the /v1 pipeline, and cancel a paper-scale run mid-flight.
+# Then repeat the load exercise against a 4-cluster broker fleet: a
+# campaign of CAMPAIGN_TASKS best-effort tasks must fan out and
+# complete, and the max-rate probe must sustain MIN_RPS through the
+# routing layer too.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -40,6 +45,7 @@ wait_http() {
 
 go build -o "$BIN/gridd" ./cmd/gridd
 go build -o "$BIN/loadgen" ./cmd/loadgen
+go build -o "$BIN/gridctl" ./cmd/gridctl
 
 "$BIN/gridd" -addr "127.0.0.1:$PORT" -m 128 -policy easy -dilation 0 >"$BIN/gridd.log" 2>&1 &
 GRIDD_PID=$!
@@ -53,6 +59,35 @@ echo "== probe: $PROBE_JOBS jobs at max rate, >= $MIN_RPS jobs/s =="
 OUT="$("$BIN/loadgen" -addr "http://127.0.0.1:$PORT" -n "$PROBE_JOBS" -workers 8 -wait -timeout 120s)"
 echo "$OUT"
 assert_rps "$OUT" "single-cluster"
+
+GRIDCTL="$BIN/gridctl -addr http://127.0.0.1:$PORT"
+
+echo "== run API: submit via pkg/client, stream per-cell events =="
+$GRIDCTL run -quick -watch mrt > "$BIN/v1.txt" 2> "$BIN/watch.log"
+grep -q "cell" "$BIN/watch.log" || { echo "FAIL: no cell events streamed" >&2; cat "$BIN/watch.log" >&2; exit 1; }
+grep -q "state: done" "$BIN/watch.log" || { echo "FAIL: stream missing terminal state" >&2; exit 1; }
+
+echo "== run API: legacy /scenarios shim returns the same table as /v1 =="
+$GRIDCTL run -quick -legacy mrt > "$BIN/legacy.txt"
+cmp "$BIN/v1.txt" "$BIN/legacy.txt" \
+  || { echo "FAIL: legacy shim table differs from /v1 result" >&2; diff "$BIN/v1.txt" "$BIN/legacy.txt" >&2 || true; exit 1; }
+
+echo "== run API: cancel a paper-scale run mid-flight =="
+# A 16-cell MRT sweep heavy enough (~seconds) that the immediate
+# cancel below always lands mid-run; cancellation then resolves
+# within one cell's duration.
+cat > "$BIN/slow.json" <<EOF
+{"id":"smoke-slow","kind":"mrt","params":{"ms":[16,32,48,64,80,96,112,128],"ns":[8000,12000]}}
+EOF
+RUN_ID="$($GRIDCTL submit "$BIN/slow.json")"
+$GRIDCTL cancel "$RUN_ID" >/dev/null
+CANCELLED=0
+for _ in $(seq 1 100); do
+  if $GRIDCTL status "$RUN_ID" | grep -q '"state": "cancelled"'; then CANCELLED=1; break; fi
+  sleep 0.1
+done
+[ "$CANCELLED" = 1 ] || { echo "FAIL: run $RUN_ID did not cancel" >&2; $GRIDCTL status "$RUN_ID" >&2; exit 1; }
+echo "run $RUN_ID cancelled mid-flight"
 
 kill -TERM "$GRIDD_PID"
 wait "$GRIDD_PID" || true
