@@ -58,11 +58,12 @@ func main() {
 		os.Exit(runCampaign(ctx, cl, *campaign, *runTime, *wait))
 	}
 
-	specs, err := buildSpecs(*swf, *n, *m, *seed, *useRel)
+	stream, closeStream, err := buildStream(*swf, *n, *m, *seed, *useRel)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
 		os.Exit(1)
 	}
+	defer closeStream()
 
 	// Snapshot the daemon's counters first: a long-lived gridd may carry
 	// completions from earlier runs, and -wait must account only for the
@@ -77,7 +78,7 @@ func main() {
 		baseline = done
 	}
 
-	res := fire(ctx, cl, specs, *rps, *workers)
+	res := fire(ctx, cl, stream, *rps, *workers)
 	res.print(os.Stdout)
 
 	exit := 0
@@ -132,44 +133,77 @@ func runCampaign(ctx context.Context, cl *client.Client, tasks int, runTime floa
 	}
 }
 
-// buildSpecs materializes the submission stream.
-func buildSpecs(swf string, n, m int, seed uint64, useRel bool) ([]service.JobSpec, error) {
-	var specs []service.JobSpec
+// specStream yields the submission stream one spec at a time: an SWF
+// replay reads the trace line by line and a synthetic run pulls from
+// the workload generator, so loadgen's memory stays O(1) in the trace
+// length. ok=false ends the stream; err then reports a malformed trace
+// (nil for a clean end).
+type specStream interface {
+	Next() (sp service.JobSpec, ok bool, err error)
+}
+
+// swfSpec derives the submission payload of one trace record — the
+// single definition both the streaming path and tests share, so the
+// spec order of a streamed replay is the materialized order by
+// construction.
+func swfSpec(rec trace.SWFRecord, useRel bool) service.JobSpec {
+	sp := service.JobSpec{
+		Name: fmt.Sprintf("swf-%d", rec.ID), Class: "swf",
+		SeqTime:  rec.Runtime * float64(rec.Procs),
+		MinProcs: rec.Procs, Weight: rec.Weight,
+	}
+	if useRel {
+		sp.Release = rec.Submit
+	}
+	return sp
+}
+
+// swfStream streams specs off an SWF trace file.
+type swfStream struct {
+	sc     *trace.SWFScanner
+	useRel bool
+}
+
+func (s *swfStream) Next() (service.JobSpec, bool, error) {
+	if !s.sc.Scan() {
+		return service.JobSpec{}, false, s.sc.Err()
+	}
+	return swfSpec(s.sc.Record(), s.useRel), true, nil
+}
+
+// jobStream streams specs off a synthetic workload source.
+type jobStream struct {
+	src    workload.Source
+	useRel bool
+}
+
+func (s *jobStream) Next() (service.JobSpec, bool, error) {
+	j, ok := s.src.Next()
+	if !ok {
+		return service.JobSpec{}, false, nil
+	}
+	sp := service.JobSpec{
+		Name: j.Name, Class: j.Class, SeqTime: j.SeqTime,
+		MinProcs: j.MinProcs, MaxProcs: j.MaxProcs, Weight: j.Weight,
+	}
+	if s.useRel {
+		sp.Release = j.Release
+	}
+	return sp, true, nil
+}
+
+// buildStream opens the submission stream and returns it with its
+// cleanup function.
+func buildStream(swf string, n, m int, seed uint64, useRel bool) (specStream, func() error, error) {
 	if swf != "" {
 		f, err := os.Open(swf)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		defer f.Close()
-		recs, err := trace.ReadSWFRecords(f)
-		if err != nil {
-			return nil, err
-		}
-		for _, rec := range recs {
-			sp := service.JobSpec{
-				Name: fmt.Sprintf("swf-%d", rec.ID), Class: "swf",
-				SeqTime:  rec.Runtime * float64(rec.Procs),
-				MinProcs: rec.Procs, Weight: rec.Weight,
-			}
-			if useRel {
-				sp.Release = rec.Submit
-			}
-			specs = append(specs, sp)
-		}
-		return specs, nil
+		return &swfStream{sc: trace.NewSWFScanner(f), useRel: useRel}, f.Close, nil
 	}
-	jobs := workload.Parallel(workload.GenConfig{N: n, M: m, Seed: seed, ArrivalRate: 0.5})
-	for _, j := range jobs {
-		sp := service.JobSpec{
-			Name: j.Name, Class: j.Class, SeqTime: j.SeqTime,
-			MinProcs: j.MinProcs, MaxProcs: j.MaxProcs, Weight: j.Weight,
-		}
-		if useRel {
-			sp.Release = j.Release
-		}
-		specs = append(specs, sp)
-	}
-	return specs, nil
+	src := workload.ParallelSource(workload.GenConfig{N: n, M: m, Seed: seed, ArrivalRate: 0.5})
+	return &jobStream{src: src, useRel: useRel}, func() error { return nil }, nil
 }
 
 type result struct {
@@ -180,9 +214,11 @@ type result struct {
 	firstErr         string
 }
 
-// fire submits the specs with the worker pool, pacing the stream at rps
+// fire submits the stream with the worker pool, pacing it at rps
 // submissions per second (absolute schedule, so pacing does not drift).
-func fire(ctx context.Context, cl *client.Client, specs []service.JobSpec, rps float64, workers int) *result {
+// A malformed trace record stops submission there; the prefix already
+// sent stands and the parse error is reported as a failure.
+func fire(ctx context.Context, cl *client.Client, stream specStream, rps float64, workers int) *result {
 	if workers < 1 {
 		workers = 1
 	}
@@ -229,10 +265,19 @@ func fire(ctx context.Context, cl *client.Client, specs []service.JobSpec, rps f
 			mu.Unlock()
 		}()
 	}
-	fed := 0
-	for i, sp := range specs {
+	fed, skipped := 0, 0
+	var streamErr error
+	for {
+		sp, ok, err := stream.Next()
+		if err != nil {
+			streamErr = err
+			break
+		}
+		if !ok {
+			break
+		}
 		if rps > 0 {
-			due := start.Add(time.Duration(float64(i) / rps * float64(time.Second)))
+			due := start.Add(time.Duration(float64(fed) / rps * float64(time.Second)))
 			if d := time.Until(due); d > 0 {
 				select {
 				case <-time.After(d):
@@ -242,8 +287,17 @@ func fire(ctx context.Context, cl *client.Client, specs []service.JobSpec, rps f
 		}
 		// Stop feeding once the deadline fired: every further submission
 		// would fail instantly, and sleeping out the rest of a long
-		// paced schedule just to report that helps nobody.
+		// paced schedule just to report that helps nobody. The remainder
+		// of the stream is drained (not submitted) so the failure count
+		// still covers the whole workload.
 		if ctx.Err() != nil {
+			skipped++
+			for {
+				if _, more, err := stream.Next(); err != nil || !more {
+					break
+				}
+				skipped++
+			}
 			break
 		}
 		feed <- sp
@@ -251,10 +305,16 @@ func fire(ctx context.Context, cl *client.Client, specs []service.JobSpec, rps f
 	}
 	close(feed)
 	wg.Wait()
-	if skipped := len(specs) - fed; skipped > 0 {
+	if skipped > 0 {
 		res.failed += skipped
 		if res.firstErr == "" {
 			res.firstErr = ctx.Err().Error()
+		}
+	}
+	if streamErr != nil {
+		res.failed++
+		if res.firstErr == "" {
+			res.firstErr = streamErr.Error()
 		}
 	}
 	res.elapsed = time.Since(start)

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/service"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// collect drains a specStream.
+func collect(t *testing.T, s specStream) ([]service.JobSpec, error) {
+	t.Helper()
+	var out []service.JobSpec
+	for {
+		sp, ok, err := s.Next()
+		if err != nil {
+			return out, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, sp)
+	}
+}
+
+// materializedSWFSpecs is the historical buildSpecs SWF path: read the
+// whole trace, then map every record. The streaming path must produce
+// the identical spec sequence.
+func materializedSWFSpecs(t *testing.T, path string, useRel bool) []service.JobSpec {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := trace.ReadSWFRecords(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := make([]service.JobSpec, len(recs))
+	for i, rec := range recs {
+		specs[i] = swfSpec(rec, useRel)
+	}
+	return specs
+}
+
+// TestSWFStreamMatchesMaterialized: replaying a trace through the
+// streaming source submits the same specs in the same order as the old
+// materialize-then-loop path, with and without -use-release.
+func TestSWFStreamMatchesMaterialized(t *testing.T) {
+	rng := stats.NewRNG(13)
+	recs := make([]trace.SWFRecord, 200)
+	for i := range recs {
+		recs[i] = trace.SWFRecord{
+			ID: i, Submit: rng.Range(0, 500), Wait: rng.Range(0, 50),
+			Runtime: rng.Range(0.1, 100), Procs: rng.IntRange(1, 64),
+			Weight: float64(rng.Zipf(1.1, 10)),
+		}
+	}
+	path := filepath.Join(t.TempDir(), "replay.swf")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteSWFRecords(f, recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, useRel := range []bool{false, true} {
+		want := materializedSWFSpecs(t, path, useRel)
+		stream, closeStream, err := buildStream(path, 0, 0, 0, useRel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, serr := collect(t, stream)
+		if cerr := closeStream(); cerr != nil {
+			t.Fatal(cerr)
+		}
+		if serr != nil {
+			t.Fatal(serr)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("useRel=%v: streamed specs diverged from materialized (%d vs %d)",
+				useRel, len(got), len(want))
+		}
+	}
+}
+
+// TestSyntheticStreamMatchesMaterialized: the generator-backed stream
+// submits the same specs as mapping workload.Parallel eagerly.
+func TestSyntheticStreamMatchesMaterialized(t *testing.T) {
+	const n, m, seed = 150, 32, uint64(42)
+	jobs := workload.Parallel(workload.GenConfig{N: n, M: m, Seed: seed, ArrivalRate: 0.5})
+	var want []service.JobSpec
+	for _, j := range jobs {
+		want = append(want, service.JobSpec{
+			Name: j.Name, Class: j.Class, SeqTime: j.SeqTime,
+			MinProcs: j.MinProcs, MaxProcs: j.MaxProcs, Weight: j.Weight,
+			Release: j.Release,
+		})
+	}
+	stream, closeStream, err := buildStream("", n, m, seed, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeStream()
+	got, serr := collect(t, stream)
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("synthetic stream diverged from materialized (%d vs %d specs)", len(got), len(want))
+	}
+}
+
+// TestSWFStreamSurfacesParseError: a malformed record mid-trace yields
+// the good prefix, then the parse error.
+func TestSWFStreamSurfacesParseError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.swf")
+	if err := os.WriteFile(path, []byte("1 0 0 5 2 1\n2 0 0 5 1 1\nbroken line\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stream, closeStream, err := buildStream(path, 0, 0, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeStream()
+	got, serr := collect(t, stream)
+	if len(got) != 2 {
+		t.Fatalf("yielded %d specs before the bad line, want 2", len(got))
+	}
+	if serr == nil {
+		t.Fatal("malformed trace record not surfaced")
+	}
+}

@@ -173,10 +173,23 @@ type Sim struct {
 	queue []*workload.Job
 	// queuedWork tracks the queue's total minimal work incrementally (the
 	// LoadSnapshot signal; QueuedWork() recomputes it exactly).
-	queuedWork  float64
-	localProcs  int
-	running     []*localRunning
-	completions []metrics.Completion
+	queuedWork float64
+	localProcs int
+	running    []*localRunning
+	// acc streams every completion through the one-pass §3 criteria
+	// report; retain decides which records are kept (full history by
+	// default — goldens, tests and the offline tables read it — or a
+	// bounded/empty store for archive replays, see SetRetention).
+	acc    *metrics.Accumulator
+	retain metrics.Retention
+
+	// Lazy-admission state (Stream): src yields jobs in release order,
+	// pending is the head waiting for its release event, srcErr records
+	// a mid-stream failure surfaced by Run.
+	src      workload.Source
+	pending  *workload.Job
+	srcErr   error
+	arriveFn func()
 
 	// profile is the persistent availability timeline of the local jobs:
 	// starting a job reserves [now, end) and the reservation expires on
@@ -248,6 +261,8 @@ func New(sim *des.Simulator, m int, speed float64, policy Policy, kill KillPolic
 	s := &Sim{
 		DES: sim, M: m, Speed: speed, policy: policy, kill: kill,
 		profile: rigid.NewProfile(m),
+		acc:     metrics.NewAccumulator(m),
+		retain:  metrics.NewFullRetention(),
 	}
 	s.forcePublishLoad()
 	return s, nil
@@ -301,6 +316,114 @@ func (s *Sim) Submit(j *workload.Job) error {
 		s.queuedWork += w
 		s.reschedule()
 	})
+}
+
+// SubmitAll submits a batch of local jobs in one heap operation
+// (des.AtBatch): arrival events get consecutive sequence numbers in
+// slice order, so the simulation is indistinguishable from a Submit
+// loop — only the insertion cost changes. The whole batch is validated
+// first; on error nothing was submitted.
+func (s *Sim) SubmitAll(jobs []*workload.Job) error {
+	if s.drained {
+		return ErrDrained
+	}
+	for _, j := range jobs {
+		if j.MinProcs > s.M {
+			return fmt.Errorf("cluster: job %d needs %d > %d procs", j.ID, j.MinProcs, s.M)
+		}
+	}
+	now := s.DES.Now()
+	evs := make([]des.Event, len(jobs))
+	for i, j := range jobs {
+		j := j
+		evs[i] = des.Event{Time: math.Max(j.Release, now), Fn: func() {
+			s.queue = append(s.queue, j)
+			w, _ := j.MinWork(s.M)
+			s.queuedWork += w
+			s.reschedule()
+		}}
+	}
+	if err := s.DES.AtBatch(evs); err != nil {
+		return err
+	}
+	s.submitted += len(jobs)
+	return nil
+}
+
+// Stream attaches a pull source for lazy admission: instead of one
+// pre-scheduled arrival event per job, the simulator keeps exactly one
+// pending arrival — the stream head — and pulls the next job when that
+// event fires, so peak memory is O(active jobs) regardless of stream
+// length. Jobs are admitted at max(Release, now); sources should yield
+// non-decreasing releases (all workload generators and sorted SWF
+// archives do), out-of-order jobs are admitted as soon as they surface.
+// Arrival groups sharing a release admit inside a single event. If the
+// source implements Err() error, a mid-stream failure aborts admission
+// and surfaces from Run.
+func (s *Sim) Stream(src workload.Source) error {
+	if s.drained {
+		return ErrDrained
+	}
+	if src == nil {
+		return fmt.Errorf("cluster: nil source")
+	}
+	if s.src != nil || s.pending != nil {
+		return fmt.Errorf("cluster: a source is already streaming")
+	}
+	if s.arriveFn == nil {
+		s.arriveFn = s.arrive
+	}
+	s.src = src
+	s.pull()
+	return s.scheduleArrival()
+}
+
+// pull advances the stream head into pending (or ends the stream).
+func (s *Sim) pull() {
+	j, ok := s.src.Next()
+	if !ok {
+		if es, hasErr := s.src.(interface{ Err() error }); hasErr {
+			if err := es.Err(); err != nil && s.srcErr == nil {
+				s.srcErr = err
+			}
+		}
+		s.src, s.pending = nil, nil
+		return
+	}
+	if j.MinProcs > s.M {
+		if s.srcErr == nil {
+			s.srcErr = fmt.Errorf("cluster: job %d needs %d > %d procs", j.ID, j.MinProcs, s.M)
+		}
+		s.src, s.pending = nil, nil
+		return
+	}
+	s.pending = j
+}
+
+// scheduleArrival schedules the single arrival event for the stream
+// head (no-op once the source is exhausted).
+func (s *Sim) scheduleArrival() error {
+	if s.pending == nil {
+		return s.srcErr
+	}
+	return s.DES.At(math.Max(s.pending.Release, s.DES.Now()), s.arriveFn)
+}
+
+// arrive admits the stream head plus every follower already released —
+// a bursty arrival group costs one event, not one per job — then
+// re-arms the next arrival.
+func (s *Sim) arrive() {
+	now := s.DES.Now()
+	for s.pending != nil && s.pending.Release <= now {
+		j := s.pending
+		s.submitted++
+		s.queue = append(s.queue, j)
+		w, _ := j.MinWork(s.M)
+		s.queuedWork += w
+		s.reschedule()
+		s.pull()
+	}
+	_ = s.scheduleArrival()
 }
 
 // SubmitBestEffort enqueues a grid task; it will run in scheduling holes.
@@ -409,7 +532,8 @@ func (s *Sim) finish(run *localRunning) {
 	c := metrics.Completion{
 		Job: run.job, Start: run.start, End: run.end, Procs: run.procs,
 	}
-	s.completions = append(s.completions, c)
+	s.acc.Add(c)
+	s.retain.Add(c)
 	if s.OnLocalDone != nil {
 		s.OnLocalDone(c)
 	}
@@ -518,9 +642,12 @@ func (s *Sim) Run() error {
 	if err != nil {
 		return err
 	}
-	if len(s.completions) != s.submitted {
+	if s.srcErr != nil {
+		return s.srcErr
+	}
+	if s.acc.N() != s.submitted {
 		return fmt.Errorf("cluster: %d of %d local jobs completed (queue starved: %d waiting)",
-			len(s.completions), s.submitted, len(s.queue))
+			s.acc.N(), s.submitted, len(s.queue))
 	}
 	return nil
 }
@@ -533,16 +660,58 @@ func (s *Sim) Drain() { s.drained = true }
 // Drained reports whether the simulation still accepts submissions.
 func (s *Sim) Drained() bool { return s.drained }
 
-// Completions returns the local-job completion records.
+// Completions returns the retained local-job completion records. Under
+// the default full retention that is every completion; bounded stores
+// (SetRetention) return only what they kept — use Report for the exact
+// aggregate criteria, which never depend on retention.
 func (s *Sim) Completions() []metrics.Completion {
-	return append([]metrics.Completion(nil), s.completions...)
+	return s.retain.Completions()
 }
 
-// CompletionsView returns the live completion records without copying.
+// CompletionsView returns the live completion records without copying
+// when the retention store supports it (the default full store does).
 // Owner-goroutine only, read-only, and not to be retained across events
 // — use Completions for a stable snapshot. It exists so per-scrape
 // metric reports need not copy an ever-growing slice.
-func (s *Sim) CompletionsView() []metrics.Completion { return s.completions }
+func (s *Sim) CompletionsView() []metrics.Completion {
+	if v, ok := s.retain.(metrics.Viewer); ok {
+		return v.View()
+	}
+	return s.retain.Completions()
+}
+
+// SetRetention replaces the completion-history store. The default
+// retains everything (the behaviour tests, goldens and the offline
+// tables rely on); streaming replays opt into metrics.NewRing /
+// NewDiscard so peak memory is O(active jobs). Must be called before
+// the first completion.
+func (s *Sim) SetRetention(r metrics.Retention) error {
+	if r == nil {
+		return fmt.Errorf("cluster: nil retention")
+	}
+	if s.acc.N() > 0 {
+		return fmt.Errorf("cluster: retention change after %d completions", s.acc.N())
+	}
+	s.retain = r
+	return nil
+}
+
+// Report returns the one-pass §3 criteria report over every completion
+// so far. O(1): the accumulator folds completions in as they happen, so
+// calling this per event (or per scrape) costs nothing — and it is
+// bit-for-bit identical to metrics.NewReport over the full history.
+func (s *Sim) Report() metrics.Report { return s.acc.Report() }
+
+// CompletedCount returns the number of completed local jobs (retention
+// independent).
+func (s *Sim) CompletedCount() int { return s.acc.N() }
+
+// Submitted returns the number of local jobs admitted so far (for a
+// streaming run this grows as the source is consumed).
+func (s *Sim) Submitted() int { return s.submitted }
+
+// RunningCount returns the number of currently running local jobs.
+func (s *Sim) RunningCount() int { return len(s.running) }
 
 // BestEffort returns the best-effort statistics.
 func (s *Sim) BestEffort() BEStats { return s.beStats }

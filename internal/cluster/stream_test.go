@@ -1,0 +1,294 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// sameCompletion compares by value: the two runs build distinct Job
+// instances, so pointer equality cannot hold.
+func sameCompletion(a, b metrics.Completion) bool {
+	return a.Job.ID == b.Job.ID && a.Start == b.Start && a.End == b.End && a.Procs == b.Procs
+}
+
+// runMaterialized submits every job up front (the historical path).
+func runMaterialized(t *testing.T, m int, policy Policy, jobs []*workload.Job) *Sim {
+	t.Helper()
+	s, err := New(des.New(), m, 1, policy, KillNewest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		if err := s.Submit(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// runStreamed admits the same jobs lazily through Stream.
+func runStreamed(t *testing.T, m int, policy Policy, src workload.Source, retain metrics.Retention) *Sim {
+	t.Helper()
+	s, err := New(des.New(), m, 1, policy, KillNewest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if retain != nil {
+		if err := s.SetRetention(retain); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Stream(src); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestStreamMatchesMaterialized: lazy admission must reproduce the
+// pre-submitted simulation exactly — same completions in the same
+// order, same report — for continuous release streams (no release ever
+// collides with a finish instant) across policies and both generators.
+func TestStreamMatchesMaterialized(t *testing.T) {
+	policies := []Policy{FCFSPolicy{}, EASYPolicy{}, GreedyFitPolicy{}}
+	gens := []func(seed uint64) ([]*workload.Job, workload.Source){
+		func(seed uint64) ([]*workload.Job, workload.Source) {
+			cfg := workload.GenConfig{N: 400, M: 32, Seed: seed, ArrivalRate: 0.5, RigidFraction: 0.5}
+			return workload.Parallel(cfg), workload.ParallelSource(cfg)
+		},
+		func(seed uint64) ([]*workload.Job, workload.Source) {
+			cfg := workload.GenConfig{N: 300, M: 32, Seed: seed, ArrivalRate: 2}
+			return workload.Sequential(cfg), workload.SequentialSource(cfg)
+		},
+	}
+	for gi, gen := range gens {
+		for _, pol := range policies {
+			jobs, src := gen(uint64(11 + gi))
+			want := runMaterialized(t, 32, pol, jobs)
+			got := runStreamed(t, 32, pol, src, nil)
+			wcs, gcs := want.Completions(), got.Completions()
+			if len(wcs) != len(gcs) {
+				t.Fatalf("%s/gen%d: %d vs %d completions", pol.Name(), gi, len(wcs), len(gcs))
+			}
+			for i := range wcs {
+				if !sameCompletion(wcs[i], gcs[i]) {
+					t.Fatalf("%s/gen%d: completion %d diverged:\nwant %+v\ngot  %+v",
+						pol.Name(), gi, i, wcs[i], gcs[i])
+				}
+			}
+			if want.Report() != got.Report() {
+				t.Fatalf("%s/gen%d: reports diverged", pol.Name(), gi)
+			}
+		}
+	}
+}
+
+// TestStreamReportMatchesNewReport: the O(1) Report equals the
+// slice-based report over the full retained history.
+func TestStreamReportMatchesNewReport(t *testing.T) {
+	cfg := workload.GenConfig{N: 250, M: 16, Seed: 4, ArrivalRate: 1, Weighted: true, DueDateSlack: 2}
+	s := runStreamed(t, 16, EASYPolicy{}, workload.ParallelSource(cfg), nil)
+	if want := metrics.NewReport(s.CompletionsView(), 16); want != s.Report() {
+		t.Fatalf("report diverged:\nNewReport %+v\nReport    %+v", want, s.Report())
+	}
+}
+
+// TestStreamBoundedRetention: with a ring (or discard) store the
+// aggregate report is untouched while memory holds only the tail.
+func TestStreamBoundedRetention(t *testing.T) {
+	cfg := workload.GenConfig{N: 300, M: 16, Seed: 9, ArrivalRate: 1}
+	full := runStreamed(t, 16, EASYPolicy{}, workload.ParallelSource(cfg), nil)
+
+	ring := runStreamed(t, 16, EASYPolicy{}, workload.ParallelSource(cfg), metrics.NewRing(32))
+	if ring.Report() != full.Report() {
+		t.Fatal("ring retention changed the report")
+	}
+	tail := ring.Completions()
+	if len(tail) != 32 {
+		t.Fatalf("ring kept %d records, want 32", len(tail))
+	}
+	fullCs := full.Completions()
+	wantTail := fullCs[len(fullCs)-32:]
+	for i := range tail {
+		if !sameCompletion(tail[i], wantTail[i]) {
+			t.Fatalf("ring tail %d diverged", i)
+		}
+	}
+
+	disc := runStreamed(t, 16, EASYPolicy{}, workload.ParallelSource(cfg), metrics.NewDiscard())
+	if disc.Report() != full.Report() {
+		t.Fatal("discard retention changed the report")
+	}
+	if len(disc.Completions()) != 0 {
+		t.Fatal("discard kept records")
+	}
+	if disc.CompletedCount() != 300 || disc.Submitted() != 300 {
+		t.Fatalf("counts wrong: completed=%d submitted=%d", disc.CompletedCount(), disc.Submitted())
+	}
+}
+
+// TestStreamBurstGroup: jobs sharing one release timestamp are admitted
+// inside a single arrival event (event count stays O(distinct release
+// times), not O(jobs)) and all complete.
+func TestStreamBurstGroup(t *testing.T) {
+	jobs := make([]*workload.Job, 40)
+	for i := range jobs {
+		jobs[i] = &workload.Job{
+			ID: i, Kind: workload.Rigid, Release: float64(i / 10), Weight: 1, DueDate: -1,
+			SeqTime: 1, MinProcs: 1, MaxProcs: 1, Model: workload.Linear{},
+		}
+	}
+	s, err := New(des.New(), 64, 1, FCFSPolicy{}, KillNewest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Stream(workload.NewSliceSource(jobs)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s.CompletedCount() != 40 {
+		t.Fatalf("completed %d of 40", s.CompletedCount())
+	}
+	// 4 arrival groups + 40 finish events + the initial arrival chain:
+	// far fewer than one arrival event per job would produce.
+	if got := s.DES.Processed; got > 48 {
+		t.Fatalf("burst groups not coalesced: %d events", got)
+	}
+}
+
+// failingSource yields one good job then fails.
+type failingSource struct{ done bool }
+
+func (f *failingSource) Next() (*workload.Job, bool) {
+	if f.done {
+		return nil, false
+	}
+	f.done = true
+	return &workload.Job{
+		ID: 0, Kind: workload.Rigid, Release: 0, Weight: 1, DueDate: -1,
+		SeqTime: 1, MinProcs: 1, MaxProcs: 1, Model: workload.Linear{},
+	}, true
+}
+
+func (f *failingSource) Err() error { return errSource }
+
+var errSource = errors.New("stream corrupted")
+
+// TestStreamSourceError: a mid-stream source failure surfaces from Run.
+func TestStreamSourceError(t *testing.T) {
+	s, err := New(des.New(), 4, 1, FCFSPolicy{}, KillNewest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Stream(&failingSource{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); !errors.Is(err, errSource) {
+		t.Fatalf("Run = %v, want source error", err)
+	}
+
+	// An oversized job in the stream also aborts with a clear error —
+	// at attach time when it is the stream head, from Run otherwise.
+	wide := &workload.Job{
+		ID: 7, Kind: workload.Rigid, Release: 0, Weight: 1, DueDate: -1,
+		SeqTime: 1, MinProcs: 99, MaxProcs: 99, Model: workload.Linear{},
+	}
+	s2, _ := New(des.New(), 4, 1, FCFSPolicy{}, KillNewest)
+	err2 := s2.Stream(workload.NewSliceSource([]*workload.Job{wide}))
+	if err2 == nil {
+		err2 = s2.Run()
+	}
+	if err2 == nil {
+		t.Fatal("oversized streamed job not rejected")
+	}
+}
+
+// TestStreamGuards: double-attach and post-drain streaming are rejected,
+// as is a retention swap after completions exist.
+func TestStreamGuards(t *testing.T) {
+	s, _ := New(des.New(), 4, 1, FCFSPolicy{}, KillNewest)
+	src := workload.SequentialSource(workload.GenConfig{N: 5, Seed: 1})
+	if err := s.Stream(src); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Stream(workload.SequentialSource(workload.GenConfig{N: 5, Seed: 2})); err == nil {
+		t.Fatal("second Stream accepted")
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetRetention(metrics.NewDiscard()); err == nil {
+		t.Fatal("retention swap after completions accepted")
+	}
+	if err := s.Stream(src); !errors.Is(err, ErrDrained) {
+		t.Fatalf("post-drain Stream = %v, want ErrDrained", err)
+	}
+}
+
+// TestSubmitAllMatchesSubmitLoop: the batch insertion path is
+// indistinguishable from the Submit loop.
+func TestSubmitAllMatchesSubmitLoop(t *testing.T) {
+	cfg := workload.GenConfig{N: 200, M: 16, Seed: 21, ArrivalRate: 1, RigidFraction: 0.3}
+	jobs := workload.Parallel(cfg)
+	want := runMaterialized(t, 16, EASYPolicy{}, jobs)
+
+	s, err := New(des.New(), 16, 1, EASYPolicy{}, KillNewest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SubmitAll(workload.Parallel(cfg)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	wcs, gcs := want.Completions(), s.Completions()
+	if len(wcs) != len(gcs) {
+		t.Fatalf("%d vs %d completions", len(wcs), len(gcs))
+	}
+	for i := range wcs {
+		if wcs[i].Job.ID != gcs[i].Job.ID || wcs[i].End != gcs[i].End {
+			t.Fatalf("completion %d diverged", i)
+		}
+	}
+
+	// Validation is atomic: one oversized job rejects the whole batch.
+	bad := []*workload.Job{jobs[0], {ID: 999, Kind: workload.Rigid, Release: 0, Weight: 1,
+		DueDate: -1, SeqTime: 1, MinProcs: 99, MaxProcs: 99, Model: workload.Linear{}}}
+	s2, _ := New(des.New(), 16, 1, EASYPolicy{}, KillNewest)
+	if err := s2.SubmitAll(bad); err == nil {
+		t.Fatal("oversized batch accepted")
+	}
+	if s2.Submitted() != 0 || s2.DES.Pending() != 0 {
+		t.Fatalf("partial batch: submitted=%d pending=%d", s2.Submitted(), s2.DES.Pending())
+	}
+}
+
+// TestStreamLargeScaleBounded exercises a bigger stream end to end with
+// discard retention — the replay configuration — and cross-checks the
+// report against a full-retention run.
+func TestStreamLargeScaleBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large stream")
+	}
+	cfg := workload.GenConfig{N: 20000, M: 64, Seed: 5, ArrivalRate: 4, SeqMu: 2.5}
+	lean := runStreamed(t, 64, EASYPolicy{}, workload.ParallelSource(cfg), metrics.NewDiscard())
+	full := runStreamed(t, 64, EASYPolicy{}, workload.ParallelSource(cfg), nil)
+	if lean.Report() != full.Report() {
+		t.Fatalf("reports diverged:\nlean %+v\nfull %+v", lean.Report(), full.Report())
+	}
+	if lean.CompletedCount() != 20000 {
+		t.Fatalf("completed %d", lean.CompletedCount())
+	}
+}

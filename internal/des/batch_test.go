@@ -1,0 +1,114 @@
+package des
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// TestAtBatchMatchesLoop pins the batch-insertion contract: for any
+// interleaving of At and AtBatch calls (including batches large enough
+// to trigger the heapify path), dispatch order is identical to the
+// equivalent At loop.
+func TestAtBatchMatchesLoop(t *testing.T) {
+	rng := stats.NewRNG(5)
+	times := make([]float64, 400)
+	for i := range times {
+		// Coarse quantization forces plenty of FIFO ties.
+		times[i] = float64(rng.Intn(20))
+	}
+
+	runLoop := func(batch bool) []int {
+		s := New()
+		var order []int
+		record := func(id int) func() { return func() { order = append(order, id) } }
+		// A few singles first so the batch lands on a non-empty heap.
+		for i := 0; i < 10; i++ {
+			if err := s.At(times[i], record(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if batch {
+			evs := make([]Event, 0, len(times)-10)
+			for i := 10; i < len(times); i++ {
+				evs = append(evs, Event{Time: times[i], Fn: record(i)})
+			}
+			if err := s.AtBatch(evs); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			for i := 10; i < len(times); i++ {
+				if err := s.At(times[i], record(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return order
+	}
+
+	want := runLoop(false)
+	got := runLoop(true)
+	if len(want) != len(got) {
+		t.Fatalf("lengths differ: %d vs %d", len(want), len(got))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("dispatch diverged at %d: loop %d, batch %d", i, want[i], got[i])
+		}
+	}
+}
+
+// TestAtBatchSmallSiftUpPath covers batches smaller than the pending
+// set (per-event sift-up, no heapify).
+func TestAtBatchSmallSiftUpPath(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 8; i++ {
+		tm := float64(i)
+		_ = s.At(tm, func() { order = append(order, int(tm)) })
+	}
+	if err := s.AtBatch([]Event{
+		{Time: 2.5, Fn: func() { order = append(order, 100) }},
+		{Time: 0.5, Fn: func() { order = append(order, 101) }},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 101, 1, 2, 100, 3, 4, 5, 6, 7}
+	if len(order) != len(want) {
+		t.Fatalf("got %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("got %v, want %v", order, want)
+		}
+	}
+}
+
+// TestAtBatchValidation: a bad event anywhere in the batch schedules
+// nothing.
+func TestAtBatchValidation(t *testing.T) {
+	fn := func() {}
+	cases := [][]Event{
+		{{Time: 1, Fn: fn}, {Time: -1, Fn: fn}},
+		{{Time: 1, Fn: fn}, {Time: math.NaN(), Fn: fn}},
+		{{Time: 1, Fn: fn}, {Time: math.Inf(1), Fn: fn}},
+		{{Time: 1, Fn: fn}, {Time: 2, Fn: nil}},
+	}
+	for i, evs := range cases {
+		s := New()
+		s.clock = 0
+		if err := s.AtBatch(evs); err == nil {
+			t.Fatalf("case %d: batch accepted", i)
+		}
+		if s.Pending() != 0 {
+			t.Fatalf("case %d: partial batch scheduled (%d pending)", i, s.Pending())
+		}
+	}
+}

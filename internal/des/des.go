@@ -124,6 +124,58 @@ func (s *Simulator) At(t float64, fn func()) error {
 	return nil
 }
 
+// Event pairs a timestamp with a callback for AtBatch.
+type Event struct {
+	Time float64
+	Fn   func()
+}
+
+// AtBatch schedules many events in one heap operation — the bursty
+// arrival groups of trace replays and atomic batch submissions. FIFO
+// tie-breaking follows slice order (event i gets a smaller seq than
+// event i+1), so dispatch is indistinguishable from calling At in a
+// loop. The whole batch is validated before the first insertion: on
+// error nothing was scheduled.
+//
+// When the batch rivals the pending set in size the heap is rebuilt
+// with a single O(pending+k) heapify instead of k O(log n) sift-ups.
+func (s *Simulator) AtBatch(evs []Event) error {
+	for _, e := range evs {
+		if e.Time < s.clock {
+			return fmt.Errorf("des: scheduling at %v before now (%v)", e.Time, s.clock)
+		}
+		if math.IsNaN(e.Time) || math.IsInf(e.Time, 0) {
+			return fmt.Errorf("des: scheduling at non-finite time %v", e.Time)
+		}
+		if e.Fn == nil {
+			return fmt.Errorf("des: nil event callback")
+		}
+	}
+	heapify := len(evs) > len(s.events)
+	for _, e := range evs {
+		var slot int32
+		if n := len(s.free); n > 0 {
+			slot = s.free[n-1]
+			s.free = s.free[:n-1]
+			s.fns[slot] = e.Fn
+		} else {
+			slot = int32(len(s.fns))
+			s.fns = append(s.fns, e.Fn)
+		}
+		s.events = append(s.events, eventRef{time: e.Time, seq: s.seq, slot: slot})
+		s.seq++
+		if !heapify {
+			s.events.siftUp(len(s.events) - 1)
+		}
+	}
+	if heapify {
+		for i := len(s.events)/2 - 1; i >= 0; i-- {
+			s.events.siftDown(i)
+		}
+	}
+	return nil
+}
+
 // After schedules fn after delay d (d >= 0).
 func (s *Simulator) After(d float64, fn func()) error {
 	if d < 0 {

@@ -81,6 +81,7 @@ func init() {
 	scenario.RegisterKind("online", tableKind(onlineRun))
 	scenario.RegisterKind("grid", tableKind(gridRun))
 	scenario.RegisterKind("offline", tableKind(offlineRun))
+	scenario.RegisterKind("replay", tableKind(replayRun))
 	scenario.RegisterKind("ablation-allotment", tableKind(ablationAllotmentRun))
 	scenario.RegisterKind("ablation-doubling-base", tableKind(ablationDoublingBaseRun))
 	scenario.RegisterKind("ablation-shelf-fill", tableKind(ablationShelfFillRun))
@@ -164,6 +165,12 @@ func init() {
 		scenario.WithWorkload(scenario.Workload{N: 240, M: 32, ArrivalRate: 0.1, RigidFraction: 1, MaxProcsCap: 32}),
 		scenario.WithGrid(scenario.Grid{ExchangePeriod: 30, Threshold: 1.3, MaxMove: 8,
 			CampaignTasks: 2400, CampaignRunTime: 30})))
+
+	scenario.Register(scenario.New("replay", "replay",
+		scenario.WithTitle("EXT5 — streaming replay: lazy admission + O(1) accumulator, online catalog on one shared stream"),
+		scenario.WithDesc("EXT5: streamed workload replay with O(active) memory"),
+		scenario.WithWorkload(scenario.Workload{N: 2000, M: 64, ArrivalRate: 2, RigidFraction: 0.5}),
+		scenario.WithParam("retain", "none")))
 
 	scenario.Register(scenario.New("ablation-allotment", "ablation-allotment",
 		scenario.WithGroup(scenario.GroupAblation),

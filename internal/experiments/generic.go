@@ -114,6 +114,25 @@ func generate(gen string, cfg workload.GenConfig) ([]*workload.Job, error) {
 	return nil, fmt.Errorf("experiments: generator %q is not usable here (want parallel|sequential|mixed)", gen)
 }
 
+// generateSource is the streaming counterpart of generate: same
+// generator names but a pull-based Source (plus "communities", the
+// CIMENT mix). Draw order matches the materializing generators, so
+// workload.Collect over the returned source equals generate — a spec
+// moved from a batch kind to the replay kind sees the same jobs.
+func generateSource(gen string, cfg workload.GenConfig) (workload.Source, error) {
+	switch gen {
+	case "", "parallel":
+		return workload.ParallelSource(cfg), nil
+	case "sequential":
+		return workload.SequentialSource(cfg), nil
+	case "mixed":
+		return workload.MixedSource(cfg), nil
+	case "communities":
+		return workload.CommunitiesSource(workload.CIMENTCommunities(), cfg.N, cfg.M, cfg.ArrivalRate, cfg.Seed), nil
+	}
+	return nil, fmt.Errorf("experiments: generator %q is not streamable here (want parallel|sequential|mixed|communities)", gen)
+}
+
 // metricColumn is one selectable output column of the "offline" kind.
 type metricColumn struct {
 	header string

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/scenario"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// TestReplayKindDeterministic: the replay kind is a pure function of
+// (spec, seed) — two runs, including a parallel one, produce identical
+// cells — and streaming changes nothing about the scores: a ring-retain
+// run equals the discard run.
+func TestReplayKindDeterministic(t *testing.T) {
+	spec := mustSpec("replay")
+	a, err := replayRun(spec, 7, Scale{JobFactor: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := replayRun(spec, 7, Scale{JobFactor: 20, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Cells) == 0 || len(a.Cells) != len(b.Cells) {
+		t.Fatalf("cell counts: %d vs %d", len(a.Cells), len(b.Cells))
+	}
+	for i := range a.Cells {
+		if !reflect.DeepEqual(a.Cells[i].Values, b.Cells[i].Values) {
+			t.Fatalf("cell %d diverged: %v vs %v", i, a.Cells[i].Values, b.Cells[i].Values)
+		}
+	}
+
+	ring := scenario.New("replay-ring", "replay",
+		scenario.WithDesc("ring variant"),
+		scenario.WithWorkload(*spec.Workload),
+		scenario.WithParam("retain", "ring"), scenario.WithParam("ring", 16))
+	c, err := replayRun(ring, 7, Scale{JobFactor: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Cells {
+		if !reflect.DeepEqual(a.Cells[i].Values, c.Cells[i].Values) {
+			t.Fatalf("retention changed scores at cell %d: %v vs %v", i, a.Cells[i].Values, c.Cells[i].Values)
+		}
+	}
+}
+
+// TestReplayKindSWF: params.swf streams a trace file; the resulting
+// row matches replaying the same jobs materialized.
+func TestReplayKindSWF(t *testing.T) {
+	jobs := workload.Sequential(workload.GenConfig{N: 80, M: 8, Seed: 3, ArrivalRate: 1})
+	recs := make([]trace.SWFRecord, len(jobs))
+	for i, j := range jobs {
+		recs[i] = trace.SWFRecord{ID: j.ID, Submit: j.Release, Wait: 0,
+			Runtime: j.SeqTime, Procs: 1, Weight: j.Weight}
+	}
+	path := filepath.Join(t.TempDir(), "trace.swf")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteSWFRecords(f, recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	spec := scenario.New("replay-swf", "replay",
+		scenario.WithDesc("swf variant"),
+		scenario.WithPolicies("fcfs", "easy"),
+		scenario.WithPlatform(scenario.Platform{M: 8}),
+		scenario.WithParam("swf", path))
+	res, err := replayRun(spec, 1, Scale{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 2 {
+		t.Fatalf("%d cells, want 2", len(res.Cells))
+	}
+	for _, cell := range res.Cells {
+		if got := cell.Values[1]; got != 80 {
+			t.Fatalf("row %v completed %v jobs, want 80", cell.Values[0], got)
+		}
+	}
+
+	bad := scenario.New("replay-missing", "replay",
+		scenario.WithDesc("missing file"),
+		scenario.WithPolicies("fcfs"),
+		scenario.WithParam("swf", filepath.Join(t.TempDir(), "absent.swf")))
+	if _, err := replayRun(bad, 1, Scale{}); err == nil {
+		t.Fatal("missing trace file accepted")
+	}
+}

@@ -216,12 +216,11 @@ type Engine struct {
 	nextID  int
 	started time.Time
 	counts  struct{ waiting, running, completed int }
-	// reportCache memoizes the §3 criteria report between completions:
-	// stats() is called per scrape (and per broker aggregation), and
-	// recomputing the report over an ever-growing completion history on
-	// the loop goroutine would stall scheduling as the daemon ages.
-	reportCache metrics.Report
-	reportFor   int // counts.completed the cache was built at; -1 = never
+	// streaming is set once StreamJobs attaches a source: streamed jobs
+	// bypass the per-job status map (tracking every record would defeat
+	// the O(active) memory of lazy admission), so stats fall back to the
+	// simulator's own counters.
+	streaming bool
 }
 
 // New builds an engine from the config; Start launches it.
@@ -242,13 +241,12 @@ func New(cfg Config) (*Engine, error) {
 	// the per-event snapshot publication is always on here.
 	sim.EnablePolling()
 	e := &Engine{
-		cfg:       cfg,
-		sim:       sim,
-		cmds:      make(chan func(), cfg.Mailbox),
-		quit:      make(chan struct{}),
-		done:      make(chan struct{}),
-		jobs:      make(map[int]*JobStatus),
-		reportFor: -1,
+		cfg:  cfg,
+		sim:  sim,
+		cmds: make(chan func(), cfg.Mailbox),
+		quit: make(chan struct{}),
+		done: make(chan struct{}),
+		jobs: make(map[int]*JobStatus),
 	}
 	sim.OnLocalStart = func(j *workload.Job, procs int, now float64) {
 		if st := e.jobs[j.ID]; st != nil {
@@ -423,16 +421,54 @@ func (e *Engine) SubmitJobs(jobs []*workload.Job) error {
 				return
 			}
 		}
+		if err = e.sim.SubmitAll(jobs); err != nil {
+			return // unreachable after the validation above
+		}
 		for _, j := range jobs {
-			if err = e.sim.Submit(j); err != nil {
-				return // unreachable after the validation above
-			}
 			if j.ID >= e.nextID {
 				e.nextID = j.ID + 1
 			}
 			e.track(j)
 		}
 	})
+	if doErr != nil {
+		return doErr
+	}
+	return err
+}
+
+// StreamJobs attaches a pull-based source: jobs are admitted lazily as
+// their release times come due, so replaying a multi-million-job
+// archive through the daemon holds O(active) state instead of the whole
+// trace. Streamed jobs are not individually tracked (no /jobs/{id}
+// status, no completion-order witness) — aggregate statistics remain
+// exact via the simulator's accumulator. One source per engine; Submit
+// and SubmitJobs still work alongside it.
+func (e *Engine) StreamJobs(src workload.Source) error {
+	var err error
+	doErr := e.do(func() {
+		// The simulator itself would accept a fresh source once the
+		// previous one drained; the engine keeps the 1:1 contract so
+		// streamed stats always describe a single replay.
+		if e.streaming {
+			err = errors.New("service: a source is already streaming")
+			return
+		}
+		if err = e.sim.Stream(src); err == nil {
+			e.streaming = true
+		}
+	})
+	if doErr != nil {
+		return doErr
+	}
+	return err
+}
+
+// SetRetention swaps the completion-history store (e.g. a bounded ring
+// or discard for archive replays). Only valid before any completion.
+func (e *Engine) SetRetention(r metrics.Retention) error {
+	var err error
+	doErr := e.do(func() { err = e.sim.SetRetention(r) })
 	if doErr != nil {
 		return doErr
 	}
@@ -514,12 +550,19 @@ func (e *Engine) Stats() (Stats, error) {
 }
 
 // stats builds the Stats payload (loop goroutine only). The criteria
-// report is memoized until the next completion, so idle-time scrapes are
-// O(1) instead of walking the whole completion history.
+// report comes from the simulator's streaming accumulator, so a scrape
+// is O(1) no matter how old the daemon is or how history is retained.
+// Under StreamJobs the per-job map is not populated, so the lifecycle
+// counters come from the simulator too (Waiting then counts arrived
+// jobs only — records not yet pulled from the source are nowhere yet).
 func (e *Engine) stats() Stats {
-	if e.reportFor != e.counts.completed {
-		e.reportCache = metrics.NewReport(e.sim.CompletionsView(), e.cfg.M)
-		e.reportFor = e.counts.completed
+	submitted, waiting, running, completed :=
+		len(e.jobs), e.counts.waiting, e.counts.running, e.counts.completed
+	if e.streaming {
+		submitted = e.sim.Submitted()
+		waiting = e.sim.QueueLength()
+		running = e.sim.RunningCount()
+		completed = e.sim.CompletedCount()
 	}
 	return Stats{
 		Policy:        e.cfg.Policy,
@@ -528,13 +571,13 @@ func (e *Engine) stats() Stats {
 		Dilation:      e.cfg.Dilation,
 		VirtualNow:    e.virtualNow(),
 		UptimeSeconds: time.Since(e.started).Seconds(),
-		Submitted:     len(e.jobs),
-		Waiting:       e.counts.waiting,
-		Running:       e.counts.running,
-		Completed:     e.counts.completed,
+		Submitted:     submitted,
+		Waiting:       waiting,
+		Running:       running,
+		Completed:     completed,
 		Drained:       e.sim.Drained(),
 		BestEffort:    e.sim.BestEffort(),
-		Report:        e.reportCache,
+		Report:        e.sim.Report(),
 	}
 }
 

@@ -1,0 +1,83 @@
+package service
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/des"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// TestStreamJobsMatchesOffline: a free-running engine fed through
+// StreamJobs produces the exact report of an offline cluster run over
+// the same source, with only a bounded tail retained.
+func TestStreamJobsMatchesOffline(t *testing.T) {
+	cfg := workload.GenConfig{N: 400, M: 16, Seed: 17, ArrivalRate: 1}
+
+	sim, err := cluster.New(des.New(), 16, 1, cluster.EASYPolicy{}, cluster.KillNewest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Stream(workload.ParallelSource(cfg)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	e, err := New(Config{M: 16, Policy: "easy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Start()
+	defer e.Stop()
+	if err := e.SetRetention(metrics.NewRing(8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.StreamJobs(workload.ParallelSource(cfg)); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := e.Drain(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Completed != 400 || stats.Submitted != 400 {
+		t.Fatalf("streamed stats: completed=%d submitted=%d", stats.Completed, stats.Submitted)
+	}
+	if stats.Report != sim.Report() {
+		t.Fatalf("streamed report diverged:\nengine  %+v\noffline %+v", stats.Report, sim.Report())
+	}
+	cs, err := e.Completions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 8 {
+		t.Fatalf("ring retained %d records, want 8", len(cs))
+	}
+}
+
+// TestStreamJobsGuards: double attach fails, and retention cannot be
+// swapped once completions exist.
+func TestStreamJobsGuards(t *testing.T) {
+	e, err := New(Config{M: 8, Policy: "fcfs"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Start()
+	defer e.Stop()
+	src := workload.SequentialSource(workload.GenConfig{N: 10, Seed: 2})
+	if err := e.StreamJobs(src); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.StreamJobs(workload.SequentialSource(workload.GenConfig{N: 10, Seed: 3})); err == nil {
+		t.Fatal("second source accepted")
+	}
+	if _, err := e.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetRetention(metrics.NewDiscard()); err == nil {
+		t.Fatal("post-completion retention swap accepted")
+	}
+}

@@ -1,0 +1,220 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// maxSWFLine bounds a single trace line. Real SWF archives keep lines
+// well under a kilobyte; 4 MiB leaves room for pathological whitespace
+// padding while still failing fast (bufio.ErrTooLong) on garbage input
+// instead of buffering an unbounded "line".
+const maxSWFLine = 4 << 20
+
+// SWFScanner reads an SWF-flavoured trace one record at a time in O(1)
+// memory — the streaming counterpart of ReadSWFRecords (which is now a
+// Collect over it). Usage mirrors bufio.Scanner:
+//
+//	sc := trace.NewSWFScanner(r)
+//	for sc.Scan() {
+//	    rec := sc.Record()
+//	    ...
+//	}
+//	if err := sc.Err(); err != nil { ... }
+type SWFScanner struct {
+	sc   *bufio.Scanner
+	line int
+	rec  SWFRecord
+	err  error
+	done bool
+}
+
+// NewSWFScanner returns a scanner over r. Input is buffered; lines are
+// capped at 4 MiB.
+func NewSWFScanner(r io.Reader) *SWFScanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), maxSWFLine)
+	return &SWFScanner{sc: sc}
+}
+
+// Scan advances to the next record, skipping blank lines and comments.
+// It returns false at end of input or on the first malformed line; Err
+// distinguishes the two.
+func (s *SWFScanner) Scan() bool {
+	if s.err != nil || s.done {
+		return false
+	}
+	for s.sc.Scan() {
+		s.line++
+		text := strings.TrimSpace(s.sc.Text())
+		if text == "" || strings.HasPrefix(text, ";") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 6 {
+			s.err = fmt.Errorf("trace: line %d: %d fields, want 6", s.line, len(fields))
+			return false
+		}
+		var vals [6]float64
+		for i, f := range fields[:6] {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				s.err = fmt.Errorf("trace: line %d field %d: %w", s.line, i, err)
+				return false
+			}
+			vals[i] = v
+		}
+		s.rec = SWFRecord{
+			ID: int(vals[0]), Submit: vals[1], Wait: vals[2],
+			Runtime: vals[3], Procs: int(vals[4]), Weight: vals[5],
+		}
+		return true
+	}
+	s.done = true
+	s.err = s.sc.Err()
+	return false
+}
+
+// Record returns the record produced by the last successful Scan.
+func (s *SWFScanner) Record() SWFRecord { return s.rec }
+
+// Line returns the 1-based input line of the last record (diagnostics).
+func (s *SWFScanner) Line() int { return s.line }
+
+// Err returns the first parse or read error, or nil after a clean EOF.
+func (s *SWFScanner) Err() error { return s.err }
+
+// SWFJobSource adapts an SWF trace to workload.Source: records are
+// materialized as rigid jobs one at a time as the simulation pulls them,
+// so replaying a multi-million-job archive never holds more than the
+// stream head in memory. A record that cannot become a job (non-positive
+// procs or runtime) stops the stream with that error.
+type SWFJobSource struct {
+	sc  *SWFScanner
+	err error
+}
+
+// NewSWFJobSource returns a job source streaming from r.
+func NewSWFJobSource(r io.Reader) *SWFJobSource {
+	return &SWFJobSource{sc: NewSWFScanner(r)}
+}
+
+// Next returns the next job in trace order.
+func (s *SWFJobSource) Next() (*workload.Job, bool) {
+	if s.err != nil {
+		return nil, false
+	}
+	if !s.sc.Scan() {
+		s.err = s.sc.Err()
+		return nil, false
+	}
+	j, err := s.sc.Record().Job()
+	if err != nil {
+		s.err = err
+		return nil, false
+	}
+	return j, true
+}
+
+// Err reports why the stream ended, nil for a clean EOF.
+func (s *SWFJobSource) Err() error { return s.err }
+
+// SWFWriter emits records one at a time in the WriteSWFRecords line
+// format (header, then "%d %g %g %g %d %g"). Unlike WriteSWFRecords it
+// does not sort: records appear in Write order, so callers streaming a
+// completion feed get End-time order, not ID order. Reading such a file
+// back and rewriting it with WriteSWFRecords canonicalizes the order.
+type SWFWriter struct {
+	bw  *bufio.Writer
+	err error
+}
+
+// NewSWFWriter wraps w and writes the SWF header line.
+func NewSWFWriter(w io.Writer) *SWFWriter {
+	bw := bufio.NewWriter(w)
+	_, err := fmt.Fprintln(bw, "; id submit wait runtime procs weight")
+	return &SWFWriter{bw: bw, err: err}
+}
+
+// Write appends one record. After the first error all writes are no-ops
+// returning that error.
+func (w *SWFWriter) Write(rec SWFRecord) error {
+	if w.err != nil {
+		return w.err
+	}
+	_, w.err = fmt.Fprintf(w.bw, "%d %g %g %g %d %g\n",
+		rec.ID, rec.Submit, rec.Wait, rec.Runtime, rec.Procs, rec.Weight)
+	return w.err
+}
+
+// Flush drains the buffer to the underlying writer.
+func (w *SWFWriter) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	w.err = w.bw.Flush()
+	return w.err
+}
+
+// SWFSpool is a metrics.Retention that keeps a bounded in-memory tail
+// and spools every evicted completion to an SWF stream — the full
+// history survives on disk while the simulation's heap stays O(tail).
+// Retention.Add cannot return an error, so write failures are sticky:
+// check Err (or the Flush result) after the run.
+type SWFSpool struct {
+	ring metrics.Retention
+	w    *SWFWriter
+}
+
+// NewSWFSpool spools evictions to w, retaining the last tailCap
+// completions in memory (tailCap <= 0 falls back to 1).
+func NewSWFSpool(w io.Writer, tailCap int) *SWFSpool {
+	sp := &SWFSpool{w: NewSWFWriter(w)}
+	sp.ring = metrics.NewSpillRing(tailCap, func(c metrics.Completion) {
+		sp.w.Write(RecordOf(c)) //nolint:errcheck // sticky in w.err, surfaced by Err/Flush
+	})
+	return sp
+}
+
+// Add records one completion, spilling the oldest tail entry if full.
+func (sp *SWFSpool) Add(c metrics.Completion) { sp.ring.Add(c) }
+
+// Len returns the in-memory tail length.
+func (sp *SWFSpool) Len() int { return sp.ring.Len() }
+
+// Completions returns the in-memory tail, oldest first.
+func (sp *SWFSpool) Completions() []metrics.Completion { return sp.ring.Completions() }
+
+// Flush drains buffered spilled records. The in-memory tail is NOT
+// written: it remains queryable via Completions. Call DrainTail first to
+// persist everything.
+func (sp *SWFSpool) Flush() error { return sp.w.Flush() }
+
+// DrainTail spools the retained tail to the stream (oldest first) and
+// empties it, then flushes. After DrainTail the on-disk file holds every
+// completion ever Added, in Add order.
+func (sp *SWFSpool) DrainTail() error {
+	for _, c := range sp.ring.Completions() {
+		if err := sp.w.Write(RecordOf(c)); err != nil {
+			return err
+		}
+	}
+	sp.ring = metrics.NewSpillRing(1, func(c metrics.Completion) {
+		sp.w.Write(RecordOf(c)) //nolint:errcheck // sticky in w.err
+	})
+	return sp.w.Flush()
+}
+
+// Err returns the first spool write error, if any.
+func (sp *SWFSpool) Err() error {
+	if sp.w.err != nil {
+		return sp.w.err
+	}
+	return nil
+}

@@ -1,0 +1,328 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// randomRecs builds an adversarial, ID-sorted record set (the shape
+// WriteSWFRecords emits).
+func randomRecs(rng *stats.RNG, n int) []SWFRecord {
+	recs := make([]SWFRecord, n)
+	for i := range recs {
+		recs[i] = SWFRecord{
+			ID:      i,
+			Submit:  rng.LogNormal(0, 8),
+			Wait:    rng.LogNormal(0, 8),
+			Runtime: rng.LogNormal(0, 8),
+			Procs:   rng.IntRange(1, 512),
+			Weight:  float64(rng.Zipf(1.1, 10)),
+		}
+	}
+	return recs
+}
+
+// TestSWFScannerMatchesRead: the streaming scanner and the materializing
+// reader are the same parser — identical records over randomized traces.
+func TestSWFScannerMatchesRead(t *testing.T) {
+	rng := stats.NewRNG(7)
+	for trial := 0; trial < 30; trial++ {
+		recs := randomRecs(rng, 1+rng.Intn(60))
+		var buf bytes.Buffer
+		if err := WriteSWFRecords(&buf, recs); err != nil {
+			t.Fatal(err)
+		}
+		want, err := ReadSWFRecords(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := NewSWFScanner(bytes.NewReader(buf.Bytes()))
+		var got []SWFRecord
+		for sc.Scan() {
+			got = append(got, sc.Record())
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: scanner saw %d records, reader %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: record %d diverged: %+v vs %+v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestSWFScannerMalformed: malformed lines fail with the same error
+// surface ReadSWFRecords always had, records before the bad line are
+// still delivered, and the scanner stays stopped afterwards.
+func TestSWFScannerMalformed(t *testing.T) {
+	cases := []struct {
+		name   string
+		input  string
+		okRecs int
+		errSub string
+	}{
+		{"too_few_fields", "; header\n1 0 0 5 2 1\n2 0 0\n", 1, "line 3: 3 fields, want 6"},
+		{"unparsable_field", "1 0 0 5 2 1\n2 0 zebra 5 2 1\n", 1, "line 2 field 2"},
+		{"truncated_final_record", "1 0 0 5 2 1\n2 1 0", 1, "line 2: 3 fields, want 6"},
+		{"garbage_first_line", "<html>not a trace</html>\n", 0, "line 1"},
+		{"nan_field_parses", "1 NaN 0 5 2 1\n", 1, ""}, // ParseFloat accepts NaN; policy lives upstream
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc := NewSWFScanner(strings.NewReader(tc.input))
+			n := 0
+			for sc.Scan() {
+				n++
+			}
+			if n != tc.okRecs {
+				t.Fatalf("delivered %d records, want %d", n, tc.okRecs)
+			}
+			err := sc.Err()
+			if tc.errSub == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.errSub) {
+				t.Fatalf("err = %v, want substring %q", err, tc.errSub)
+			}
+			if sc.Scan() {
+				t.Fatal("scanner advanced after error")
+			}
+			// The materializing reader reports the identical error.
+			if _, rerr := ReadSWFRecords(strings.NewReader(tc.input)); rerr == nil || rerr.Error() != err.Error() {
+				t.Fatalf("reader error %v != scanner error %v", rerr, err)
+			}
+		})
+	}
+}
+
+// TestSWFScannerOversizedLine: a line beyond the 4 MiB cap fails with
+// bufio.ErrTooLong instead of buffering without bound.
+func TestSWFScannerOversizedLine(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("1 0 0 5 2 1\n2 0 0 5 2 ")
+	b.WriteString(strings.Repeat("9", maxSWFLine+16))
+	b.WriteString("\n")
+	sc := NewSWFScanner(strings.NewReader(b.String()))
+	n := 0
+	for sc.Scan() {
+		n++
+	}
+	if n != 1 {
+		t.Fatalf("delivered %d records, want 1", n)
+	}
+	if err := sc.Err(); !errors.Is(err, bufio.ErrTooLong) {
+		t.Fatalf("err = %v, want bufio.ErrTooLong", err)
+	}
+}
+
+// TestSWFJobSourceStreamsJobs: the Source adapter yields the same jobs
+// as the materializing ReadSWF, and a record that cannot become a job
+// stops the stream with an error after the preceding jobs were yielded.
+func TestSWFJobSourceStreamsJobs(t *testing.T) {
+	rng := stats.NewRNG(3)
+	recs := randomRecs(rng, 40)
+	var buf bytes.Buffer
+	if err := WriteSWFRecords(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	want, err := ReadSWF(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := NewSWFJobSource(bytes.NewReader(buf.Bytes()))
+	var got []*workload.Job
+	for {
+		j, ok := src.Next()
+		if !ok {
+			break
+		}
+		got = append(got, j)
+	}
+	if err := src.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("streamed %d jobs, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Fatalf("job %d diverged: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+
+	// Zero-proc record mid-stream: two good jobs, then a hard stop.
+	bad := "1 0 0 5 2 1\n2 0 0 5 1 1\n3 0 0 5 0 1\n4 0 0 5 1 1\n"
+	src = NewSWFJobSource(strings.NewReader(bad))
+	n := 0
+	for {
+		if _, ok := src.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 2 || src.Err() == nil {
+		t.Fatalf("bad record: yielded %d jobs, err=%v", n, src.Err())
+	}
+	if _, ok := src.Next(); ok || src.Err() == nil {
+		t.Fatal("source restarted after error")
+	}
+}
+
+// TestSWFWriterStreamEquivalence: streaming records one at a time in ID
+// order produces the exact bytes of the batch writer, and the streamed
+// file preserves the write→read→write stability property.
+func TestSWFWriterStreamEquivalence(t *testing.T) {
+	rng := stats.NewRNG(11)
+	recs := randomRecs(rng, 50)
+	var batch bytes.Buffer
+	if err := WriteSWFRecords(&batch, recs); err != nil {
+		t.Fatal(err)
+	}
+	var stream bytes.Buffer
+	w := NewSWFWriter(&stream)
+	for _, rec := range recs {
+		if err := w.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(batch.Bytes(), stream.Bytes()) {
+		t.Fatalf("streamed bytes diverged from batch writer:\n%s\nvs\n%s", stream.String(), batch.String())
+	}
+	parsed, err := ReadSWFRecords(bytes.NewReader(stream.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second bytes.Buffer
+	if err := WriteSWFRecords(&second, parsed); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(stream.Bytes(), second.Bytes()) {
+		t.Fatal("streamed file not write→read→write stable")
+	}
+}
+
+// TestSWFSpool: the spill retention keeps a bounded tail, spools
+// evictions in Add order, and DrainTail persists the remainder so the
+// file holds the complete history.
+func TestSWFSpool(t *testing.T) {
+	job := &workload.Job{ID: 0, Kind: workload.Rigid, Release: 0, Weight: 1, DueDate: -1,
+		SeqTime: 2, MinProcs: 1, MaxProcs: 1, Model: workload.Linear{}}
+	var file bytes.Buffer
+	sp := NewSWFSpool(&file, 4)
+	var all []metrics.Completion
+	for i := 0; i < 10; i++ {
+		j := *job
+		j.ID = i
+		c := metrics.Completion{Job: &j, Start: float64(i), End: float64(i + 2), Procs: 1}
+		all = append(all, c)
+		sp.Add(c)
+	}
+	if sp.Len() != 4 {
+		t.Fatalf("tail length %d, want 4", sp.Len())
+	}
+	if tail := sp.Completions(); tail[0].Job.ID != 6 || tail[3].Job.ID != 9 {
+		t.Fatalf("tail wrong: %v..%v", tail[0].Job.ID, tail[3].Job.ID)
+	}
+	if err := sp.DrainTail(); err != nil {
+		t.Fatal(err)
+	}
+	if sp.Err() != nil {
+		t.Fatal(sp.Err())
+	}
+	recs, err := ReadSWFRecords(bytes.NewReader(file.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 10 {
+		t.Fatalf("spooled %d records, want 10", len(recs))
+	}
+	for i, rec := range recs {
+		if want := RecordOf(all[i]); rec != want {
+			t.Fatalf("spooled record %d = %+v, want %+v", i, rec, want)
+		}
+	}
+
+	// Write failures are sticky and surface from Flush/Err.
+	bad := NewSWFSpool(failWriter{}, 1)
+	for i := 0; i < 64*1024; i++ { // push past the bufio buffer
+		bad.Add(all[0])
+	}
+	if bad.Flush() == nil || bad.Err() == nil {
+		t.Fatal("spool write failure not surfaced")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("disk full") }
+
+// FuzzSWFScanner: for arbitrary input the scanner must never panic, must
+// agree with ReadSWFRecords (records and error), and any input that
+// parses cleanly must round-trip byte-stably through write→read→write.
+func FuzzSWFScanner(f *testing.F) {
+	f.Add("; id submit wait runtime procs weight\n1 0 0 5 2 1\n")
+	f.Add("1 1e-300 2.5 3 4 5\n2 1e300 0.1 7 1 1")
+	f.Add("")
+	f.Add(";\n\n  \n")
+	f.Add("1 0 0 5 2 1 extra fields ignored\n")
+	f.Add("-1 -2 -3 -4 -5 -6\n")
+	f.Add("a b c d e f\n")
+	f.Add("1 0 0\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		sc := NewSWFScanner(strings.NewReader(input))
+		var got []SWFRecord
+		for sc.Scan() {
+			got = append(got, sc.Record())
+		}
+		want, rerr := ReadSWFRecords(strings.NewReader(input))
+		serr := sc.Err()
+		if (serr == nil) != (rerr == nil) || (serr != nil && serr.Error() != rerr.Error()) {
+			t.Fatalf("scanner err %v, reader err %v", serr, rerr)
+		}
+		if rerr != nil {
+			return
+		}
+		if len(got) != len(want) {
+			t.Fatalf("scanner %d records, reader %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("record %d: %+v vs %+v", i, got[i], want[i])
+			}
+		}
+		// Canonicalize once, then the format is a fixed point.
+		var first bytes.Buffer
+		if err := WriteSWFRecords(&first, want); err != nil {
+			t.Fatal(err)
+		}
+		again, err := ReadSWFRecords(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("canonical form failed to parse: %v", err)
+		}
+		var second bytes.Buffer
+		if err := WriteSWFRecords(&second, again); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("write→read→write not stable:\n%s\nvs\n%s", first.String(), second.String())
+		}
+	})
+}

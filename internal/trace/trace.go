@@ -155,33 +155,14 @@ func WriteSWF(w io.Writer, cs []metrics.Completion) error {
 	return WriteSWFRecords(w, recs)
 }
 
-// ReadSWFRecords parses the WriteSWF format, preserving every field.
+// ReadSWFRecords parses the WriteSWF format, preserving every field. It
+// is a materializing Collect over SWFScanner; stream-scale callers
+// should iterate the scanner (or SWFJobSource) directly.
 func ReadSWFRecords(r io.Reader) ([]SWFRecord, error) {
-	sc := bufio.NewScanner(r)
+	sc := NewSWFScanner(r)
 	var recs []SWFRecord
-	line := 0
 	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" || strings.HasPrefix(text, ";") {
-			continue
-		}
-		fields := strings.Fields(text)
-		if len(fields) < 6 {
-			return nil, fmt.Errorf("trace: line %d: %d fields, want 6", line, len(fields))
-		}
-		vals := make([]float64, 6)
-		for i, f := range fields[:6] {
-			v, err := strconv.ParseFloat(f, 64)
-			if err != nil {
-				return nil, fmt.Errorf("trace: line %d field %d: %w", line, i, err)
-			}
-			vals[i] = v
-		}
-		recs = append(recs, SWFRecord{
-			ID: int(vals[0]), Submit: vals[1], Wait: vals[2],
-			Runtime: vals[3], Procs: int(vals[4]), Weight: vals[5],
-		})
+		recs = append(recs, sc.Record())
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err

@@ -54,84 +54,24 @@ func (c GenConfig) fill() GenConfig {
 
 // Sequential generates non-parallel jobs (the "Non Parallel" series of
 // Figure 2): rigid single-processor jobs with lognormal durations.
+// It materializes SequentialSource; both forms draw the same stream.
 func Sequential(cfg GenConfig) []*Job {
-	cfg = cfg.fill()
-	rng := stats.NewRNG(cfg.Seed)
-	jobs := make([]*Job, cfg.N)
-	clock := 0.0
-	for i := range jobs {
-		if cfg.ArrivalRate > 0 {
-			clock += rng.Exp(cfg.ArrivalRate)
-		}
-		jobs[i] = &Job{
-			ID:       i,
-			Name:     fmt.Sprintf("seq-%d", i),
-			Class:    "sequential",
-			Kind:     Rigid,
-			Release:  clock,
-			Weight:   weight(rng, cfg.Weighted),
-			DueDate:  -1,
-			SeqTime:  rng.LogNormal(cfg.SeqMu, cfg.SeqSigma),
-			MinProcs: 1,
-			MaxProcs: 1,
-			Model:    Linear{},
-		}
-		setDueDate(jobs[i], rng, cfg.DueDateSlack)
-	}
-	return jobs
+	return Collect(SequentialSource(cfg))
 }
 
 // Parallel generates moldable parallel jobs (the "Parallel" series of
 // Figure 2): lognormal sequential times, mixed speedup models (Amdahl and
 // power-law), MaxProcs drawn up to the platform width, an optional rigid
 // fraction, all with frozen monotone time tables.
+// It materializes ParallelSource; both forms draw the same stream.
 func Parallel(cfg GenConfig) []*Job {
-	cfg = cfg.fill()
-	rng := stats.NewRNG(cfg.Seed)
-	jobs := make([]*Job, cfg.N)
-	clock := 0.0
-	for i := range jobs {
-		if cfg.ArrivalRate > 0 {
-			clock += rng.Exp(cfg.ArrivalRate)
-		}
-		seq := rng.LogNormal(cfg.SeqMu, cfg.SeqSigma)
-		model := randomModel(rng)
-		maxP := rng.IntRange(1, cfg.M)
-		if cfg.MaxProcsCap > 0 && maxP > cfg.MaxProcsCap {
-			maxP = cfg.MaxProcsCap
-		}
-		j := &Job{
-			ID:       i,
-			Name:     fmt.Sprintf("par-%d", i),
-			Class:    "parallel",
-			Kind:     Moldable,
-			Release:  clock,
-			Weight:   weight(rng, cfg.Weighted),
-			DueDate:  -1,
-			SeqTime:  seq,
-			MinProcs: 1,
-			MaxProcs: maxP,
-			Model:    model,
-			Times:    MakeTable(model, seq, maxP),
-		}
-		if rng.Bool(cfg.RigidFraction) {
-			p := rng.IntRange(1, maxP)
-			j.Kind = Rigid
-			j.MinProcs, j.MaxProcs = p, p
-		}
-		setDueDate(j, rng, cfg.DueDateSlack)
-		jobs[i] = j
-	}
-	return jobs
+	return Collect(ParallelSource(cfg))
 }
 
 // Mixed generates the §5.1 scenario: a mix of rigid and moldable jobs on
 // the same cluster, with RigidFraction of the jobs frozen.
 func Mixed(cfg GenConfig) []*Job {
-	if cfg.RigidFraction == 0 {
-		cfg.RigidFraction = 0.3
-	}
-	return Parallel(cfg)
+	return Collect(MixedSource(cfg))
 }
 
 // randomModel draws one of the moldable speedup models with workload-level
@@ -204,47 +144,9 @@ func CIMENTCommunities() []Community {
 // Communities generates n jobs drawn from the given community mix with
 // Poisson arrivals at the given rate (jobs/second). Jobs are clipped to
 // the platform width m.
+// It materializes CommunitiesSource; both forms draw the same stream.
 func Communities(mix []Community, n, m int, rate float64, seed uint64) []*Job {
-	rng := stats.NewRNG(seed)
-	shares := make([]float64, len(mix))
-	for i, c := range mix {
-		shares[i] = c.Share
-	}
-	jobs := make([]*Job, n)
-	clock := 0.0
-	for i := range jobs {
-		if rate > 0 {
-			clock += rng.Exp(rate)
-		}
-		c := mix[rng.Choice(shares)]
-		seq := rng.LogNormal(c.SeqMu, c.SeqSigma)
-		maxP := rng.IntRange(c.MaxProcsLo, c.MaxProcsHi)
-		if maxP > m {
-			maxP = m
-		}
-		model := SpeedupModel(Amdahl{Alpha: 0.05})
-		j := &Job{
-			ID:       i,
-			Name:     fmt.Sprintf("%s-%d", c.Name, i),
-			Class:    c.Name,
-			Kind:     Moldable,
-			Release:  clock,
-			Weight:   c.Weight,
-			DueDate:  -1,
-			SeqTime:  seq,
-			MinProcs: 1,
-			MaxProcs: maxP,
-			Model:    model,
-			Times:    MakeTable(model, seq, maxP),
-		}
-		if rng.Bool(c.RigidProb) {
-			p := rng.IntRange(1, maxP)
-			j.Kind = Rigid
-			j.MinProcs, j.MaxProcs = p, p
-		}
-		jobs[i] = j
-	}
-	return jobs
+	return Collect(CommunitiesSource(mix, n, m, rate, seed))
 }
 
 // Bag is a multi-parametric job (§5.2): a large number of short

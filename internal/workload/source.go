@@ -1,0 +1,201 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Source is a pull iterator over a job stream. Next returns the next
+// job until the stream is exhausted. Sources let simulations admit jobs
+// lazily — peak memory tracks the jobs currently in flight, not the
+// total stream length — which is what makes multi-million-job archive
+// replays feasible.
+//
+// Sources that can fail mid-stream (e.g. trace readers) additionally
+// implement Err() error; consumers check it after Next returns false.
+// Streams are expected in non-decreasing Release order (every generator
+// here and sorted SWF archives satisfy this); a consumer admitting
+// lazily clamps any out-of-order release to its own current time.
+type Source interface {
+	Next() (*Job, bool)
+}
+
+// SizeHinter is an optional Source extension: a known remaining stream
+// length lets collectors preallocate.
+type SizeHinter interface {
+	SizeHint() int
+}
+
+// sliceSource iterates over an in-memory job slice.
+type sliceSource struct {
+	jobs []*Job
+	i    int
+}
+
+// NewSliceSource adapts a materialized job slice into a Source.
+func NewSliceSource(jobs []*Job) Source { return &sliceSource{jobs: jobs} }
+
+func (s *sliceSource) Next() (*Job, bool) {
+	if s.i >= len(s.jobs) {
+		return nil, false
+	}
+	j := s.jobs[s.i]
+	s.i++
+	return j, true
+}
+
+func (s *sliceSource) SizeHint() int { return len(s.jobs) - s.i }
+
+// Collect drains a source into a slice (the materialized form the
+// offline algorithms need).
+func Collect(s Source) []*Job {
+	var jobs []*Job
+	if h, ok := s.(SizeHinter); ok {
+		jobs = make([]*Job, 0, h.SizeHint())
+	}
+	for {
+		j, ok := s.Next()
+		if !ok {
+			return jobs
+		}
+		jobs = append(jobs, j)
+	}
+}
+
+// genSource backs the synthetic generators: gen produces job i, drawing
+// from the captured RNG in exactly the order the eager generators did,
+// so Collect(XxxSource(cfg)) is byte-identical to Xxx(cfg).
+type genSource struct {
+	n, i int
+	gen  func(i int) *Job
+}
+
+func (g *genSource) Next() (*Job, bool) {
+	if g.i >= g.n {
+		return nil, false
+	}
+	j := g.gen(g.i)
+	g.i++
+	return j, true
+}
+
+func (g *genSource) SizeHint() int { return g.n - g.i }
+
+// SequentialSource streams the Sequential workload without
+// materializing it.
+func SequentialSource(cfg GenConfig) Source {
+	cfg = cfg.fill()
+	rng := stats.NewRNG(cfg.Seed)
+	clock := 0.0
+	return &genSource{n: cfg.N, gen: func(i int) *Job {
+		if cfg.ArrivalRate > 0 {
+			clock += rng.Exp(cfg.ArrivalRate)
+		}
+		j := &Job{
+			ID:       i,
+			Name:     fmt.Sprintf("seq-%d", i),
+			Class:    "sequential",
+			Kind:     Rigid,
+			Release:  clock,
+			Weight:   weight(rng, cfg.Weighted),
+			DueDate:  -1,
+			SeqTime:  rng.LogNormal(cfg.SeqMu, cfg.SeqSigma),
+			MinProcs: 1,
+			MaxProcs: 1,
+			Model:    Linear{},
+		}
+		setDueDate(j, rng, cfg.DueDateSlack)
+		return j
+	}}
+}
+
+// ParallelSource streams the Parallel workload without materializing it.
+func ParallelSource(cfg GenConfig) Source {
+	cfg = cfg.fill()
+	rng := stats.NewRNG(cfg.Seed)
+	clock := 0.0
+	return &genSource{n: cfg.N, gen: func(i int) *Job {
+		if cfg.ArrivalRate > 0 {
+			clock += rng.Exp(cfg.ArrivalRate)
+		}
+		seq := rng.LogNormal(cfg.SeqMu, cfg.SeqSigma)
+		model := randomModel(rng)
+		maxP := rng.IntRange(1, cfg.M)
+		if cfg.MaxProcsCap > 0 && maxP > cfg.MaxProcsCap {
+			maxP = cfg.MaxProcsCap
+		}
+		j := &Job{
+			ID:       i,
+			Name:     fmt.Sprintf("par-%d", i),
+			Class:    "parallel",
+			Kind:     Moldable,
+			Release:  clock,
+			Weight:   weight(rng, cfg.Weighted),
+			DueDate:  -1,
+			SeqTime:  seq,
+			MinProcs: 1,
+			MaxProcs: maxP,
+			Model:    model,
+			Times:    MakeTable(model, seq, maxP),
+		}
+		if rng.Bool(cfg.RigidFraction) {
+			p := rng.IntRange(1, maxP)
+			j.Kind = Rigid
+			j.MinProcs, j.MaxProcs = p, p
+		}
+		setDueDate(j, rng, cfg.DueDateSlack)
+		return j
+	}}
+}
+
+// MixedSource streams the Mixed (§5.1) workload without materializing it.
+func MixedSource(cfg GenConfig) Source {
+	if cfg.RigidFraction == 0 {
+		cfg.RigidFraction = 0.3
+	}
+	return ParallelSource(cfg)
+}
+
+// CommunitiesSource streams the Communities (§5.2) workload without
+// materializing it.
+func CommunitiesSource(mix []Community, n, m int, rate float64, seed uint64) Source {
+	rng := stats.NewRNG(seed)
+	shares := make([]float64, len(mix))
+	for i, c := range mix {
+		shares[i] = c.Share
+	}
+	clock := 0.0
+	return &genSource{n: n, gen: func(i int) *Job {
+		if rate > 0 {
+			clock += rng.Exp(rate)
+		}
+		c := mix[rng.Choice(shares)]
+		seq := rng.LogNormal(c.SeqMu, c.SeqSigma)
+		maxP := rng.IntRange(c.MaxProcsLo, c.MaxProcsHi)
+		if maxP > m {
+			maxP = m
+		}
+		model := SpeedupModel(Amdahl{Alpha: 0.05})
+		j := &Job{
+			ID:       i,
+			Name:     fmt.Sprintf("%s-%d", c.Name, i),
+			Class:    c.Name,
+			Kind:     Moldable,
+			Release:  clock,
+			Weight:   c.Weight,
+			DueDate:  -1,
+			SeqTime:  seq,
+			MinProcs: 1,
+			MaxProcs: maxP,
+			Model:    model,
+			Times:    MakeTable(model, seq, maxP),
+		}
+		if rng.Bool(c.RigidProb) {
+			p := rng.IntRange(1, maxP)
+			j.Kind = Rigid
+			j.MinProcs, j.MaxProcs = p, p
+		}
+		return j
+	}}
+}

@@ -1,0 +1,81 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+)
+
+// jobEqual compares every field including the Times table.
+func jobsEqual(t *testing.T, label string, want, got []*Job) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d vs %d jobs", label, len(want), len(got))
+	}
+	for i := range want {
+		if !reflect.DeepEqual(want[i], got[i]) {
+			t.Fatalf("%s: job %d differs:\nwant %+v\ngot  %+v", label, i, want[i], got[i])
+		}
+	}
+}
+
+// TestSourcesMatchGenerators pins the contract the goldens depend on:
+// the streaming sources draw the exact same RNG sequence as the eager
+// generators, for every model and a spread of configurations.
+func TestSourcesMatchGenerators(t *testing.T) {
+	cfgs := []GenConfig{
+		{},
+		{N: 257, M: 48, Seed: 7, ArrivalRate: 0.25},
+		{N: 100, M: 64, Seed: 42, Weighted: true, RigidFraction: 0.4, DueDateSlack: 3},
+		{N: 31, M: 128, Seed: 9, ArrivalRate: 2, MaxProcsCap: 10},
+	}
+	for _, cfg := range cfgs {
+		jobsEqual(t, "sequential", Sequential(cfg), Collect(SequentialSource(cfg)))
+		jobsEqual(t, "parallel", Parallel(cfg), Collect(ParallelSource(cfg)))
+		jobsEqual(t, "mixed", Mixed(cfg), Collect(MixedSource(cfg)))
+	}
+	mix := CIMENTCommunities()
+	jobsEqual(t, "communities",
+		Communities(mix, 300, 64, 0.1, 11),
+		Collect(CommunitiesSource(mix, 300, 64, 0.1, 11)))
+}
+
+// TestSourceReleaseOrder pins the lazy-admission prerequisite: every
+// generator emits jobs in non-decreasing release order.
+func TestSourceReleaseOrder(t *testing.T) {
+	srcs := map[string]Source{
+		"sequential":  SequentialSource(GenConfig{N: 500, Seed: 3, ArrivalRate: 0.5}),
+		"parallel":    ParallelSource(GenConfig{N: 500, Seed: 3, ArrivalRate: 5}),
+		"communities": CommunitiesSource(CIMENTCommunities(), 500, 64, 1, 3),
+	}
+	for name, src := range srcs {
+		last := 0.0
+		for {
+			j, ok := src.Next()
+			if !ok {
+				break
+			}
+			if j.Release < last {
+				t.Fatalf("%s: release went backwards: %v after %v", name, j.Release, last)
+			}
+			last = j.Release
+		}
+	}
+}
+
+func TestSliceSourceAndSizeHint(t *testing.T) {
+	jobs := Parallel(GenConfig{N: 10})
+	src := NewSliceSource(jobs)
+	if h := src.(SizeHinter).SizeHint(); h != 10 {
+		t.Fatalf("SizeHint = %d, want 10", h)
+	}
+	if _, ok := src.Next(); !ok {
+		t.Fatal("empty source")
+	}
+	if h := src.(SizeHinter).SizeHint(); h != 9 {
+		t.Fatalf("SizeHint after Next = %d, want 9", h)
+	}
+	got := Collect(src)
+	if len(got) != 9 || got[0] != jobs[1] {
+		t.Fatalf("Collect returned %d jobs", len(got))
+	}
+}

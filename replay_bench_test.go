@@ -1,0 +1,187 @@
+// Streaming-replay benchmark and smoke test: stream a synthetic SWF
+// archive of REPLAY_JOBS jobs (default one million) through the online
+// simulator with lazy admission, the O(1) metrics accumulator and
+// discard retention, and report wire speed (events/s) plus peak heap.
+// Peak memory is O(active jobs), so the heap figure stays flat as the
+// archive grows — BENCH_2.json records the 100k-vs-1M evidence.
+//
+// Run: go test -bench BenchmarkReplay -benchtime 1x .
+// Smoke (CI, under GOMEMLIMIT): REPLAY_SMOKE=1 go test -run TestReplaySmoke -v .
+package repro
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/des"
+	"repro/internal/metrics"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// replayM is the cluster width the replay stream is shaped for. The
+// arrival rate (2 jobs/s) times the mean work per job (~10.5s × ~1.5
+// procs) keeps utilization near 50%, so the queue — and with it the
+// active set — stays bounded however long the archive is.
+const replayM = 64
+
+// replayJobs resolves the archive size (REPLAY_JOBS env, default 1M).
+func replayJobs(tb testing.TB) int {
+	n := 1_000_000
+	if s := os.Getenv("REPLAY_JOBS"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v <= 0 {
+			tb.Fatalf("bad REPLAY_JOBS %q", s)
+		}
+		n = v
+	}
+	return n
+}
+
+// writeReplayArchive streams an n-job rigid trace to path in O(1)
+// memory (the generator writes line by line; nothing is accumulated).
+func writeReplayArchive(tb testing.TB, path string, n int) {
+	tb.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	w := trace.NewSWFWriter(f)
+	rng := stats.NewRNG(1)
+	for i := 0; i < n; i++ {
+		if err := w.Write(trace.SWFRecord{
+			ID: i, Submit: float64(i) * 0.5, Wait: 0,
+			Runtime: rng.Range(1, 20), Procs: rng.IntRange(1, 2), Weight: 1,
+		}); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		tb.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		tb.Fatal(err)
+	}
+}
+
+// streamReplay replays the archive once and returns the event count
+// and the peak heap observed by a 5ms sampler during the run.
+func streamReplay(tb testing.TB, path string, n int) (events uint64, peakHeap uint64) {
+	tb.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer f.Close()
+	sim, err := cluster.New(des.New(), replayM, 1, cluster.EASYPolicy{}, cluster.KillNewest)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := sim.SetRetention(metrics.NewDiscard()); err != nil {
+		tb.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var peak uint64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var ms runtime.MemStats
+		for {
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > peak {
+				peak = ms.HeapAlloc
+			}
+			select {
+			case <-stop:
+				return
+			case <-time.After(5 * time.Millisecond):
+			}
+		}
+	}()
+
+	if err := sim.Stream(trace.NewSWFJobSource(f)); err != nil {
+		tb.Fatal(err)
+	}
+	if err := sim.Run(); err != nil {
+		tb.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	if sim.CompletedCount() != n {
+		tb.Fatalf("completed %d of %d jobs", sim.CompletedCount(), n)
+	}
+	if sim.Report().Makespan <= 0 {
+		tb.Fatal("degenerate replay report")
+	}
+	return sim.DES.Processed, peak
+}
+
+// BenchmarkReplayMillionJobs streams the archive through the engine and
+// reports events/s and peak heap alongside the standard measurements.
+func BenchmarkReplayMillionJobs(b *testing.B) {
+	n := replayJobs(b)
+	path := filepath.Join(b.TempDir(), "archive.swf")
+	writeReplayArchive(b, path, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var events, peak uint64
+	for i := 0; i < b.N; i++ {
+		ev, pk := streamReplay(b, path, n)
+		events += ev
+		if pk > peak {
+			peak = pk
+		}
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+	b.ReportMetric(float64(peak), "peak-heap-B")
+}
+
+// TestReplaySmokeMillionJobs is the CI replay smoke (REPLAY_SMOKE=1,
+// run under GOMEMLIMIT by scripts/smoke_replay.sh): the full archive
+// must stream within a hard peak-heap bound and above an events/s
+// floor. Bounds are env-tunable for slow runners:
+// REPLAY_MAX_HEAP_MB (default 256), REPLAY_MIN_EVENTS_PER_SEC
+// (default 100000).
+func TestReplaySmokeMillionJobs(t *testing.T) {
+	if os.Getenv("REPLAY_SMOKE") == "" {
+		t.Skip("set REPLAY_SMOKE=1 to run the streaming replay smoke")
+	}
+	envInt := func(key string, def int) int {
+		if s := os.Getenv(key); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v <= 0 {
+				t.Fatalf("bad %s %q", key, s)
+			}
+			return v
+		}
+		return def
+	}
+	maxHeapMB := envInt("REPLAY_MAX_HEAP_MB", 256)
+	minEvents := envInt("REPLAY_MIN_EVENTS_PER_SEC", 100_000)
+
+	n := replayJobs(t)
+	path := filepath.Join(t.TempDir(), "archive.swf")
+	writeReplayArchive(t, path, n)
+	t0 := time.Now()
+	events, peak := streamReplay(t, path, n)
+	elapsed := time.Since(t0)
+
+	rate := float64(events) / elapsed.Seconds()
+	t.Logf("replayed %d jobs: %d events in %v (%.0f events/s), peak heap %.1f MiB",
+		n, events, elapsed.Round(time.Millisecond), rate, float64(peak)/(1<<20))
+	if peak > uint64(maxHeapMB)<<20 {
+		t.Fatalf("peak heap %.1f MiB exceeds the %d MiB bound — streaming memory is not O(active)",
+			float64(peak)/(1<<20), maxHeapMB)
+	}
+	if rate < float64(minEvents) {
+		t.Fatalf("replay ran at %.0f events/s, below the %d floor", rate, minEvents)
+	}
+}

@@ -22,14 +22,26 @@ trap 'rm -f "$TMP"' EXIT
 
 go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "${BENCHTIME:-1s}" . | tee "$TMP"
 
+# Benchmark lines are "<name> <iters> <value> <unit> <value> <unit>…".
+# Custom b.ReportMetric units (e.g. events/s, peak-heap-B from the
+# replay benchmark) shift the columns, so scan the value/unit pairs
+# instead of hard-coding positions.
 awk -v benchtime="${BENCHTIME:-1s}" '
 BEGIN { print "{"; printf("  \"benchtime\": \"%s\",\n  \"results\": [", benchtime); first = 1 }
-/^Benchmark/ && NF >= 7 {
+/^Benchmark/ && NF >= 4 {
   name = $1; sub(/-[0-9]+$/, "", name)
   if (!first) printf(",")
   first = 0
-  printf("\n    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
-         name, $3, $5, $7)
+  printf("\n    {\"name\": \"%s\"", name)
+  for (i = 3; i < NF; i += 2) {
+    unit = $(i + 1)
+    if (unit == "ns/op")          key = "ns_per_op"
+    else if (unit == "B/op")      key = "bytes_per_op"
+    else if (unit == "allocs/op") key = "allocs_per_op"
+    else { key = unit; gsub(/[^A-Za-z0-9]+/, "_", key) }
+    printf(", \"%s\": %s", key, $i)
+  }
+  printf("}")
 }
 END { print "\n  ]\n}" }' "$TMP" > "$OUT"
 
