@@ -113,6 +113,11 @@ type BETask struct {
 	BagID    int
 	Index    int
 	Duration float64 // at reference speed 1.0
+	// Resubmits counts how many times this task has been killed and
+	// handed back for redistribution (killOneBE increments it before the
+	// OnBEKilled handoff, so a task arriving with Resubmits > 0 is a
+	// redistribution — the BEStats.Redistributed signal).
+	Resubmits int
 }
 
 // LoadInfo is a point-in-time load snapshot of one cluster, published
@@ -142,12 +147,25 @@ func (l LoadInfo) NormLoad() float64 {
 	return l.QueuedWork / (float64(l.M) * l.Speed)
 }
 
-// BEStats aggregates the best-effort activity of one cluster.
-type BEStats struct {
-	Completed  int
-	Killed     int
-	DoneWork   float64 // reference-speed work completed
-	WastedWork float64 // reference-speed work lost to kills
+// BEStats aggregates the best-effort activity of one cluster. It is an
+// alias of the metrics type so Sim.Report can carry it without copying
+// field by field.
+type BEStats = metrics.BestEffortStats
+
+// FaultStats aggregates the fault-injection activity of one cluster
+// (alias of the metrics type, see BEStats).
+type FaultStats = metrics.FaultStats
+
+// availHorizon is the finite "forever" used for open-ended capacity
+// reservations (SetAvailability has no known repair time): far beyond
+// any simulation horizon but still a normal float, so the resource
+// profile stays free of infinities.
+const availHorizon = 1e15
+
+// outage is one transient capacity loss with a known repair time.
+type outage struct {
+	procs int
+	until float64
 }
 
 type beRunning struct {
@@ -213,6 +231,18 @@ type Sim struct {
 	submitted int
 	drained   bool
 
+	// Fault-injection state. avail is the number of currently working
+	// processors (M while healthy — the only cost on the healthy hot
+	// path is reading this field instead of the M constant); outages are
+	// the active transient capacity losses (known repair times) and
+	// traceDown the open-ended capacity loss set by SetAvailability.
+	// availSince anchors the DownProcSeconds integration.
+	avail      int
+	traceDown  int
+	outages    []*outage
+	availSince float64
+	faultStats FaultStats
+
 	// load is the atomically published LoadInfo snapshot behind
 	// LoadSnapshot, refreshed after every event that changes the queue or
 	// the processor occupation. Publication is gated on poll so offline
@@ -240,6 +270,9 @@ type localRunning struct {
 	procs int
 	start float64
 	end   float64
+	// cancelled guards the pending finish event of a job killed by a
+	// crash: the event still fires but must not complete the job.
+	cancelled bool
 }
 
 // New creates a cluster simulator. speed scales all execution times
@@ -263,6 +296,7 @@ func New(sim *des.Simulator, m int, speed float64, policy Policy, kill KillPolic
 		profile: rigid.NewProfile(m),
 		acc:     metrics.NewAccumulator(m),
 		retain:  metrics.NewFullRetention(),
+		avail:   m,
 	}
 	s.forcePublishLoad()
 	return s, nil
@@ -428,6 +462,9 @@ func (s *Sim) arrive() {
 
 // SubmitBestEffort enqueues a grid task; it will run in scheduling holes.
 func (s *Sim) SubmitBestEffort(t BETask) {
+	if t.Resubmits > 0 {
+		s.beStats.Redistributed++
+	}
 	s.beQueue = append(s.beQueue, t)
 	s.publishLoad()
 	// Defer the fill to an immediate event so that submission during
@@ -445,9 +482,9 @@ func (s *Sim) SubmitBestEffort(t BETask) {
 	})
 }
 
-// free returns physically free processors.
+// free returns physically free working processors.
 func (s *Sim) free() int {
-	return s.M - s.localProcs - len(s.beActive)
+	return s.avail - s.localProcs - len(s.beActive)
 }
 
 // reschedule runs the policy, starts its decisions (evicting best-effort
@@ -461,7 +498,7 @@ func (s *Sim) reschedule() {
 		s.viewRunning = append(s.viewRunning, RunningInfo{End: r.end, Procs: r.procs})
 	}
 	view := View{
-		Now: now, M: s.M, Avail: s.M - s.localProcs, Speed: s.Speed,
+		Now: now, M: s.M, Avail: s.avail - s.localProcs, Speed: s.Speed,
 		Queue: s.viewQueue, Running: s.viewRunning, Profile: s.profile,
 	}
 	decisions := s.policy.Decide(view)
@@ -487,8 +524,8 @@ func (s *Sim) start(d Decision, now float64) {
 	if idx < 0 || d.Procs < d.Job.MinProcs || d.Procs > d.Job.MaxProcs {
 		return
 	}
-	if d.Procs > s.M-s.localProcs {
-		return // policy overcommitted; refuse
+	if d.Procs > s.avail-s.localProcs {
+		return // policy overcommitted (or capacity just crashed); refuse
 	}
 	// Evict best-effort tasks if physically needed.
 	for s.free() < d.Procs {
@@ -522,6 +559,9 @@ func (s *Sim) start(d Decision, now float64) {
 }
 
 func (s *Sim) finish(run *localRunning) {
+	if run.cancelled {
+		return // killed by a crash; the job was requeued
+	}
 	for i, r := range s.running {
 		if r == run {
 			s.running = append(s.running[:i], s.running[i+1:]...)
@@ -541,11 +581,32 @@ func (s *Sim) finish(run *localRunning) {
 }
 
 // rebuildProfile reconstructs the persistent profile from the running
-// set (defensive resync; never needed while the incremental updates and
-// the running list agree — the cross-check is a test invariant).
+// set and the active capacity losses (fault events call it; otherwise a
+// defensive resync, never needed while the incremental updates and the
+// running list agree — the cross-check is a test invariant). Outages
+// with known repair times are carved out only until that time, so a
+// backfill plan sees the capacity come back and can reserve behind it.
 func (s *Sim) rebuildProfile(now float64) {
 	s.profile = rigid.NewProfile(s.M)
 	s.profile.TrimBefore(now)
+	remaining := s.M - s.avail
+	for _, o := range s.outages {
+		if remaining <= 0 {
+			break
+		}
+		p := o.procs
+		if p > remaining {
+			p = remaining
+		}
+		if o.until > now && p > 0 {
+			_ = s.profile.Reserve(now, o.until-now, p)
+			remaining -= p
+		}
+	}
+	if remaining > 0 {
+		// Open-ended loss (SetAvailability): no known repair time.
+		_ = s.profile.Reserve(now, availHorizon, remaining)
+	}
 	for _, r := range s.running {
 		if r.end > now {
 			_ = s.profile.Reserve(now, r.end-now, r.procs)
@@ -582,10 +643,136 @@ func (s *Sim) killOneBE(now float64) bool {
 	b.cancelled = true
 	s.beStats.Killed++
 	s.beStats.WastedWork += (now - b.start) * s.Speed
+	b.task.Resubmits++
 	if s.OnBEKilled != nil {
 		s.OnBEKilled(b.task)
 	}
 	return true
+}
+
+// killOneLocal evicts the most recently started local job (least sunk
+// work, ties broken by the larger job ID — deterministic) and requeues
+// it at the tail of the submission queue with its release date intact,
+// so the §3 flow/stretch criteria absorb the wait-time penalty. Returns
+// false when nothing is running.
+func (s *Sim) killOneLocal(now float64) bool {
+	if len(s.running) == 0 {
+		return false
+	}
+	victim := 0
+	for i, r := range s.running {
+		v := s.running[victim]
+		if r.start > v.start || (r.start == v.start && r.job.ID > v.job.ID) {
+			victim = i
+		}
+	}
+	run := s.running[victim]
+	s.running = append(s.running[:victim], s.running[victim+1:]...)
+	run.cancelled = true
+	s.localProcs -= run.procs
+	s.faultStats.Requeues++
+	s.faultStats.LostWork += float64(run.procs) * (now - run.start) * s.Speed
+	s.queue = append(s.queue, run.job)
+	w, _ := run.job.MinWork(s.M)
+	s.queuedWork += w
+	return true
+}
+
+// Crash takes procs working processors offline until the given virtual
+// time (the repair time is known at crash time — the fault engine draws
+// it from the MTTR distribution when the crash fires). Best-effort
+// tasks are evicted first (they drift back through OnBEKilled, the
+// §5.2 central-stock path); if capacity is still overcommitted, local
+// jobs are killed newest-first and requeued. Owner-goroutine only, like
+// every mutating call.
+func (s *Sim) Crash(procs int, until float64) error {
+	now := s.DES.Now()
+	if procs <= 0 {
+		return fmt.Errorf("cluster: crash of %d procs", procs)
+	}
+	if math.IsNaN(until) || until <= now {
+		return fmt.Errorf("cluster: crash repair time %v not after now %v", until, now)
+	}
+	s.faultStats.Crashes++
+	if procs > s.avail {
+		procs = s.avail // cannot take down more than is up
+	}
+	if procs <= 0 {
+		return nil // already fully down
+	}
+	o := &outage{procs: procs, until: until}
+	s.outages = append(s.outages, o)
+	s.applyAvail(now)
+	return s.DES.At(until, func() { s.repair(o) })
+}
+
+// repair returns one outage's capacity to service.
+func (s *Sim) repair(o *outage) {
+	for i, x := range s.outages {
+		if x == o {
+			s.outages = append(s.outages[:i], s.outages[i+1:]...)
+			break
+		}
+	}
+	s.faultStats.Repairs++
+	s.applyAvail(s.DES.Now())
+}
+
+// SetAvailability pins the number of working processors to avail
+// (clamped to [0, M]) with no scheduled repair — the hook behind
+// time-varying availability traces, where the fault engine issues one
+// call per trace step. Shrinking evicts best-effort tasks first, then
+// requeues local jobs; growing triggers an immediate reschedule.
+func (s *Sim) SetAvailability(avail int) {
+	if avail < 0 {
+		avail = 0
+	}
+	if avail > s.M {
+		avail = s.M
+	}
+	s.traceDown = s.M - avail
+	s.applyAvail(s.DES.Now())
+}
+
+// Avail returns the current number of working processors (M unless
+// faults are active).
+func (s *Sim) Avail() int { return s.avail }
+
+// applyAvail recomputes availability from the active capacity losses
+// and reconciles the simulation with it: integrate downtime, evict
+// overcommitted work, rebuild the profile with the losses carved out,
+// and reschedule.
+func (s *Sim) applyAvail(now float64) {
+	down := s.traceDown
+	for _, o := range s.outages {
+		down += o.procs
+	}
+	if down > s.M {
+		down = s.M
+	}
+	a := s.M - down
+	if a == s.avail {
+		return
+	}
+	s.faultStats.DownProcSeconds += float64(s.M-s.avail) * (now - s.availSince)
+	s.availSince = now
+	s.avail = a
+	for s.free() < 0 && s.killOneBE(now) {
+	}
+	for s.free() < 0 && s.killOneLocal(now) {
+	}
+	s.rebuildProfile(now)
+	s.reschedule()
+}
+
+// FaultStats returns the fault counters with the downtime integral
+// extended to the current virtual time.
+func (s *Sim) FaultStats() FaultStats {
+	fs := s.faultStats
+	if s.avail < s.M {
+		fs.DownProcSeconds += float64(s.M-s.avail) * (s.DES.Now() - s.availSince)
+	}
+	return fs
 }
 
 func (s *Sim) fillBestEffort(now float64) {
@@ -697,10 +884,18 @@ func (s *Sim) SetRetention(r metrics.Retention) error {
 }
 
 // Report returns the one-pass §3 criteria report over every completion
-// so far. O(1): the accumulator folds completions in as they happen, so
-// calling this per event (or per scrape) costs nothing — and it is
-// bit-for-bit identical to metrics.NewReport over the full history.
-func (s *Sim) Report() metrics.Report { return s.acc.Report() }
+// so far, plus the cluster's best-effort and fault counters. O(1): the
+// accumulator folds completions in as they happen, so calling this per
+// event (or per scrape) costs nothing — and the criteria fields are
+// bit-for-bit identical to metrics.NewReport over the full history
+// (NewReport leaves the BestEffort/Faults counters zero, so the whole
+// struct compares equal for runs without best-effort or fault traffic).
+func (s *Sim) Report() metrics.Report {
+	rep := s.acc.Report()
+	rep.BestEffort = s.beStats
+	rep.Faults = s.FaultStats()
+	return rep
+}
 
 // CompletedCount returns the number of completed local jobs (retention
 // independent).
@@ -709,6 +904,11 @@ func (s *Sim) CompletedCount() int { return s.acc.N() }
 // Submitted returns the number of local jobs admitted so far (for a
 // streaming run this grows as the source is consumed).
 func (s *Sim) Submitted() int { return s.submitted }
+
+// Streaming reports whether a lazy-admission source is still attached
+// (more local jobs will surface later than Submitted counts — the fault
+// engine must not treat the sim as finished yet).
+func (s *Sim) Streaming() bool { return s.src != nil || s.pending != nil }
 
 // RunningCount returns the number of currently running local jobs.
 func (s *Sim) RunningCount() int { return len(s.running) }

@@ -1,0 +1,304 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// TestCrashAtFinishInstant: a crash scheduled before the simulation
+// starts shares a timestamp with the victim's own finish event. The
+// crash event was enqueued first, so it fires first, kills the job and
+// requeues it; the stale finish event must no-op (no double completion,
+// no phantom free capacity).
+func TestCrashAtFinishInstant(t *testing.T) {
+	s, err := New(des.New(), 4, 1, FCFSPolicy{}, KillNewest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crash enqueued before the job arrives: same fire time as the
+	// finish event, smaller sequence number.
+	if err := s.DES.At(10, func() {
+		if err := s.Crash(4, 20); err != nil {
+			t.Errorf("crash: %v", err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Submit(rjob(1, 10, 4, 0)); err != nil { // runs [0,10)
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	cs := s.Completions()
+	if len(cs) != 1 {
+		t.Fatalf("completions = %d, want 1", len(cs))
+	}
+	if cs[0].End <= 20 {
+		t.Fatalf("job finished at %v, want after the repair at 20", cs[0].End)
+	}
+	fs := s.FaultStats()
+	if fs.Requeues != 1 || fs.Crashes != 1 || fs.Repairs != 1 {
+		t.Fatalf("fault stats = %+v, want 1 requeue, 1 crash, 1 repair", fs)
+	}
+	if fs.LostWork != 40 { // 4 procs × 10 s at speed 1
+		t.Fatalf("lost work = %v, want 40", fs.LostWork)
+	}
+	validateCompletions(t, cs, 4)
+}
+
+// TestCrashDuringDrain: capacity disappears while a deep queue is still
+// draining. Every job must complete anyway and the schedule must stay
+// feasible against the shrunken width.
+func TestCrashDuringDrain(t *testing.T) {
+	s, err := New(des.New(), 4, 1, EASYPolicy{}, KillNewest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jobs []*workload.Job
+	for i := 0; i < 12; i++ {
+		jobs = append(jobs, rjob(i+1, 10, 2, 0)) // 6 sequential waves of 2
+	}
+	for _, j := range jobs {
+		if err := s.Submit(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.DES.At(15, func() {
+		if err := s.Crash(2, 35); err != nil {
+			t.Errorf("crash: %v", err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	cs := s.Completions()
+	if len(cs) != len(jobs) {
+		t.Fatalf("completions = %d, want %d", len(cs), len(jobs))
+	}
+	validateCompletions(t, cs, 4)
+	// During [15, 35) only 2 processors were up: no two jobs may overlap
+	// inside the window.
+	for i, a := range cs {
+		for _, b := range cs[i+1:] {
+			ai := a.Start < 35 && a.End > 15
+			bi := b.Start < 35 && b.End > 15
+			if ai && bi && a.Start < b.End && b.Start < a.End {
+				t.Fatalf("jobs %d and %d overlap inside the outage window", a.Job.ID, b.Job.ID)
+			}
+		}
+	}
+}
+
+// TestRepairWithEmptyQueue: a crash/repair cycle on an idle cluster must
+// leave the DES drainable and the counters exact.
+func TestRepairWithEmptyQueue(t *testing.T) {
+	s, err := New(des.New(), 8, 1, EASYPolicy{}, KillNewest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Submit(rjob(1, 5, 2, 0)); err != nil { // done at 5
+		t.Fatal(err)
+	}
+	if err := s.DES.At(10, func() {
+		if err := s.Crash(3, 40); err != nil {
+			t.Errorf("crash: %v", err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	fs := s.FaultStats()
+	if fs.Crashes != 1 || fs.Repairs != 1 || fs.Requeues != 0 {
+		t.Fatalf("fault stats = %+v, want 1 crash, 1 repair, 0 requeues", fs)
+	}
+	if fs.DownProcSeconds != 3*30 {
+		t.Fatalf("down proc-seconds = %v, want 90", fs.DownProcSeconds)
+	}
+	if s.Avail() != 8 {
+		t.Fatalf("avail = %d after repair, want 8", s.Avail())
+	}
+}
+
+// TestFullOutageNeverDeadlocks: a 100%-capacity outage mid-run requeues
+// everything; the cluster must come back and finish the workload rather
+// than wedge (the repair reschedule path).
+func TestFullOutageNeverDeadlocks(t *testing.T) {
+	s, err := New(des.New(), 4, 1, EASYPolicy{}, KillNewest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jobs []*workload.Job
+	for i := 0; i < 6; i++ {
+		jobs = append(jobs, rjob(i+1, 20, 2, float64(i)))
+	}
+	for _, j := range jobs {
+		if err := s.Submit(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.DES.At(10, func() {
+		if err := s.Crash(4, 50); err != nil { // whole cluster down
+			t.Errorf("crash: %v", err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	cs := s.Completions()
+	if len(cs) != len(jobs) {
+		t.Fatalf("completions = %d, want %d", len(cs), len(jobs))
+	}
+	for _, c := range cs {
+		if c.Start >= 10 && c.Start < 50 {
+			t.Fatalf("job %d started at %v inside the full outage", c.Job.ID, c.Start)
+		}
+	}
+	if s.Avail() != 4 {
+		t.Fatalf("avail = %d after repair, want 4", s.Avail())
+	}
+	validateCompletions(t, cs, 4)
+}
+
+// TestSetAvailabilityTrace: a piecewise trace shrinks then restores the
+// width; backfill plans must tolerate the loss and the downtime integral
+// must match the trace exactly.
+func TestSetAvailabilityTrace(t *testing.T) {
+	s, err := New(des.New(), 8, 1, EASYPolicy{}, KillNewest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := s.Submit(rjob(i+1, 10, 4, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = s.DES.At(5, func() { s.SetAvailability(4) })
+	_ = s.DES.At(25, func() { s.SetAvailability(8) })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	cs := s.Completions()
+	if len(cs) != 8 {
+		t.Fatalf("completions = %d, want 8", len(cs))
+	}
+	validateCompletions(t, cs, 8)
+	fs := s.FaultStats()
+	if fs.DownProcSeconds != 4*20 {
+		t.Fatalf("down proc-seconds = %v, want 80", fs.DownProcSeconds)
+	}
+}
+
+// TestCrashValidation: malformed crash calls must be rejected.
+func TestCrashValidation(t *testing.T) {
+	s, err := New(des.New(), 4, 1, FCFSPolicy{}, KillNewest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Crash(0, 10); err == nil {
+		t.Fatal("crash of 0 procs accepted")
+	}
+	if err := s.Crash(2, 0); err == nil {
+		t.Fatal("crash with repair time in the past accepted")
+	}
+}
+
+// beKillOrder runs one loaded best-effort scenario and records the
+// eviction order (bag index and resubmit generation of each victim).
+func beKillOrder(t *testing.T, kill KillPolicy, seed uint64) []string {
+	t.Helper()
+	s, err := New(des.New(), 8, 1, EASYPolicy{}, kill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var order []string
+	s.OnBEKilled = func(bt BETask) {
+		order = append(order, fmt.Sprintf("%d.%d", bt.Index, bt.Resubmits))
+		s.SubmitBestEffort(bt) // drift back, so tasks can die repeatedly
+	}
+	rng := stats.NewRNG(seed)
+	for k := 0; k < 40; k++ {
+		dur := rng.Range(20, 200)
+		if k%4 == 0 {
+			dur = 50 // deliberate ties: equal remaining work across victims
+		}
+		s.SubmitBestEffort(BETask{BagID: 0, Index: k, Duration: dur})
+	}
+	for i := 0; i < 12; i++ {
+		if err := s.Submit(rjob(i+1, 30, 4, float64(10*i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.DES.At(35, func() {
+		if err := s.Crash(4, 90); err != nil {
+			t.Errorf("crash: %v", err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) == 0 {
+		t.Fatal("scenario produced no best-effort kills")
+	}
+	return order
+}
+
+// TestKillPolicyDeterminism: for a fixed seed, the best-effort eviction
+// order — including ties in remaining work — must be bit-identical
+// across runs for both kill policies. This is the property the parallel
+// experiment runner and the golden tables rely on.
+func TestKillPolicyDeterminism(t *testing.T) {
+	policies := map[string]KillPolicy{
+		"newest":            KillNewest,
+		"largest-remaining": KillLargestRemaining,
+	}
+	for name, kp := range policies {
+		t.Run(name, func(t *testing.T) {
+			first := beKillOrder(t, kp, 7)
+			for run := 0; run < 3; run++ {
+				again := beKillOrder(t, kp, 7)
+				if len(again) != len(first) {
+					t.Fatalf("run %d: %d kills, want %d", run, len(again), len(first))
+				}
+				for i := range first {
+					if first[i] != again[i] {
+						t.Fatalf("run %d: kill %d is %s, want %s", run, i, again[i], first[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRedistributedCounting: a task killed and resubmitted counts one
+// redistribution per resubmission.
+func TestRedistributedCounting(t *testing.T) {
+	s, err := New(des.New(), 4, 1, EASYPolicy{}, KillNewest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.OnBEKilled = func(bt BETask) { s.SubmitBestEffort(bt) }
+	s.SubmitBestEffort(BETask{BagID: 0, Index: 0, Duration: 100})
+	if err := s.Submit(rjob(1, 10, 4, 5)); err != nil { // evicts the task at t=5
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.BestEffort()
+	if st.Killed != 1 || st.Redistributed != 1 || st.Completed != 1 {
+		t.Fatalf("best-effort stats = %+v, want 1 killed, 1 redistributed, 1 completed", st)
+	}
+}

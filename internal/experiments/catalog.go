@@ -82,6 +82,8 @@ func init() {
 	scenario.RegisterKind("grid", tableKind(gridRun))
 	scenario.RegisterKind("offline", tableKind(offlineRun))
 	scenario.RegisterKind("replay", tableKind(replayRun))
+	scenario.RegisterKind("faults", tableKind(faultsRun))
+	scenario.RegisterKind("faulttwin", tableKind(faultTwinRun))
 	scenario.RegisterKind("ablation-allotment", tableKind(ablationAllotmentRun))
 	scenario.RegisterKind("ablation-doubling-base", tableKind(ablationDoublingBaseRun))
 	scenario.RegisterKind("ablation-shelf-fill", tableKind(ablationShelfFillRun))
@@ -171,6 +173,18 @@ func init() {
 		scenario.WithDesc("EXT5: streamed workload replay with O(active) memory"),
 		scenario.WithWorkload(scenario.Workload{N: 2000, M: 64, ArrivalRate: 2, RigidFraction: 0.5}),
 		scenario.WithParam("retain", "none")))
+
+	scenario.Register(scenario.New("churn", "faults",
+		scenario.WithTitle("EXT6 — policy robustness under node churn: §3 criteria and best-effort loss vs MTBF"),
+		scenario.WithDesc("EXT6: online policies under seeded node churn, BE loss vs MTBF"),
+		scenario.WithWorkload(scenario.Workload{N: 120, M: 64, ArrivalRate: 0.5, RigidFraction: 1}),
+		scenario.WithParam("mtbfs", []float64{0, 2000, 500, 150}),
+		scenario.WithParam("crash_procs", 8),
+		scenario.WithParam("tasks", 600)))
+	scenario.Register(scenario.New("faulttwin", "faulttwin",
+		scenario.WithTitle("EXT7 — analytical twin: predicted (availability-discounted LB) vs simulated makespan per fault plan"),
+		scenario.WithDesc("EXT7: closed-form availability-discounted bound vs simulation"),
+		scenario.WithParam("n", 400), scenario.WithParam("m", 32)))
 
 	scenario.Register(scenario.New("ablation-allotment", "ablation-allotment",
 		scenario.WithGroup(scenario.GroupAblation),

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/faults"
 	"repro/internal/grid"
 	"repro/internal/metrics"
 	"repro/internal/platform"
@@ -59,9 +60,15 @@ func gridRun(spec *scenario.Spec, seed uint64, sc Scale) (*scenario.Result, erro
 	if err := spec.CheckParams(map[string]scenario.ParamType{"kill": scenario.StringParam}); err != nil {
 		return nil, err
 	}
+	headers := []string{"policy", "migr", "mean flow", "max flow", "makespan", "grid done", "kills", "wasted %", "grid Cmax"}
+	if spec.Faults != nil {
+		// Fault columns only when a plan is set, keeping the healthy
+		// table (and its goldens) in its historical shape.
+		headers = append(headers, "rejected", "crashes", "requeues")
+	}
 	t := newTable(1,
 		title(spec, "T15 — online grid policies (broker routing catalog): 4 heterogeneous clusters, shared stream + campaign"),
-		"policy", "migr", "mean flow", "max flow", "makespan", "grid done", "kills", "wasted %", "grid Cmax")
+		headers...)
 	gen, cfg := genConfig(spec.Workload, workload.GenConfig{
 		N: 240, M: 32, ArrivalRate: 0.1, RigidFraction: 1, MaxProcsCap: 32,
 	})
@@ -144,21 +151,51 @@ func gridRun(spec *scenario.Spec, seed uint64, sc Scale) (*scenario.Result, erro
 		if err != nil {
 			return nil, err
 		}
+		var crashes, requeues int
+		if spec.Faults != nil {
+			r.SetPartitions(spec.Faults.Partitions)
+			if planHasClusterFaults(*spec.Faults) {
+				for ci := range clusters {
+					fp := *spec.Faults
+					fp.Partitions = nil
+					// Every cluster churns from its own stream (one shared
+					// stream would crash the whole fleet in lockstep).
+					fp.Seed ^= seed + uint64(ci)*0x9e3779b97f4a7c15
+					if _, err := faults.Attach(r.Sim(ci), fp); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
 		if err := r.Run(); err != nil {
 			return nil, fmt.Errorf("experiments: %s: %w", entry.Name, err)
 		}
 		st := r.Stats()
-		if st.Rejected > 0 {
+		if st.Rejected > 0 && spec.Faults == nil {
+			// Under a fault plan rejections are expected (a job can
+			// arrive while every wide-enough cluster is partitioned);
+			// they get their own column instead of failing the run.
 			return nil, fmt.Errorf("experiments: %s rejected %d jobs", entry.Name, st.Rejected)
+		}
+		if spec.Faults != nil {
+			for ci := range clusters {
+				fs := r.Sim(ci).FaultStats()
+				crashes += fs.Crashes
+				requeues += fs.Requeues
+			}
 		}
 		cs := r.AllCompletions()
 		wastedPct := 0.0
 		if st.DoneWork+st.WastedWork > 0 {
 			wastedPct = 100 * st.WastedWork / (st.DoneWork + st.WastedWork)
 		}
-		return []any{entry.Name, st.Migrations,
+		row := []any{entry.Name, st.Migrations,
 			metrics.MeanFlow(cs), metrics.MaxFlow(cs), metrics.Makespan(cs),
-			st.TasksCompleted, st.TasksKilled, wastedPct, st.GridMakespan}, nil
+			st.TasksCompleted, st.TasksKilled, wastedPct, st.GridMakespan}
+		if spec.Faults != nil {
+			row = append(row, st.Rejected, crashes, requeues)
+		}
+		return row, nil
 	}); err != nil {
 		return nil, err
 	}

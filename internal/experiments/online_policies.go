@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/des"
+	"repro/internal/faults"
 	"repro/internal/lowerbound"
 	"repro/internal/metrics"
 	"repro/internal/scenario"
@@ -28,9 +29,15 @@ func onlineRun(spec *scenario.Spec, seed uint64, sc Scale) (*scenario.Result, er
 	if err := spec.CheckParams(map[string]scenario.ParamType{"rates": scenario.FloatsParam, "kill": scenario.StringParam}); err != nil {
 		return nil, err
 	}
+	headers := []string{"rate", "n", "policy", "Cmax ratio", "mean flow", "max flow", "mean stretch", "util%"}
+	if spec.Faults != nil {
+		// The fault columns appear only when a plan is set, so the
+		// healthy table (and its goldens) keeps its historical shape.
+		headers = append(headers, "crashes", "requeues", "lost work")
+	}
 	t := newTable(3,
 		title(spec, "T14 — online policy catalog (registry): §3 criteria per queue policy on shared arrival streams"),
-		"rate", "n", "policy", "Cmax ratio", "mean flow", "max flow", "mean stretch", "util%")
+		headers...)
 	gen, cfg := genConfig(spec.Workload, workload.GenConfig{N: 300, M: 64, RigidFraction: 0.5})
 	rates := spec.Floats("rates", nil)
 	if spec.Workload != nil && spec.Workload.ArrivalRate != 0 {
@@ -65,6 +72,14 @@ func onlineRun(spec *scenario.Spec, seed uint64, sc Scale) (*scenario.Result, er
 			if err != nil {
 				return nil, err
 			}
+			if spec.Faults != nil {
+				fp := *spec.Faults
+				fp.Partitions = nil
+				fp.Seed ^= seed + uint64(i)
+				if _, err := faults.Attach(sim, fp); err != nil {
+					return nil, err
+				}
+			}
 			for _, j := range jobs {
 				if err := sim.Submit(j); err != nil {
 					return nil, err
@@ -76,10 +91,15 @@ func onlineRun(spec *scenario.Spec, seed uint64, sc Scale) (*scenario.Result, er
 			cs := sim.Completions()
 			rep := metrics.NewReport(cs, c.M)
 			cmaxLB := lowerbound.Cmax(jobs, c.M)
-			out = append(out, []any{
+			row := []any{
 				rate, n, e.Name, rep.Makespan / cmaxLB,
 				rep.MeanFlow, rep.MaxFlow, rep.MeanStretch, 100 * rep.Utilization,
-			})
+			}
+			if spec.Faults != nil {
+				fs := sim.FaultStats()
+				row = append(row, fs.Crashes, fs.Requeues, fs.LostWork)
+			}
+			out = append(out, row)
 		}
 		return out, nil
 	})

@@ -19,7 +19,7 @@ func TestCatalogComplete(t *testing.T) {
 		"fig2",
 		"mrt", "batch", "smart", "bicriteria", "dlt", "cigri", "decentralized",
 		"mixed", "reservations", "malleable", "treedlt", "criteria", "heterogrid",
-		"policies", "gridpolicies", "replay",
+		"policies", "gridpolicies", "replay", "churn", "faulttwin",
 		"ablation-allotment", "ablation-doubling-base", "ablation-shelf-fill",
 		"ablation-chunk", "ablation-kill-policy", "ablation-compaction",
 	}

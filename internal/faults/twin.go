@@ -1,0 +1,119 @@
+// The analytical twin: closed-form predictions of what a fault plan
+// does to a schedule, validated against the simulator by the
+// predicted-vs-simulated tables. The model discounts the area term of
+// the internal/lowerbound makespan bound by the plan's time-averaged
+// availability fraction ā — on ā·m expected working processors, no
+// schedule can beat total-work / (ā·m) — solved as a fixed point
+// because ā itself depends on the horizon over which finite outages
+// and trace windows are averaged.
+package faults
+
+import (
+	"math"
+
+	"repro/internal/lowerbound"
+	"repro/internal/workload"
+)
+
+// AvgAvailability returns ā: the expected fraction of an m-processor
+// cluster's capacity that is up, time-averaged over [0, horizon].
+// Churn contributes its M/G/∞ steady state (CrashProcs·MTTR/MTBF
+// expected processors down); outages and trace windows contribute
+// their exact time-weighted overlap with the horizon. The result is
+// clamped to (0, 1].
+func AvgAvailability(p Plan, m int, horizon float64) float64 {
+	if m <= 0 || !(horizon > 0) {
+		return 1
+	}
+	var down float64 // proc-seconds of expected unavailability
+	if p.MTBF > 0 {
+		mttr := p.MTTR
+		if mttr <= 0 {
+			mttr = p.MTBF / 10
+		}
+		procs := p.CrashProcs
+		if procs <= 0 {
+			procs = 1
+		}
+		if procs > m {
+			procs = m
+		}
+		d := float64(procs) * mttr / p.MTBF
+		if d > float64(m) {
+			d = float64(m)
+		}
+		down += d * horizon
+	}
+	for _, o := range p.Outages {
+		procs := o.Procs
+		if procs <= 0 || procs > m {
+			procs = m
+		}
+		lo, hi := math.Max(0, o.Start), math.Min(horizon, o.End)
+		if hi > lo {
+			down += float64(procs) * (hi - lo)
+		}
+	}
+	for i, st := range p.Trace {
+		avail := st.Avail
+		if avail > m {
+			avail = m
+		}
+		end := horizon
+		if i+1 < len(p.Trace) && p.Trace[i+1].Time < end {
+			end = p.Trace[i+1].Time
+		}
+		lo, hi := math.Max(0, st.Time), math.Min(horizon, end)
+		if hi > lo {
+			down += float64(m-avail) * (hi - lo)
+		}
+	}
+	a := 1 - down/(float64(m)*horizon)
+	if a < 1e-3 {
+		a = 1e-3 // the bound stays finite even under total blackout plans
+	}
+	if a > 1 {
+		a = 1
+	}
+	return a
+}
+
+// PredictCmax returns the availability-discounted makespan lower bound
+// for jobs on an m-processor cluster under plan p: the fixed point of
+//
+//	h = max( Cmax_lb(jobs, m),  area(jobs) / (ā(h) · m) )
+//
+// where Cmax_lb is the strongest healthy bound (dual approximation +
+// release term) and ā(h) the plan's average availability over [0, h].
+// The iteration is monotone (ā can only shrink as h covers more of the
+// plan) and runs a fixed number of rounds, so the result is
+// deterministic.
+func PredictCmax(jobs []*workload.Job, m int, p Plan) float64 {
+	healthy := lowerbound.Cmax(jobs, m)
+	if healthy <= 0 || m <= 0 {
+		return healthy
+	}
+	area := lowerbound.CmaxArea(jobs, m)
+	h := healthy
+	for range 16 {
+		a := AvgAvailability(p, m, h)
+		next := math.Max(healthy, area/a)
+		if math.Abs(next-h) <= 1e-9*math.Max(1, h) {
+			return next
+		}
+		h = next
+	}
+	return h
+}
+
+// PredictionError returns the signed relative error of the twin's
+// prediction against a simulated makespan: (simulated − predicted) /
+// predicted. Positive values mean the simulation ran longer than the
+// bound (always expected — the twin is a lower bound); the tables
+// report it as a percentage.
+func PredictionError(simulated, predicted float64) float64 {
+	if predicted <= 0 {
+		return 0
+	}
+	return (simulated - predicted) / predicted
+}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/des"
 	"repro/internal/metrics"
+	"repro/internal/scenario"
 	"repro/internal/workload"
 )
 
@@ -45,13 +46,14 @@ type RoutedStats struct {
 // fans out, and which queued jobs migrate. It exists so the online grid
 // policies can be swept deterministically in the paper tables.
 type Routed struct {
-	DES    *des.Simulator
-	sims   []*cluster.Sim
-	router Router
-	opt    RoutedOptions
-	stock  []cluster.BETask
-	stats  RoutedStats
-	nLocal int
+	DES        *des.Simulator
+	sims       []*cluster.Sim
+	router     Router
+	opt        RoutedOptions
+	stock      []cluster.BETask
+	stats      RoutedStats
+	nLocal     int
+	partitions []scenario.PartitionWindow
 
 	redistributePending bool
 }
@@ -105,9 +107,17 @@ func NewRouted(members []Member, jobs []*workload.Job, bags []*workload.Bag, rou
 
 // loads builds the exact fleet load vector (single-threaded, so no
 // staleness — the broker reads the same fields via LoadSnapshot).
+// Clusters behind an open partition window are masked to a zero
+// LoadInfo so every router skips them: no placements, no grants, no
+// migrations reach a partitioned cluster. Work already on the cluster
+// keeps running — a partition cuts scheduling traffic, not execution.
 func (r *Routed) loads() []cluster.LoadInfo {
+	now := r.DES.Now()
 	out := make([]cluster.LoadInfo, len(r.sims))
 	for i, cs := range r.sims {
+		if r.partitioned(i, now) {
+			continue
+		}
 		out[i] = cluster.LoadInfo{
 			M: cs.M, Speed: cs.Speed, Free: cs.Free(),
 			Queued: cs.QueueLength(), QueuedWork: cs.QueuedWork(),
@@ -115,6 +125,32 @@ func (r *Routed) loads() []cluster.LoadInfo {
 		}
 	}
 	return out
+}
+
+// SetPartitions installs the broker-link partition windows. Must be
+// called before Run; each window's close is armed as a redistribution
+// wakeup so stock stranded during a blackout is re-delivered the
+// instant a cluster becomes reachable again.
+func (r *Routed) SetPartitions(windows []scenario.PartitionWindow) {
+	r.partitions = windows
+	for _, w := range windows {
+		_ = r.DES.At(w.End, r.scheduleRedistribute)
+	}
+}
+
+// partitioned reports whether cluster i is cut off at virtual time now.
+func (r *Routed) partitioned(i int, now float64) bool {
+	for _, w := range r.partitions {
+		if now < w.Start || now >= w.End {
+			continue
+		}
+		for _, c := range w.Clusters {
+			if c == i {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // place routes one arriving job.
@@ -162,12 +198,20 @@ func (r *Routed) scheduleRedistribute() {
 }
 
 // redistribute grants stock tasks per the router's fill rule.
+// Partitioned clusters are skipped even when the router's remainder
+// arithmetic grants them tasks (their loads are masked, but e.g. the
+// decentralized largest-remainder loop spreads over every index); the
+// skipped tasks stay in the central stock.
 func (r *Routed) redistribute() {
 	if len(r.stock) == 0 {
 		return
 	}
+	now := r.DES.Now()
 	grants := r.router.Grants(r.loads(), len(r.stock))
 	for i, n := range grants {
+		if r.partitioned(i, now) {
+			continue
+		}
 		for ; n > 0 && len(r.stock) > 0; n-- {
 			t := r.stock[0]
 			r.stock = r.stock[1:]
@@ -177,10 +221,15 @@ func (r *Routed) redistribute() {
 }
 
 // exchange runs one Moves round and re-arms while the grid is alive.
+// Moves touching a partitioned cluster are dropped for the round: the
+// masked loads keep senders quiet, but an idle partitioned cluster can
+// still surface as the argmin destination.
 func (r *Routed) exchange() {
+	now := r.DES.Now()
 	for _, mv := range r.router.Moves(r.loads()) {
 		if mv.Src == mv.Dst || mv.Src < 0 || mv.Dst < 0 ||
-			mv.Src >= len(r.sims) || mv.Dst >= len(r.sims) {
+			mv.Src >= len(r.sims) || mv.Dst >= len(r.sims) ||
+			r.partitioned(mv.Src, now) || r.partitioned(mv.Dst, now) {
 			continue
 		}
 		for _, j := range r.sims[mv.Src].StealQueued(mv.N) {
@@ -228,6 +277,10 @@ func (r *Routed) Run() error {
 
 // Stats returns the aggregated statistics (valid after Run).
 func (r *Routed) Stats() RoutedStats { return r.stats }
+
+// Sim exposes member cluster i's simulation (fault engines attach to
+// it before Run; determinism tests compare it to the live broker).
+func (r *Routed) Sim(i int) *cluster.Sim { return r.sims[i] }
 
 // AllCompletions merges every cluster's local completion records.
 func (r *Routed) AllCompletions() []metrics.Completion {

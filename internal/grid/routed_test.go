@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/platform"
+	"repro/internal/scenario"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -101,6 +102,92 @@ func TestRoutedRejectsOversized(t *testing.T) {
 	st := r.Stats()
 	if st.Routed != 1 || st.Rejected != 1 {
 		t.Fatalf("routed %d rejected %d", st.Routed, st.Rejected)
+	}
+}
+
+// TestRoutedPartitionMasksCluster: a cluster behind an open partition
+// window receives no campaign grants; the rest of the fleet absorbs
+// the stock and the run still completes everything.
+func TestRoutedPartitionMasksCluster(t *testing.T) {
+	bags := []*workload.Bag{{ID: 0, Runs: 60, RunTime: 4, Name: "bag"}}
+	r, err := NewRouted(routedMembers(), nil, bags, NewCentralizedRouter(RouterOptions{}),
+		RoutedOptions{ExchangePeriod: 10}, cluster.KillNewest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cluster 0 is cut for far longer than the fleet needs to drain the
+	// campaign on the remaining 12 processors.
+	r.SetPartitions([]scenario.PartitionWindow{{Start: 0, End: 500, Clusters: []int{0}}})
+	if err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := r.Stats()
+	if st.TasksCompleted != 60 {
+		t.Fatalf("campaign completed %d of 60", st.TasksCompleted)
+	}
+	if got := r.Sim(0).BestEffort().Completed; got != 0 {
+		t.Fatalf("partitioned cluster completed %d tasks", got)
+	}
+}
+
+// TestRoutedFullPartitionRedelivers: with every cluster cut, the stock
+// is stranded until the window closes; the wakeup armed by
+// SetPartitions must redeliver it rather than trip the stuck-stock
+// error, so the whole campaign lands after the blackout lifts.
+func TestRoutedFullPartitionRedelivers(t *testing.T) {
+	bags := []*workload.Bag{{ID: 0, Runs: 40, RunTime: 3, Name: "bag"}}
+	r, err := NewRouted(routedMembers(), nil, bags, NewCentralizedRouter(RouterOptions{}),
+		RoutedOptions{ExchangePeriod: 10}, cluster.KillNewest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetPartitions([]scenario.PartitionWindow{{Start: 0, End: 50, Clusters: []int{0, 1, 2}}})
+	if err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := r.Stats()
+	if st.TasksCompleted != 40 {
+		t.Fatalf("campaign completed %d of 40", st.TasksCompleted)
+	}
+	if st.GridMakespan <= 50 {
+		t.Fatalf("grid makespan %v, want after the blackout lifts at 50", st.GridMakespan)
+	}
+}
+
+// TestRoutedPartitionWindowCloses: jobs released inside a partial
+// partition window route around the cut cluster; jobs released after
+// it may use the whole fleet again.
+func TestRoutedPartitionWindowCloses(t *testing.T) {
+	var jobs []*workload.Job
+	for i := 0; i < 8; i++ {
+		jobs = append(jobs, rjob(i, 10, 6, float64(i))) // during window: only cluster c fits
+	}
+	for i := 8; i < 16; i++ {
+		jobs = append(jobs, rjob(i, 10, 6, 100+float64(i))) // after window
+	}
+	r2, err := NewRouted(routedMembers(), jobs, nil, NewLeastLoadedRouter(RouterOptions{}),
+		RoutedOptions{}, cluster.KillNewest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.SetPartitions([]scenario.PartitionWindow{{Start: 0, End: 50, Clusters: []int{0}}})
+	if err := r2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := r2.Stats()
+	if st.Routed != 16 || st.Rejected != 0 {
+		t.Fatalf("routed %d, rejected %d", st.Routed, st.Rejected)
+	}
+	for _, c := range r2.LocalCompletions(0) {
+		if c.Start < 50 {
+			t.Fatalf("partitioned cluster started job %d at %v inside the window", c.Job.ID, c.Start)
+		}
+	}
+	if got := len(r2.LocalCompletions(0)); got == 0 {
+		t.Fatal("cluster 0 never rejoined the fleet after the window closed")
+	}
+	if got := len(r2.AllCompletions()); got != 16 {
+		t.Fatalf("%d of 16 completed", got)
 	}
 }
 

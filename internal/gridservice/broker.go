@@ -34,6 +34,7 @@ import (
 	"repro/internal/api"
 	"repro/internal/cluster"
 	"repro/internal/grid"
+	"repro/internal/metrics"
 	"repro/internal/registry"
 	"repro/internal/service"
 	"repro/internal/workload"
@@ -41,6 +42,10 @@ import (
 
 // ErrNoCluster rejects a job no cluster of the fleet can run.
 var ErrNoCluster = errors.New("gridservice: no cluster fits the job")
+
+// ErrPartitioned rejects a pinned submission to a cluster that is cut
+// off by an open partition window.
+var ErrPartitioned = errors.New("gridservice: cluster is partitioned from the broker")
 
 // JobStatus is a service.JobStatus plus the cluster that runs the job.
 type JobStatus struct {
@@ -84,8 +89,11 @@ type FleetTotals struct {
 	CampaignsDone int             `json:"campaigns_done"`
 	Stock         int             `json:"stock"`
 	BestEffort    cluster.BEStats `json:"best_effort"`
-	VirtualNow    float64         `json:"virtual_now"`
-	UptimeSeconds float64         `json:"uptime_seconds"`
+	// Faults sums the fleet's fault-injection counters (crashes,
+	// repairs, requeued local jobs, lost work, down proc-seconds).
+	Faults        metrics.FaultStats `json:"faults"`
+	VirtualNow    float64            `json:"virtual_now"`
+	UptimeSeconds float64            `json:"uptime_seconds"`
 }
 
 // ClusterStats is one cluster's stats under its fleet name.
@@ -248,13 +256,51 @@ func (b *Broker) kickNow() {
 	}
 }
 
-// loads polls every cluster's lock-free load snapshot.
-func (b *Broker) loads() []cluster.LoadInfo {
+// loads polls every cluster's lock-free load snapshot. Clusters behind
+// an open partition window (checked against the fleet's virtual clock)
+// are masked to a zero LoadInfo so the router skips them.
+func (b *Broker) loads(now float64) []cluster.LoadInfo {
 	out := make([]cluster.LoadInfo, len(b.engines))
 	for i, e := range b.engines {
+		if b.partitioned(i, now) {
+			continue
+		}
 		out[i] = e.Load()
 	}
 	return out
+}
+
+// virtualNow returns the fleet's virtual clock: the maximum engine
+// clock (they advance in lockstep under a shared pacer; free-running
+// fleets take the frontier). 0 when no partitions are configured — the
+// windows are the only consumer, so the healthy fleet never pays the
+// mailbox round-trips.
+func (b *Broker) virtualNow() float64 {
+	if len(b.topo.Partitions) == 0 {
+		return 0
+	}
+	var now float64
+	for _, e := range b.engines {
+		if v, err := e.VirtualNow(); err == nil && v > now {
+			now = v
+		}
+	}
+	return now
+}
+
+// partitioned reports whether cluster i is cut off at virtual time now.
+func (b *Broker) partitioned(i int, now float64) bool {
+	for _, w := range b.topo.Partitions {
+		if now < w.Start || now >= w.End {
+			continue
+		}
+		for _, c := range w.Clusters {
+			if c == i {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // drainFeeds folds the pending engine events into broker state (caller
@@ -285,19 +331,23 @@ func (b *Broker) drainFeeds() {
 // tick is one redistribution round: fold kill/done events, grant stock
 // tasks to clusters with room, and apply exchange migrations.
 func (b *Broker) tick() {
+	now := b.virtualNow()
 	b.mu.Lock()
 	b.drainFeeds()
-	loads := b.loads()
+	loads := b.loads(now)
 	var batches [][]cluster.BETask
 	if len(b.stock) > 0 {
 		grants := b.router.Grants(loads, len(b.stock))
 		batches = make([][]cluster.BETask, len(b.engines))
 		for i, n := range grants {
+			// Partitioned clusters get nothing even when the router's
+			// remainder arithmetic grants them tasks over their masked
+			// loads; the tasks stay central until a later tick.
+			if n <= 0 || b.partitioned(i, now) {
+				continue
+			}
 			if n > len(b.stock) {
 				n = len(b.stock)
-			}
-			if n <= 0 {
-				continue
 			}
 			batches[i] = append([]cluster.BETask(nil), b.stock[:n]...)
 			b.stock = b.stock[n:]
@@ -312,6 +362,9 @@ func (b *Broker) tick() {
 		}
 	}
 	for _, mv := range moves {
+		if b.partitioned(mv.Src, now) || b.partitioned(mv.Dst, now) {
+			continue
+		}
 		b.applyMove(mv)
 	}
 }
@@ -371,6 +424,7 @@ func (b *Broker) Submit(spec service.JobSpec) (JobStatus, error) {
 		return JobStatus{}, err
 	}
 	idx := -1
+	now := b.virtualNow()
 	if spec.Cluster != "" {
 		for i, n := range b.names {
 			if n == spec.Cluster {
@@ -382,13 +436,17 @@ func (b *Broker) Submit(spec service.JobSpec) (JobStatus, error) {
 			b.mu.Unlock()
 			return JobStatus{}, fmt.Errorf("gridservice: unknown cluster %q", spec.Cluster)
 		}
+		if b.partitioned(idx, now) {
+			b.mu.Unlock()
+			return JobStatus{}, fmt.Errorf("gridservice: cluster %q: %w", spec.Cluster, ErrPartitioned)
+		}
 		if j.MinProcs > b.engines[idx].M() {
 			b.mu.Unlock()
 			return JobStatus{}, fmt.Errorf("gridservice: job needs %d > %d procs on cluster %s",
 				j.MinProcs, b.engines[idx].M(), spec.Cluster)
 		}
 	} else {
-		idx = b.router.Route(j.MinProcs, b.loads())
+		idx = b.router.Route(j.MinProcs, b.loads(now))
 		if idx < 0 {
 			b.mu.Unlock()
 			return JobStatus{}, ErrNoCluster
@@ -606,8 +664,14 @@ func (b *Broker) Stats() (FleetStats, error) {
 		fleet.Completed += p.Stats.Completed
 		fleet.BestEffort.Completed += p.Stats.BestEffort.Completed
 		fleet.BestEffort.Killed += p.Stats.BestEffort.Killed
+		fleet.BestEffort.Redistributed += p.Stats.BestEffort.Redistributed
 		fleet.BestEffort.DoneWork += p.Stats.BestEffort.DoneWork
 		fleet.BestEffort.WastedWork += p.Stats.BestEffort.WastedWork
+		fleet.Faults.Crashes += p.Stats.Report.Faults.Crashes
+		fleet.Faults.Repairs += p.Stats.Report.Faults.Repairs
+		fleet.Faults.Requeues += p.Stats.Report.Faults.Requeues
+		fleet.Faults.LostWork += p.Stats.Report.Faults.LostWork
+		fleet.Faults.DownProcSeconds += p.Stats.Report.Faults.DownProcSeconds
 		if p.Stats.VirtualNow > fleet.VirtualNow {
 			fleet.VirtualNow = p.Stats.VirtualNow
 		}

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/registry"
+	"repro/internal/scenario"
 )
 
 // ClusterSpec describes one cluster of the fleet. Zero fields inherit
@@ -50,6 +51,13 @@ type Topology struct {
 	Defaults ClusterSpec `json:"defaults"`
 	// Clusters is the fleet. At least one entry.
 	Clusters []ClusterSpec `json:"clusters"`
+	// Partitions cut clusters (fleet indices) off the broker during
+	// [start, end) windows of virtual time: no placements, grants or
+	// migrations reach them while the window is open. Work already on a
+	// partitioned cluster keeps running; killed campaign tasks still
+	// drift back to the stock (the partition cuts scheduling traffic,
+	// not the accounting channel).
+	Partitions []scenario.PartitionWindow `json:"partitions,omitempty"`
 }
 
 // LoadTopology reads and validates a topology file.
@@ -149,6 +157,19 @@ func (t Topology) Validate() error {
 	}
 	if t.Dilation < 0 {
 		return fmt.Errorf("negative dilation %v", t.Dilation)
+	}
+	for i, p := range t.Partitions {
+		if p.Start < 0 || p.End <= p.Start {
+			return fmt.Errorf("partition %d window [%v, %v) invalid", i, p.Start, p.End)
+		}
+		if len(p.Clusters) == 0 {
+			return fmt.Errorf("partition %d cuts no clusters", i)
+		}
+		for _, c := range p.Clusters {
+			if c < 0 || c >= len(t.Clusters) {
+				return fmt.Errorf("partition %d lists cluster %d of a %d-cluster fleet", i, c, len(t.Clusters))
+			}
+		}
 	}
 	return nil
 }

@@ -189,7 +189,43 @@ func Utilization(cs []Completion, m int) float64 {
 	return area / (mk * float64(m))
 }
 
-// Report bundles every §3 criterion for one experiment run.
+// BestEffortStats aggregates the best-effort (grid campaign) activity
+// of one cluster: the §5.2 semantics where grid tasks fill scheduling
+// holes and are killed whenever local work needs their processors.
+type BestEffortStats struct {
+	Completed int
+	Killed    int
+	// Redistributed counts killed tasks that re-arrived on a cluster
+	// after drifting back through the central stock (one count per
+	// resubmission, so a task killed twice counts twice).
+	Redistributed int
+	DoneWork      float64 // reference-speed work completed
+	WastedWork    float64 // reference-speed work lost to kills
+}
+
+// FaultStats aggregates fault-injection activity on one cluster: node
+// crashes/repairs and the local jobs killed and resubmitted when
+// capacity disappears under them.
+type FaultStats struct {
+	// Crashes and Repairs count capacity-loss and capacity-return
+	// events (a whole-cluster outage is one crash).
+	Crashes int
+	Repairs int
+	// Requeues counts local jobs killed by a crash and resubmitted to
+	// the tail of the queue (their wait-time penalty shows up in the
+	// flow/stretch criteria because the release date is unchanged).
+	Requeues int
+	// LostWork is the reference-speed work destroyed by crashes
+	// (procs × elapsed × speed per killed local job).
+	LostWork float64
+	// DownProcSeconds integrates unavailable capacity over time
+	// (proc-seconds; the denominator of empirical availability).
+	DownProcSeconds float64
+}
+
+// Report bundles every §3 criterion for one experiment run, plus the
+// best-effort and fault counters of the run when the producer tracks
+// them (cluster.Sim.Report fills them; NewReport leaves them zero).
 type Report struct {
 	N                     int
 	Makespan              float64
@@ -202,6 +238,8 @@ type Report struct {
 	LateCount             int
 	SumTardiness          float64
 	Utilization           float64
+	BestEffort            BestEffortStats
+	Faults                FaultStats
 }
 
 // NewReport evaluates all criteria at once.

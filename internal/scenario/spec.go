@@ -94,6 +94,59 @@ type Grid struct {
 	CampaignRunTime float64 `json:"campaign_run_time,omitempty"`
 }
 
+// Faults declaratively describes a deterministic fault-injection plan.
+// A nil Faults field means a permanently healthy fleet — the default,
+// with zero cost on the healthy hot path. Times are virtual seconds,
+// capacities are processors.
+type Faults struct {
+	// MTBF enables seeded node churn: crashes arrive with exponential
+	// inter-arrival times of this mean (virtual seconds).
+	MTBF float64 `json:"mtbf,omitempty"`
+	// MTTR is the mean repair time of a churn crash (exponential;
+	// default MTBF/10).
+	MTTR float64 `json:"mttr,omitempty"`
+	// CrashProcs is the number of processors taken per churn crash
+	// (default 1; capped at the cluster width).
+	CrashProcs int `json:"crash_procs,omitempty"`
+	// MaxCrashes bounds the churn process (0 = unlimited; churn also
+	// stops on its own once all known work has completed).
+	MaxCrashes int `json:"max_crashes,omitempty"`
+	// Seed offsets the fault RNG stream from the scenario seed, so the
+	// fault schedule can be varied independently of the workload.
+	Seed uint64 `json:"seed,omitempty"`
+	// Outages schedules deterministic capacity-loss windows.
+	Outages []Outage `json:"outages,omitempty"`
+	// Trace is a piecewise-constant availability timeline: at each
+	// step's time the working-processor count is pinned to its value.
+	Trace []AvailStep `json:"trace,omitempty"`
+	// Partitions cut clusters off the broker for a window (grid kinds
+	// only): no placements, grants or migrations reach a partitioned
+	// cluster while the window is open.
+	Partitions []PartitionWindow `json:"partitions,omitempty"`
+}
+
+// Outage is one scheduled capacity-loss window.
+type Outage struct {
+	Start float64 `json:"start"`
+	End   float64 `json:"end"`
+	// Procs is the capacity lost; 0 (or absent) means the whole cluster.
+	Procs int `json:"procs,omitempty"`
+}
+
+// AvailStep is one step of a time-varying availability trace.
+type AvailStep struct {
+	Time  float64 `json:"time"`
+	Avail int     `json:"avail"`
+}
+
+// PartitionWindow cuts the listed clusters (fleet indices) off the
+// broker during [Start, End).
+type PartitionWindow struct {
+	Start    float64 `json:"start"`
+	End      float64 `json:"end"`
+	Clusters []int   `json:"clusters"`
+}
+
 // Scale shrinks a scenario and selects the replication runner. It is
 // the Spec-side mirror of experiments.Scale: a Spec may pin a scale,
 // and RunOptions may override it at invocation time.
@@ -129,6 +182,8 @@ type Spec struct {
 	// Policies names registry queue/offline policies the kind sweeps.
 	Policies []string `json:"policies,omitempty"`
 	Grid     *Grid    `json:"grid,omitempty"`
+	// Faults is the fault-injection plan (nil = healthy fleet).
+	Faults *Faults `json:"faults,omitempty"`
 	// Metrics selects report columns for the generic kinds.
 	Metrics []string `json:"metrics,omitempty"`
 	// Scale pins a scale for this Spec (RunOptions overrides win).
@@ -175,6 +230,9 @@ func WithPolicies(names ...string) Option { return func(s *Spec) { s.Policies = 
 
 // WithGrid sets the grid routing description.
 func WithGrid(g Grid) Option { return func(s *Spec) { s.Grid = &g } }
+
+// WithFaults sets the fault-injection plan.
+func WithFaults(f Faults) Option { return func(s *Spec) { s.Faults = &f } }
 
 // WithMetrics selects report columns for the generic kinds.
 func WithMetrics(cols ...string) Option { return func(s *Spec) { s.Metrics = cols } }
@@ -228,10 +286,70 @@ func (s *Spec) Validate() error {
 			}
 		}
 	}
+	if s.Faults != nil {
+		if err := s.Faults.Validate(); err != nil {
+			return fmt.Errorf("scenario: spec %q: %w", s.ID, err)
+		}
+	}
 	for k, v := range s.Params {
 		if !validParam(v) {
 			return fmt.Errorf("scenario: spec %q: param %q: unsupported value %T", s.ID, k, v)
 		}
+	}
+	return nil
+}
+
+// Validate checks the fault plan's structural invariants.
+func (f *Faults) Validate() error {
+	if f.MTBF < 0 || f.MTTR < 0 {
+		return fmt.Errorf("faults: negative MTBF/MTTR")
+	}
+	if f.MTTR > 0 && f.MTBF == 0 {
+		return fmt.Errorf("faults: MTTR without MTBF")
+	}
+	if f.CrashProcs < 0 || f.MaxCrashes < 0 {
+		return fmt.Errorf("faults: negative crash_procs/max_crashes")
+	}
+	if (f.CrashProcs > 0 || f.MaxCrashes > 0) && f.MTBF == 0 {
+		return fmt.Errorf("faults: crash_procs/max_crashes without MTBF")
+	}
+	for i, o := range f.Outages {
+		if o.Start < 0 || math.IsNaN(o.Start) || math.IsNaN(o.End) {
+			return fmt.Errorf("faults: outage %d starts at %v", i, o.Start)
+		}
+		if o.End <= o.Start {
+			return fmt.Errorf("faults: outage %d window [%v, %v) is empty", i, o.Start, o.End)
+		}
+		if o.Procs < 0 {
+			return fmt.Errorf("faults: outage %d takes %d procs", i, o.Procs)
+		}
+	}
+	for i, st := range f.Trace {
+		if st.Time < 0 || math.IsNaN(st.Time) {
+			return fmt.Errorf("faults: trace step %d at time %v", i, st.Time)
+		}
+		if st.Avail < 0 {
+			return fmt.Errorf("faults: trace step %d pins avail %d", i, st.Avail)
+		}
+		if i > 0 && st.Time < f.Trace[i-1].Time {
+			return fmt.Errorf("faults: trace step %d goes back in time", i)
+		}
+	}
+	for i, p := range f.Partitions {
+		if p.Start < 0 || math.IsNaN(p.Start) || math.IsNaN(p.End) || p.End <= p.Start {
+			return fmt.Errorf("faults: partition %d window [%v, %v) invalid", i, p.Start, p.End)
+		}
+		if len(p.Clusters) == 0 {
+			return fmt.Errorf("faults: partition %d cuts no clusters", i)
+		}
+		for _, c := range p.Clusters {
+			if c < 0 {
+				return fmt.Errorf("faults: partition %d lists cluster %d", i, c)
+			}
+		}
+	}
+	if f.MTBF == 0 && len(f.Outages) == 0 && len(f.Trace) == 0 && len(f.Partitions) == 0 {
+		return fmt.Errorf("faults: empty plan (omit the faults field instead)")
 	}
 	return nil
 }

@@ -601,6 +601,32 @@ func (e *Engine) Completions() ([]metrics.Completion, error) {
 // event granularity, so brokers can poll a whole fleet lock-free.
 func (e *Engine) Load() cluster.LoadInfo { return e.sim.LoadSnapshot() }
 
+// VirtualNow returns the engine's virtual clock (the broker's partition
+// windows are expressed in virtual seconds).
+func (e *Engine) VirtualNow() (float64, error) {
+	var v float64
+	err := e.do(func() { v = e.virtualNow() })
+	return v, err
+}
+
+// Crash takes procs processors down for the given virtual duration,
+// killing and requeueing the local jobs caught on them (fault-injection
+// testing against a live engine).
+func (e *Engine) Crash(procs int, duration float64) error {
+	var ierr error
+	err := e.do(func() {
+		now := e.virtualNow()
+		if now > e.sim.DES.Now() {
+			_ = e.sim.DES.RunUntil(now)
+		}
+		ierr = e.sim.Crash(procs, e.sim.DES.Now()+duration)
+	})
+	if err != nil {
+		return err
+	}
+	return ierr
+}
+
 // SubmitBestEffort hands grid campaign tasks to this cluster; they run
 // in scheduling holes and are killed (and reported through
 // Config.OnBEKilled) whenever a local job claims their processors.

@@ -157,6 +157,12 @@ func (e *Engine) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	g("gridd_utilization_ratio", "Fraction of the processor-time area used.", "gauge", st.Report.Utilization)
 	g("gridd_best_effort_completed_total", "Best-effort tasks completed.", "counter", float64(st.BestEffort.Completed))
 	g("gridd_best_effort_killed_total", "Best-effort tasks killed.", "counter", float64(st.BestEffort.Killed))
+	g("gridd_best_effort_redistributed_total", "Killed best-effort tasks re-arrived after drifting through the stock.", "counter", float64(st.BestEffort.Redistributed))
+	g("gridd_fault_crashes_total", "Capacity-loss events injected.", "counter", float64(st.Report.Faults.Crashes))
+	g("gridd_fault_repairs_total", "Capacity-return events.", "counter", float64(st.Report.Faults.Repairs))
+	g("gridd_fault_requeues_total", "Local jobs killed by crashes and requeued.", "counter", float64(st.Report.Faults.Requeues))
+	g("gridd_fault_lost_work_seconds", "Reference-speed work destroyed by crashes.", "counter", st.Report.Faults.LostWork)
+	g("gridd_fault_down_proc_seconds", "Integrated unavailable capacity.", "counter", st.Report.Faults.DownProcSeconds)
 	drained := 0.0
 	if st.Drained {
 		drained = 1
