@@ -7,11 +7,18 @@
 //
 //	gridctl [-addr URL] run [-seed N] [-quick] [-workers N] [-watch]
 //	        [-format text|json|csv] [-legacy] <id>|<spec.json>
-//	gridctl [-addr URL] runs                 list stored runs
-//	gridctl [-addr URL] status <run-id>      typed status + cell timings
+//	gridctl [-addr URL] runs [-format text|json]
+//	                                         list stored runs
+//	gridctl [-addr URL] status [-format json|text] <run-id>
+//	                                         typed status + cell timings
 //	gridctl [-addr URL] cancel <run-id>      cooperative cancellation
 //	gridctl [-addr URL] submit [run flags] <id>|<spec.json>
 //	                                         submit without waiting
+//	gridctl [-addr URL] trace [-cell N] [-swf] [-o FILE] <run-id>
+//	                                         dump a recorded event trace
+//	gridctl [-addr URL] observe [-cell N] [-bins N] <run-id>
+//	gridctl [-addr URL] observe -diff <run-id-a> <run-id-b>
+//	                                         render timelines from a trace
 //
 // "run" submits, waits for the terminal state and prints the result
 // (the text format is byte-identical to the cmd/experiments output).
@@ -19,6 +26,12 @@
 // -legacy drives the compatibility POST /scenarios shim instead and
 // renders the returned table locally — diffing it against "run"
 // output verifies the shim serves exactly the /v1 pipeline's table.
+//
+// "trace" streams the JSONL event trace of a finished traced run
+// (-swf re-exports it as an SWF archive the replay kind accepts);
+// "observe" folds the trace into terminal utilization and queue-depth
+// timelines plus a per-job Gantt summary, and -diff compares two runs
+// sub-run by sub-run.
 package main
 
 import (
@@ -40,8 +53,12 @@ import (
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: gridctl [-addr URL] run|submit [-seed N] [-quick] [-workers N] [-watch] [-format text|json|csv] [-legacy] <id>|<spec.json>")
-	fmt.Fprintln(os.Stderr, "       gridctl [-addr URL] runs")
-	fmt.Fprintln(os.Stderr, "       gridctl [-addr URL] status|cancel <run-id>")
+	fmt.Fprintln(os.Stderr, "       gridctl [-addr URL] runs [-format text|json]")
+	fmt.Fprintln(os.Stderr, "       gridctl [-addr URL] status [-format json|text] <run-id>")
+	fmt.Fprintln(os.Stderr, "       gridctl [-addr URL] cancel <run-id>")
+	fmt.Fprintln(os.Stderr, "       gridctl [-addr URL] trace [-cell N] [-swf] [-o FILE] <run-id>")
+	fmt.Fprintln(os.Stderr, "       gridctl [-addr URL] observe [-cell N] [-bins N] <run-id>")
+	fmt.Fprintln(os.Stderr, "       gridctl [-addr URL] observe -diff <run-id-a> <run-id-b>")
 }
 
 func main() {
@@ -65,11 +82,15 @@ func main() {
 	case "run", "submit":
 		err = runCmd(ctx, c, cmd, flag.Args()[1:])
 	case "runs":
-		err = listCmd(ctx, c)
+		err = listCmd(ctx, c, flag.Args()[1:])
 	case "status":
 		err = statusCmd(ctx, c, flag.Args()[1:])
 	case "cancel":
 		err = cancelCmd(ctx, c, flag.Args()[1:])
+	case "trace":
+		err = traceCmd(ctx, c, flag.Args()[1:])
+	case "observe":
+		err = observeCmd(ctx, c, flag.Args()[1:])
 	default:
 		usage()
 		os.Exit(2)
@@ -177,30 +198,64 @@ func runCmd(ctx context.Context, c *client.Client, cmd string, args []string) er
 	}
 }
 
-func listCmd(ctx context.Context, c *client.Client) error {
+func listCmd(ctx context.Context, c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("runs", flag.ExitOnError)
+	format := fs.String("format", "text", "output format: text|json")
+	_ = fs.Parse(args)
 	runs, err := c.Runs(ctx)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%-9s %-16s %-10s %-9s %10s %10s\n", "ID", "SPEC", "STATE", "CELLS", "SECONDS", "ROWS")
-	for _, st := range runs {
-		fmt.Printf("%-9s %-16s %-10s %4d/%-4d %10.3f %10d\n",
-			st.ID, st.SpecID, st.State, st.CellsDone, st.CellsTotal, st.DurationSeconds, st.Rows)
+	switch *format {
+	case "json":
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(runs)
+	case "text":
+		fmt.Printf("%-9s %-16s %-10s %-9s %10s %10s\n", "ID", "SPEC", "STATE", "CELLS", "SECONDS", "ROWS")
+		for _, st := range runs {
+			fmt.Printf("%-9s %-16s %-10s %4d/%-4d %10.3f %10d\n",
+				st.ID, st.SpecID, st.State, st.CellsDone, st.CellsTotal, st.DurationSeconds, st.Rows)
+		}
+		return nil
 	}
-	return nil
+	return fmt.Errorf("unknown format %q (text|json)", *format)
 }
 
 func statusCmd(ctx context.Context, c *client.Client, args []string) error {
-	if len(args) != 1 {
+	fs := flag.NewFlagSet("status", flag.ExitOnError)
+	// JSON stays the default: existing scripts parse it.
+	format := fs.String("format", "json", "output format: json|text")
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
 		return fmt.Errorf("status takes exactly one run id")
 	}
-	st, err := c.Run(ctx, args[0])
+	st, err := c.Run(ctx, fs.Arg(0))
 	if err != nil {
 		return err
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	return enc.Encode(st)
+	switch *format {
+	case "json":
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(st)
+	case "text":
+		fmt.Printf("run %s  %s/%s  seed %d\n", st.ID, st.SpecID, st.Kind, st.Seed)
+		fmt.Printf("state %s", st.State)
+		if st.Error != "" {
+			fmt.Printf(" (%s)", st.Error)
+		}
+		fmt.Printf("  cells %d/%d  rows %d", st.CellsDone, st.CellsTotal, st.Rows)
+		if st.TraceEvents > 0 {
+			fmt.Printf("  trace events %d", st.TraceEvents)
+		}
+		fmt.Println()
+		if st.DurationSeconds > 0 {
+			fmt.Printf("duration %.3fs\n", st.DurationSeconds)
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown format %q (json|text)", *format)
 }
 
 func cancelCmd(ctx context.Context, c *client.Client, args []string) error {

@@ -1,0 +1,267 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/runtrace"
+	"repro/pkg/client"
+)
+
+// traceCmd dumps a finished run's recorded event trace: raw JSONL by
+// default, or an SWF archive (-swf) that the replay scenario kind and
+// loadgen accept as input — replaying a recorded run against a
+// different policy is then just another scenario.
+func traceCmd(ctx context.Context, c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	cell := fs.Int("cell", -1, "only this cell (default: all cells)")
+	swf := fs.Bool("swf", false, "export as an SWF archive instead of JSONL")
+	out := fs.String("o", "", "write to file instead of stdout")
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("trace takes exactly one run id")
+	}
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if !*swf {
+		raw, err := c.RunTrace(ctx, fs.Arg(0), *cell)
+		if err != nil {
+			return err
+		}
+		_, err = io.WriteString(w, raw)
+		return err
+	}
+	traces, err := fetchTraces(ctx, c, fs.Arg(0), *cell)
+	if err != nil {
+		return err
+	}
+	if len(traces) != 1 {
+		return fmt.Errorf("-swf exports one sub-run; run has %d (pick one with -cell, or a single-policy spec)", len(traces))
+	}
+	n, err := runtrace.ExportSWF(w, traces[0])
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "exported %d jobs\n", n)
+	return nil
+}
+
+// fetchTraces pulls and rebuilds a run's typed traces.
+func fetchTraces(ctx context.Context, c *client.Client, id string, cell int) ([]runtrace.CellTrace, error) {
+	lines, err := c.RunTraceLines(ctx, id, cell)
+	if err != nil {
+		return nil, err
+	}
+	return runtrace.Rebuild(lines)
+}
+
+// observeCmd renders a traced run as terminal timelines: per sub-run
+// utilization and queue-depth sparklines, totals, and a Gantt summary
+// of the longest jobs. With -diff it compares two runs sub-run by
+// sub-run instead.
+func observeCmd(ctx context.Context, c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("observe", flag.ExitOnError)
+	cell := fs.Int("cell", -1, "only this cell (default: all cells)")
+	bins := fs.Int("bins", 60, "timeline resolution (characters)")
+	diff := fs.Bool("diff", false, "compare two runs cell-by-cell")
+	_ = fs.Parse(args)
+	if *diff {
+		if fs.NArg() != 2 {
+			return fmt.Errorf("observe -diff takes exactly two run ids")
+		}
+		return observeDiff(ctx, c, fs.Arg(0), fs.Arg(1), *cell, *bins)
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("observe takes exactly one run id")
+	}
+	traces, err := fetchTraces(ctx, c, fs.Arg(0), *cell)
+	if err != nil {
+		return err
+	}
+	for i := range traces {
+		if i > 0 {
+			fmt.Println()
+		}
+		renderTrace(os.Stdout, traces[i], *bins)
+	}
+	return nil
+}
+
+// sparkBlocks are the 8-level bar characters of the sparklines.
+var sparkBlocks = []rune("▁▂▃▄▅▆▇█")
+
+// spark renders values scaled to max as a one-line sparkline.
+func spark(values []float64, max float64) string {
+	var b strings.Builder
+	for _, v := range values {
+		i := 0
+		if max > 0 {
+			i = int(v / max * float64(len(sparkBlocks)-1))
+		}
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(sparkBlocks) {
+			i = len(sparkBlocks) - 1
+		}
+		b.WriteRune(sparkBlocks[i])
+	}
+	return b.String()
+}
+
+// subRunName labels one trace in the observe output.
+func subRunName(tr runtrace.CellTrace) string {
+	if tr.Label != "" {
+		return fmt.Sprintf("cell %d · %s", tr.Cell, tr.Label)
+	}
+	return fmt.Sprintf("cell %d", tr.Cell)
+}
+
+func renderTrace(w io.Writer, tr runtrace.CellTrace, bins int) {
+	s := runtrace.BinSeries(tr, bins)
+	n := tr.Totals()
+	fmt.Fprintf(w, "== %s (%d cluster(s), %d procs) ==\n", subRunName(tr), len(tr.Clusters), s.Capacity)
+	fmt.Fprintf(w, "events %d  submits %d  finishes %d  kills %d  migrations %d",
+		len(tr.Events), n.Submits, n.Finishes, n.Kills, n.Migrates)
+	if tr.Dropped > 0 {
+		fmt.Fprintf(w, "  dropped %d", tr.Dropped)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "horizon %.1fs  mean utilization %.1f%%  max queue %d\n",
+		s.Horizon, 100*s.MeanUtil, s.MaxQueue)
+	fmt.Fprintf(w, "util  |%s| 0..100%%\n", spark(s.Util, 1))
+	maxQ := 0.0
+	for _, q := range s.Queue {
+		if q > maxQ {
+			maxQ = q
+		}
+	}
+	fmt.Fprintf(w, "queue |%s| 0..%.0f jobs\n", spark(s.Queue, maxQ), maxQ)
+	renderGantt(w, tr, s.Horizon, bins)
+}
+
+// renderGantt prints the longest-running jobs as horizon-scaled bars.
+func renderGantt(w io.Writer, tr runtrace.CellTrace, horizon float64, bins int) {
+	type span struct {
+		job        int32
+		start, end float64
+		procs      int32
+		started    bool
+		done       bool
+	}
+	spans := map[int32]*span{}
+	for _, e := range tr.Events {
+		if e.Job < 0 {
+			continue
+		}
+		switch e.Type {
+		case runtrace.EvStart:
+			sp, ok := spans[e.Job]
+			if !ok {
+				sp = &span{job: e.Job}
+				spans[e.Job] = sp
+			}
+			sp.start, sp.procs, sp.started, sp.done = e.T, e.Procs, true, false
+		case runtrace.EvFinish:
+			if sp, ok := spans[e.Job]; ok && sp.started {
+				sp.end, sp.done = e.T, true
+			}
+		}
+	}
+	var done []*span
+	for _, sp := range spans {
+		if sp.done {
+			done = append(done, sp)
+		}
+	}
+	if len(done) == 0 || horizon <= 0 {
+		return
+	}
+	sort.Slice(done, func(i, k int) bool {
+		di, dk := done[i].end-done[i].start, done[k].end-done[k].start
+		if di != dk {
+			return di > dk
+		}
+		return done[i].job < done[k].job
+	})
+	const top = 5
+	fmt.Fprintf(w, "gantt (top %d longest of %d jobs):\n", min(top, len(done)), len(done))
+	for _, sp := range done[:min(top, len(done))] {
+		lo := int(sp.start / horizon * float64(bins))
+		hi := int(sp.end / horizon * float64(bins))
+		if hi <= lo {
+			hi = lo + 1
+		}
+		if hi > bins {
+			hi = bins
+		}
+		bar := strings.Repeat(" ", lo) + strings.Repeat("█", hi-lo) + strings.Repeat(" ", bins-hi)
+		fmt.Fprintf(w, "  job %-6d |%s| %.1fs x %dp\n", sp.job, bar, sp.end-sp.start, sp.procs)
+	}
+}
+
+// observeDiff compares two runs sub-run by sub-run (matched on cell +
+// label), printing the headline series metrics side by side.
+func observeDiff(ctx context.Context, c *client.Client, idA, idB string, cell, bins int) error {
+	ta, err := fetchTraces(ctx, c, idA, cell)
+	if err != nil {
+		return fmt.Errorf("%s: %w", idA, err)
+	}
+	tb, err := fetchTraces(ctx, c, idB, cell)
+	if err != nil {
+		return fmt.Errorf("%s: %w", idB, err)
+	}
+	type key struct {
+		cell  int
+		label string
+	}
+	bByKey := map[key]runtrace.CellTrace{}
+	for _, tr := range tb {
+		bByKey[key{tr.Cell, tr.Label}] = tr
+	}
+	matched := 0
+	for _, a := range ta {
+		b, ok := bByKey[key{a.Cell, a.Label}]
+		if !ok {
+			fmt.Printf("== %s: only in %s ==\n", subRunName(a), idA)
+			continue
+		}
+		delete(bByKey, key{a.Cell, a.Label})
+		matched++
+		sa, sb := runtrace.BinSeries(a, bins), runtrace.BinSeries(b, bins)
+		na, nb := a.Totals(), b.Totals()
+		fmt.Printf("== %s: %s vs %s ==\n", subRunName(a), idA, idB)
+		fmt.Printf("  %-18s %12s %12s %12s\n", "", idA, idB, "delta")
+		row := func(name string, va, vb float64, format string) {
+			fmt.Printf("  %-18s %12s %12s %+12s\n", name,
+				fmt.Sprintf(format, va), fmt.Sprintf(format, vb), fmt.Sprintf(format, vb-va))
+		}
+		row("horizon s", sa.Horizon, sb.Horizon, "%.1f")
+		row("mean util %", 100*sa.MeanUtil, 100*sb.MeanUtil, "%.1f")
+		row("max queue", float64(sa.MaxQueue), float64(sb.MaxQueue), "%.0f")
+		row("finishes", float64(na.Finishes), float64(nb.Finishes), "%.0f")
+		row("kills", float64(na.Kills), float64(nb.Kills), "%.0f")
+		fmt.Printf("  util A |%s|\n  util B |%s|\n", spark(sa.Util, 1), spark(sb.Util, 1))
+	}
+	for _, b := range tb {
+		if _, ok := bByKey[key{b.Cell, b.Label}]; ok {
+			fmt.Printf("== %s: only in %s ==\n", subRunName(b), idB)
+		}
+	}
+	if matched == 0 {
+		return fmt.Errorf("no matching sub-runs between %s and %s", idA, idB)
+	}
+	return nil
+}

@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -56,6 +57,8 @@ func main() {
 		topology = flag.String("topology", "", "fleet topology file: serve a multi-cluster grid broker")
 		drainT   = flag.Duration("drain-timeout", 30*time.Second, "graceful drain deadline on shutdown")
 		maxRuns  = flag.Int("max-runs", 2, "concurrent server-side scenario runs; further submissions queue, then get 429 + Retry-After")
+		logReqs  = flag.Bool("log-requests", false, "log one line per API request (method, path, status, duration, bytes, run id)")
+		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (outside the API body caps)")
 		list     = flag.Bool("list-policies", false, "print the policy catalogs and exit")
 	)
 	flag.Parse()
@@ -76,7 +79,7 @@ func main() {
 				log.Printf("gridd: -%s is ignored in -topology mode (set it in %s)", f.Name, *topology)
 			}
 		})
-		runBroker(*topology, *addr, *drainT, *maxRuns)
+		runBroker(*topology, *addr, *drainT, *maxRuns, *logReqs, *pprofOn)
 		return
 	}
 	kp := cluster.KillNewest
@@ -94,9 +97,9 @@ func main() {
 		log.Fatalf("gridd: %v", err)
 	}
 	eng.Start()
-	runs := api.NewRunService(api.Config{MaxActive: *maxRuns, Log: log.Default()})
+	runs := api.NewRunService(api.Config{MaxActive: *maxRuns, Log: requestLogger(*logReqs)})
 	defer runs.Close()
-	srv := &http.Server{Addr: *addr, Handler: eng.Handler(runs)}
+	srv := &http.Server{Addr: *addr, Handler: withPprof(eng.Handler(runs), *pprofOn)}
 
 	log.Printf("gridd: serving on %s (m=%d policy=%s dilation=%gx)", *addr, *m, *policy, *dilation)
 	serve(srv, func() { eng.Stop() })
@@ -115,7 +118,7 @@ func main() {
 }
 
 // runBroker serves a multi-cluster fleet from a topology file.
-func runBroker(path, addr string, drainT time.Duration, maxRuns int) {
+func runBroker(path, addr string, drainT time.Duration, maxRuns int, logReqs, pprofOn bool) {
 	topo, err := gridservice.LoadTopology(path)
 	if err != nil {
 		log.Fatalf("gridd: %v", err)
@@ -125,9 +128,9 @@ func runBroker(path, addr string, drainT time.Duration, maxRuns int) {
 		log.Fatalf("gridd: %v", err)
 	}
 	b.Start()
-	runs := api.NewRunService(api.Config{MaxActive: maxRuns, Log: log.Default()})
+	runs := api.NewRunService(api.Config{MaxActive: maxRuns, Log: requestLogger(logReqs)})
 	defer runs.Close()
-	srv := &http.Server{Addr: addr, Handler: b.Handler(runs)}
+	srv := &http.Server{Addr: addr, Handler: withPprof(b.Handler(runs), pprofOn)}
 
 	procs := 0
 	for _, c := range topo.Clusters {
@@ -153,6 +156,32 @@ func runBroker(path, addr string, drainT time.Duration, maxRuns int) {
 	}
 	_ = srv.Shutdown(ctx)
 	b.Stop()
+}
+
+// requestLogger resolves the -log-requests flag into the middleware's
+// optional logger (nil = no per-request log lines).
+func requestLogger(enabled bool) *log.Logger {
+	if !enabled {
+		return nil
+	}
+	return log.Default()
+}
+
+// withPprof mounts the net/http/pprof handlers on an outer mux so
+// profile downloads bypass the API middleware (body caps, request
+// logging); the daemon API is served unchanged at every other path.
+func withPprof(h http.Handler, enabled bool) http.Handler {
+	if !enabled {
+		return h
+	}
+	root := http.NewServeMux()
+	root.HandleFunc("/debug/pprof/", pprof.Index)
+	root.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	root.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	root.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	root.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	root.Handle("/", h)
+	return root
 }
 
 // serve runs the HTTP server until SIGTERM/SIGINT (returning normally,

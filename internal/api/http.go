@@ -62,11 +62,12 @@ func RegisterBoth(mux *http.ServeMux, pattern string, h http.HandlerFunc) {
 	mux.HandleFunc(method+" /v1"+path, h)
 }
 
-// statusWriter records the response code for the request log while
-// passing Flush through (the SSE stream needs the flusher).
+// statusWriter records the response code and body size for the request
+// log while passing Flush through (the SSE stream needs the flusher).
 type statusWriter struct {
 	http.ResponseWriter
-	code int
+	code  int
+	bytes int64
 }
 
 func (sw *statusWriter) WriteHeader(code int) {
@@ -78,7 +79,9 @@ func (sw *statusWriter) Write(b []byte) (int, error) {
 	if sw.code == 0 {
 		sw.code = http.StatusOK
 	}
-	return sw.ResponseWriter.Write(b)
+	n, err := sw.ResponseWriter.Write(b)
+	sw.bytes += int64(n)
+	return n, err
 }
 
 func (sw *statusWriter) Flush() {
@@ -109,6 +112,24 @@ func Wrap(h http.Handler, maxBody int64, logger *log.Logger) http.Handler {
 		if code == 0 {
 			code = http.StatusOK
 		}
-		logger.Printf("%s %s %d %s", r.Method, r.URL.Path, code, time.Since(t0).Round(time.Microsecond))
+		logger.Printf("%s %s %d %s %dB run=%s",
+			r.Method, r.URL.Path, code, time.Since(t0).Round(time.Microsecond),
+			sw.bytes, runIDFromPath(r.URL.Path))
 	})
+}
+
+// runIDFromPath extracts the run id from /v1/runs/{id}[/...] paths for
+// request-log correlation ("-" when the path is not run-scoped).
+func runIDFromPath(p string) string {
+	rest, ok := strings.CutPrefix(p, "/v1/runs/")
+	if !ok {
+		return "-"
+	}
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		rest = rest[:i]
+	}
+	if rest == "" {
+		return "-"
+	}
+	return rest
 }

@@ -70,7 +70,10 @@ type RunStatus struct {
 	CellsDone  int `json:"cells_done"`
 	CellsTotal int `json:"cells_total"`
 	// Rows counts the typed result rows (set once done).
-	Rows            int        `json:"rows,omitempty"`
+	Rows int `json:"rows,omitempty"`
+	// TraceEvents counts recorded trace events across all cells (set
+	// once done, only for traced runs).
+	TraceEvents     int        `json:"trace_events,omitempty"`
 	Created         time.Time  `json:"created"`
 	Started         *time.Time `json:"started,omitempty"`
 	Finished        *time.Time `json:"finished,omitempty"`
@@ -129,6 +132,9 @@ func (r *Run) status(includeCells bool) RunStatus {
 	}
 	if r.result != nil {
 		st.Rows = len(r.result.Cells)
+		for i := range r.result.Traces {
+			st.TraceEvents += len(r.result.Traces[i].Events)
+		}
 	}
 	if !r.started.IsZero() {
 		t := r.started

@@ -204,6 +204,13 @@ func (s *RunService) resolveSpec(req *scenario.HTTPRequest) (*scenario.Spec, *ht
 				"inline spec requests %d campaign tasks (max %d server-side; run it through the CLI)",
 				spec.Grid.CampaignTasks, s.cfg.MaxInlineJobs)}
 		}
+		// Clamp inline trace recording (req.Spec is per-request, so
+		// mutating it is safe — catalog specs are shared and never
+		// touched here).
+		if spec.Trace != nil && spec.Trace.Events &&
+			(spec.Trace.MaxEvents == 0 || spec.Trace.MaxEvents > maxInlineTraceEvents) {
+			spec.Trace.MaxEvents = maxInlineTraceEvents
+		}
 	default:
 		return nil, &httpErr{http.StatusBadRequest, "set id or spec"}
 	}
@@ -343,6 +350,11 @@ func (s *RunService) worker() {
 		}
 
 		res, err := runSpec(r.spec, opt)
+
+		if err == nil && res != nil {
+			// Outside the lock: histogram folds walk every event.
+			observeTraces(res.Traces)
+		}
 
 		s.mu.Lock()
 		switch {

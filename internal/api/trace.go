@@ -1,0 +1,95 @@
+package api
+
+import (
+	"compress/gzip"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/runtrace"
+)
+
+// maxInlineTraceEvents caps per-cell trace recording for inline specs
+// submitted over HTTP, so one request cannot grow an unbounded event
+// log inside the daemon. Catalog specs are trusted as deployed
+// configuration and keep whatever the spec says.
+const maxInlineTraceEvents = 1 << 20
+
+// traceSeriesBins is the resolution at which finished traced runs are
+// folded into the Prometheus histograms.
+const traceSeriesBins = 32
+
+// handleTrace serves GET /v1/runs/{id}/trace: the run's recorded event
+// traces as JSON Lines (one meta line plus one line per event, per cell
+// sub-run), optionally filtered to one cell with ?cell=N and
+// gzip-compressed when the client accepts it. Traces exist only for
+// done runs whose spec set the trace axis; the result is immutable once
+// the run is terminal, so the response streams without holding the
+// store lock.
+func (s *RunService) handleTrace(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	st := s.Status(run, false)
+	if st.State != RunDone {
+		WriteError(w, http.StatusConflict, fmt.Sprintf("run %s is %s, not done", st.ID, st.State))
+		return
+	}
+	res, ok := s.Result(run)
+	if !ok {
+		WriteError(w, http.StatusInternalServerError, "done run has no result")
+		return
+	}
+	traces := res.Traces
+	if len(traces) == 0 {
+		WriteError(w, http.StatusNotFound,
+			fmt.Sprintf("run %s has no trace (set \"trace\": {\"events\": true} on the spec)", st.ID))
+		return
+	}
+	if c := r.URL.Query().Get("cell"); c != "" {
+		cell, err := strconv.Atoi(c)
+		if err != nil {
+			WriteError(w, http.StatusBadRequest, fmt.Sprintf("bad cell %q", c))
+			return
+		}
+		var filtered []runtrace.CellTrace
+		for _, tr := range traces {
+			if tr.Cell == cell {
+				filtered = append(filtered, tr)
+			}
+		}
+		if len(filtered) == 0 {
+			WriteError(w, http.StatusNotFound, fmt.Sprintf("run %s has no cell %d", st.ID, cell))
+			return
+		}
+		traces = filtered
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	if strings.Contains(r.Header.Get("Accept-Encoding"), "gzip") {
+		w.Header().Set("Content-Encoding", "gzip")
+		w.WriteHeader(http.StatusOK)
+		gz := gzip.NewWriter(w)
+		_ = runtrace.WriteJSONL(gz, traces)
+		_ = gz.Close()
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	_ = runtrace.WriteJSONL(w, traces)
+}
+
+// observeTraces folds a finished run's traces into the process-wide
+// trace histograms (time-binned utilization and queue depth).
+func observeTraces(traces []runtrace.CellTrace) {
+	for i := range traces {
+		series := runtrace.BinSeries(traces[i], traceSeriesBins)
+		for _, u := range series.Util {
+			metrics.TraceUtilization.Observe(u)
+		}
+		for _, q := range series.Queue {
+			metrics.TraceQueueDepth.Observe(q)
+		}
+	}
+}

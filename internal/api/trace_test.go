@@ -1,0 +1,136 @@
+package api
+
+import (
+	"compress/gzip"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/runtrace"
+)
+
+const tracedSpec = `{"seed": 5, "spec": {
+	"id": "traced", "kind": "online",
+	"workload": {"n": 60, "m": 16, "rigid_fraction": 1},
+	"policies": ["fcfs"],
+	"params": {"rates": [0.3]},
+	"scale": {"job_factor": 20},
+	"trace": {"events": true}
+}}`
+
+func getTrace(t *testing.T, url, id, query string, gzipped bool) (int, string, http.Header) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url+"/v1/runs/"+id+"/trace"+query, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gzipped {
+		req.Header.Set("Accept-Encoding", "gzip")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var r io.Reader = resp.Body
+	if gzipped && resp.Header.Get("Content-Encoding") == "gzip" {
+		zr, err := gzip.NewReader(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer zr.Close()
+		r = zr
+	}
+	body, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+func TestTraceEndpoint(t *testing.T) {
+	_, srv := newTestService(t, Config{MaxActive: 1})
+	st, code, _ := postRun(t, srv.URL, tracedSpec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d", code)
+	}
+	final := waitState(t, srv.URL, st.ID, RunDone)
+	if final.TraceEvents == 0 {
+		t.Fatal("status reports no trace events on a traced run")
+	}
+
+	code, body, hdr := getTrace(t, srv.URL, st.ID, "", false)
+	if code != http.StatusOK {
+		t.Fatalf("trace: %d: %s", code, body)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	lines, err := runtrace.ParseLines(strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces, err := runtrace.Rebuild(lines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 1 {
+		t.Fatalf("got %d traces, want 1", len(traces))
+	}
+	n := traces[0].Totals()
+	if n.Submits == 0 || n.Submits != n.Finishes+n.Kills {
+		t.Fatalf("conservation violated: submits %d, finishes %d, kills %d", n.Submits, n.Finishes, n.Kills)
+	}
+
+	// The gzip negotiation serves the same bytes.
+	code, zbody, zhdr := getTrace(t, srv.URL, st.ID, "", true)
+	if code != http.StatusOK {
+		t.Fatalf("gzip trace: %d", code)
+	}
+	if zhdr.Get("Content-Encoding") != "gzip" {
+		t.Fatal("no gzip encoding despite Accept-Encoding")
+	}
+	if zbody != body {
+		t.Fatal("gzip body differs from identity body")
+	}
+
+	// Cell filter: cell 0 exists, cell 7 does not, "abc" is malformed.
+	if code, _, _ := getTrace(t, srv.URL, st.ID, "?cell=0", false); code != http.StatusOK {
+		t.Fatalf("cell filter: %d", code)
+	}
+	if code, _, _ := getTrace(t, srv.URL, st.ID, "?cell=7", false); code != http.StatusNotFound {
+		t.Fatalf("unknown cell: %d, want 404", code)
+	}
+	if code, _, _ := getTrace(t, srv.URL, st.ID, "?cell=abc", false); code != http.StatusBadRequest {
+		t.Fatalf("bad cell: %d, want 400", code)
+	}
+}
+
+func TestTraceEndpointUntracedAndUnknown(t *testing.T) {
+	_, srv := newTestService(t, Config{MaxActive: 1})
+	st, _, _ := postRun(t, srv.URL, `{"spec": {"id": "plain", "kind": "api-sleep", "params": {"cells": 1}}}`)
+	waitState(t, srv.URL, st.ID, RunDone)
+	code, body, _ := getTrace(t, srv.URL, st.ID, "", false)
+	if code != http.StatusNotFound {
+		t.Fatalf("untraced run: %d, want 404", code)
+	}
+	if !strings.Contains(body, "no trace") {
+		t.Fatalf("untraced hint missing: %s", body)
+	}
+	if code, _, _ := getTrace(t, srv.URL, "nope", "", false); code != http.StatusNotFound {
+		t.Fatalf("unknown run: %d, want 404", code)
+	}
+}
+
+func TestTraceEndpointConflictWhileRunning(t *testing.T) {
+	_, srv := newTestService(t, Config{MaxActive: 1})
+	st, _, _ := postRun(t, srv.URL, `{"spec": {"id": "gated", "kind": "api-gate", "params": {"cells": 1}}}`)
+	waitState(t, srv.URL, st.ID, RunRunning)
+	code, _, _ := getTrace(t, srv.URL, st.ID, "", false)
+	gate <- struct{}{} // release the cell before asserting
+	waitState(t, srv.URL, st.ID, RunDone)
+	if code != http.StatusConflict {
+		t.Fatalf("running run: %d, want 409", code)
+	}
+}

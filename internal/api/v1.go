@@ -17,6 +17,7 @@ import (
 //	GET    /v1/runs/{id}         typed status incl. per-cell timings
 //	GET    /v1/runs/{id}/events  SSE stream of cell/state events
 //	GET    /v1/runs/{id}/result  result (?format=json|text|csv)
+//	GET    /v1/runs/{id}/trace   JSONL event trace (?cell=N filter)
 //	DELETE /v1/runs/{id}         cooperative cancellation
 //	POST   /scenarios            legacy synchronous shim over /v1
 //	                             (also served at /v1/scenarios)
@@ -26,6 +27,7 @@ func (s *RunService) Mount(mux *http.ServeMux) {
 	mux.HandleFunc("GET /v1/runs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/runs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/runs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
 	RegisterBoth(mux, "POST /scenarios", s.handleLegacyScenario)
 }

@@ -263,6 +263,19 @@ type Sim struct {
 	// OnLocalDone, when set, observes every local-job completion in
 	// event order.
 	OnLocalDone func(c metrics.Completion)
+	// OnLocalSubmit, when set, observes every local-job admission into
+	// the waiting queue (direct submission, streamed arrival, or
+	// migration injection). Crash-kill requeues are reported through
+	// OnLocalKilled instead, so submit observers count each job once.
+	OnLocalSubmit func(j *workload.Job, now float64)
+	// OnLocalKilled, when set, observes a running local job evicted by
+	// a capacity loss; the job is requeued at the tail of the waiting
+	// queue with its release date intact.
+	OnLocalKilled func(j *workload.Job, procs int, now float64)
+	// OnCrash and OnRepair, when set, observe capacity-loss and
+	// capacity-return events with the processor count taken/returned.
+	OnCrash  func(procs int, now float64)
+	OnRepair func(procs int, now float64)
 }
 
 type localRunning struct {
@@ -335,6 +348,19 @@ func (s *Sim) EnablePolling() {
 // view. Without EnablePolling it reports the construction-time state.
 func (s *Sim) LoadSnapshot() LoadInfo { return *s.load.Load() }
 
+// admit appends one job to the waiting queue from event context. All
+// four admission paths (Submit, SubmitAll, streamed arrival, InjectNow)
+// funnel through here so OnLocalSubmit observers see every arrival.
+func (s *Sim) admit(j *workload.Job) {
+	s.queue = append(s.queue, j)
+	w, _ := j.MinWork(s.M)
+	s.queuedWork += w
+	if s.OnLocalSubmit != nil {
+		s.OnLocalSubmit(j, s.DES.Now())
+	}
+	s.reschedule()
+}
+
 // Submit registers a local job: it arrives at its release date.
 func (s *Sim) Submit(j *workload.Job) error {
 	if s.drained {
@@ -345,10 +371,7 @@ func (s *Sim) Submit(j *workload.Job) error {
 	}
 	s.submitted++
 	return s.DES.At(math.Max(j.Release, s.DES.Now()), func() {
-		s.queue = append(s.queue, j)
-		w, _ := j.MinWork(s.M)
-		s.queuedWork += w
-		s.reschedule()
+		s.admit(j)
 	})
 }
 
@@ -371,10 +394,7 @@ func (s *Sim) SubmitAll(jobs []*workload.Job) error {
 	for i, j := range jobs {
 		j := j
 		evs[i] = des.Event{Time: math.Max(j.Release, now), Fn: func() {
-			s.queue = append(s.queue, j)
-			w, _ := j.MinWork(s.M)
-			s.queuedWork += w
-			s.reschedule()
+			s.admit(j)
 		}}
 	}
 	if err := s.DES.AtBatch(evs); err != nil {
@@ -451,10 +471,7 @@ func (s *Sim) arrive() {
 	for s.pending != nil && s.pending.Release <= now {
 		j := s.pending
 		s.submitted++
-		s.queue = append(s.queue, j)
-		w, _ := j.MinWork(s.M)
-		s.queuedWork += w
-		s.reschedule()
+		s.admit(j)
 		s.pull()
 	}
 	_ = s.scheduleArrival()
@@ -675,6 +692,9 @@ func (s *Sim) killOneLocal(now float64) bool {
 	s.queue = append(s.queue, run.job)
 	w, _ := run.job.MinWork(s.M)
 	s.queuedWork += w
+	if s.OnLocalKilled != nil {
+		s.OnLocalKilled(run.job, run.procs, now)
+	}
 	return true
 }
 
@@ -702,6 +722,9 @@ func (s *Sim) Crash(procs int, until float64) error {
 	}
 	o := &outage{procs: procs, until: until}
 	s.outages = append(s.outages, o)
+	if s.OnCrash != nil {
+		s.OnCrash(procs, now)
+	}
 	s.applyAvail(now)
 	return s.DES.At(until, func() { s.repair(o) })
 }
@@ -715,6 +738,9 @@ func (s *Sim) repair(o *outage) {
 		}
 	}
 	s.faultStats.Repairs++
+	if s.OnRepair != nil {
+		s.OnRepair(o.procs, s.DES.Now())
+	}
 	s.applyAvail(s.DES.Now())
 }
 
@@ -1001,9 +1027,6 @@ func (s *Sim) InjectNow(j *workload.Job) error {
 	}
 	s.submitted++
 	return s.DES.After(0, func() {
-		s.queue = append(s.queue, j)
-		w, _ := j.MinWork(s.M)
-		s.queuedWork += w
-		s.reschedule()
+		s.admit(j)
 	})
 }

@@ -55,6 +55,7 @@ func faultsRun(spec *scenario.Spec, seed uint64, sc Scale) (*scenario.Result, er
 		return nil, err
 	}
 	nBE := sc.jobs(spec.Int("tasks", 600))
+	tc := newTraceCollector(spec, len(mtbfs))
 	rows, err := runCells(sc, len(mtbfs), func(i int) ([][]any, error) {
 		mtbf := mtbfs[i]
 		plan := scenario.Faults{}
@@ -93,6 +94,9 @@ func faultsRun(spec *scenario.Spec, seed uint64, sc Scale) (*scenario.Result, er
 					return nil, err
 				}
 			}
+			// Attach after the drift-back hook so the recorder chains it.
+			rec := tc.recorder()
+			rec.Attach(cs, "")
 			rng := stats.NewRNG(seed + 7000 + uint64(i))
 			for k := 0; k < nBE; k++ {
 				cs.SubmitBestEffort(cluster.BETask{BagID: 0, Index: k, Duration: rng.Range(20, 600)})
@@ -105,6 +109,7 @@ func faultsRun(spec *scenario.Spec, seed uint64, sc Scale) (*scenario.Result, er
 			if err := cs.Run(); err != nil {
 				return nil, fmt.Errorf("experiments: %s: %w", e.Name, err)
 			}
+			tc.add(i, e.Name, rec)
 			rep := cs.Report()
 			cmaxLB := lowerbound.Cmax(jobs, c.M)
 			pred := faults.PredictCmax(jobs, c.M, plan)
@@ -129,7 +134,9 @@ func faultsRun(spec *scenario.Spec, seed uint64, sc Scale) (*scenario.Result, er
 			t.AddRow(r...)
 		}
 	}
-	return t.Result(), nil
+	res := t.Result()
+	tc.install(res)
+	return res, nil
 }
 
 // faultTwinRun is the "faulttwin" kind: the analytical twin validated

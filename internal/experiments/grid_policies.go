@@ -9,6 +9,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/platform"
 	"repro/internal/registry"
+	"repro/internal/runtrace"
 	"repro/internal/scenario"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -139,6 +140,7 @@ func gridRun(spec *scenario.Spec, seed uint64, sc Scale) (*scenario.Result, erro
 	if err != nil {
 		return nil, err
 	}
+	tc := newTraceCollector(spec, len(entries))
 	if err := runRowCells(t, sc, len(entries), func(i int) ([]any, error) {
 		entry := entries[i]
 		router := entry.New(ropt)
@@ -167,9 +169,23 @@ func gridRun(spec *scenario.Spec, seed uint64, sc Scale) (*scenario.Result, erro
 				}
 			}
 		}
+		rec := tc.recorder()
+		if rec != nil {
+			for ci := range clusters {
+				name := clusters[ci].Name
+				if name == "" {
+					name = fmt.Sprintf("c%d", ci)
+				}
+				rec.Attach(r.Sim(ci), name)
+			}
+			r.OnMigrate = func(j *workload.Job, src, dst int, now float64) {
+				rec.Record(now, runtrace.EvMigrate, j.ID, j.MinProcs, dst)
+			}
+		}
 		if err := r.Run(); err != nil {
 			return nil, fmt.Errorf("experiments: %s: %w", entry.Name, err)
 		}
+		tc.add(i, entry.Name, rec)
 		st := r.Stats()
 		if st.Rejected > 0 && spec.Faults == nil {
 			// Under a fault plan rejections are expected (a job can
@@ -199,7 +215,9 @@ func gridRun(spec *scenario.Spec, seed uint64, sc Scale) (*scenario.Result, erro
 	}); err != nil {
 		return nil, err
 	}
-	return t.Result(), nil
+	res := t.Result()
+	tc.install(res)
+	return res, nil
 }
 
 // GridPolicyTable is the compatibility entry point for T15.

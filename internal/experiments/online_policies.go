@@ -57,6 +57,7 @@ func onlineRun(spec *scenario.Spec, seed uint64, sc Scale) (*scenario.Result, er
 	if err != nil {
 		return nil, err
 	}
+	tc := newTraceCollector(spec, len(rates))
 	rows, err := runCells(sc, len(rates), func(i int) ([][]any, error) {
 		rate := rates[i]
 		n := sc.jobs(cfg.N)
@@ -80,6 +81,8 @@ func onlineRun(spec *scenario.Spec, seed uint64, sc Scale) (*scenario.Result, er
 					return nil, err
 				}
 			}
+			rec := tc.recorder()
+			rec.Attach(sim, "")
 			for _, j := range jobs {
 				if err := sim.Submit(j); err != nil {
 					return nil, err
@@ -88,6 +91,7 @@ func onlineRun(spec *scenario.Spec, seed uint64, sc Scale) (*scenario.Result, er
 			if err := sim.Run(); err != nil {
 				return nil, fmt.Errorf("experiments: %s: %w", e.Name, err)
 			}
+			tc.add(i, e.Name, rec)
 			cs := sim.Completions()
 			rep := metrics.NewReport(cs, c.M)
 			cmaxLB := lowerbound.Cmax(jobs, c.M)
@@ -111,7 +115,9 @@ func onlineRun(spec *scenario.Spec, seed uint64, sc Scale) (*scenario.Result, er
 			t.AddRow(r...)
 		}
 	}
-	return t.Result(), nil
+	res := t.Result()
+	tc.install(res)
+	return res, nil
 }
 
 // OnlinePolicyTable is the compatibility entry point for T14.

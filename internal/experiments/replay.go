@@ -65,6 +65,7 @@ func replayRun(spec *scenario.Spec, seed uint64, sc Scale) (*scenario.Result, er
 	t := newTable(1,
 		title(spec, fmt.Sprintf("EXT5 — streaming replay (%s, m=%d, retain=%s): lazy admission, O(1) metrics", src, m, retain)),
 		"policy", "jobs", "Cmax", "mean flow", "max stretch", "util %")
+	tc := newTraceCollector(spec, len(entries))
 	if err := runRowCells(t, sc, len(entries), func(i int) ([]any, error) {
 		e := entries[i]
 		// Each policy cell streams its own copy of the workload: a fresh
@@ -96,12 +97,15 @@ func replayRun(spec *scenario.Spec, seed uint64, sc Scale) (*scenario.Result, er
 		if err != nil {
 			return nil, err
 		}
+		rec := tc.recorder()
+		rec.Attach(sim, "")
 		if err := sim.Stream(source); err != nil {
 			return nil, fmt.Errorf("experiments: %s: %w", e.Name, err)
 		}
 		if err := sim.Run(); err != nil {
 			return nil, fmt.Errorf("experiments: %s: %w", e.Name, err)
 		}
+		tc.add(i, e.Name, rec)
 		rep := sim.Report()
 		return []any{
 			e.Name, sim.CompletedCount(), rep.Makespan,
@@ -110,5 +114,7 @@ func replayRun(spec *scenario.Spec, seed uint64, sc Scale) (*scenario.Result, er
 	}); err != nil {
 		return nil, err
 	}
-	return t.Result(), nil
+	res := t.Result()
+	tc.install(res)
+	return res, nil
 }

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"repro/internal/runtrace"
+	"repro/internal/scenario"
+)
+
+// traceCollector gathers per-cell event traces for kind runners that
+// support the Spec trace axis. It is nil-safe end to end: when the spec
+// does not request tracing, newTraceCollector returns nil, recorder()
+// returns a nil *runtrace.Recorder (whose methods are no-ops) and
+// install() does nothing — so the untraced hot path stays unchanged.
+//
+// perCell is indexed by cell; each cell's sub-runs (one per policy
+// entry, say) append only from that cell's worker goroutine, mirroring
+// the out[i]-slot discipline of runCells, so parallel cell execution
+// needs no locking and the flattened order is deterministic.
+type traceCollector struct {
+	max     int
+	perCell [][]runtrace.CellTrace
+}
+
+// newTraceCollector returns a collector for cells cells, or nil when
+// the spec does not request tracing.
+func newTraceCollector(spec *scenario.Spec, cells int) *traceCollector {
+	if spec == nil || !spec.Traced() {
+		return nil
+	}
+	return &traceCollector{
+		max:     spec.Trace.MaxEvents,
+		perCell: make([][]runtrace.CellTrace, cells),
+	}
+}
+
+// recorder returns a fresh recorder for one cell sub-run (nil on a nil
+// collector).
+func (tc *traceCollector) recorder() *runtrace.Recorder {
+	if tc == nil {
+		return nil
+	}
+	return runtrace.NewRecorder(tc.max)
+}
+
+// add seals one sub-run's recorder into the cell's trace list. Safe to
+// call only from the goroutine running that cell.
+func (tc *traceCollector) add(cell int, label string, rec *runtrace.Recorder) {
+	if tc == nil || rec == nil {
+		return
+	}
+	tc.perCell[cell] = append(tc.perCell[cell], rec.Finish(cell, label))
+}
+
+// install flattens the collected traces in cell order onto the result.
+func (tc *traceCollector) install(res *scenario.Result) {
+	if tc == nil || res == nil {
+		return
+	}
+	n := 0
+	for _, ts := range tc.perCell {
+		n += len(ts)
+	}
+	out := make([]runtrace.CellTrace, 0, n)
+	for _, ts := range tc.perCell {
+		out = append(out, ts...)
+	}
+	res.Traces = out
+}

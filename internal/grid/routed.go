@@ -55,6 +55,11 @@ type Routed struct {
 	nLocal     int
 	partitions []scenario.PartitionWindow
 
+	// OnMigrate, when set, observes every exchange-round migration: job
+	// j moved from cluster src to cluster dst at virtual time now. Nil
+	// by default — the batch tables pay nothing for it.
+	OnMigrate func(j *workload.Job, src, dst int, now float64)
+
 	redistributePending bool
 }
 
@@ -243,6 +248,9 @@ func (r *Routed) exchange() {
 			}
 			if dst == mv.Dst {
 				r.stats.Migrations++
+				if r.OnMigrate != nil {
+					r.OnMigrate(j, mv.Src, dst, now)
+				}
 			}
 		}
 	}

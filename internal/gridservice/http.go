@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/api"
 	"repro/internal/cluster"
+	"repro/internal/metrics"
 	"repro/internal/registry"
 	"repro/internal/service"
 )
@@ -197,6 +198,7 @@ func (b *Broker) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		func(s service.Stats) float64 { return float64(s.BestEffort.Killed) })
 	perCluster("gridd_cluster_virtual_time_seconds", "Cluster virtual clock.", "gauge",
 		func(s service.Stats) float64 { return s.VirtualNow })
+	metrics.WriteTraceMetrics(w)
 }
 
 type gridPolicyInfo struct {

@@ -1,0 +1,78 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Histogram is a fixed-bucket cumulative histogram in Prometheus
+// exposition shape. Observe is safe for concurrent use; the service
+// layer feeds it from run workers while /metrics scrapes it.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []uint64 // len(bounds)+1; the last bucket is +Inf overflow
+	sum    float64
+	n      uint64
+}
+
+// NewHistogram builds a histogram with the given ascending upper
+// bucket bounds (an implicit +Inf bucket is appended).
+func NewHistogram(bounds ...float64) *Histogram {
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.sum += v
+	h.n++
+}
+
+// Write emits the histogram in Prometheus text exposition format.
+func (h *Histogram) Write(w io.Writer, name, help string) {
+	h.mu.Lock()
+	bounds := h.bounds
+	counts := append([]uint64(nil), h.counts...)
+	sum, n := h.sum, h.n
+	h.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	var cum uint64
+	for i, b := range bounds {
+		cum += counts[i]
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, fmt.Sprintf("%g", b), cum)
+	}
+	cum += counts[len(bounds)]
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %g\n", name, sum)
+	fmt.Fprintf(w, "%s_count %d\n", name, n)
+}
+
+// Process-wide histograms derived from recorded run traces: every
+// traced run's time-binned utilization and queue depth feed them when
+// the run completes, so /metrics exposes a fleet-level picture of how
+// loaded the simulated platforms were.
+var (
+	TraceUtilization = NewHistogram(0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1)
+	TraceQueueDepth  = NewHistogram(0, 1, 2, 4, 8, 16, 32, 64, 128, 256)
+)
+
+// WriteTraceMetrics writes the trace-derived histograms in Prometheus
+// exposition format (appended to both daemons' /metrics pages).
+func WriteTraceMetrics(w io.Writer) {
+	TraceUtilization.Write(w, "gridd_trace_utilization_ratio",
+		"Per-time-bin utilization of traced runs (busy procs / capacity).")
+	TraceQueueDepth.Write(w, "gridd_trace_queue_depth",
+		"Per-time-bin mean queue depth of traced runs.")
+}

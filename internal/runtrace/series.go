@@ -1,0 +1,113 @@
+package runtrace
+
+// Series is a time-binned view of one trace: per-bin mean utilization
+// (busy processors over capacity) and mean queue depth, integrated
+// piecewise over the virtual-time horizon.
+type Series struct {
+	// Horizon is the virtual time spanned (last event timestamp).
+	Horizon float64
+	// Capacity is the summed processor count of the traced clusters.
+	Capacity int
+	// Util holds per-bin mean utilization in [0, 1].
+	Util []float64
+	// Queue holds per-bin mean queue depth (jobs waiting).
+	Queue []float64
+	// MaxQueue is the peak instantaneous queue depth.
+	MaxQueue int
+	// MeanUtil is the horizon-wide mean utilization in [0, 1].
+	MeanUtil float64
+}
+
+// BinSeries integrates the trace into bins equal-width time bins.
+// Busy-processor accounting is guarded by a running-job map so kill
+// events without a recorded start (best-effort tasks) cannot drive the
+// counters negative; queue accounting likewise dedupes per job, so a
+// migrated job counts once while queued anywhere in the grid.
+func BinSeries(tr CellTrace, bins int) Series {
+	if bins <= 0 {
+		bins = 1
+	}
+	s := Series{Capacity: tr.Capacity()}
+	for _, e := range tr.Events {
+		if e.T > s.Horizon {
+			s.Horizon = e.T
+		}
+	}
+	s.Util = make([]float64, bins)
+	s.Queue = make([]float64, bins)
+	if s.Horizon <= 0 || len(tr.Events) == 0 {
+		return s
+	}
+	binW := s.Horizon / float64(bins)
+
+	// accumulate adds the piecewise-constant levels over [from, to).
+	utilArea := make([]float64, bins)
+	queueArea := make([]float64, bins)
+	accumulate := func(from, to float64, busy, queued int) {
+		if to <= from {
+			return
+		}
+		for b := int(from / binW); b < bins; b++ {
+			lo := float64(b) * binW
+			hi := lo + binW
+			if lo < from {
+				lo = from
+			}
+			if hi > to {
+				hi = to
+			}
+			if hi <= lo {
+				if lo >= to {
+					break
+				}
+				continue
+			}
+			utilArea[b] += float64(busy) * (hi - lo)
+			queueArea[b] += float64(queued) * (hi - lo)
+		}
+	}
+
+	running := map[int32]int32{} // job -> procs occupied
+	queued := map[int32]bool{}
+	busy, depth := 0, 0
+	prev := 0.0
+	var busyArea float64
+	for _, e := range tr.Events {
+		accumulate(prev, e.T, busy, depth)
+		busyArea += float64(busy) * (e.T - prev)
+		prev = e.T
+		switch e.Type {
+		case EvSubmit, EvRequeue:
+			if !queued[e.Job] {
+				queued[e.Job] = true
+				depth++
+			}
+		case EvStart:
+			if queued[e.Job] {
+				delete(queued, e.Job)
+				depth--
+			}
+			running[e.Job] += e.Procs
+			busy += int(e.Procs)
+		case EvFinish, EvKill:
+			if p, ok := running[e.Job]; ok {
+				busy -= int(p)
+				delete(running, e.Job)
+			}
+		}
+		if depth > s.MaxQueue {
+			s.MaxQueue = depth
+		}
+	}
+	denom := binW * float64(s.Capacity)
+	for b := 0; b < bins; b++ {
+		if denom > 0 {
+			s.Util[b] = utilArea[b] / denom
+		}
+		s.Queue[b] = queueArea[b] / binW
+	}
+	if s.Capacity > 0 {
+		s.MeanUtil = busyArea / (s.Horizon * float64(s.Capacity))
+	}
+	return s
+}

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/runtrace"
 	"repro/internal/trace"
 )
 
@@ -92,6 +93,10 @@ type Result struct {
 	// callers can report the effective seed without re-deriving the
 	// precedence rules.
 	Options RunOptions
+	// Traces holds the per-cell event traces when the Spec's trace
+	// axis was set (cell order, one entry per cell sub-run). They ride
+	// outside the table so rendered output and goldens are unchanged.
+	Traces []runtrace.CellTrace
 	// render emits custom (non-table) output; nil for table results.
 	render func(w io.Writer) error
 }
@@ -361,6 +366,9 @@ func Run(s *Spec, opt RunOptions) (*Result, error) {
 	if res != nil {
 		res.Options = opt
 		res.SpecID, res.Kind, res.Seed = s.ID, s.Kind, opt.Seed
+	}
+	if err == nil && res != nil && s.Traced() && len(res.Traces) == 0 {
+		return nil, fmt.Errorf("scenario: spec %q: kind %q does not record traces", s.ID, s.Kind)
 	}
 	return res, err
 }

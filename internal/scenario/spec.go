@@ -184,6 +184,9 @@ type Spec struct {
 	Grid     *Grid    `json:"grid,omitempty"`
 	// Faults is the fault-injection plan (nil = healthy fleet).
 	Faults *Faults `json:"faults,omitempty"`
+	// Trace switches per-cell event tracing on (nil = no tracing, the
+	// batch hot path pays nothing).
+	Trace *Trace `json:"trace,omitempty"`
 	// Metrics selects report columns for the generic kinds.
 	Metrics []string `json:"metrics,omitempty"`
 	// Scale pins a scale for this Spec (RunOptions overrides win).
@@ -233,6 +236,9 @@ func WithGrid(g Grid) Option { return func(s *Spec) { s.Grid = &g } }
 
 // WithFaults sets the fault-injection plan.
 func WithFaults(f Faults) Option { return func(s *Spec) { s.Faults = &f } }
+
+// WithTrace switches event tracing on.
+func WithTrace(t Trace) Option { return func(s *Spec) { s.Trace = &t } }
 
 // WithMetrics selects report columns for the generic kinds.
 func WithMetrics(cols ...string) Option { return func(s *Spec) { s.Metrics = cols } }
@@ -288,6 +294,11 @@ func (s *Spec) Validate() error {
 	}
 	if s.Faults != nil {
 		if err := s.Faults.Validate(); err != nil {
+			return fmt.Errorf("scenario: spec %q: %w", s.ID, err)
+		}
+	}
+	if s.Trace != nil {
+		if err := s.Trace.Validate(); err != nil {
 			return fmt.Errorf("scenario: spec %q: %w", s.ID, err)
 		}
 	}
@@ -353,6 +364,33 @@ func (f *Faults) Validate() error {
 	}
 	return nil
 }
+
+// Trace is the event-tracing axis: when present (with Events true) kind
+// runners record one structured event trace per cell sub-run and attach
+// them to the Result.
+type Trace struct {
+	// Events must be true — omit the trace field entirely to keep
+	// tracing off.
+	Events bool `json:"events"`
+	// MaxEvents caps recorded events per cell sub-run (0 = unlimited;
+	// the /v1 API clamps inline specs server-side). Events beyond the
+	// cap are counted as dropped, not stored.
+	MaxEvents int `json:"max_events,omitempty"`
+}
+
+// Validate checks the trace axis's structural invariants.
+func (t *Trace) Validate() error {
+	if !t.Events {
+		return fmt.Errorf("trace: events must be true (omit the trace field instead)")
+	}
+	if t.MaxEvents < 0 {
+		return fmt.Errorf("trace: negative max_events")
+	}
+	return nil
+}
+
+// Traced reports whether the spec requests event tracing.
+func (s *Spec) Traced() bool { return s.Trace != nil && s.Trace.Events }
 
 func validParam(v any) bool {
 	switch v := v.(type) {

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/api"
 	"repro/internal/cluster"
+	"repro/internal/metrics"
 	"repro/internal/registry"
 )
 
@@ -168,6 +169,7 @@ func (e *Engine) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		drained = 1
 	}
 	g("gridd_drained", "1 once the service stopped accepting submissions.", "gauge", drained)
+	metrics.WriteTraceMetrics(w)
 }
 
 // PolicyInfo is the /policies JSON shape for one local queue policy,

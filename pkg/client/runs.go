@@ -6,10 +6,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/runtrace"
 	"repro/internal/scenario"
 )
 
@@ -59,6 +61,30 @@ func (c *Client) RunResult(ctx context.Context, id string) (scenario.ResultJSON,
 // format ("text" — byte-identical to the CLI table — or "csv").
 func (c *Client) RunResultText(ctx context.Context, id, format string) (string, error) {
 	return c.text(ctx, "/v1/runs/"+id+"/result?format="+format)
+}
+
+// RunTrace fetches a finished run's recorded event trace as raw JSONL
+// (GET /v1/runs/{id}/trace). cell >= 0 filters to one cell; pass a
+// negative cell for the whole run. The transport negotiates gzip
+// transparently. Runs whose spec did not set the trace axis answer
+// 404, surfaced as a typed *Error.
+func (c *Client) RunTrace(ctx context.Context, id string, cell int) (string, error) {
+	path := "/v1/runs/" + id + "/trace"
+	if cell >= 0 {
+		path += "?cell=" + strconv.Itoa(cell)
+	}
+	return c.text(ctx, path)
+}
+
+// RunTraceLines fetches a finished run's trace and decodes it into
+// typed lines (meta lines carry cluster metadata, event lines one
+// simulation event each).
+func (c *Client) RunTraceLines(ctx context.Context, id string, cell int) ([]runtrace.Line, error) {
+	raw, err := c.RunTrace(ctx, id, cell)
+	if err != nil {
+		return nil, err
+	}
+	return runtrace.ParseLines(strings.NewReader(raw))
 }
 
 // StreamEvents subscribes to the run's SSE progress stream and calls
