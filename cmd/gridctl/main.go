@@ -12,6 +12,8 @@
 //	gridctl [-addr URL] status [-format json|text] <run-id>
 //	                                         typed status + cell timings
 //	gridctl [-addr URL] cancel <run-id>      cooperative cancellation
+//	gridctl [-addr URL] workers [-format text|json]
+//	                                         fleet coordinator worker view
 //	gridctl [-addr URL] submit [run flags] <id>|<spec.json>
 //	                                         submit without waiting
 //	gridctl [-addr URL] trace [-cell N] [-swf] [-o FILE] <run-id>
@@ -56,6 +58,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, "       gridctl [-addr URL] runs [-format text|json]")
 	fmt.Fprintln(os.Stderr, "       gridctl [-addr URL] status [-format json|text] <run-id>")
 	fmt.Fprintln(os.Stderr, "       gridctl [-addr URL] cancel <run-id>")
+	fmt.Fprintln(os.Stderr, "       gridctl [-addr URL] workers [-format text|json]")
 	fmt.Fprintln(os.Stderr, "       gridctl [-addr URL] trace [-cell N] [-swf] [-o FILE] <run-id>")
 	fmt.Fprintln(os.Stderr, "       gridctl [-addr URL] observe [-cell N] [-bins N] <run-id>")
 	fmt.Fprintln(os.Stderr, "       gridctl [-addr URL] observe -diff <run-id-a> <run-id-b>")
@@ -87,6 +90,8 @@ func main() {
 		err = statusCmd(ctx, c, flag.Args()[1:])
 	case "cancel":
 		err = cancelCmd(ctx, c, flag.Args()[1:])
+	case "workers":
+		err = workersCmd(ctx, c, flag.Args()[1:])
 	case "trace":
 		err = traceCmd(ctx, c, flag.Args()[1:])
 	case "observe":
@@ -256,6 +261,38 @@ func statusCmd(ctx context.Context, c *client.Client, args []string) error {
 		return nil
 	}
 	return fmt.Errorf("unknown format %q (json|text)", *format)
+}
+
+// workersCmd renders the coordinator's fleet view (GET
+// /v1/fleet/workers): every worker that ever leased cells, with live
+// lease counts and lifetime throughput. A daemon not started with
+// -fleet has no such endpoint and answers 404.
+func workersCmd(ctx context.Context, c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("workers", flag.ExitOnError)
+	format := fs.String("format", "text", "output format: text|json")
+	_ = fs.Parse(args)
+	ws, err := c.FleetWorkers(ctx)
+	if err != nil {
+		if e, ok := err.(*client.Error); ok && e.Status == http.StatusNotFound {
+			return fmt.Errorf("no fleet coordinator at %s (start gridd with -fleet)", c.Base())
+		}
+		return err
+	}
+	switch *format {
+	case "json":
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(ws)
+	case "text":
+		fmt.Printf("%-24s %-10s %-6s %7s %7s %9s %6s %7s\n",
+			"WORKER", "VERSION", "ALIVE", "LEASES", "CELLS", "CELLS/S", "FAILS", "EXPIRED")
+		for _, w := range ws {
+			fmt.Printf("%-24s %-10s %-6t %7d %7d %9.2f %6d %7d\n",
+				w.ID, w.Version, w.Alive, w.Leases, w.CellsDone, w.CellsPerSec, w.Failures, w.Expirations)
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown format %q (text|json)", *format)
 }
 
 func cancelCmd(ctx context.Context, c *client.Client, args []string) error {

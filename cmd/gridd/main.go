@@ -41,9 +41,11 @@ import (
 	"repro/internal/api"
 	"repro/internal/cluster"
 	_ "repro/internal/experiments" // registers the scenario kinds + catalog for the run API
+	"repro/internal/fleet"
 	"repro/internal/gridservice"
 	"repro/internal/registry"
 	"repro/internal/service"
+	"repro/pkg/client"
 )
 
 func main() {
@@ -60,14 +62,42 @@ func main() {
 		logReqs  = flag.Bool("log-requests", false, "log one line per API request (method, path, status, duration, bytes, run id)")
 		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (outside the API body caps)")
 		list     = flag.Bool("list-policies", false, "print the policy catalogs and exit")
+
+		fleetOn  = flag.Bool("fleet", false, "coordinator mode: shard run cells across fleet workers via /v1/fleet")
+		fleetTTL = flag.Duration("fleet-ttl", 15*time.Second, "fleet lease TTL (expired leases requeue their cells)")
+
+		workerMode  = flag.Bool("worker", false, "worker mode: lease and execute cells from -coordinator instead of serving")
+		coordinator = flag.String("coordinator", "http://localhost:8042", "coordinator base URL for -worker mode")
+		workerID    = flag.String("worker-id", "", "worker identity (-worker mode; default host-pid)")
+		workerBatch = flag.Int("worker-batch", 4, "max cells leased per request (-worker mode)")
+		workerPool  = flag.Int("worker-pool", 0, "local cell parallelism per lease (-worker mode; 0 = GOMAXPROCS)")
+
+		version = flag.Bool("version", false, "print build identity (version, go toolchain, catalog hash) and exit")
 	)
 	flag.Parse()
+	if *version {
+		v := api.CurrentVersion()
+		fmt.Printf("gridd %s %s catalog %s (%d scenarios, %d kinds)\n",
+			v.Version, v.GoVersion, v.CatalogHash, v.Scenarios, v.Kinds)
+		return
+	}
 	if *list {
 		fmt.Println("local queue policies:")
 		_ = registry.WriteCatalog(os.Stdout)
 		fmt.Println("\ngrid routing policies (-topology mode):")
 		_ = registry.WriteGridCatalog(os.Stdout)
 		return
+	}
+	if *workerMode {
+		runWorker(*coordinator, *workerID, *workerBatch, *workerPool)
+		return
+	}
+	var fl *fleet.Coordinator
+	if *fleetOn {
+		fl = fleet.NewCoordinator(fleet.Config{TTL: *fleetTTL})
+		defer fl.Close()
+		log.Printf("gridd: fleet coordinator enabled (lease TTL %v, catalog %s)",
+			*fleetTTL, fl.Build().CatalogHash)
 	}
 	if *topology != "" {
 		// Broker mode takes its whole configuration from the topology
@@ -79,7 +109,7 @@ func main() {
 				log.Printf("gridd: -%s is ignored in -topology mode (set it in %s)", f.Name, *topology)
 			}
 		})
-		runBroker(*topology, *addr, *drainT, *maxRuns, *logReqs, *pprofOn)
+		runBroker(*topology, *addr, *drainT, *maxRuns, *logReqs, *pprofOn, fl)
 		return
 	}
 	kp := cluster.KillNewest
@@ -97,7 +127,11 @@ func main() {
 		log.Fatalf("gridd: %v", err)
 	}
 	eng.Start()
-	runs := api.NewRunService(api.Config{MaxActive: *maxRuns, Log: requestLogger(*logReqs)})
+	cfg := api.Config{MaxActive: *maxRuns, Log: requestLogger(*logReqs)}
+	if fl != nil {
+		cfg.Fleet = fl
+	}
+	runs := api.NewRunService(cfg)
 	defer runs.Close()
 	srv := &http.Server{Addr: *addr, Handler: withPprof(eng.Handler(runs), *pprofOn)}
 
@@ -118,7 +152,7 @@ func main() {
 }
 
 // runBroker serves a multi-cluster fleet from a topology file.
-func runBroker(path, addr string, drainT time.Duration, maxRuns int, logReqs, pprofOn bool) {
+func runBroker(path, addr string, drainT time.Duration, maxRuns int, logReqs, pprofOn bool, fl *fleet.Coordinator) {
 	topo, err := gridservice.LoadTopology(path)
 	if err != nil {
 		log.Fatalf("gridd: %v", err)
@@ -128,7 +162,11 @@ func runBroker(path, addr string, drainT time.Duration, maxRuns int, logReqs, pp
 		log.Fatalf("gridd: %v", err)
 	}
 	b.Start()
-	runs := api.NewRunService(api.Config{MaxActive: maxRuns, Log: requestLogger(logReqs)})
+	cfg := api.Config{MaxActive: maxRuns, Log: requestLogger(logReqs)}
+	if fl != nil {
+		cfg.Fleet = fl
+	}
+	runs := api.NewRunService(cfg)
 	defer runs.Close()
 	srv := &http.Server{Addr: addr, Handler: withPprof(b.Handler(runs), pprofOn)}
 
@@ -156,6 +194,37 @@ func runBroker(path, addr string, drainT time.Duration, maxRuns int, logReqs, pp
 	}
 	_ = srv.Shutdown(ctx)
 	b.Stop()
+}
+
+// runWorker joins a coordinator's fleet: version handshake first (a
+// mismatched catalog hash would silently break the coordinator's
+// deterministic merge), then the lease/execute/report loop until
+// SIGTERM/SIGINT, which drains gracefully — finished cells of the
+// current batch are still reported, unfinished ones requeue on the
+// coordinator when the lease TTL expires.
+func runWorker(base, id string, batch, pool int) {
+	cl := client.New(base)
+	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer cancel()
+
+	mine := fleet.CurrentBuild()
+	v, err := cl.Version(ctx)
+	if err != nil {
+		log.Fatalf("gridd: worker: coordinator %s: %v", base, err)
+	}
+	theirs := fleet.BuildInfo{Version: v.Version, GoVersion: v.GoVersion, CatalogHash: v.CatalogHash}
+	if !mine.Compatible(theirs) {
+		log.Fatalf("gridd: worker: incompatible coordinator %s: local %+v, remote %+v", base, mine, theirs)
+	}
+	log.Printf("gridd: worker joining %s (catalog %s)", base, mine.CatalogHash)
+
+	err = fleet.RunWorker(ctx, cl, fleet.WorkerConfig{
+		ID: id, Batch: batch, Workers: pool, Log: log.Default(),
+	})
+	if err != nil && ctx.Err() == nil {
+		log.Fatalf("gridd: worker: %v", err)
+	}
+	log.Printf("gridd: worker: drained, exiting")
 }
 
 // requestLogger resolves the -log-requests flag into the middleware's

@@ -81,6 +81,9 @@ type RunStatus struct {
 	// Cells lists per-cell wall timings in completion order (only on
 	// the single-run endpoint, not in listings).
 	Cells []CellTiming `json:"cells,omitempty"`
+	// Workers lists the fleet workers that contributed cells to this
+	// run (sorted; only in distributed mode).
+	Workers []string `json:"workers,omitempty"`
 }
 
 // Run is one scenario run tracked by the store. Every mutable field

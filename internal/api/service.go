@@ -34,6 +34,25 @@ type Config struct {
 	MaxBody int64
 	// Log, when set, receives request log lines from the middleware.
 	Log *log.Logger
+	// Fleet, when set, distributes each run's remoteable cells through
+	// a coordinator (implemented by *fleet.Coordinator) instead of the
+	// local pool. Traced runs always execute locally — their recorders
+	// cannot ship over the wire.
+	Fleet Fleet
+}
+
+// Fleet is the coordinator seam of a distributed daemon: the api
+// declares the interface (so it does not import internal/fleet, which
+// mounts its handlers through this service) and the fleet package
+// implements it.
+type Fleet interface {
+	// Dispatcher registers a run and returns the CellRunner the
+	// scenario engine dispatches remoteable cells through.
+	Dispatcher(runID string, spec *scenario.Spec, seed uint64, jobFactor int) (scenario.CellRunner, error)
+	// RunWorkers lists the workers that contributed cells to a run.
+	RunWorkers(runID string) []string
+	// Forget drops a run's fleet-side record (store eviction).
+	Forget(runID string)
 }
 
 func (c Config) fill() Config {
@@ -300,6 +319,9 @@ func (s *RunService) evictLocked() {
 		delete(s.runs, r.id)
 		s.order = append(s.order[:victim], s.order[victim+1:]...)
 		s.evicted++
+		if s.cfg.Fleet != nil {
+			s.cfg.Fleet.Forget(r.id)
+		}
 	}
 }
 
@@ -349,6 +371,22 @@ func (s *RunService) worker() {
 			s.mu.Unlock()
 		}
 
+		if f := s.cfg.Fleet; f != nil && !r.spec.Traced() {
+			// Distributed mode: remoteable cells go through the
+			// coordinator's work queue (opt.Seed is already the
+			// resolved effective seed — see options()).
+			cr, ferr := f.Dispatcher(r.id, r.spec, opt.Seed, opt.Scale.JobFactor)
+			if ferr != nil {
+				s.mu.Lock()
+				s.terminateLocked(r, RunFailed, ferr.Error())
+				s.active--
+				s.mu.Unlock()
+				r.cancel()
+				continue
+			}
+			opt.Remote = cr
+		}
+
 		res, err := runSpec(r.spec, opt)
 
 		if err == nil && res != nil {
@@ -395,20 +433,30 @@ func (s *RunService) Get(id string) (*Run, bool) {
 	return r, ok
 }
 
-// Status snapshots one run.
+// Status snapshots one run. The fleet contributor list is filled
+// outside the store lock (the coordinator has its own).
 func (s *RunService) Status(r *Run, includeCells bool) RunStatus {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return r.status(includeCells)
+	st := r.status(includeCells)
+	s.mu.Unlock()
+	if s.cfg.Fleet != nil {
+		st.Workers = s.cfg.Fleet.RunWorkers(st.ID)
+	}
+	return st
 }
 
 // List snapshots every stored run in submission order.
 func (s *RunService) List() []RunStatus {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	out := make([]RunStatus, len(s.order))
 	for i, r := range s.order {
 		out[i] = r.status(false)
+	}
+	s.mu.Unlock()
+	if s.cfg.Fleet != nil {
+		for i := range out {
+			out[i].Workers = s.cfg.Fleet.RunWorkers(out[i].ID)
+		}
 	}
 	return out
 }

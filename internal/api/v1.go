@@ -29,7 +29,15 @@ func (s *RunService) Mount(mux *http.ServeMux) {
 	mux.HandleFunc("GET /v1/runs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/runs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/version", handleVersion)
 	RegisterBoth(mux, "POST /scenarios", s.handleLegacyScenario)
+	// A coordinator-backed service also serves the fleet lease
+	// protocol (POST /v1/fleet/lease|complete|heartbeat, GET
+	// /v1/fleet/workers) — mounted through the interface so the api
+	// package never imports internal/fleet.
+	if f, ok := s.cfg.Fleet.(interface{ Mount(*http.ServeMux) }); ok {
+		f.Mount(mux)
+	}
 }
 
 // decodeRequest parses a run submission (shared by /v1/runs and the
@@ -186,10 +194,25 @@ func (s *RunService) handleEvents(w http.ResponseWriter, r *http.Request) {
 }
 
 // RetryAfter is the back-off hint a rejected client receives in the
-// Retry-After header: one second — quick runs clear in well under
-// that, and a still-saturated queue answers the retry with another
-// 429 carrying the same hint.
-func (s *RunService) RetryAfter() time.Duration { return time.Second }
+// Retry-After header, computed from the submission backlog: an idle
+// queue answers one second (quick runs clear in well under that), and
+// every run already waiting beyond the executor pool adds another —
+// capped at 30s — so a polling worker fleet backs off proportionally
+// to how saturated the daemon actually is instead of hammering it
+// once a second.
+func (s *RunService) RetryAfter() time.Duration {
+	s.mu.Lock()
+	waiting := s.active - s.cfg.MaxActive
+	s.mu.Unlock()
+	if waiting < 0 {
+		waiting = 0
+	}
+	d := time.Duration(1+waiting) * time.Second
+	if max := 30 * time.Second; d > max {
+		d = max
+	}
+	return d
+}
 
 // handleLegacyScenario is the POST /scenarios compatibility shim: it
 // submits through the same run store the /v1 API uses, waits for the

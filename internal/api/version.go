@@ -1,0 +1,35 @@
+package api
+
+import (
+	"net/http"
+
+	"repro/internal/scenario"
+	"repro/internal/version"
+)
+
+// VersionInfo is the GET /v1/version payload: enough build identity
+// for a fleet worker (or any client) to decide compatibility before
+// doing work — the catalog hash pins the scenario semantics, version
+// and toolchain pin the numerics.
+type VersionInfo struct {
+	Version     string `json:"version"`
+	GoVersion   string `json:"go_version"`
+	CatalogHash string `json:"catalog_hash"`
+	Scenarios   int    `json:"scenarios"`
+	Kinds       int    `json:"kinds"`
+}
+
+// CurrentVersion returns this binary's build info.
+func CurrentVersion() VersionInfo {
+	return VersionInfo{
+		Version:     version.Version,
+		GoVersion:   version.Go(),
+		CatalogHash: scenario.CatalogHash(),
+		Scenarios:   len(scenario.Catalog()),
+		Kinds:       len(scenario.Kinds()),
+	}
+}
+
+func handleVersion(w http.ResponseWriter, r *http.Request) {
+	WriteJSON(w, http.StatusOK, CurrentVersion())
+}

@@ -21,6 +21,8 @@ func fromOptions(opt scenario.RunOptions) Scale {
 	return Scale{
 		JobFactor: opt.Scale.JobFactor, Workers: opt.Scale.Workers,
 		Ctx: opt.Context, OnCellsStart: opt.OnCellsStart, OnCellDone: opt.OnCellDone,
+		Remote: opt.Remote, Select: opt.Select, OnCellRows: opt.OnCellRows,
+		fanoutSeq: new(int32),
 	}
 }
 

@@ -52,6 +52,19 @@ type Scale struct {
 	// OnCellDone may fire concurrently from worker goroutines.
 	OnCellsStart func(n int)
 	OnCellDone   func(index int, d time.Duration)
+
+	// Remote, Select and OnCellRows carry the fleet dispatch seam of
+	// scenario.RunOptions into the cell runner (see runTableCells);
+	// fromOptions wires them, together with the fan-out ordinal
+	// counter, so distributed runs shard exactly the fan-outs whose
+	// cells are plain table rows.
+	Remote     scenario.CellRunner
+	Select     func(fanout, cell int) bool
+	OnCellRows func(fanout, cell int, rows [][]any, d time.Duration)
+	// fanoutSeq numbers the run's remoteable fan-outs in invocation
+	// order (nil outside the scenario.Run adapter — the fleet hooks are
+	// only ever set alongside it).
+	fanoutSeq *int32
 }
 
 func (s Scale) jobs(n int) int {
@@ -354,7 +367,7 @@ func mixedRun(spec *scenario.Spec, seed uint64, sc Scale) (*scenario.Result, err
 		"rigid frac", "n", "strategy", "Cmax ratio", "ΣwC ratio")
 	m := spec.Int("m", 64)
 	fracs := spec.Floats("fracs", []float64{0.3, 0.7})
-	rows, err := runCells(sc, len(fracs), func(i int) ([][]any, error) {
+	if err := runMultiRowCells(t, sc, len(fracs), func(i int) ([][]any, error) {
 		frac := fracs[i]
 		n := sc.jobs(spec.Int("n", 200))
 		jobs := workload.Mixed(workload.GenConfig{
@@ -375,14 +388,8 @@ func mixedRun(spec *scenario.Spec, seed uint64, sc Scale) (*scenario.Result, err
 			out = append(out, []any{frac, n, strat, rep.Makespan / cmaxLB, rep.SumWeightedCompletion / wcLB})
 		}
 		return out, nil
-	})
-	if err != nil {
+	}); err != nil {
 		return nil, err
-	}
-	for _, cellRows := range rows {
-		for _, r := range cellRows {
-			t.AddRow(r...)
-		}
 	}
 	return t.Result(), nil
 }

@@ -56,7 +56,7 @@ func faultsRun(spec *scenario.Spec, seed uint64, sc Scale) (*scenario.Result, er
 	}
 	nBE := sc.jobs(spec.Int("tasks", 600))
 	tc := newTraceCollector(spec, len(mtbfs))
-	rows, err := runCells(sc, len(mtbfs), func(i int) ([][]any, error) {
+	if err := runMultiRowCells(t, sc, len(mtbfs), func(i int) ([][]any, error) {
 		mtbf := mtbfs[i]
 		plan := scenario.Faults{}
 		if spec.Faults != nil {
@@ -125,14 +125,8 @@ func faultsRun(spec *scenario.Spec, seed uint64, sc Scale) (*scenario.Result, er
 			})
 		}
 		return out, nil
-	})
-	if err != nil {
+	}); err != nil {
 		return nil, err
-	}
-	for _, cellRows := range rows {
-		for _, r := range cellRows {
-			t.AddRow(r...)
-		}
 	}
 	res := t.Result()
 	tc.install(res)

@@ -58,7 +58,7 @@ func onlineRun(spec *scenario.Spec, seed uint64, sc Scale) (*scenario.Result, er
 		return nil, err
 	}
 	tc := newTraceCollector(spec, len(rates))
-	rows, err := runCells(sc, len(rates), func(i int) ([][]any, error) {
+	if err := runMultiRowCells(t, sc, len(rates), func(i int) ([][]any, error) {
 		rate := rates[i]
 		n := sc.jobs(cfg.N)
 		var out [][]any
@@ -106,14 +106,8 @@ func onlineRun(spec *scenario.Spec, seed uint64, sc Scale) (*scenario.Result, er
 			out = append(out, row)
 		}
 		return out, nil
-	})
-	if err != nil {
+	}); err != nil {
 		return nil, err
-	}
-	for _, cellRows := range rows {
-		for _, r := range cellRows {
-			t.AddRow(r...)
-		}
 	}
 	res := t.Result()
 	tc.install(res)

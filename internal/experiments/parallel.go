@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/scenario"
@@ -166,16 +168,129 @@ func (t *rtable) Result() *scenario.Result {
 	return scenario.NewCellResult(t.title, t.headers, t.axes, t.cells)
 }
 
-// runRowCells is the one-row-per-cell convenience over runCells: it runs
-// the cells on the pool and appends each resulting row — with its wall
-// duration — to the table in cell order.
+// nextFanout assigns the next remoteable fan-out ordinal of this run.
+// Kind runners perform their remoteable fan-outs sequentially (nested
+// fan-outs use the raw runCells path and consume no ordinal), so for a
+// fixed spec the numbering is deterministic — it is the coordinate
+// system coordinator and workers share. Scales built without the
+// scenario.Run adapter (the compatibility entry points) carry no
+// counter and label every fan-out 0, which is harmless: the fleet
+// hooks are only wired through fromOptions.
+func (s Scale) nextFanout() int {
+	if s.fanoutSeq == nil {
+		return 0
+	}
+	return int(atomic.AddInt32(s.fanoutSeq, 1)) - 1
+}
+
+// runTableCells is the remoteable fan-out primitive: each cell's
+// entire product is typed table rows, so a cell can execute in another
+// process and ship its rows back. With sc.Remote set (the fleet
+// coordinator side) every cell is dispatched through it concurrently —
+// dispatch is I/O-bound waiting on workers, so the local Workers bound
+// does not apply. With sc.Select set (the fleet worker side) only the
+// leased cells execute, reporting rows through sc.OnCellRows. With
+// neither, this is exactly runCellsTimed: the local pool, results in
+// cell-index order.
+func runTableCells(sc Scale, n int, fn func(cell int) ([][]any, error)) ([][][]any, []time.Duration, error) {
+	fanout := sc.nextFanout()
+	if sc.Remote != nil {
+		return runRemoteCells(sc, fanout, n)
+	}
+	if sc.Select != nil || sc.OnCellRows != nil {
+		inner := fn
+		fn = func(i int) ([][]any, error) {
+			if sc.Select != nil && !sc.Select(fanout, i) {
+				return nil, nil // not ours: contributes no rows
+			}
+			t0 := time.Now()
+			rows, err := inner(i)
+			if err == nil && sc.OnCellRows != nil {
+				sc.OnCellRows(fanout, i, rows, time.Since(t0))
+			}
+			return rows, err
+		}
+	}
+	return runCellsTimed(sc, n, fn)
+}
+
+// runRemoteCells ships one fan-out through the coordinator seam. All n
+// cells block on sc.Remote concurrently; results land in their slots,
+// so reassembly order is cell order no matter which worker finished
+// what when. The first error (lowest cell index) wins, matching the
+// local pool's contract.
+func runRemoteCells(sc Scale, fanout, n int) ([][][]any, []time.Duration, error) {
+	if sc.OnCellsStart != nil {
+		sc.OnCellsStart(n)
+	}
+	ctx := sc.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out := make([][][]any, n)
+	durs := make([]time.Duration, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := range n {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rows, d, err := sc.Remote.RunCell(ctx, fanout, i)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			out[i], durs[i] = rows, d
+			if sc.OnCellDone != nil {
+				sc.OnCellDone(i, d)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return out, durs, nil
+}
+
+// runRowCells is the one-row-per-cell convenience over runTableCells:
+// it runs the cells (locally or through the fleet seam) and appends
+// each resulting row — with its wall duration — to the table in cell
+// order. On the fleet worker side, skipped cells contribute nothing.
 func runRowCells(t *rtable, sc Scale, n int, fn func(cell int) ([]any, error)) error {
-	rows, durs, err := runCellsTimed(sc, n, fn)
+	rows, durs, err := runTableCells(sc, n, func(i int) ([][]any, error) {
+		row, err := fn(i)
+		if err != nil {
+			return nil, err
+		}
+		return [][]any{row}, nil
+	})
 	if err != nil {
 		return err
 	}
-	for i, vals := range rows {
-		t.addCell(vals, durs[i])
+	for i, cellRows := range rows {
+		for _, r := range cellRows {
+			t.addCell(r, durs[i])
+		}
+	}
+	return nil
+}
+
+// runMultiRowCells is the several-rows-per-cell variant (one cell per
+// sweep coordinate, one row per policy inside it, say). Rows assembled
+// from shared work carry no per-cell duration, matching the historical
+// AddRow path.
+func runMultiRowCells(t *rtable, sc Scale, n int, fn func(cell int) ([][]any, error)) error {
+	rows, _, err := runTableCells(sc, n, fn)
+	if err != nil {
+		return err
+	}
+	for _, cellRows := range rows {
+		for _, r := range cellRows {
+			t.AddRow(r...)
+		}
 	}
 	return nil
 }

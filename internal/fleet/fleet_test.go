@@ -1,0 +1,331 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+// testSpec builds a minimal spec for protocol-level tests (the lease
+// payload just carries its JSON; no kind needs to run).
+func testSpec(id string) *scenario.Spec {
+	return scenario.New(id, "offline",
+		scenario.WithWorkload(scenario.Workload{N: 10, M: 8}),
+		scenario.WithPolicies("ffdh"))
+}
+
+// TestValueCodecRoundTrip: every table value type survives the wire
+// with its exact Go type and value — including the float corner cases
+// (NaN, ±Inf, shortest-form round-trip) the text renderer would expose.
+func TestValueCodecRoundTrip(t *testing.T) {
+	vals := []any{
+		0, -7, 123456789, int64(1) << 60,
+		uint64(0), uint64(math.MaxUint64),
+		0.0, -0.0, 1.0 / 3.0, 6.02e23, math.MaxFloat64, math.SmallestNonzeroFloat64,
+		math.Inf(1), math.Inf(-1),
+		"", "hello", "0.5", "with spaces\tand tabs",
+		true, false,
+	}
+	for _, v := range vals {
+		ev, err := EncodeValue(v)
+		if err != nil {
+			t.Fatalf("encode %v (%T): %v", v, v, err)
+		}
+		got, err := ev.Decode()
+		if err != nil {
+			t.Fatalf("decode %v (%T): %v", v, v, err)
+		}
+		want := v
+		if iv, ok := v.(int64); ok {
+			want = int(iv) // int64 intentionally lands as int (the table vocabulary)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round trip %v (%T) -> %v (%T)", v, v, got, got)
+		}
+	}
+	// NaN defeats DeepEqual; check it separately.
+	ev, err := EncodeValue(math.NaN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ev.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f, ok := got.(float64); !ok || !math.IsNaN(f) {
+		t.Fatalf("NaN round trip -> %v (%T)", got, got)
+	}
+	// Types outside the vocabulary are refused, not coerced.
+	if _, err := EncodeValue(int32(3)); err == nil {
+		t.Fatal("int32 encoded silently")
+	}
+	if _, err := EncodeValue(nil); err == nil {
+		t.Fatal("nil encoded silently")
+	}
+	if _, err := (Value{T: "x", V: "1"}).Decode(); err == nil {
+		t.Fatal("unknown tag decoded")
+	}
+}
+
+// complete is a test helper: deliver rows for the given cells.
+func complete(t *testing.T, c *Coordinator, worker, leaseID, runID string, cells []CellRef, rows [][]any) CompleteResponse {
+	t.Helper()
+	var results []CellResult
+	for _, ref := range cells {
+		vals, err := EncodeRows(rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, CellResult{CellRef: ref, Rows: vals, DurationSeconds: 0.001})
+	}
+	resp, err := c.CompleteCells(context.Background(), CompleteRequest{
+		WorkerID: worker, LeaseID: leaseID, RunID: runID, Results: results,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestLeaseLifecycle: dispatch → lease → complete delivers the typed
+// rows back to the blocked dispatcher, and the run records its
+// contributor.
+func TestLeaseLifecycle(t *testing.T) {
+	c := NewCoordinator(Config{TTL: time.Minute})
+	defer c.Close()
+
+	cr, err := c.Dispatcher("r1", testSpec("s1"), 42, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type cellOut struct {
+		rows [][]any
+		err  error
+	}
+	done := make(chan cellOut, 1)
+	go func() {
+		rows, _, err := cr.RunCell(context.Background(), 0, 3)
+		done <- cellOut{rows, err}
+	}()
+
+	ls, err := c.LeaseCells(context.Background(), LeaseRequest{
+		WorkerID: "w1", Build: c.Build(), MaxCells: 4, WaitSeconds: 5,
+	})
+	if err != nil || ls == nil {
+		t.Fatalf("lease: %v %v", ls, err)
+	}
+	if ls.RunID != "r1" || ls.Seed != 42 || len(ls.Cells) != 1 || ls.Cells[0] != (CellRef{0, 3}) {
+		t.Fatalf("lease = %+v", ls)
+	}
+	want := [][]any{{"easy", 1.5, 7, true}}
+	resp := complete(t, c, "w1", ls.ID, "r1", ls.Cells, want)
+	if resp.Accepted != 1 || resp.Duplicates != 0 {
+		t.Fatalf("complete = %+v", resp)
+	}
+	out := <-done
+	if out.err != nil || !reflect.DeepEqual(out.rows, want) {
+		t.Fatalf("dispatcher got %v, %v", out.rows, out.err)
+	}
+	if ws := c.RunWorkers("r1"); !reflect.DeepEqual(ws, []string{"w1"}) {
+		t.Fatalf("contributors = %v", ws)
+	}
+	st := c.WorkersStatus()
+	if len(st) != 1 || st[0].ID != "w1" || st[0].CellsDone != 1 || st[0].Leases != 0 {
+		t.Fatalf("workers = %+v", st)
+	}
+}
+
+// TestLeaseExpiryRequeueAndDuplicate: a lease that never heartbeats
+// expires, its cell requeues to another worker, and the dead worker's
+// late completion is judged a duplicate — the first accepted result is
+// the one the dispatcher sees. This is the satellite-4 recovery path:
+// kill a worker mid-run, lose no work, double-deliver safely.
+func TestLeaseExpiryRequeueAndDuplicate(t *testing.T) {
+	c := NewCoordinator(Config{TTL: 80 * time.Millisecond})
+	defer c.Close()
+
+	cr, err := c.Dispatcher("r1", testSpec("s1"), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan [][]any, 1)
+	go func() {
+		rows, _, _ := cr.RunCell(context.Background(), 0, 0)
+		done <- rows
+	}()
+
+	// Worker A leases and "dies" (no heartbeat, no completion yet).
+	lsA, err := c.LeaseCells(context.Background(), LeaseRequest{WorkerID: "a", Build: c.Build(), MaxCells: 1, WaitSeconds: 5})
+	if err != nil || lsA == nil {
+		t.Fatalf("lease A: %v %v", lsA, err)
+	}
+	// Worker B long-polls; the janitor must requeue A's cell to it.
+	lsB, err := c.LeaseCells(context.Background(), LeaseRequest{WorkerID: "b", Build: c.Build(), MaxCells: 1, WaitSeconds: 5})
+	if err != nil || lsB == nil {
+		t.Fatalf("lease B after expiry: %v %v", lsB, err)
+	}
+	if lsB.Cells[0] != lsA.Cells[0] {
+		t.Fatalf("B leased %v, want A's expired %v", lsB.Cells, lsA.Cells)
+	}
+
+	if resp := complete(t, c, "b", lsB.ID, "r1", lsB.Cells, [][]any{{"from-b"}}); resp.Accepted != 1 {
+		t.Fatalf("B's completion rejected: %+v", resp)
+	}
+	// A's zombie completion arrives late: pure duplicate, no effect.
+	if resp := complete(t, c, "a", lsA.ID, "r1", lsA.Cells, [][]any{{"from-a"}}); resp.Accepted != 0 || resp.Duplicates != 1 {
+		t.Fatalf("zombie completion = %+v", resp)
+	}
+	if rows := <-done; !reflect.DeepEqual(rows, [][]any{{"from-b"}}) {
+		t.Fatalf("dispatcher saw %v, want from-b (first accepted wins)", rows)
+	}
+	if ws := c.RunWorkers("r1"); !reflect.DeepEqual(ws, []string{"b"}) {
+		t.Fatalf("contributors = %v, want [b]", ws)
+	}
+	st := c.WorkersStatus()
+	for _, w := range st {
+		if w.ID == "a" && w.Expirations != 1 {
+			t.Fatalf("worker a expirations = %d, want 1", w.Expirations)
+		}
+	}
+}
+
+// TestIncompatibleBuildRefused: a worker whose build info differs is
+// refused with ErrIncompatible before any work is handed out.
+func TestIncompatibleBuildRefused(t *testing.T) {
+	c := NewCoordinator(Config{TTL: time.Minute})
+	defer c.Close()
+	bad := c.Build()
+	bad.CatalogHash = "deadbeefdeadbeef"
+	_, err := c.LeaseCells(context.Background(), LeaseRequest{WorkerID: "w", Build: bad, MaxCells: 1})
+	if !errors.Is(err, ErrIncompatible) {
+		t.Fatalf("err = %v, want ErrIncompatible", err)
+	}
+	if _, err := c.LeaseCells(context.Background(), LeaseRequest{Build: c.Build()}); err == nil {
+		t.Fatal("empty worker_id accepted")
+	}
+}
+
+// TestLongPollTimesOutEmpty: no work → nil lease after the wait, not an
+// error and not a hang.
+func TestLongPollTimesOutEmpty(t *testing.T) {
+	c := NewCoordinator(Config{TTL: time.Minute})
+	defer c.Close()
+	start := time.Now()
+	ls, err := c.LeaseCells(context.Background(), LeaseRequest{WorkerID: "w", Build: c.Build(), WaitSeconds: 0.05})
+	if err != nil || ls != nil {
+		t.Fatalf("lease = %v, %v", ls, err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("long poll did not respect the wait bound")
+	}
+}
+
+// TestForgetFailsOutstanding: evicting a run fails its blocked
+// dispatchers instead of leaking them.
+func TestForgetFailsOutstanding(t *testing.T) {
+	c := NewCoordinator(Config{TTL: time.Minute})
+	defer c.Close()
+	cr, err := c.Dispatcher("r1", testSpec("s1"), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		_, _, err := cr.RunCell(context.Background(), 0, 0)
+		errc <- err
+	}()
+	// Wait until the cell is enqueued, then forget the run.
+	for c.PendingCells() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	c.Forget("r1")
+	if err := <-errc; err == nil {
+		t.Fatal("RunCell survived Forget")
+	}
+	if c.PendingCells() != 0 {
+		t.Fatal("forgotten run left pending cells")
+	}
+}
+
+// TestCloseUnblocksDispatchers: Close fails outstanding cells with
+// ErrClosed.
+func TestCloseUnblocksDispatchers(t *testing.T) {
+	c := NewCoordinator(Config{TTL: time.Minute})
+	cr, err := c.Dispatcher("r1", testSpec("s1"), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		_, _, err := cr.RunCell(context.Background(), 0, 0)
+		errc <- err
+	}()
+	for c.PendingCells() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	c.Close()
+	if err := <-errc; !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+// TestAffinityDeterministic: the rendezvous hash gives every cell block
+// exactly one preferred worker, stable across calls, and spreads blocks
+// across a fleet.
+func TestAffinityDeterministic(t *testing.T) {
+	c := NewCoordinator(Config{TTL: time.Minute, AffinityBlock: 2})
+	defer c.Close()
+	now := time.Now()
+	for _, id := range []string{"w1", "w2", "w3"} {
+		c.mu.Lock()
+		c.touchLocked(id, c.Build())
+		c.mu.Unlock()
+	}
+	rs := &runState{specID: "mrt"}
+	seen := map[string]int{}
+	for cell := range 32 {
+		tk := &task{run: rs, ref: CellRef{Fanout: 0, Cell: cell}}
+		c.mu.Lock()
+		first := c.preferredLocked(tk, now)
+		second := c.preferredLocked(tk, now)
+		c.mu.Unlock()
+		if first != second || first == "" {
+			t.Fatalf("cell %d: unstable preference %q vs %q", cell, first, second)
+		}
+		// Adjacent cells of one block share a preference (cache reuse).
+		c.mu.Lock()
+		buddy := c.preferredLocked(&task{run: rs, ref: CellRef{Fanout: 0, Cell: cell ^ 1}}, now)
+		c.mu.Unlock()
+		if buddy != first {
+			t.Fatalf("cells %d and %d of one block prefer %q vs %q", cell, cell^1, first, buddy)
+		}
+		seen[first]++
+	}
+	if len(seen) < 2 {
+		t.Fatalf("all 16 blocks hashed to one worker: %v", seen)
+	}
+}
+
+// TestRetainBoundsIdleRuns: finished run records are bounded; active
+// ones survive retention.
+func TestRetainBoundsIdleRuns(t *testing.T) {
+	c := NewCoordinator(Config{TTL: time.Minute, RetainRuns: 3})
+	defer c.Close()
+	for i := range 10 {
+		if _, err := c.Dispatcher(fmt.Sprintf("r%d", i), testSpec("s"), 1, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.mu.Lock()
+	n := len(c.runs)
+	c.mu.Unlock()
+	if n > 3 {
+		t.Fatalf("retained %d idle runs, want <= 3", n)
+	}
+}

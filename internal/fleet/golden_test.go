@@ -1,0 +1,200 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	_ "repro/internal/experiments" // register the scenario kinds + catalog
+	"repro/internal/scenario"
+)
+
+// runLocal renders a spec single-process (the reference bytes).
+func runLocal(t *testing.T, spec *scenario.Spec, opt scenario.RunOptions) string {
+	t.Helper()
+	res, err := scenario.Run(spec, opt)
+	if err != nil {
+		t.Fatalf("local run: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := res.Emit(&buf, false); err != nil {
+		t.Fatalf("local emit: %v", err)
+	}
+	return buf.String()
+}
+
+// runFleet renders a spec through a coordinator with n in-process
+// workers driving the given transport (the Coordinator itself, or a
+// fault-injecting wrapper), mirroring exactly what the api executor
+// does: resolved seed into Dispatcher, Remote into the run options.
+func runFleet(t *testing.T, spec *scenario.Spec, opt scenario.RunOptions, c *Coordinator, tr Transport, n int) string {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := range n {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := RunWorker(ctx, tr, WorkerConfig{
+				ID: fmt.Sprintf("w%d", i), Batch: 2, Poll: 50 * time.Millisecond, Workers: 2,
+			}); err != nil {
+				t.Errorf("worker %d: %v", i, err)
+			}
+		}()
+	}
+	defer func() {
+		cancel()
+		wg.Wait()
+	}()
+
+	runID := "run-" + spec.ID
+	if !spec.Traced() {
+		seed := spec.EffectiveSeed(opt)
+		cr, err := c.Dispatcher(runID, spec, seed, opt.Scale.JobFactor)
+		if err != nil {
+			t.Fatalf("dispatcher: %v", err)
+		}
+		opt.Remote = cr
+	}
+	res, err := scenario.Run(spec, opt)
+	if err != nil {
+		t.Fatalf("fleet run: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := res.Emit(&buf, false); err != nil {
+		t.Fatalf("fleet emit: %v", err)
+	}
+	return buf.String()
+}
+
+// TestGoldenFleetMatchesLocal is the acceptance harness: every built-in
+// scenario, rendered through a coordinator + 2 workers, must be
+// byte-identical to the single-process rendering — regardless of which
+// worker ran which cell or in what order results arrived.
+func TestGoldenFleetMatchesLocal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("distributed golden sweep is not -short work")
+	}
+	for _, spec := range scenario.Catalog() {
+		spec := spec
+		t.Run(spec.ID, func(t *testing.T) {
+			t.Parallel()
+			opt := scenario.RunOptions{Seed: 42, Scale: scenario.Scale{JobFactor: 20}}
+			want := runLocal(t, spec, opt)
+			c := NewCoordinator(Config{TTL: 30 * time.Second})
+			defer c.Close()
+			got := runFleet(t, spec, opt, c, c, 2)
+			if got != want {
+				t.Fatalf("fleet output diverged from local:\n--- local\n%s\n--- fleet\n%s", want, got)
+			}
+		})
+	}
+}
+
+// crashingTransport simulates a worker killed mid-run: the first
+// completion report is swallowed (as if the process died after
+// executing but before the ack landed) and the worker stops leasing.
+// The cells must requeue via lease expiry and land on the surviving
+// worker — with the final table still byte-identical.
+type crashingTransport struct {
+	Transport
+	mu      sync.Mutex
+	crashed bool
+}
+
+func (ct *crashingTransport) LeaseCells(ctx context.Context, req LeaseRequest) (*Lease, error) {
+	ct.mu.Lock()
+	dead := ct.crashed
+	ct.mu.Unlock()
+	if dead {
+		<-ctx.Done() // the process is "gone"; just wait out the test
+		return nil, ctx.Err()
+	}
+	return ct.Transport.LeaseCells(ctx, req)
+}
+
+func (ct *crashingTransport) CompleteCells(ctx context.Context, req CompleteRequest) (CompleteResponse, error) {
+	ct.mu.Lock()
+	first := !ct.crashed
+	ct.crashed = true
+	ct.mu.Unlock()
+	if first {
+		return CompleteResponse{}, errors.New("worker killed before ack")
+	}
+	return ct.Transport.CompleteCells(ctx, req)
+}
+
+// perWorkerTransport routes one worker id through the crashing wrapper
+// and everyone else straight to the coordinator.
+type perWorkerTransport struct {
+	victim string
+	crash  Transport
+	direct Transport
+}
+
+func (p *perWorkerTransport) pick(id string) Transport {
+	if id == p.victim {
+		return p.crash
+	}
+	return p.direct
+}
+
+func (p *perWorkerTransport) LeaseCells(ctx context.Context, req LeaseRequest) (*Lease, error) {
+	return p.pick(req.WorkerID).LeaseCells(ctx, req)
+}
+
+func (p *perWorkerTransport) CompleteCells(ctx context.Context, req CompleteRequest) (CompleteResponse, error) {
+	return p.pick(req.WorkerID).CompleteCells(ctx, req)
+}
+
+func (p *perWorkerTransport) Heartbeat(ctx context.Context, req HeartbeatRequest) (HeartbeatResponse, error) {
+	return p.pick(req.WorkerID).Heartbeat(ctx, req)
+}
+
+// TestGoldenFleetSurvivesWorkerDeath: worker w0 executes its first
+// lease, dies before the ack, and never comes back. A short TTL
+// requeues its cells to w1; the rendered table must still be
+// byte-identical to the single-process run.
+func TestGoldenFleetSurvivesWorkerDeath(t *testing.T) {
+	spec, ok := scenario.Lookup("mrt")
+	if !ok {
+		t.Fatal("mrt not in catalog")
+	}
+	opt := scenario.RunOptions{Seed: 42, Scale: scenario.Scale{JobFactor: 20}}
+	want := runLocal(t, spec, opt)
+
+	c := NewCoordinator(Config{TTL: 200 * time.Millisecond})
+	defer c.Close()
+	// The victim's heartbeats also die with it (crashingTransport routes
+	// them to the coordinator until the crash; afterwards the worker
+	// never leases again, so its lease expires unattended).
+	ct := &crashingTransport{Transport: c}
+	tr := &perWorkerTransport{victim: "w0", crash: ct, direct: c}
+	got := runFleet(t, spec, opt, c, tr, 2)
+	if got != want {
+		t.Fatalf("post-crash fleet output diverged:\n--- local\n%s\n--- fleet\n%s", want, got)
+	}
+	ct.mu.Lock()
+	crashed := ct.crashed
+	ct.mu.Unlock()
+	if !crashed {
+		t.Fatal("victim worker never got a lease; the crash path was not exercised")
+	}
+	// The surviving worker must have contributed (w0's swallowed ack may
+	// still have raced some cells in as duplicates-to-be, but the run
+	// cannot have completed without w1 picking up the expired cells).
+	workers := c.RunWorkers("run-" + spec.ID)
+	found := false
+	for _, w := range workers {
+		if w == "w1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("surviving worker absent from contributors: %v", workers)
+	}
+}

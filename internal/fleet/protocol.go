@@ -1,0 +1,267 @@
+// Package fleet is the distributed run executor of the gridd daemon
+// family: a coordinator mode where the /v1 run store doubles as a cell
+// work queue, and a stateless worker mode that leases cell batches
+// over HTTP, executes them through the scenario kind runners, and
+// ships typed rows back.
+//
+// The protocol is lease/ack with TTLs: a worker POSTs a lease request
+// (its id, build info, batch size), receives a batch of cells of one
+// run plus the run's spec and resolved seed, heartbeats while
+// executing, and POSTs typed per-cell results. A lease whose TTL
+// lapses requeues its unfinished cells, so killing a worker mid-run
+// loses no work; completing the same cell twice is a no-op (first
+// result wins). Cells are reassembled by (fanout, cell) index on the
+// coordinator, so the rendered table is byte-identical to a
+// single-process run regardless of worker count, arrival order, or
+// retries.
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strconv"
+	"time"
+
+	"repro/internal/scenario"
+	"repro/internal/version"
+)
+
+// ErrIncompatible rejects a worker whose build info does not match the
+// coordinator's (HTTP 409 on the wire). Merging cells from diverging
+// builds could silently mix two different experiments into one table.
+var ErrIncompatible = errors.New("fleet: incompatible worker build")
+
+// ErrClosed rejects calls into a closed coordinator.
+var ErrClosed = errors.New("fleet: coordinator closed")
+
+// BuildInfo identifies a binary well enough to refuse mixing
+// incompatible coordinator/worker builds in one run: the catalog hash
+// guards the scenario semantics, version and toolchain guard the
+// numerics.
+type BuildInfo struct {
+	Version     string `json:"version"`
+	GoVersion   string `json:"go_version"`
+	CatalogHash string `json:"catalog_hash"`
+}
+
+// CurrentBuild returns this binary's build identity.
+func CurrentBuild() BuildInfo {
+	return BuildInfo{
+		Version:     version.Version,
+		GoVersion:   version.Go(),
+		CatalogHash: scenario.CatalogHash(),
+	}
+}
+
+// Compatible reports whether two builds may share a distributed run.
+// All three fields must match exactly.
+func (b BuildInfo) Compatible(o BuildInfo) bool { return b == o }
+
+// CellRef names one remoteable cell within a run: the fan-out ordinal
+// (kind runners perform remoteable fan-outs sequentially, so ordinals
+// are deterministic for a fixed spec) and the cell index within it.
+type CellRef struct {
+	Fanout int `json:"fanout"`
+	Cell   int `json:"cell"`
+}
+
+func (r CellRef) String() string { return strconv.Itoa(r.Fanout) + "/" + strconv.Itoa(r.Cell) }
+
+// LeaseRequest asks the coordinator for a batch of cells.
+type LeaseRequest struct {
+	WorkerID string    `json:"worker_id"`
+	Build    BuildInfo `json:"build"`
+	// MaxCells bounds the batch (capped by the coordinator's own
+	// bound; 0 means 1).
+	MaxCells int `json:"max_cells,omitempty"`
+	// WaitSeconds long-polls: the coordinator holds the request up to
+	// this long waiting for work before answering "none".
+	WaitSeconds float64 `json:"wait_seconds,omitempty"`
+}
+
+// Lease is one granted batch: cells of a single run, plus everything a
+// stateless worker needs to reproduce them — the full spec, the
+// resolved seed, and the invocation-level job factor.
+type Lease struct {
+	ID    string          `json:"id"`
+	RunID string          `json:"run_id"`
+	Spec  json.RawMessage `json:"spec"`
+	// Seed is the coordinator's fully resolved effective seed; the
+	// worker applies it as explicit so spec-pinned seeds cannot
+	// re-override it (they resolve to the same value anyway).
+	Seed      uint64    `json:"seed"`
+	JobFactor int       `json:"job_factor,omitempty"`
+	Cells     []CellRef `json:"cells"`
+	// TTLSeconds is the lease's time budget: heartbeat before it
+	// lapses or the cells requeue to other workers.
+	TTLSeconds float64 `json:"ttl_seconds"`
+}
+
+// LeaseResponse envelopes the poll answer; a nil Lease means no work
+// arrived before the wait deadline (poll again).
+type LeaseResponse struct {
+	Lease *Lease `json:"lease,omitempty"`
+}
+
+// Value is one typed table value on the wire. Plain JSON cannot carry
+// the distinction the text renderer depends on — every JSON number
+// decodes to float64, but the renderer formats ints via %v and floats
+// via strconv 'g' — so values ship with an explicit type tag and a
+// strconv round-trip that preserves the exact Go type and value.
+type Value struct {
+	// T is the type tag: "i" int, "u" uint64, "f" float64, "s" string,
+	// "b" bool.
+	T string `json:"t"`
+	V string `json:"v"`
+}
+
+// EncodeValue encodes one table value. Types outside the table-row
+// vocabulary error loudly: silently coercing them would break the
+// byte-identity contract far from the cause.
+func EncodeValue(v any) (Value, error) {
+	switch v := v.(type) {
+	case int:
+		return Value{T: "i", V: strconv.Itoa(v)}, nil
+	case int64:
+		return Value{T: "i", V: strconv.FormatInt(v, 10)}, nil
+	case uint64:
+		return Value{T: "u", V: strconv.FormatUint(v, 10)}, nil
+	case float64:
+		// Shortest round-trip form: ParseFloat returns the identical
+		// bit pattern (NaN and ±Inf included).
+		return Value{T: "f", V: strconv.FormatFloat(v, 'g', -1, 64)}, nil
+	case string:
+		return Value{T: "s", V: v}, nil
+	case bool:
+		return Value{T: "b", V: strconv.FormatBool(v)}, nil
+	}
+	return Value{}, fmt.Errorf("fleet: cell value %v (%T) is not a table type (int/uint64/float64/string/bool)", v, v)
+}
+
+// Decode restores the exact typed value.
+func (v Value) Decode() (any, error) {
+	switch v.T {
+	case "i":
+		n, err := strconv.Atoi(v.V)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: bad int value %q: %v", v.V, err)
+		}
+		return n, nil
+	case "u":
+		n, err := strconv.ParseUint(v.V, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: bad uint value %q: %v", v.V, err)
+		}
+		return n, nil
+	case "f":
+		f, err := strconv.ParseFloat(v.V, 64)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: bad float value %q: %v", v.V, err)
+		}
+		return f, nil
+	case "s":
+		return v.V, nil
+	case "b":
+		b, err := strconv.ParseBool(v.V)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: bad bool value %q: %v", v.V, err)
+		}
+		return b, nil
+	}
+	return nil, fmt.Errorf("fleet: unknown value tag %q", v.T)
+}
+
+// EncodeRows encodes a cell's typed rows for the wire.
+func EncodeRows(rows [][]any) ([][]Value, error) {
+	out := make([][]Value, len(rows))
+	for i, row := range rows {
+		out[i] = make([]Value, len(row))
+		for j, v := range row {
+			ev, err := EncodeValue(v)
+			if err != nil {
+				return nil, err
+			}
+			out[i][j] = ev
+		}
+	}
+	return out, nil
+}
+
+// DecodeRows restores a cell's typed rows.
+func DecodeRows(rows [][]Value) ([][]any, error) {
+	out := make([][]any, len(rows))
+	for i, row := range rows {
+		out[i] = make([]any, len(row))
+		for j, v := range row {
+			dv, err := v.Decode()
+			if err != nil {
+				return nil, err
+			}
+			out[i][j] = dv
+		}
+	}
+	return out, nil
+}
+
+// CellResult is one finished cell: its typed rows (or an error) plus
+// the worker's wall-clock measurement.
+type CellResult struct {
+	CellRef
+	Rows            [][]Value `json:"rows,omitempty"`
+	DurationSeconds float64   `json:"duration_seconds,omitempty"`
+	Error           string    `json:"error,omitempty"`
+}
+
+// CompleteRequest reports a lease's results. Completion is idempotent:
+// the first result for a cell wins, a second ack is counted as a
+// duplicate and changes nothing — so retries and zombie workers whose
+// leases expired are harmless.
+type CompleteRequest struct {
+	WorkerID string       `json:"worker_id"`
+	LeaseID  string       `json:"lease_id"`
+	RunID    string       `json:"run_id"`
+	Results  []CellResult `json:"results"`
+}
+
+// CompleteResponse summarizes what the coordinator did with the
+// report.
+type CompleteResponse struct {
+	Accepted   int `json:"accepted"`
+	Duplicates int `json:"duplicates"`
+}
+
+// HeartbeatRequest extends the TTL of the listed leases (and marks the
+// worker alive for affinity).
+type HeartbeatRequest struct {
+	WorkerID string   `json:"worker_id"`
+	LeaseIDs []string `json:"lease_ids,omitempty"`
+}
+
+// HeartbeatResponse lists leases the coordinator no longer honours
+// (expired and requeued, or unknown): the worker's results for those
+// may be discarded as duplicates.
+type HeartbeatResponse struct {
+	Expired    []string `json:"expired,omitempty"`
+	TTLSeconds float64  `json:"ttl_seconds"`
+}
+
+// WorkerStatus is one row of the fleet view (GET /v1/fleet/workers,
+// gridctl workers).
+type WorkerStatus struct {
+	ID      string `json:"id"`
+	Version string `json:"version"`
+	// Leases counts currently granted (unexpired, unfinished) leases.
+	Leases    int `json:"leases"`
+	CellsDone int `json:"cells_done"`
+	// CellsPerSec is CellsDone over the worker's lifetime so far.
+	CellsPerSec float64 `json:"cells_per_sec"`
+	// Failures counts cells the worker reported as errored.
+	Failures int `json:"failures,omitempty"`
+	// Expirations counts leases the janitor took back from this worker.
+	Expirations int       `json:"expirations,omitempty"`
+	FirstSeen   time.Time `json:"first_seen"`
+	LastSeen    time.Time `json:"last_seen"`
+	// Alive reports a recent heartbeat (within the affinity window).
+	Alive bool `json:"alive"`
+}

@@ -41,6 +41,23 @@ type RunOptions struct {
 	// OnCellDone observes one cell finishing with its wall duration.
 	// It may be called concurrently from worker goroutines.
 	OnCellDone func(index int, d time.Duration)
+
+	// Remote, when non-nil, executes remoteable fan-outs (those whose
+	// cells produce plain table rows — see CellRunner) through this
+	// runner instead of the local pool: the fleet coordinator side of a
+	// distributed run. Fan-outs that are not remoteable (custom cell
+	// types, nested sub-runs, figure series) still run locally.
+	Remote CellRunner
+	// Select, when non-nil, filters which remoteable cells execute:
+	// the fleet worker side of a distributed run executes only the
+	// cells of its lease and skips the rest (a skipped cell contributes
+	// no rows and no work).
+	Select func(fanout, cell int) bool
+	// OnCellRows observes the typed rows a remoteable cell produced,
+	// with the cell's wall duration — how a fleet worker captures
+	// results to ship back. It may be called concurrently from worker
+	// goroutines.
+	OnCellRows func(fanout, cell int, rows [][]any, d time.Duration)
 }
 
 // Cell is one typed row of a table Result: the raw (unformatted)

@@ -1,0 +1,33 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// CatalogHash fingerprints the registered scenario surface: the sorted
+// kind names plus the canonical JSON of every built-in spec, in
+// catalog order. Two binaries with equal hashes expand a spec into the
+// same cells with the same defaults, so a fleet coordinator uses the
+// hash (via the /v1/version build info) to refuse workers whose
+// catalog diverged — merging their cells could silently mix two
+// different experiments into one table.
+func CatalogHash() string {
+	h := sha256.New()
+	for _, k := range Kinds() {
+		fmt.Fprintf(h, "kind %s\n", k)
+	}
+	for _, s := range builtins {
+		b, err := json.Marshal(s)
+		if err != nil {
+			// Specs are plain data and always marshal; keep the hash
+			// total anyway rather than panicking in a version handler.
+			fmt.Fprintf(h, "spec %s !%v\n", s.ID, err)
+			continue
+		}
+		fmt.Fprintf(h, "spec %s %s\n", s.ID, b)
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}

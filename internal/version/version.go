@@ -1,0 +1,20 @@
+// Package version pins the build identity of the gridd binary family.
+// The daemon serves it at GET /v1/version (together with the scenario
+// catalog hash) and the fleet coordinator compares it against every
+// worker's before granting a lease: two builds that disagree on
+// version, toolchain or catalog could produce subtly different cell
+// rows, and a distributed run must never merge those into one table.
+package version
+
+import "runtime"
+
+// Version is the repo release string. Override at build time with
+//
+//	go build -ldflags "-X repro/internal/version.Version=v1.2.3"
+var Version = "0.9.0"
+
+// Go returns the toolchain that built this binary (floating-point
+// code generation differences across toolchains would break the
+// byte-identity contract of distributed runs, so it is part of the
+// compatibility check).
+func Go() string { return runtime.Version() }

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"strconv"
 	"strings"
@@ -120,6 +121,14 @@ func retryable(method string, err *Error) bool {
 // is marshalled as the body; out (when non-nil) receives the decoded
 // 2xx response body.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	return c.doRetry(ctx, method, path, in, out, false)
+}
+
+// doRetry is do with an idempotency override: endpoints that are safe
+// to reissue regardless of method (the fleet completion report, whose
+// second delivery is a server-side no-op) retry POSTs on transport
+// failures and 5xx too.
+func (c *Client) doRetry(ctx context.Context, method, path string, in, out any, idempotent bool) error {
 	var body []byte
 	if in != nil {
 		var err error
@@ -134,12 +143,22 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 			return nil
 		}
 		last = apiErr
-		if attempt >= c.retries || !retryable(method, apiErr) {
+		retry := retryable(method, apiErr)
+		if idempotent && (apiErr.Status == 0 || apiErr.Status >= 500) {
+			retry = true
+		}
+		if attempt >= c.retries || !retry {
 			break
 		}
-		wait := c.backoff << attempt
-		if apiErr.RetryAfter > wait {
-			wait = apiErr.RetryAfter
+		// Jittered backoff: N workers bouncing off one restarted
+		// coordinator must not retry in lockstep. A server Retry-After
+		// hint is honoured as a floor, de-synchronized by up to one
+		// base backoff on top.
+		wait := jitter(c.backoff << attempt)
+		if apiErr.RetryAfter > 0 {
+			if h := apiErr.RetryAfter + jitter(c.backoff); h > wait {
+				wait = h
+			}
 		}
 		select {
 		case <-time.After(wait):
@@ -148,6 +167,15 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		}
 	}
 	return last
+}
+
+// jitter spreads a wait uniformly over [d/2, d] (thundering-herd
+// insurance for fleets of identically configured clients).
+func jitter(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	return d/2 + time.Duration(rand.Int64N(int64(d)/2+1))
 }
 
 // once issues a single attempt.
