@@ -1,0 +1,17 @@
+# Build stage: static binaries (the module is stdlib-only, so no
+# dependency download step).
+FROM golang:1.24-alpine AS build
+WORKDIR /src
+COPY . .
+RUN CGO_ENABLED=0 go build -trimpath -o /out/gridd ./cmd/gridd \
+ && CGO_ENABLED=0 go build -trimpath -o /out/gridctl ./cmd/gridctl
+
+# Runtime stage: gridd with a persistent run store at /data. The same
+# image runs as coordinator (default command) or worker (override the
+# command with -worker -coordinator http://coordinator:8042).
+FROM alpine:3.20
+COPY --from=build /out/gridd /out/gridctl /usr/local/bin/
+VOLUME /data
+EXPOSE 8042
+ENTRYPOINT ["gridd"]
+CMD ["-addr", ":8042", "-data-dir", "/data"]

@@ -39,6 +39,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
@@ -75,8 +76,12 @@ func main() {
 	}
 	// No per-request transport timeout: the -legacy shim and result
 	// fetches can legitimately take as long as the run; -timeout (the
-	// context deadline) is the only clock that matters here.
-	c := client.New(*addr, client.WithHTTPClient(&http.Client{}))
+	// context deadline) is the only clock that matters here. The tenant
+	// API key, when the daemon requires one, comes from the
+	// GRIDD_API_KEY environment variable.
+	c := client.New(*addr,
+		client.WithHTTPClient(&http.Client{}),
+		client.WithAPIKey(os.Getenv("GRIDD_API_KEY")))
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
@@ -102,6 +107,13 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gridctl: %v\n", err)
+		var apiErr *client.Error
+		if errors.As(err, &apiErr) && apiErr.Status == http.StatusTooManyRequests && apiErr.RetryAfter > 0 {
+			fmt.Fprintf(os.Stderr, "gridctl: quota exceeded; server asks to retry after %s\n", apiErr.RetryAfter)
+		}
+		if errors.Is(err, client.ErrUnauthorized) {
+			fmt.Fprintln(os.Stderr, "gridctl: this daemon requires a tenant API key; set GRIDD_API_KEY")
+		}
 		os.Exit(1)
 	}
 }

@@ -35,6 +35,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -45,6 +46,7 @@ import (
 	"repro/internal/gridservice"
 	"repro/internal/registry"
 	"repro/internal/service"
+	"repro/internal/store"
 	"repro/pkg/client"
 )
 
@@ -62,6 +64,10 @@ func main() {
 		logReqs  = flag.Bool("log-requests", false, "log one line per API request (method, path, status, duration, bytes, run id)")
 		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (outside the API body caps)")
 		list     = flag.Bool("list-policies", false, "print the policy catalogs and exit")
+
+		dataDir   = flag.String("data-dir", "", "durable run store directory (WAL + compacting snapshots); empty = in-memory store")
+		tenantsF  = flag.String("tenants", "", "tenants file (JSON): per-tenant API keys and admission quotas")
+		noPersist = flag.Bool("no-persist", false, "ignore -data-dir and keep the run store in memory")
 
 		fleetOn  = flag.Bool("fleet", false, "coordinator mode: shard run cells across fleet workers via /v1/fleet")
 		fleetTTL = flag.Duration("fleet-ttl", 15*time.Second, "fleet lease TTL (expired leases requeue their cells)")
@@ -92,6 +98,8 @@ func main() {
 		runWorker(*coordinator, *workerID, *workerBatch, *workerPool)
 		return
 	}
+	apiCfg, closeStore := buildAPIConfig(*maxRuns, *logReqs, *dataDir, *tenantsF, *noPersist)
+	defer closeStore()
 	var fl *fleet.Coordinator
 	if *fleetOn {
 		fl = fleet.NewCoordinator(fleet.Config{TTL: *fleetTTL})
@@ -109,7 +117,10 @@ func main() {
 				log.Printf("gridd: -%s is ignored in -topology mode (set it in %s)", f.Name, *topology)
 			}
 		})
-		runBroker(*topology, *addr, *drainT, *maxRuns, *logReqs, *pprofOn, fl)
+		if fl != nil {
+			apiCfg.Fleet = fl
+		}
+		runBroker(*topology, *addr, *drainT, apiCfg, *pprofOn)
 		return
 	}
 	kp := cluster.KillNewest
@@ -127,11 +138,10 @@ func main() {
 		log.Fatalf("gridd: %v", err)
 	}
 	eng.Start()
-	cfg := api.Config{MaxActive: *maxRuns, Log: requestLogger(*logReqs)}
 	if fl != nil {
-		cfg.Fleet = fl
+		apiCfg.Fleet = fl
 	}
-	runs := api.NewRunService(cfg)
+	runs := api.NewRunService(apiCfg)
 	defer runs.Close()
 	srv := &http.Server{Addr: *addr, Handler: withPprof(eng.Handler(runs), *pprofOn)}
 
@@ -151,8 +161,35 @@ func main() {
 	eng.Stop()
 }
 
+// buildAPIConfig assembles the shared run-service configuration: the
+// executor bounds, and — when requested — the durable store and the
+// tenant set. The returned closer releases the store's WAL handle.
+func buildAPIConfig(maxRuns int, logReqs bool, dataDir, tenantsPath string, noPersist bool) (api.Config, func()) {
+	cfg := api.Config{MaxActive: maxRuns, Log: requestLogger(logReqs)}
+	closeStore := func() {}
+	if dataDir != "" && !noPersist {
+		st, err := store.Open(dataDir, store.Options{})
+		if err != nil {
+			log.Fatalf("gridd: run store: %v", err)
+		}
+		cfg.Store = st
+		closeStore = func() { st.Close() }
+		log.Printf("gridd: durable run store at %s (%d runs recovered, seq %d)",
+			dataDir, len(st.Runs()), st.Seq())
+	}
+	if tenantsPath != "" {
+		ts, err := store.LoadTenants(tenantsPath)
+		if err != nil {
+			log.Fatalf("gridd: %v", err)
+		}
+		cfg.Tenants = ts
+		log.Printf("gridd: multi-tenant mode: %s", strings.Join(ts.Names(), ", "))
+	}
+	return cfg, closeStore
+}
+
 // runBroker serves a multi-cluster fleet from a topology file.
-func runBroker(path, addr string, drainT time.Duration, maxRuns int, logReqs, pprofOn bool, fl *fleet.Coordinator) {
+func runBroker(path, addr string, drainT time.Duration, cfg api.Config, pprofOn bool) {
 	topo, err := gridservice.LoadTopology(path)
 	if err != nil {
 		log.Fatalf("gridd: %v", err)
@@ -162,10 +199,6 @@ func runBroker(path, addr string, drainT time.Duration, maxRuns int, logReqs, pp
 		log.Fatalf("gridd: %v", err)
 	}
 	b.Start()
-	cfg := api.Config{MaxActive: maxRuns, Log: requestLogger(logReqs)}
-	if fl != nil {
-		cfg.Fleet = fl
-	}
 	runs := api.NewRunService(cfg)
 	defer runs.Close()
 	srv := &http.Server{Addr: addr, Handler: withPprof(b.Handler(runs), pprofOn)}

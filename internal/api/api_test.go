@@ -600,6 +600,7 @@ func TestSummarySingleSourceOfTruth(t *testing.T) {
 	sum := s.Summary()
 	var recomputed RunsSummary
 	recomputed.Evicted = sum.Evicted
+	recomputed.CacheHits = sum.CacheHits
 	for _, st := range s.List() {
 		recomputed.Total++
 		switch st.State {

@@ -1,0 +1,272 @@
+package api
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"strings"
+	"time"
+
+	"repro/internal/runtrace"
+	"repro/internal/scenario"
+	"repro/internal/store"
+	"repro/internal/trace"
+)
+
+// terminalPayload is the opaque Terminal blob the store keeps for a
+// finished run: everything needed to re-serve the status timings, the
+// SSE event history, /result in every format, and /trace byte-identically
+// after a restart. All fields are typed structs (no raw []any), so a
+// JSON round trip cannot blur int/float distinctions the text renderer
+// depends on.
+type terminalPayload struct {
+	Events     []Event      `json:"events,omitempty"`
+	Timings    []CellTiming `json:"timings,omitempty"`
+	CellsDone  int          `json:"cells_done,omitempty"`
+	CellsTotal int          `json:"cells_total,omitempty"`
+	Result     *resultRec   `json:"result,omitempty"`
+	// TraceJSONL is the run's event trace in the exact JSONL encoding
+	// /v1/runs/{id}/trace serves (runtrace round-trips it losslessly).
+	TraceJSONL string `json:"trace_jsonl,omitempty"`
+}
+
+// resultRec persists a scenario.Result. Form picks the rebuild path:
+// "cells" (typed cells re-render the table), "rows" (pre-rendered
+// string rows), or "custom" (captured text output of a figure).
+type resultRec struct {
+	Form    string     `json:"form"`
+	SpecID  string     `json:"spec_id,omitempty"`
+	Kind    string     `json:"kind,omitempty"`
+	Seed    uint64     `json:"seed"`
+	Title   string     `json:"title,omitempty"`
+	Headers []string   `json:"headers,omitempty"`
+	Axes    int        `json:"axes,omitempty"`
+	Cells   []cellRec  `json:"cells,omitempty"`
+	Rows    [][]string `json:"rows,omitempty"`
+	Text    string     `json:"text,omitempty"`
+}
+
+// cellRec is one typed result cell, values wrapped in the tagged Value
+// codec shared with the fleet wire protocol.
+type cellRec struct {
+	Index    int              `json:"index"`
+	Values   []scenario.Value `json:"values"`
+	Duration float64          `json:"duration_seconds,omitempty"`
+}
+
+// buildTerminal marshals a run's terminal payload. The service mutex
+// must be held (reads the run's mutable fields).
+func buildTerminal(r *Run) (json.RawMessage, error) {
+	p := terminalPayload{
+		Events:     r.events,
+		Timings:    r.timings,
+		CellsDone:  r.cellsDone,
+		CellsTotal: r.cellsTotal,
+	}
+	if r.result != nil {
+		rr, err := encodeResult(r.result)
+		if err != nil {
+			return nil, err
+		}
+		p.Result = rr
+		if len(r.result.Traces) > 0 {
+			var buf bytes.Buffer
+			if err := runtrace.WriteJSONL(&buf, r.result.Traces); err != nil {
+				return nil, err
+			}
+			p.TraceJSONL = buf.String()
+		}
+	}
+	return json.Marshal(&p)
+}
+
+func encodeResult(res *scenario.Result) (*resultRec, error) {
+	rr := &resultRec{
+		SpecID: res.SpecID, Kind: res.Kind, Seed: res.Seed,
+		Title: res.Title, Headers: res.Headers, Axes: res.Axes,
+	}
+	switch {
+	case res.Cells != nil:
+		rr.Form = "cells"
+		rr.Cells = make([]cellRec, len(res.Cells))
+		for i, c := range res.Cells {
+			vals := make([]scenario.Value, len(c.Values))
+			for j, v := range c.Values {
+				ev, err := scenario.EncodeValue(v)
+				if err != nil {
+					return nil, err
+				}
+				vals[j] = ev
+			}
+			rr.Cells[i] = cellRec{Index: c.Index, Values: vals, Duration: c.Duration}
+		}
+	case res.Table != nil:
+		rr.Form = "rows"
+		rr.Rows = res.Table.Rows
+	default:
+		// Custom renderer (figures): capture its text once; the render
+		// is deterministic, so the capture is the output.
+		rr.Form = "custom"
+		var buf bytes.Buffer
+		if err := res.EmitFormat(&buf, "text"); err != nil {
+			return nil, err
+		}
+		rr.Text = buf.String()
+	}
+	return rr, nil
+}
+
+func decodeResult(rr *resultRec, opt scenario.RunOptions) (*scenario.Result, error) {
+	var res *scenario.Result
+	switch rr.Form {
+	case "cells":
+		cells := make([]scenario.Cell, len(rr.Cells))
+		for i, c := range rr.Cells {
+			vals := make([]any, len(c.Values))
+			for j, v := range c.Values {
+				dv, err := v.Decode()
+				if err != nil {
+					return nil, err
+				}
+				vals[j] = dv
+			}
+			cells[i] = scenario.Cell{Index: c.Index, Values: vals, Duration: c.Duration}
+		}
+		// NewCellResult re-renders the text table from the typed cells —
+		// byte-identical because the Value codec round-trips exactly.
+		res = scenario.NewCellResult(rr.Title, rr.Headers, rr.Axes, cells)
+	case "rows":
+		res = scenario.TableResult(&trace.Table{Title: rr.Title, Headers: rr.Headers, Rows: rr.Rows})
+	case "custom":
+		text := rr.Text
+		res = scenario.CustomResult(func(w io.Writer) error {
+			_, err := io.WriteString(w, text)
+			return err
+		})
+		res.Title, res.Headers = rr.Title, rr.Headers
+	default:
+		return nil, fmt.Errorf("api: unknown persisted result form %q", rr.Form)
+	}
+	res.SpecID, res.Kind, res.Seed, res.Axes = rr.SpecID, rr.Kind, rr.Seed, rr.Axes
+	res.Options = opt
+	return res, nil
+}
+
+// applyTerminal restores a run's terminal fields from its persisted
+// payload.
+func applyTerminal(r *Run, payload json.RawMessage) error {
+	var p terminalPayload
+	if err := json.Unmarshal(payload, &p); err != nil {
+		return err
+	}
+	r.events = p.Events
+	r.timings = p.Timings
+	r.cellsDone, r.cellsTotal = p.CellsDone, p.CellsTotal
+	if p.Result != nil {
+		res, err := decodeResult(p.Result, r.opt)
+		if err != nil {
+			return err
+		}
+		if p.TraceJSONL != "" {
+			lines, err := runtrace.ParseLines(strings.NewReader(p.TraceJSONL))
+			if err != nil {
+				return err
+			}
+			traces, err := runtrace.Rebuild(lines)
+			if err != nil {
+				return err
+			}
+			res.Traces = traces
+		}
+		r.result = res
+	}
+	return nil
+}
+
+// record snapshots the run's durable identity for a WAL submit record.
+// The service mutex must be held.
+func (r *Run) record() *store.RunRecord {
+	return &store.RunRecord{
+		ID: r.id, Seq: uint64(r.seqNo), Tenant: r.tenant,
+		State: string(r.state), Error: r.err,
+		Cached: r.cached, MemoKey: r.memoKey,
+		Spec: r.specJSON, Seed: r.opt.Seed, JobFactor: r.opt.Scale.JobFactor,
+		Created: r.created, Started: r.started, Finished: r.finished,
+	}
+}
+
+// runFromRecord rebuilds a run from its durable record. The returned
+// run never executes (its context is pre-cancelled); non-terminal
+// records come back in their persisted state for the caller to repair.
+func runFromRecord(rec *store.RunRecord) (*Run, error) {
+	spec, err := scenario.Decode(bytes.NewReader(rec.Spec))
+	if err != nil {
+		return nil, fmt.Errorf("spec: %w", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := &Run{
+		id: rec.ID, seqNo: int(rec.Seq), spec: spec,
+		opt: scenario.RunOptions{
+			Seed: rec.Seed, SeedExplicit: true,
+			Scale: scenario.Scale{JobFactor: rec.JobFactor},
+		},
+		ctx: ctx, cancel: cancel,
+		state: RunState(rec.State), err: rec.Error,
+		created: rec.Created, started: rec.Started, finished: rec.Finished,
+		tenant: rec.Tenant, cached: rec.Cached, memoKey: rec.MemoKey,
+		specJSON: append(json.RawMessage(nil), rec.Spec...),
+		wake:     make(chan struct{}),
+	}
+	if r.state.Terminal() && rec.Terminal != nil {
+		if err := applyTerminal(r, rec.Terminal); err != nil {
+			return nil, fmt.Errorf("terminal payload: %w", err)
+		}
+	}
+	return r, nil
+}
+
+// recover rebuilds the run store from the durable store at boot: every
+// persisted run is restored, runs that were queued or running when the
+// process died are finalized as failed with a restart reason (and that
+// repair is itself persisted, so the next boot replays it instead of
+// re-deciding), the memo index is rebuilt from done runs, and the
+// monotonic counters (run ID sequence, eviction count, cache hits)
+// resume where they left off. Runs only before the executor pool
+// starts, so no locking is needed.
+func (s *RunService) recover() {
+	st := s.cfg.Store
+	for _, rec := range st.Runs() {
+		r, err := runFromRecord(rec)
+		if err != nil {
+			log.Printf("api: recover: dropping run %s: %v", rec.ID, err)
+			continue
+		}
+		if !r.state.Terminal() {
+			r.state = RunFailed
+			r.err = "interrupted by daemon restart"
+			r.finished = time.Now()
+			r.publish(Event{Type: "state", State: RunFailed, Error: r.err})
+			if err := st.Append(store.Record{
+				Op: "terminal", ID: r.id, State: string(RunFailed),
+				Error: r.err, Finished: r.finished,
+			}); err != nil {
+				log.Printf("api: recover: persist restart-failure %s: %v", r.id, err)
+			}
+		}
+		s.runs[r.id] = r
+		s.order = append(s.order, r)
+		if r.state == RunDone && r.memoKey != "" && !s.cfg.NoMemo {
+			if _, ok := s.memo[r.memoKey]; !ok {
+				s.memo[r.memoKey] = r
+			}
+		}
+	}
+	s.seq = int(st.Seq())
+	s.evicted = st.Evicted()
+	s.cacheHits = st.CacheHits()
+	s.evictLocked()
+}

@@ -1,0 +1,306 @@
+package api
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/store"
+)
+
+func openStoreT(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	st, err := store.Open(dir, store.Options{NoSync: true})
+	if err != nil {
+		t.Fatalf("store.Open(%s): %v", dir, err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+// copyStoreDir snapshots the persistence directory mid-flight — the
+// byte-level equivalent of kill -9 while the daemon is working.
+func copyStoreDir(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	ents, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		b, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+// getText fetches a path and returns the body (helper for byte-identity
+// checks on results and traces).
+func getText(t *testing.T, url, path string) (string, int) {
+	t.Helper()
+	resp, err := http.Get(url + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b), resp.StatusCode
+}
+
+// persistTracedSpec exercises a real catalog kind with event tracing on, so
+// the persisted payload carries result cells AND a JSONL trace.
+const persistTracedSpec = `{"spec":{"id":"persist-traced","kind":"online",` +
+	`"workload":{"n":40,"m":16,"rigid_fraction":1},` +
+	`"policies":["fcfs"],"params":{"rates":[0.3]},"trace":{"events":true}},"seed":7}`
+
+// TestRestartRecoversRuns: a service reopened on a byte-copy of the
+// persistence directory (taken while a run was still executing) serves
+// finished results, text renderings, traces and SSE history
+// byte-identically, fails the in-flight run with a restart reason,
+// keeps run IDs monotonic, and answers an identical resubmission from
+// the memo cache.
+func TestRestartRecoversRuns(t *testing.T) {
+	dir := t.TempDir()
+	_, srv := newTestService(t, Config{MaxActive: 2, MaxHistory: 8, Store: openStoreT(t, dir)})
+
+	done, code, _ := postRun(t, srv.URL, persistTracedSpec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	waitState(t, srv.URL, done.ID, RunDone)
+	wantJSON, _ := getText(t, srv.URL, "/v1/runs/"+done.ID+"/result")
+	wantText, _ := getText(t, srv.URL, "/v1/runs/"+done.ID+"/result?format=text")
+	wantTrace, _ := getText(t, srv.URL, "/v1/runs/"+done.ID+"/trace")
+	if !strings.Contains(wantTrace, `"ev":"meta"`) {
+		t.Fatalf("traced run produced no trace:\n%s", wantTrace)
+	}
+
+	inflight, _, _ := postRun(t, srv.URL, `{"spec":{"id":"g","kind":"api-gate","params":{"cells":1}}}`)
+	waitState(t, srv.URL, inflight.ID, RunRunning)
+
+	// kill -9: only the bytes already on disk survive.
+	svc2, srv2 := newTestService(t, Config{MaxActive: 2, MaxHistory: 8,
+		Store: openStoreT(t, copyStoreDir(t, dir))})
+
+	gotJSON, code := getText(t, srv2.URL, "/v1/runs/"+done.ID+"/result")
+	if code != http.StatusOK || gotJSON != wantJSON {
+		t.Fatalf("recovered result JSON diverges (status %d)\nwant:\n%s\ngot:\n%s", code, wantJSON, gotJSON)
+	}
+	gotText, _ := getText(t, srv2.URL, "/v1/runs/"+done.ID+"/result?format=text")
+	if gotText != wantText {
+		t.Fatalf("recovered text table diverges\nwant:\n%s\ngot:\n%s", wantText, gotText)
+	}
+	gotTrace, _ := getText(t, srv2.URL, "/v1/runs/"+done.ID+"/trace")
+	if gotTrace != wantTrace {
+		t.Fatalf("recovered trace diverges\nwant:\n%s\ngot:\n%s", wantTrace, gotTrace)
+	}
+
+	// SSE on a recovered terminal run replays history and closes on the
+	// terminal state event.
+	events, err := streamEvents(context.Background(), srv2.URL, done.ID)
+	if err != nil {
+		t.Fatalf("SSE on recovered run: %v", err)
+	}
+	last := events[len(events)-1]
+	if last.Type != "state" || last.State != RunDone {
+		t.Fatalf("recovered SSE history ends with %+v, want done state event", last)
+	}
+
+	// The run that was mid-flight at the crash is failed, with a reason
+	// that names the restart.
+	st := getStatus(t, srv2.URL, inflight.ID)
+	if st.State != RunFailed || !strings.Contains(st.Error, "interrupted by daemon restart") {
+		t.Fatalf("in-flight run recovered as %q (err %q), want failed/restart reason", st.State, st.Error)
+	}
+
+	// Run IDs stay monotonic across the restart: no recycled IDs.
+	next, _, _ := postRun(t, srv2.URL, `{"spec":{"id":"n","kind":"api-sleep","params":{"cells":1,"us":1}}}`)
+	if next.ID <= inflight.ID {
+		t.Fatalf("post-restart run ID %q not after pre-crash %q", next.ID, inflight.ID)
+	}
+
+	// An identical resubmission is a memo hit rebuilt from the store:
+	// immediately done, flagged cached, byte-identical result.
+	hit, code, _ := postRun(t, srv2.URL, persistTracedSpec)
+	if code != http.StatusAccepted || !hit.Cached || hit.State != RunDone {
+		t.Fatalf("resubmission after restart: status %d cached=%v state=%q", code, hit.Cached, hit.State)
+	}
+	hitJSON, _ := getText(t, srv2.URL, "/v1/runs/"+hit.ID+"/result")
+	if hitJSON != wantJSON {
+		t.Fatalf("cached result diverges from original\nwant:\n%s\ngot:\n%s", wantJSON, hitJSON)
+	}
+	if sum := svc2.Summary(); sum.CacheHits != 1 {
+		t.Fatalf("CacheHits = %d, want 1", sum.CacheHits)
+	}
+}
+
+// TestMemoization: identical submissions are answered from the cache
+// without re-executing cells; different seeds miss; NoMemo disables.
+func TestMemoization(t *testing.T) {
+	_, srv := newTestService(t, Config{MaxActive: 2, MaxHistory: 8})
+	body := `{"spec":{"id":"m","kind":"api-sleep","params":{"cells":2,"us":1}},"seed":9}`
+
+	first, _, _ := postRun(t, srv.URL, body)
+	if first.Cached {
+		t.Fatal("first submission claims cached")
+	}
+	waitState(t, srv.URL, first.ID, RunDone)
+	wantJSON, _ := getText(t, srv.URL, "/v1/runs/"+first.ID+"/result")
+
+	hit, _, _ := postRun(t, srv.URL, body)
+	if !hit.Cached || hit.State != RunDone || hit.ID == first.ID {
+		t.Fatalf("second submission: cached=%v state=%q id=%q (first %q)", hit.Cached, hit.State, hit.ID, first.ID)
+	}
+	if got, _ := getText(t, srv.URL, "/v1/runs/"+hit.ID+"/result"); got != wantJSON {
+		t.Fatalf("cached result diverges\nwant:\n%s\ngot:\n%s", wantJSON, got)
+	}
+
+	miss, _, _ := postRun(t, srv.URL, `{"spec":{"id":"m","kind":"api-sleep","params":{"cells":2,"us":1}},"seed":10}`)
+	if miss.Cached {
+		t.Fatal("different seed served from cache")
+	}
+	waitState(t, srv.URL, miss.ID, RunDone)
+
+	_, srvOff := newTestService(t, Config{MaxActive: 2, MaxHistory: 8, NoMemo: true})
+	a, _, _ := postRun(t, srvOff.URL, body)
+	waitState(t, srvOff.URL, a.ID, RunDone)
+	b, _, _ := postRun(t, srvOff.URL, body)
+	if b.Cached {
+		t.Fatal("NoMemo service served a cache hit")
+	}
+	waitState(t, srvOff.URL, b.ID, RunDone)
+}
+
+func postRunKey(t *testing.T, url, key, body string) (RunStatus, int, http.Header) {
+	t.Helper()
+	req, _ := http.NewRequest(http.MethodPost, url+"/v1/runs", strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	if key != "" {
+		req.Header.Set("X-API-Key", key)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st RunStatus
+	_ = decodeBody(resp.Body, &st)
+	return st, resp.StatusCode, resp.Header
+}
+
+func decodeBody(r io.Reader, out any) error {
+	b, err := io.ReadAll(r)
+	if err != nil || len(b) == 0 {
+		return err
+	}
+	return json.Unmarshal(b, out)
+}
+
+// TestTenantAuth: submissions need a configured key (401/403), each
+// tenant admits against its own quota (429 + Retry-After), reads stay
+// open, and cross-tenant cancellation is refused.
+func TestTenantAuth(t *testing.T) {
+	ts, err := store.ParseTenants([]byte(`[
+		{"name":"alpha","key":"alpha-key","max_active":1,"submit_rate":100,"burst":100},
+		{"name":"beta","key":"beta-key","max_active":1,"submit_rate":100,"burst":100},
+		{"name":"gamma","key":"gamma-key","max_active":4,"submit_rate":0.5,"burst":1}
+	]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, srv := newTestService(t, Config{MaxActive: 4, MaxHistory: 16, Tenants: ts})
+	gateBody := func(id string) string {
+		return `{"spec":{"id":"` + id + `","kind":"api-gate","params":{"cells":1}}}`
+	}
+
+	if _, code, hdr := postRunKey(t, srv.URL, "", gateBody("x")); code != http.StatusUnauthorized || hdr.Get("WWW-Authenticate") == "" {
+		t.Fatalf("missing key: status %d, WWW-Authenticate %q", code, hdr.Get("WWW-Authenticate"))
+	}
+	if _, code, _ := postRunKey(t, srv.URL, "wrong", gateBody("x")); code != http.StatusForbidden {
+		t.Fatalf("unknown key: status %d, want 403", code)
+	}
+
+	// Bearer form works too.
+	req, _ := http.NewRequest(http.MethodPost, srv.URL+"/v1/runs", strings.NewReader(gateBody("a1")))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Authorization", "Bearer alpha-key")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var aRun RunStatus
+	_ = decodeBody(resp.Body, &aRun)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || aRun.Tenant != "alpha" {
+		t.Fatalf("alpha submit: status %d tenant %q", resp.StatusCode, aRun.Tenant)
+	}
+
+	// Alpha is at max_active 1: its next submission is refused with a
+	// Retry-After hint — while beta admits independently.
+	_, code, hdr := postRunKey(t, srv.URL, "alpha-key", gateBody("a2"))
+	if code != http.StatusTooManyRequests || hdr.Get("Retry-After") == "" {
+		t.Fatalf("alpha over quota: status %d, Retry-After %q", code, hdr.Get("Retry-After"))
+	}
+	bRun, code, _ := postRunKey(t, srv.URL, "beta-key", gateBody("b1"))
+	if code != http.StatusAccepted || bRun.Tenant != "beta" {
+		t.Fatalf("beta submit while alpha throttled: status %d tenant %q", code, bRun.Tenant)
+	}
+
+	// Gamma has active slots free but a one-token bucket: the second
+	// submission is rate-limited, not slot-limited.
+	if _, code, _ := postRunKey(t, srv.URL, "gamma-key", `{"spec":{"id":"g1","kind":"api-sleep","params":{"cells":1,"us":1}}}`); code != http.StatusAccepted {
+		t.Fatalf("gamma first submit: status %d", code)
+	}
+	if _, code, _ := postRunKey(t, srv.URL, "gamma-key", `{"spec":{"id":"g2","kind":"api-sleep","params":{"cells":1,"us":1}}}`); code != http.StatusTooManyRequests {
+		t.Fatalf("gamma rate limit: status %d, want 429", code)
+	}
+
+	// Reads stay open: no key needed for status.
+	if st := getStatus(t, srv.URL, aRun.ID); st.ID != aRun.ID {
+		t.Fatalf("unauthenticated status read failed: %+v", st)
+	}
+
+	// Beta cannot cancel alpha's run; alpha can.
+	req, _ = http.NewRequest(http.MethodDelete, srv.URL+"/v1/runs/"+aRun.ID, nil)
+	req.Header.Set("X-API-Key", "beta-key")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("cross-tenant cancel: status %d, want 403", resp.StatusCode)
+	}
+	req, _ = http.NewRequest(http.MethodDelete, srv.URL+"/v1/runs/"+aRun.ID, nil)
+	req.Header.Set("X-API-Key", "alpha-key")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("own cancel: status %d, want 200", resp.StatusCode)
+	}
+	waitState(t, srv.URL, aRun.ID, RunCancelled)
+
+	// With the slot released, alpha admits again.
+	again, code, _ := postRunKey(t, srv.URL, "alpha-key", gateBody("a3"))
+	if code != http.StatusAccepted {
+		t.Fatalf("alpha after release: status %d", code)
+	}
+	_, _ = cancelRun(t, srv.URL, again.ID)
+	_, _ = cancelRun(t, srv.URL, bRun.ID)
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/scenario"
+	"repro/internal/store"
 )
 
 // RunState is the lifecycle state of one scenario run.
@@ -84,6 +85,11 @@ type RunStatus struct {
 	// Workers lists the fleet workers that contributed cells to this
 	// run (sorted; only in distributed mode).
 	Workers []string `json:"workers,omitempty"`
+	// Tenant names the submitting tenant (multi-tenant deployments).
+	Tenant string `json:"tenant,omitempty"`
+	// Cached marks a run whose result was served from the memo cache at
+	// submission time, without executing any cells.
+	Cached bool `json:"cached,omitempty"`
 }
 
 // Run is one scenario run tracked by the store. Every mutable field
@@ -91,15 +97,26 @@ type RunStatus struct {
 // run state and store state share one lock, so they never need to be
 // held separately.
 type Run struct {
-	id   string
-	spec *scenario.Spec
-	opt  scenario.RunOptions
+	id string
+	// seqNo is the monotonic submission sequence the id is derived
+	// from; it persists in the durable store so recovered listings
+	// never collide with new runs.
+	seqNo int
+	spec  *scenario.Spec
+	opt   scenario.RunOptions
+	// specJSON is the canonical spec encoding: the memoization identity
+	// and the durable submit record share these exact bytes.
+	specJSON []byte
 
 	ctx    context.Context
 	cancel context.CancelFunc
 
 	state      RunState
 	err        string
+	tenant     string
+	cached     bool
+	memoKey    string
+	tenantRef  *store.Tenant // admission slot to release at terminal
 	created    time.Time
 	started    time.Time
 	finished   time.Time
@@ -132,6 +149,7 @@ func (r *Run) status(includeCells bool) RunStatus {
 		State: r.state, Error: r.err,
 		CellsDone: r.cellsDone, CellsTotal: r.cellsTotal,
 		Created: r.created,
+		Tenant:  r.tenant, Cached: r.cached,
 	}
 	if r.result != nil {
 		st.Rows = len(r.result.Cells)

@@ -2,6 +2,7 @@ package api
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"log"
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/scenario"
+	"repro/internal/store"
 )
 
 // Config parameterizes a RunService.
@@ -39,6 +41,19 @@ type Config struct {
 	// local pool. Traced runs always execute locally — their recorders
 	// cannot ship over the wire.
 	Fleet Fleet
+	// Store, when set, makes the run store durable: submissions, state
+	// transitions and terminal results are WAL-persisted and the whole
+	// store is rebuilt from disk at boot (runs in flight at a crash
+	// recover as failed with a restart reason).
+	Store *store.Store
+	// Tenants, when set, turns on multi-tenancy: mutating endpoints
+	// require a tenant API key and admission is per-tenant (token
+	// bucket + active-run cap) instead of only the global bound.
+	Tenants *store.TenantSet
+	// NoMemo disables content-addressed result memoization (identical
+	// spec+seed submissions re-execute instead of returning the cached
+	// terminal run).
+	NoMemo bool
 }
 
 // Fleet is the coordinator seam of a distributed daemon: the api
@@ -89,8 +104,13 @@ type RunsSummary struct {
 	// ResultRows counts typed result cells across completed runs —
 	// read from the stored scenario.Result artifacts themselves.
 	ResultRows int `json:"result_rows"`
-	// Evicted counts terminal runs dropped by the bounded store.
+	// Evicted counts terminal runs dropped by the bounded store
+	// (monotonic across restarts when persistence is on).
 	Evicted int `json:"evicted"`
+	// CacheHits counts submissions served from the memo cache without
+	// executing cells (monotonic across restarts when persistence is
+	// on).
+	CacheHits uint64 `json:"cache_hits"`
 }
 
 // ErrBusy rejects submissions past the queue bound (HTTP 429).
@@ -106,25 +126,36 @@ var ErrStopped = errors.New("api: run service stopped")
 type RunService struct {
 	cfg Config
 
-	mu      sync.Mutex
-	runs    map[string]*Run
-	order   []*Run // insertion order (listing + eviction)
-	seq     int
-	active  int // queued or executing (not yet finalized)
-	evicted int
+	mu        sync.Mutex
+	runs      map[string]*Run
+	order     []*Run // insertion order (listing + eviction)
+	seq       int
+	active    int // queued or executing (not yet finalized)
+	evicted   int
+	cacheHits uint64
+	// memo maps a content address (canonical spec + seed + job factor +
+	// catalog hash) to the first done run carrying that result.
+	memo    map[string]*Run
 	stopped bool
 
 	queue chan *Run
 	wg    sync.WaitGroup
 }
 
-// NewRunService starts the executor pool (cfg.MaxActive workers).
+// NewRunService starts the executor pool (cfg.MaxActive workers). With
+// a durable store configured, the in-memory state is first rebuilt
+// from snapshot + WAL — before the pool starts, so recovered runs can
+// never race live ones.
 func NewRunService(cfg Config) *RunService {
 	cfg = cfg.fill()
 	s := &RunService{
 		cfg:   cfg,
 		runs:  map[string]*Run{},
+		memo:  map[string]*Run{},
 		queue: make(chan *Run, cfg.MaxActive+cfg.MaxPending),
+	}
+	if cfg.Store != nil {
+		s.recover()
 	}
 	for range cfg.MaxActive {
 		s.wg.Add(1)
@@ -162,7 +193,7 @@ func (s *RunService) Close() {
 func (s *RunService) Summary() RunsSummary {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	sum := RunsSummary{Total: len(s.order), Evicted: s.evicted}
+	sum := RunsSummary{Total: len(s.order), Evicted: s.evicted, CacheHits: s.cacheHits}
 	for _, r := range s.order {
 		switch r.state {
 		case RunQueued:
@@ -185,10 +216,12 @@ func (s *RunService) Summary() RunsSummary {
 	return sum
 }
 
-// httpErr pairs a status code with a message for the resolve step.
+// httpErr pairs a status code with a message for the resolve step;
+// 429 rejections may carry a per-tenant Retry-After hint.
 type httpErr struct {
-	code int
-	msg  string
+	code       int
+	msg        string
+	retryAfter time.Duration
 }
 
 // resolveSpec validates a submission and resolves its Spec — at
@@ -198,11 +231,11 @@ func (s *RunService) resolveSpec(req *scenario.HTTPRequest) (*scenario.Spec, *ht
 	var spec *scenario.Spec
 	switch {
 	case req.ID != "" && req.Spec != nil:
-		return nil, &httpErr{http.StatusBadRequest, "set either id or spec, not both"}
+		return nil, &httpErr{code: http.StatusBadRequest, msg: "set either id or spec, not both"}
 	case req.ID != "":
 		s, ok := scenario.Lookup(req.ID)
 		if !ok {
-			return nil, &httpErr{http.StatusNotFound, fmt.Sprintf("unknown scenario %q", req.ID)}
+			return nil, &httpErr{code: http.StatusNotFound, msg: fmt.Sprintf("unknown scenario %q", req.ID)}
 		}
 		spec = s
 	case req.Spec != nil:
@@ -214,12 +247,12 @@ func (s *RunService) resolveSpec(req *scenario.HTTPRequest) (*scenario.Spec, *ht
 		// (cancellation is cooperative per cell, so one huge cell could
 		// still pin a worker for its full duration).
 		if spec.Workload != nil && spec.Workload.N > s.cfg.MaxInlineJobs {
-			return nil, &httpErr{http.StatusBadRequest, fmt.Sprintf(
+			return nil, &httpErr{code: http.StatusBadRequest, msg: fmt.Sprintf(
 				"inline spec requests %d jobs (max %d server-side; run it through the CLI)",
 				spec.Workload.N, s.cfg.MaxInlineJobs)}
 		}
 		if spec.Grid != nil && spec.Grid.CampaignTasks > s.cfg.MaxInlineJobs {
-			return nil, &httpErr{http.StatusBadRequest, fmt.Sprintf(
+			return nil, &httpErr{code: http.StatusBadRequest, msg: fmt.Sprintf(
 				"inline spec requests %d campaign tasks (max %d server-side; run it through the CLI)",
 				spec.Grid.CampaignTasks, s.cfg.MaxInlineJobs)}
 		}
@@ -231,13 +264,13 @@ func (s *RunService) resolveSpec(req *scenario.HTTPRequest) (*scenario.Spec, *ht
 			spec.Trace.MaxEvents = maxInlineTraceEvents
 		}
 	default:
-		return nil, &httpErr{http.StatusBadRequest, "set id or spec"}
+		return nil, &httpErr{code: http.StatusBadRequest, msg: "set id or spec"}
 	}
 	if err := spec.Validate(); err != nil {
-		return nil, &httpErr{http.StatusBadRequest, err.Error()}
+		return nil, &httpErr{code: http.StatusBadRequest, msg: err.Error()}
 	}
 	if !scenario.HasKind(spec.Kind) {
-		return nil, &httpErr{http.StatusBadRequest, fmt.Sprintf("unknown scenario kind %q", spec.Kind)}
+		return nil, &httpErr{code: http.StatusBadRequest, msg: fmt.Sprintf("unknown scenario kind %q", spec.Kind)}
 	}
 	return spec, nil
 }
@@ -264,31 +297,85 @@ func options(spec *scenario.Spec, req *scenario.HTTPRequest) scenario.RunOptions
 }
 
 // Submit validates the request, registers a run and queues it for the
-// executor pool. It returns immediately; progress flows through the
-// run's event stream.
+// executor pool as the anonymous tenant. It returns immediately;
+// progress flows through the run's event stream.
 func (s *RunService) Submit(req scenario.HTTPRequest) (*Run, *httpErr) {
+	return s.SubmitAs(req, nil)
+}
+
+// SubmitAs is Submit on behalf of a tenant (nil = anonymous). The
+// order of gates matters: memoization first (a cache hit costs the
+// tenant a rate token but no executor capacity), then the global
+// backlog bound, then the tenant's own quota — so one tenant saturating
+// its quota never consumes global queue slots.
+func (s *RunService) SubmitAs(req scenario.HTTPRequest, tn *store.Tenant) (*Run, *httpErr) {
 	spec, herr := s.resolveSpec(&req)
 	if herr != nil {
 		return nil, herr
 	}
 	opt := options(spec, &req)
+	specJSON, err := json.Marshal(spec)
+	if err != nil {
+		return nil, &httpErr{code: http.StatusInternalServerError, msg: err.Error()}
+	}
+	var memoKey string
+	if !s.cfg.NoMemo {
+		memoKey = store.MemoKey(specJSON, opt.Seed, opt.Scale.JobFactor, scenario.CatalogHash())
+	}
+	now := time.Now()
 
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.stopped {
-		s.mu.Unlock()
-		return nil, &httpErr{http.StatusServiceUnavailable, ErrStopped.Error()}
+		return nil, &httpErr{code: http.StatusServiceUnavailable, msg: ErrStopped.Error()}
+	}
+	if memoKey != "" {
+		if src, ok := s.memo[memoKey]; ok && src.state == RunDone {
+			if tn != nil {
+				if ok, retry := tn.AdmitCached(now); !ok {
+					return nil, &httpErr{
+						code:       http.StatusTooManyRequests,
+						msg:        fmt.Sprintf("tenant %q submit rate exceeded; retry later", tn.Name),
+						retryAfter: retry,
+					}
+				}
+			}
+			return s.cachedRunLocked(src, spec, opt, specJSON, memoKey, tenantName(tn), now), nil
+		}
 	}
 	if s.active >= s.cfg.MaxActive+s.cfg.MaxPending {
-		s.mu.Unlock()
-		return nil, &httpErr{http.StatusTooManyRequests, ErrBusy.Error()}
+		return nil, &httpErr{code: http.StatusTooManyRequests, msg: ErrBusy.Error()}
+	}
+	if tn != nil {
+		if ok, retry := tn.Admit(now); !ok {
+			return nil, &httpErr{
+				code:       http.StatusTooManyRequests,
+				msg:        fmt.Sprintf("tenant %q quota exceeded; retry later", tn.Name),
+				retryAfter: retry,
+			}
+		}
 	}
 	s.seq++
 	ctx, cancel := context.WithCancel(context.Background())
 	r := &Run{
-		id: fmt.Sprintf("r%06d", s.seq), spec: spec, opt: opt,
+		id: fmt.Sprintf("r%06d", s.seq), seqNo: s.seq, spec: spec, opt: opt,
+		specJSON: specJSON, memoKey: memoKey,
+		tenant: tenantName(tn), tenantRef: tn,
 		ctx: ctx, cancel: cancel,
-		state: RunQueued, created: time.Now(),
+		state: RunQueued, created: now,
 		wake: make(chan struct{}),
+	}
+	if s.cfg.Store != nil {
+		// Persist before acknowledging: a submission the WAL never saw
+		// must not exist. On failure, undo the admission entirely.
+		if perr := s.cfg.Store.Append(store.Record{Op: "submit", Run: r.record()}); perr != nil {
+			s.seq--
+			if tn != nil {
+				tn.Release()
+			}
+			cancel()
+			return nil, &httpErr{code: http.StatusInternalServerError, msg: "persist submission: " + perr.Error()}
+		}
 	}
 	s.runs[r.id] = r
 	s.order = append(s.order, r)
@@ -298,8 +385,43 @@ func (s *RunService) Submit(req scenario.HTTPRequest) (*Run, *httpErr) {
 	// the active bound just checked), and holding s.mu means Close
 	// cannot close the channel between the stopped check and the send.
 	s.queue <- r
-	s.mu.Unlock()
 	return r, nil
+}
+
+// cachedRunLocked registers a memo-cache hit: a brand-new run that is
+// born done, sharing the source run's result artifact (immutable once
+// terminal). It never touches the executor pool. s.mu must be held.
+func (s *RunService) cachedRunLocked(src *Run, spec *scenario.Spec, opt scenario.RunOptions, specJSON []byte, memoKey, tenant string, now time.Time) *Run {
+	s.seq++
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := &Run{
+		id: fmt.Sprintf("r%06d", s.seq), seqNo: s.seq, spec: spec, opt: opt,
+		specJSON: specJSON, memoKey: memoKey,
+		tenant: tenant, cached: true,
+		ctx: ctx, cancel: cancel,
+		state: RunDone, created: now, finished: now,
+		cellsDone: src.cellsDone, cellsTotal: src.cellsTotal,
+		result: src.result,
+		wake:   make(chan struct{}),
+	}
+	r.publish(Event{Type: "state", State: RunDone})
+	s.cacheHits++
+	if s.cfg.Store != nil {
+		rec := r.record()
+		payload, perr := buildTerminal(r)
+		if perr == nil {
+			rec.Terminal = payload
+			perr = s.cfg.Store.Append(store.Record{Op: "submit", Run: rec})
+		}
+		if perr != nil {
+			log.Printf("api: persist cached run %s: %v", r.id, perr)
+		}
+	}
+	s.runs[r.id] = r
+	s.order = append(s.order, r)
+	s.evictLocked()
+	return r
 }
 
 // evictLocked drops the oldest terminal runs past MaxHistory.
@@ -319,6 +441,16 @@ func (s *RunService) evictLocked() {
 		delete(s.runs, r.id)
 		s.order = append(s.order[:victim], s.order[victim+1:]...)
 		s.evicted++
+		if r.memoKey != "" && s.memo[r.memoKey] == r {
+			// The memo entry dies with its backing run; the next
+			// identical submission re-executes and re-registers.
+			delete(s.memo, r.memoKey)
+		}
+		if s.cfg.Store != nil {
+			if err := s.cfg.Store.Append(store.Record{Op: "evict", ID: r.id}); err != nil {
+				log.Printf("api: persist eviction %s: %v", r.id, err)
+			}
+		}
 		if s.cfg.Fleet != nil {
 			s.cfg.Fleet.Forget(r.id)
 		}
@@ -336,6 +468,27 @@ func (s *RunService) terminateLocked(r *Run, state RunState, errMsg string) {
 	r.err = errMsg
 	r.finished = time.Now()
 	r.publish(Event{Type: "state", State: state, Error: errMsg})
+	if r.tenantRef != nil {
+		r.tenantRef.Release()
+		r.tenantRef = nil
+	}
+	if state == RunDone && r.memoKey != "" && !s.cfg.NoMemo {
+		if _, ok := s.memo[r.memoKey]; !ok {
+			s.memo[r.memoKey] = r
+		}
+	}
+	if s.cfg.Store != nil {
+		payload, err := buildTerminal(r)
+		if err == nil {
+			err = s.cfg.Store.Append(store.Record{
+				Op: "terminal", ID: r.id, State: string(state),
+				Error: errMsg, Finished: r.finished, Terminal: payload,
+			})
+		}
+		if err != nil {
+			log.Printf("api: persist terminal %s: %v", r.id, err)
+		}
+	}
 }
 
 // worker executes queued runs one at a time.
@@ -351,6 +504,13 @@ func (s *RunService) worker() {
 		r.state = RunRunning
 		r.started = time.Now()
 		r.publish(Event{Type: "state", State: RunRunning})
+		if s.cfg.Store != nil {
+			if err := s.cfg.Store.Append(store.Record{
+				Op: "state", ID: r.id, State: string(RunRunning), Started: r.started,
+			}); err != nil {
+				log.Printf("api: persist state %s: %v", r.id, err)
+			}
+		}
 		opt := r.opt
 		s.mu.Unlock()
 

@@ -1,0 +1,54 @@
+package api
+
+import (
+	"net/http"
+	"strings"
+
+	"repro/internal/store"
+)
+
+// tenantFor authenticates a mutating request against the configured
+// tenant set. Without a tenant set every caller is the anonymous
+// tenant (nil, ok) — single-user deployments need no keys. With one,
+// a missing key is 401 and an unknown key 403; both are answered here.
+// Read-only endpoints (status, results, traces, events) stay open:
+// results of the deterministic engine are reproducible from the public
+// catalog, so there is nothing secret to protect, and keeping them
+// keyless preserves every existing dashboard and CLI flow.
+func (s *RunService) tenantFor(w http.ResponseWriter, r *http.Request) (*store.Tenant, bool) {
+	if s.cfg.Tenants == nil {
+		return nil, true
+	}
+	key := requestKey(r)
+	if key == "" {
+		w.Header().Set("WWW-Authenticate", `Bearer realm="gridd"`)
+		WriteError(w, http.StatusUnauthorized, "missing API key (Authorization: Bearer <key> or X-API-Key)")
+		return nil, false
+	}
+	t, ok := s.cfg.Tenants.Lookup(key)
+	if !ok {
+		WriteError(w, http.StatusForbidden, "unknown API key")
+		return nil, false
+	}
+	return t, true
+}
+
+// requestKey extracts the API key from Authorization: Bearer or the
+// X-API-Key fallback (for clients that cannot set Authorization).
+func requestKey(r *http.Request) string {
+	if h := r.Header.Get("Authorization"); h != "" {
+		if rest, ok := strings.CutPrefix(h, "Bearer "); ok {
+			return strings.TrimSpace(rest)
+		}
+	}
+	return r.Header.Get("X-API-Key")
+}
+
+// tenantName is the status-facing name of a (possibly anonymous)
+// tenant.
+func tenantName(t *store.Tenant) string {
+	if t == nil {
+		return ""
+	}
+	return t.Name
+}

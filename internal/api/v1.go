@@ -3,6 +3,7 @@ package api
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"time"
 
@@ -54,20 +55,35 @@ func decodeRequest(w http.ResponseWriter, r *http.Request) (scenario.HTTPRequest
 }
 
 func (s *RunService) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	tn, ok := s.tenantFor(w, r)
+	if !ok {
+		return
+	}
 	req, ok := decodeRequest(w, r)
 	if !ok {
 		return
 	}
-	run, herr := s.Submit(req)
+	run, herr := s.SubmitAs(req, tn)
 	if herr != nil {
-		if herr.code == http.StatusTooManyRequests {
-			WriteBusy(w, s.RetryAfter(), herr.msg)
-			return
-		}
-		WriteError(w, herr.code, herr.msg)
+		s.writeSubmitErr(w, herr)
 		return
 	}
 	WriteJSON(w, http.StatusAccepted, s.Status(run, false))
+}
+
+// writeSubmitErr answers a rejected submission; 429s carry the
+// per-tenant Retry-After when the tenant's own quota (not the global
+// backlog) was the binding constraint.
+func (s *RunService) writeSubmitErr(w http.ResponseWriter, herr *httpErr) {
+	if herr.code == http.StatusTooManyRequests {
+		retry := herr.retryAfter
+		if retry <= 0 {
+			retry = s.RetryAfter()
+		}
+		WriteBusy(w, retry, herr.msg)
+		return
+	}
+	WriteError(w, herr.code, herr.msg)
 }
 
 func (s *RunService) handleList(w http.ResponseWriter, r *http.Request) {
@@ -96,9 +112,22 @@ func (s *RunService) handleStatus(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *RunService) handleCancel(w http.ResponseWriter, r *http.Request) {
+	tn, ok := s.tenantFor(w, r)
+	if !ok {
+		return
+	}
 	run, ok := s.lookup(w, r)
 	if !ok {
 		return
+	}
+	if tn != nil {
+		// Tenants may only cancel their own runs (runs recovered from a
+		// pre-tenancy store have no owner and stay cancellable).
+		if owner := s.Status(run, false); owner.Tenant != "" && owner.Tenant != tn.Name {
+			WriteError(w, http.StatusForbidden,
+				fmt.Sprintf("run %s belongs to tenant %q", owner.ID, owner.Tenant))
+			return
+		}
 	}
 	if !s.Cancel(run) {
 		WriteJSON(w, http.StatusConflict, s.Status(run, false))
@@ -222,17 +251,17 @@ func (s *RunService) RetryAfter() time.Duration {
 // when the run queue is full, where the old handler answered a bare
 // 503). Client disconnects cancel the run.
 func (s *RunService) handleLegacyScenario(w http.ResponseWriter, r *http.Request) {
+	tn, ok := s.tenantFor(w, r)
+	if !ok {
+		return
+	}
 	req, ok := decodeRequest(w, r)
 	if !ok {
 		return
 	}
-	run, herr := s.Submit(req)
+	run, herr := s.SubmitAs(req, tn)
 	if herr != nil {
-		if herr.code == http.StatusTooManyRequests {
-			WriteBusy(w, s.RetryAfter(), herr.msg)
-			return
-		}
-		WriteError(w, herr.code, herr.msg)
+		s.writeSubmitErr(w, herr)
 		return
 	}
 	st, err := s.Wait(r.Context(), run)
@@ -259,4 +288,16 @@ func (s *RunService) handleLegacyScenario(w http.ResponseWriter, r *http.Request
 		ID: st.SpecID, Kind: st.Kind, Seed: res.Seed,
 		Title: res.Table.Title, Headers: res.Table.Headers, Rows: res.Table.Rows,
 	})
+}
+
+// WriteRunMetrics appends the run-store series to a Prometheus text
+// exposition (shared by both daemon modes' /metrics handlers).
+func WriteRunMetrics(w io.Writer, sum RunsSummary) {
+	g := func(name, help, typ string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", name, help, name, typ, name, v)
+	}
+	g("gridd_runs_stored", "Scenario runs currently stored.", "gauge", float64(sum.Total))
+	g("gridd_runs_active", "Scenario runs queued or running.", "gauge", float64(sum.Queued+sum.Running))
+	g("gridd_runs_evicted_total", "Terminal runs evicted from the bounded history (monotonic across restarts with persistence).", "counter", float64(sum.Evicted))
+	g("gridd_run_cache_hits_total", "Run submissions served from the memo cache without executing cells.", "counter", float64(sum.CacheHits))
 }

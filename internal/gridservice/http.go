@@ -46,7 +46,7 @@ func (b *Broker) Handler(runs *api.RunService) http.Handler {
 	api.RegisterBoth(mux, "GET /campaigns", b.handleCampaigns)
 	api.RegisterBoth(mux, "GET /campaigns/{id}", b.handleCampaign)
 	api.RegisterBoth(mux, "GET /stats", b.statsHandler(runs))
-	api.RegisterBoth(mux, "GET /metrics", b.handleMetrics)
+	api.RegisterBoth(mux, "GET /metrics", b.metricsHandler(runs))
 	api.RegisterBoth(mux, "GET /policies", b.handlePolicies)
 	api.RegisterBoth(mux, "GET /topology", b.handleTopology)
 	runs.Mount(mux)
@@ -140,65 +140,70 @@ func (b *Broker) statsHandler(runs *api.RunService) http.HandlerFunc {
 	}
 }
 
-// handleMetrics renders fleet and per-cluster series in Prometheus text
-// exposition format. Per-cluster series carry a {cluster="name"} label.
-func (b *Broker) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	st, err := b.Stats()
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusServiceUnavailable)
-		return
-	}
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	head := func(name, help, typ string) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
-	}
-	fleet := func(name, help, typ string, v float64) {
-		head(name, help, typ)
-		fmt.Fprintf(w, "%s %g\n", name, v)
-	}
-	perCluster := func(name, help, typ string, get func(s service.Stats) float64) {
-		head(name, help, typ)
-		for _, c := range st.Clusters {
-			fmt.Fprintf(w, "%s{cluster=%q} %g\n", name, c.Name, get(c.Stats))
+// metricsHandler renders fleet and per-cluster series in Prometheus
+// text exposition format, plus the run-store series shared with the
+// single-cluster mode. Per-cluster series carry a {cluster="name"}
+// label.
+func (b *Broker) metricsHandler(runs *api.RunService) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		st, err := b.Stats()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
 		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		head := func(name, help, typ string) {
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		}
+		fleet := func(name, help, typ string, v float64) {
+			head(name, help, typ)
+			fmt.Fprintf(w, "%s %g\n", name, v)
+		}
+		perCluster := func(name, help, typ string, get func(s service.Stats) float64) {
+			head(name, help, typ)
+			for _, c := range st.Clusters {
+				fmt.Fprintf(w, "%s{cluster=%q} %g\n", name, c.Name, get(c.Stats))
+			}
+		}
+		fleet("gridd_fleet_clusters", "Clusters in the fleet.", "gauge", float64(st.Fleet.Clusters))
+		fleet("gridd_fleet_processors", "Total processors across the fleet.", "gauge", float64(st.Fleet.Procs))
+		fleet("gridd_fleet_jobs_submitted_total", "Jobs accepted by the broker since start.", "counter", float64(st.Fleet.Submitted))
+		fleet("gridd_fleet_jobs_completed_total", "Jobs completed across the fleet.", "counter", float64(st.Fleet.Completed))
+		fleet("gridd_fleet_jobs_waiting", "Jobs waiting across the fleet.", "gauge", float64(st.Fleet.Waiting))
+		fleet("gridd_fleet_jobs_running", "Jobs running across the fleet.", "gauge", float64(st.Fleet.Running))
+		fleet("gridd_fleet_migrations_total", "Queued jobs migrated between clusters.", "counter", float64(st.Fleet.Migrations))
+		fleet("gridd_fleet_campaigns_total", "Campaigns accepted.", "counter", float64(st.Fleet.Campaigns))
+		fleet("gridd_fleet_campaigns_done", "Campaigns fully completed.", "gauge", float64(st.Fleet.CampaignsDone))
+		fleet("gridd_fleet_campaign_stock", "Campaign tasks waiting in the central stock.", "gauge", float64(st.Fleet.Stock))
+		fleet("gridd_fleet_best_effort_completed_total", "Best-effort tasks completed fleet-wide.", "counter", float64(st.Fleet.BestEffort.Completed))
+		fleet("gridd_fleet_best_effort_killed_total", "Best-effort tasks killed fleet-wide.", "counter", float64(st.Fleet.BestEffort.Killed))
+		fleet("gridd_fleet_virtual_time_seconds", "Fleet virtual clock (max across clusters).", "gauge", st.Fleet.VirtualNow)
+		fleet("gridd_fleet_uptime_seconds", "Broker wall-clock uptime.", "gauge", st.Fleet.UptimeSeconds)
+		perCluster("gridd_cluster_processors", "Cluster width.", "gauge",
+			func(s service.Stats) float64 { return float64(s.M) })
+		// Gauge, not counter: migrations move tracked jobs between clusters,
+		// so the per-cluster value can decrease.
+		perCluster("gridd_cluster_jobs_tracked", "Jobs tracked by this cluster (migrations move them).", "gauge",
+			func(s service.Stats) float64 { return float64(s.Submitted) })
+		perCluster("gridd_cluster_jobs_completed_total", "Jobs completed on this cluster.", "counter",
+			func(s service.Stats) float64 { return float64(s.Completed) })
+		perCluster("gridd_cluster_jobs_waiting", "Jobs waiting on this cluster.", "gauge",
+			func(s service.Stats) float64 { return float64(s.Waiting) })
+		perCluster("gridd_cluster_jobs_running", "Jobs running on this cluster.", "gauge",
+			func(s service.Stats) float64 { return float64(s.Running) })
+		perCluster("gridd_cluster_utilization_ratio", "Processor-time utilization.", "gauge",
+			func(s service.Stats) float64 { return s.Report.Utilization })
+		perCluster("gridd_cluster_mean_flow_seconds", "Mean flow over completed jobs.", "gauge",
+			func(s service.Stats) float64 { return s.Report.MeanFlow })
+		perCluster("gridd_cluster_best_effort_completed_total", "Best-effort tasks completed here.", "counter",
+			func(s service.Stats) float64 { return float64(s.BestEffort.Completed) })
+		perCluster("gridd_cluster_best_effort_killed_total", "Best-effort tasks killed here.", "counter",
+			func(s service.Stats) float64 { return float64(s.BestEffort.Killed) })
+		perCluster("gridd_cluster_virtual_time_seconds", "Cluster virtual clock.", "gauge",
+			func(s service.Stats) float64 { return s.VirtualNow })
+		api.WriteRunMetrics(w, runs.Summary())
+		metrics.WriteTraceMetrics(w)
 	}
-	fleet("gridd_fleet_clusters", "Clusters in the fleet.", "gauge", float64(st.Fleet.Clusters))
-	fleet("gridd_fleet_processors", "Total processors across the fleet.", "gauge", float64(st.Fleet.Procs))
-	fleet("gridd_fleet_jobs_submitted_total", "Jobs accepted by the broker since start.", "counter", float64(st.Fleet.Submitted))
-	fleet("gridd_fleet_jobs_completed_total", "Jobs completed across the fleet.", "counter", float64(st.Fleet.Completed))
-	fleet("gridd_fleet_jobs_waiting", "Jobs waiting across the fleet.", "gauge", float64(st.Fleet.Waiting))
-	fleet("gridd_fleet_jobs_running", "Jobs running across the fleet.", "gauge", float64(st.Fleet.Running))
-	fleet("gridd_fleet_migrations_total", "Queued jobs migrated between clusters.", "counter", float64(st.Fleet.Migrations))
-	fleet("gridd_fleet_campaigns_total", "Campaigns accepted.", "counter", float64(st.Fleet.Campaigns))
-	fleet("gridd_fleet_campaigns_done", "Campaigns fully completed.", "gauge", float64(st.Fleet.CampaignsDone))
-	fleet("gridd_fleet_campaign_stock", "Campaign tasks waiting in the central stock.", "gauge", float64(st.Fleet.Stock))
-	fleet("gridd_fleet_best_effort_completed_total", "Best-effort tasks completed fleet-wide.", "counter", float64(st.Fleet.BestEffort.Completed))
-	fleet("gridd_fleet_best_effort_killed_total", "Best-effort tasks killed fleet-wide.", "counter", float64(st.Fleet.BestEffort.Killed))
-	fleet("gridd_fleet_virtual_time_seconds", "Fleet virtual clock (max across clusters).", "gauge", st.Fleet.VirtualNow)
-	fleet("gridd_fleet_uptime_seconds", "Broker wall-clock uptime.", "gauge", st.Fleet.UptimeSeconds)
-	perCluster("gridd_cluster_processors", "Cluster width.", "gauge",
-		func(s service.Stats) float64 { return float64(s.M) })
-	// Gauge, not counter: migrations move tracked jobs between clusters,
-	// so the per-cluster value can decrease.
-	perCluster("gridd_cluster_jobs_tracked", "Jobs tracked by this cluster (migrations move them).", "gauge",
-		func(s service.Stats) float64 { return float64(s.Submitted) })
-	perCluster("gridd_cluster_jobs_completed_total", "Jobs completed on this cluster.", "counter",
-		func(s service.Stats) float64 { return float64(s.Completed) })
-	perCluster("gridd_cluster_jobs_waiting", "Jobs waiting on this cluster.", "gauge",
-		func(s service.Stats) float64 { return float64(s.Waiting) })
-	perCluster("gridd_cluster_jobs_running", "Jobs running on this cluster.", "gauge",
-		func(s service.Stats) float64 { return float64(s.Running) })
-	perCluster("gridd_cluster_utilization_ratio", "Processor-time utilization.", "gauge",
-		func(s service.Stats) float64 { return s.Report.Utilization })
-	perCluster("gridd_cluster_mean_flow_seconds", "Mean flow over completed jobs.", "gauge",
-		func(s service.Stats) float64 { return s.Report.MeanFlow })
-	perCluster("gridd_cluster_best_effort_completed_total", "Best-effort tasks completed here.", "counter",
-		func(s service.Stats) float64 { return float64(s.BestEffort.Completed) })
-	perCluster("gridd_cluster_best_effort_killed_total", "Best-effort tasks killed here.", "counter",
-		func(s service.Stats) float64 { return float64(s.BestEffort.Killed) })
-	perCluster("gridd_cluster_virtual_time_seconds", "Cluster virtual clock.", "gauge",
-		func(s service.Stats) float64 { return s.VirtualNow })
-	metrics.WriteTraceMetrics(w)
 }
 
 type gridPolicyInfo struct {

@@ -45,7 +45,7 @@ func (e *Engine) Handler(runs *api.RunService) http.Handler {
 	api.RegisterBoth(mux, "GET /jobs/{id}", e.handleJob)
 	api.RegisterBoth(mux, "GET /queue", e.handleQueue)
 	api.RegisterBoth(mux, "GET /stats", e.statsHandler(runs))
-	api.RegisterBoth(mux, "GET /metrics", e.handleMetrics)
+	api.RegisterBoth(mux, "GET /metrics", e.metricsHandler(runs))
 	api.RegisterBoth(mux, "GET /policies", handlePolicies)
 	runs.Mount(mux)
 	return api.Wrap(mux, runs.Config().MaxBody, runs.Config().Log)
@@ -130,46 +130,50 @@ func (e *Engine) statsHandler(runs *api.RunService) http.HandlerFunc {
 	}
 }
 
-// handleMetrics renders the stats as Prometheus text exposition format
-// (fed from internal/metrics via Stats.Report).
-func (e *Engine) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	st, err := e.Stats()
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusServiceUnavailable)
-		return
+// metricsHandler renders the stats as Prometheus text exposition format
+// (fed from internal/metrics via Stats.Report), plus the run-store
+// series shared with the broker mode.
+func (e *Engine) metricsHandler(runs *api.RunService) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		st, err := e.Stats()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		g := func(name, help, typ string, v float64) {
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", name, help, name, typ, name, v)
+		}
+		g("gridd_jobs_submitted_total", "Jobs accepted since start.", "counter", float64(st.Submitted))
+		g("gridd_jobs_completed_total", "Jobs completed since start.", "counter", float64(st.Completed))
+		g("gridd_jobs_waiting", "Jobs waiting (pending arrival or queued).", "gauge", float64(st.Waiting))
+		g("gridd_jobs_running", "Jobs currently running.", "gauge", float64(st.Running))
+		g("gridd_processors", "Cluster width.", "gauge", float64(st.M))
+		g("gridd_virtual_time_seconds", "Virtual simulation clock.", "gauge", st.VirtualNow)
+		g("gridd_uptime_seconds", "Wall-clock uptime.", "gauge", st.UptimeSeconds)
+		g("gridd_time_dilation", "Simulated seconds per wall second (0 = free-running).", "gauge", st.Dilation)
+		g("gridd_makespan_seconds", "Cmax over completed jobs.", "gauge", st.Report.Makespan)
+		g("gridd_mean_flow_seconds", "Mean flow time over completed jobs.", "gauge", st.Report.MeanFlow)
+		g("gridd_max_flow_seconds", "Max flow time over completed jobs.", "gauge", st.Report.MaxFlow)
+		g("gridd_mean_stretch", "Mean normalized stretch over completed jobs.", "gauge", st.Report.MeanStretch)
+		g("gridd_max_stretch", "Max normalized stretch over completed jobs.", "gauge", st.Report.MaxStretch)
+		g("gridd_utilization_ratio", "Fraction of the processor-time area used.", "gauge", st.Report.Utilization)
+		g("gridd_best_effort_completed_total", "Best-effort tasks completed.", "counter", float64(st.BestEffort.Completed))
+		g("gridd_best_effort_killed_total", "Best-effort tasks killed.", "counter", float64(st.BestEffort.Killed))
+		g("gridd_best_effort_redistributed_total", "Killed best-effort tasks re-arrived after drifting through the stock.", "counter", float64(st.BestEffort.Redistributed))
+		g("gridd_fault_crashes_total", "Capacity-loss events injected.", "counter", float64(st.Report.Faults.Crashes))
+		g("gridd_fault_repairs_total", "Capacity-return events.", "counter", float64(st.Report.Faults.Repairs))
+		g("gridd_fault_requeues_total", "Local jobs killed by crashes and requeued.", "counter", float64(st.Report.Faults.Requeues))
+		g("gridd_fault_lost_work_seconds", "Reference-speed work destroyed by crashes.", "counter", st.Report.Faults.LostWork)
+		g("gridd_fault_down_proc_seconds", "Integrated unavailable capacity.", "counter", st.Report.Faults.DownProcSeconds)
+		drained := 0.0
+		if st.Drained {
+			drained = 1
+		}
+		g("gridd_drained", "1 once the service stopped accepting submissions.", "gauge", drained)
+		api.WriteRunMetrics(w, runs.Summary())
+		metrics.WriteTraceMetrics(w)
 	}
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	g := func(name, help, typ string, v float64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", name, help, name, typ, name, v)
-	}
-	g("gridd_jobs_submitted_total", "Jobs accepted since start.", "counter", float64(st.Submitted))
-	g("gridd_jobs_completed_total", "Jobs completed since start.", "counter", float64(st.Completed))
-	g("gridd_jobs_waiting", "Jobs waiting (pending arrival or queued).", "gauge", float64(st.Waiting))
-	g("gridd_jobs_running", "Jobs currently running.", "gauge", float64(st.Running))
-	g("gridd_processors", "Cluster width.", "gauge", float64(st.M))
-	g("gridd_virtual_time_seconds", "Virtual simulation clock.", "gauge", st.VirtualNow)
-	g("gridd_uptime_seconds", "Wall-clock uptime.", "gauge", st.UptimeSeconds)
-	g("gridd_time_dilation", "Simulated seconds per wall second (0 = free-running).", "gauge", st.Dilation)
-	g("gridd_makespan_seconds", "Cmax over completed jobs.", "gauge", st.Report.Makespan)
-	g("gridd_mean_flow_seconds", "Mean flow time over completed jobs.", "gauge", st.Report.MeanFlow)
-	g("gridd_max_flow_seconds", "Max flow time over completed jobs.", "gauge", st.Report.MaxFlow)
-	g("gridd_mean_stretch", "Mean normalized stretch over completed jobs.", "gauge", st.Report.MeanStretch)
-	g("gridd_max_stretch", "Max normalized stretch over completed jobs.", "gauge", st.Report.MaxStretch)
-	g("gridd_utilization_ratio", "Fraction of the processor-time area used.", "gauge", st.Report.Utilization)
-	g("gridd_best_effort_completed_total", "Best-effort tasks completed.", "counter", float64(st.BestEffort.Completed))
-	g("gridd_best_effort_killed_total", "Best-effort tasks killed.", "counter", float64(st.BestEffort.Killed))
-	g("gridd_best_effort_redistributed_total", "Killed best-effort tasks re-arrived after drifting through the stock.", "counter", float64(st.BestEffort.Redistributed))
-	g("gridd_fault_crashes_total", "Capacity-loss events injected.", "counter", float64(st.Report.Faults.Crashes))
-	g("gridd_fault_repairs_total", "Capacity-return events.", "counter", float64(st.Report.Faults.Repairs))
-	g("gridd_fault_requeues_total", "Local jobs killed by crashes and requeued.", "counter", float64(st.Report.Faults.Requeues))
-	g("gridd_fault_lost_work_seconds", "Reference-speed work destroyed by crashes.", "counter", st.Report.Faults.LostWork)
-	g("gridd_fault_down_proc_seconds", "Integrated unavailable capacity.", "counter", st.Report.Faults.DownProcSeconds)
-	drained := 0.0
-	if st.Drained {
-		drained = 1
-	}
-	g("gridd_drained", "1 once the service stopped accepting submissions.", "gauge", drained)
-	metrics.WriteTraceMetrics(w)
 }
 
 // PolicyInfo is the /policies JSON shape for one local queue policy,

@@ -1,0 +1,20 @@
+package store
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// MemoKey content-addresses a run's terminal result. Two submissions
+// share a key exactly when the deterministic engine guarantees them
+// byte-identical output: same canonical spec JSON, same effective seed,
+// same invocation-level job factor, and the same scenario catalog (the
+// catalog hash changes whenever any kind's semantics could have) —
+// which is what makes serving the memoized result indistinguishable
+// from re-executing the cells.
+func MemoKey(specJSON []byte, seed uint64, jobFactor int, catalogHash string) string {
+	h := fnv.New64a()
+	h.Write(specJSON)
+	fmt.Fprintf(h, "|%d|%d|%s", seed, jobFactor, catalogHash)
+	return fmt.Sprintf("%016x", h.Sum64())
+}

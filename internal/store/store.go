@@ -1,0 +1,450 @@
+// Package store is the durable, multi-tenant run store behind the /v1
+// run API: a stdlib-only append-only WAL (length-prefixed, CRC32-framed
+// JSON records) with periodic compacting snapshots, per-tenant API keys
+// and token-bucket admission quotas, and content-addressed memoization
+// of terminal results.
+//
+// The store persists run lifecycle facts, not live state: a submit
+// record (the full run identity — spec, seed, tenant, memo key), state
+// transitions, one terminal record carrying the opaque result payload,
+// and evictions. Boot is snapshot + WAL replay through the same apply
+// path used for live appends, so a recovered store is byte-identical to
+// the live one at the moment of the last acknowledged append — the
+// property the prefix-replay tests pin. Runs that were queued or
+// running when the process died are the caller's to repair (the API
+// layer marks them failed with a restart reason); the store itself
+// never invents transitions.
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Options tunes a Store.
+type Options struct {
+	// NoSync skips the per-append fsync (tests; never production).
+	NoSync bool
+	// CompactBytes triggers a compacting snapshot once the live WAL
+	// exceeds this size. 0 means the 8 MiB default; negative disables
+	// auto-compaction.
+	CompactBytes int64
+}
+
+const defaultCompactBytes = 8 << 20
+
+// RunRecord is the durable identity and outcome of one run. Spec and
+// Terminal are opaque JSON payloads owned by the API layer; the store
+// only guarantees they come back byte-identical.
+type RunRecord struct {
+	ID     string `json:"id"`
+	Seq    uint64 `json:"seq"`
+	Tenant string `json:"tenant,omitempty"`
+	State  string `json:"state"`
+	Error  string `json:"error,omitempty"`
+	// Cached marks a run whose terminal result was served from the memo
+	// cache at submit time, without executing cells.
+	Cached  bool            `json:"cached,omitempty"`
+	MemoKey string          `json:"memo_key,omitempty"`
+	Spec    json.RawMessage `json:"spec,omitempty"`
+	Seed    uint64          `json:"seed"`
+	// JobFactor persists the invocation-level scale override so a
+	// recovered run's memo identity matches a fresh submission's.
+	JobFactor int             `json:"job_factor,omitempty"`
+	Created   time.Time       `json:"created"`
+	Started   time.Time       `json:"started,omitzero"`
+	Finished  time.Time       `json:"finished,omitzero"`
+	Terminal  json.RawMessage `json:"terminal,omitempty"`
+}
+
+func (r *RunRecord) clone() *RunRecord {
+	c := *r
+	return &c
+}
+
+// Record is one WAL entry.
+type Record struct {
+	// Op is "submit" (Run set), "state" (ID, State, Started), "terminal"
+	// (ID, State, Error, Finished, Terminal) or "evict" (ID).
+	Op       string          `json:"op"`
+	Run      *RunRecord      `json:"run,omitempty"`
+	ID       string          `json:"id,omitempty"`
+	State    string          `json:"state,omitempty"`
+	Error    string          `json:"error,omitempty"`
+	Started  time.Time       `json:"started,omitzero"`
+	Finished time.Time       `json:"finished,omitzero"`
+	Terminal json.RawMessage `json:"terminal,omitempty"`
+}
+
+// snapshot is the on-disk compaction format: full store state at a
+// generation boundary. Seq and Evicted ride along so run IDs and the
+// eviction counter stay monotonic across restarts.
+type snapshot struct {
+	Gen       int          `json:"gen"`
+	Seq       uint64       `json:"seq"`
+	Evicted   int          `json:"evicted"`
+	CacheHits uint64       `json:"cache_hits"`
+	Runs      []*RunRecord `json:"runs"`
+}
+
+// Store is the durable run store. Safe for concurrent use.
+type Store struct {
+	dir string
+	opt Options
+
+	mu        sync.Mutex
+	gen       int
+	w         *walWriter
+	seq       uint64
+	evicted   int
+	cacheHits uint64
+	order     []string
+	runs      map[string]*RunRecord
+}
+
+// Open loads (or initialises) the store in dir: it picks the newest
+// valid snapshot generation, replays that generation's WAL through the
+// live apply path (truncating a torn tail), and deletes stale
+// generations.
+func Open(dir string, opt Options) (*Store, error) {
+	if opt.CompactBytes == 0 {
+		opt.CompactBytes = defaultCompactBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{dir: dir, opt: opt, runs: make(map[string]*RunRecord)}
+	if err := s.load(); err != nil {
+		return nil, err
+	}
+	w, err := openWAL(s.walPath(s.gen), opt.NoSync)
+	if err != nil {
+		return nil, err
+	}
+	s.w = w
+	s.removeStaleGenerations()
+	return s, nil
+}
+
+func (s *Store) snapshotPath(gen int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("snapshot-%08d.json", gen))
+}
+
+func (s *Store) walPath(gen int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("wal-%08d.log", gen))
+}
+
+// load restores state from the newest parseable snapshot plus its WAL.
+// A corrupt newest snapshot falls back to the previous generation — its
+// files are still on disk because deletion happens only after the next
+// snapshot is durable.
+func (s *Store) load() error {
+	gens, err := s.generations()
+	if err != nil {
+		return err
+	}
+	s.gen = 0
+	for i := len(gens) - 1; i >= 0; i-- {
+		snap, err := readSnapshot(s.snapshotPath(gens[i]))
+		if err != nil {
+			continue // corrupt or half-written snapshot: try older
+		}
+		s.gen = gens[i]
+		s.seq = snap.Seq
+		s.evicted = snap.Evicted
+		s.cacheHits = snap.CacheHits
+		for _, r := range snap.Runs {
+			s.runs[r.ID] = r
+			s.order = append(s.order, r.ID)
+		}
+		break
+	}
+	return replayWAL(s.walPath(s.gen), func(payload []byte) error {
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return fmt.Errorf("store: corrupt WAL record: %v", err)
+		}
+		s.apply(&rec)
+		return nil
+	})
+}
+
+// generations lists snapshot generation numbers present in dir,
+// ascending. Generation 0 (no snapshot file, just wal-00000000.log) is
+// implicit and always valid.
+func (s *Store) generations() ([]int, error) {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var gens []int
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasPrefix(name, "snapshot-") || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "snapshot-"), ".json"))
+		if err != nil {
+			continue
+		}
+		gens = append(gens, n)
+	}
+	sort.Ints(gens)
+	return gens, nil
+}
+
+func readSnapshot(path string) (*snapshot, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var snap snapshot
+	if err := json.Unmarshal(b, &snap); err != nil {
+		return nil, err
+	}
+	return &snap, nil
+}
+
+// removeStaleGenerations deletes snapshot/WAL files of every generation
+// other than the live one. Best-effort: a leftover file only wastes
+// disk, it can never be picked over a newer valid snapshot.
+func (s *Store) removeStaleGenerations() {
+	gens, err := s.generations()
+	if err != nil {
+		return
+	}
+	for _, g := range gens {
+		if g == s.gen {
+			continue
+		}
+		os.Remove(s.snapshotPath(g))
+		os.Remove(s.walPath(g))
+	}
+	if s.gen != 0 {
+		os.Remove(s.walPath(0))
+	}
+}
+
+// apply folds one record into in-memory state. It is the single code
+// path shared by live appends and boot replay — the reason replay
+// reconstructs live state exactly.
+func (s *Store) apply(rec *Record) {
+	switch rec.Op {
+	case "submit":
+		r := rec.Run.clone()
+		if _, dup := s.runs[r.ID]; dup {
+			return // replay safety: duplicate submits are impossible live
+		}
+		s.runs[r.ID] = r
+		s.order = append(s.order, r.ID)
+		if r.Seq > s.seq {
+			s.seq = r.Seq
+		}
+		if r.Cached {
+			s.cacheHits++
+		}
+	case "state":
+		r := s.runs[rec.ID]
+		if r == nil {
+			return
+		}
+		r.State = rec.State
+		if !rec.Started.IsZero() {
+			r.Started = rec.Started
+		}
+	case "terminal":
+		r := s.runs[rec.ID]
+		if r == nil {
+			return
+		}
+		r.State = rec.State
+		r.Error = rec.Error
+		r.Finished = rec.Finished
+		r.Terminal = rec.Terminal
+	case "evict":
+		if _, ok := s.runs[rec.ID]; !ok {
+			return
+		}
+		delete(s.runs, rec.ID)
+		for i, id := range s.order {
+			if id == rec.ID {
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				break
+			}
+		}
+		s.evicted++
+	}
+}
+
+// Append persists one record (WAL append + fsync) and folds it into
+// memory. The record is durable before Append returns; on error nothing
+// was acknowledged and in-memory state is unchanged.
+func (s *Store) Append(rec Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	payload, err := json.Marshal(&rec)
+	if err != nil {
+		return err
+	}
+	if err := s.w.append(payload); err != nil {
+		return err
+	}
+	s.apply(&rec)
+	if s.opt.CompactBytes > 0 && s.w.size > s.opt.CompactBytes {
+		return s.compactLocked()
+	}
+	return nil
+}
+
+// Compact writes a full snapshot of the next generation (tmp + rename +
+// dir fsync), switches appends to a fresh WAL, and deletes the old
+// generation. Crash-safe at every step: until the rename lands, boot
+// uses the old snapshot + old WAL; after it, the new snapshot alone
+// carries the state.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.compactLocked()
+}
+
+func (s *Store) compactLocked() error {
+	next := s.gen + 1
+	snap := snapshot{
+		Gen:       next,
+		Seq:       s.seq,
+		Evicted:   s.evicted,
+		CacheHits: s.cacheHits,
+		Runs:      make([]*RunRecord, 0, len(s.order)),
+	}
+	for _, id := range s.order {
+		snap.Runs = append(snap.Runs, s.runs[id])
+	}
+	b, err := json.Marshal(&snap)
+	if err != nil {
+		return err
+	}
+	tmp := s.snapshotPath(next) + ".tmp"
+	if err := writeFileSync(tmp, b, s.opt.NoSync); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, s.snapshotPath(next)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if !s.opt.NoSync {
+		syncDir(s.dir)
+	}
+	w, err := openWAL(s.walPath(next), s.opt.NoSync)
+	if err != nil {
+		return err
+	}
+	old, oldGen := s.w, s.gen
+	s.w, s.gen = w, next
+	old.close()
+	os.Remove(s.walPath(oldGen))
+	os.Remove(s.snapshotPath(oldGen))
+	return nil
+}
+
+// Close releases the WAL file handle. The store stays readable.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.w == nil {
+		return nil
+	}
+	err := s.w.close()
+	s.w = nil
+	return err
+}
+
+// Seq returns the highest run sequence number ever persisted; new run
+// IDs must start above it so recovered listings never collide.
+func (s *Store) Seq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
+}
+
+// Evicted returns the all-time eviction count (monotonic across
+// restarts).
+func (s *Store) Evicted() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.evicted
+}
+
+// CacheHits returns the all-time memo cache hit count.
+func (s *Store) CacheHits() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cacheHits
+}
+
+// Runs returns the stored runs in submission order. The records are the
+// store's own (treat as read-only); callers consuming them across
+// appends must clone.
+func (s *Store) Runs() []*RunRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*RunRecord, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.runs[id])
+	}
+	return out
+}
+
+// Dump renders the full store state as canonical JSON — the
+// byte-identity oracle for the prefix-replay property tests.
+func (s *Store) Dump() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := snapshot{
+		Seq:       s.seq,
+		Evicted:   s.evicted,
+		CacheHits: s.cacheHits,
+		Runs:      make([]*RunRecord, 0, len(s.order)),
+	}
+	for _, id := range s.order {
+		snap.Runs = append(snap.Runs, s.runs[id])
+	}
+	b, err := json.MarshalIndent(&snap, "", "  ")
+	if err != nil {
+		panic("store: dump marshal: " + err.Error())
+	}
+	return b
+}
+
+func writeFileSync(path string, b []byte, noSync bool) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		return err
+	}
+	if !noSync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
+}
+
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}

@@ -1,0 +1,279 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func openT(t *testing.T, dir string, opt Options) *Store {
+	t.Helper()
+	opt.NoSync = true
+	s, err := Open(dir, opt)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return s
+}
+
+// copyDir simulates kill -9: the on-disk bytes at this instant are all
+// a restarted process gets.
+func copyDir(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	ents, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		b, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+func mustAppend(t *testing.T, s *Store, rec Record) {
+	t.Helper()
+	if err := s.Append(rec); err != nil {
+		t.Fatalf("Append(%+v): %v", rec, err)
+	}
+}
+
+func submitRec(seq uint64, tenant string, terminal bool) Record {
+	id := fmt.Sprintf("r%06d", seq)
+	r := &RunRecord{
+		ID: id, Seq: seq, Tenant: tenant, State: "queued",
+		Spec:    json.RawMessage(fmt.Sprintf(`{"id":"spec-%d","kind":"mrt"}`, seq)),
+		Seed:    seq * 17,
+		Created: time.Unix(int64(1700000000+seq), 0).UTC(),
+	}
+	if terminal {
+		r.State = "done"
+		r.Cached = true
+		r.MemoKey = fmt.Sprintf("%016x", seq)
+		r.Finished = r.Created
+		r.Terminal = json.RawMessage(`{"events":[{"seq":0,"type":"state","state":"done"}]}`)
+	}
+	return Record{Op: "submit", Run: r}
+}
+
+// TestPrefixReplayProperty is the crash-recovery property test: over a
+// randomized run history (submits, state transitions, terminal results,
+// cached submissions, evictions, interleaved compactions), the store
+// reopened from a byte-copy of the directory is byte-identical (via the
+// canonical Dump) to the live store at EVERY prefix of the history —
+// i.e. kill -9 after any acknowledged append loses nothing.
+func TestPrefixReplayProperty(t *testing.T) {
+	for _, compact := range []int64{-1, 1 << 10} { // no auto-compaction / aggressive
+		t.Run(fmt.Sprintf("compactBytes=%d", compact), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			dir := t.TempDir()
+			live := openT(t, dir, Options{CompactBytes: compact})
+			defer live.Close()
+
+			var liveIDs []string // non-terminal and terminal still stored
+			terminal := map[string]bool{}
+			seq := uint64(0)
+			const ops = 120
+			for i := 0; i < ops; i++ {
+				switch k := rng.Intn(10); {
+				case k < 4 || len(liveIDs) == 0: // submit
+					seq++
+					cached := rng.Intn(4) == 0
+					rec := submitRec(seq, []string{"", "alpha", "beta"}[rng.Intn(3)], cached)
+					mustAppend(t, live, rec)
+					liveIDs = append(liveIDs, rec.Run.ID)
+					if cached {
+						terminal[rec.Run.ID] = true
+					}
+				case k < 6: // state transition on a random live run
+					id := liveIDs[rng.Intn(len(liveIDs))]
+					if !terminal[id] {
+						mustAppend(t, live, Record{
+							Op: "state", ID: id, State: "running",
+							Started: time.Unix(int64(1700100000+seq), 0).UTC(),
+						})
+					}
+				case k < 8: // terminal result
+					id := liveIDs[rng.Intn(len(liveIDs))]
+					if !terminal[id] {
+						st := []string{"done", "failed", "cancelled"}[rng.Intn(3)]
+						mustAppend(t, live, Record{
+							Op: "terminal", ID: id, State: st,
+							Error:    map[bool]string{true: "", false: "boom"}[st == "done"],
+							Finished: time.Unix(int64(1700200000+seq), 0).UTC(),
+							Terminal: json.RawMessage(fmt.Sprintf(`{"cells_done":%d}`, rng.Intn(50))),
+						})
+						terminal[id] = true
+					}
+				default: // evict a terminal run, if any
+					for _, id := range liveIDs {
+						if terminal[id] {
+							mustAppend(t, live, Record{Op: "evict", ID: id})
+							for j, v := range liveIDs {
+								if v == id {
+									liveIDs = append(liveIDs[:j], liveIDs[j+1:]...)
+									break
+								}
+							}
+							delete(terminal, id)
+							break
+						}
+					}
+				}
+
+				want := live.Dump()
+				re := openT(t, copyDir(t, dir), Options{CompactBytes: compact})
+				got := re.Dump()
+				re.Close()
+				if !bytes.Equal(want, got) {
+					t.Fatalf("op %d: reopened store diverges from live store\nlive:\n%s\nreopened:\n%s", i, want, got)
+				}
+			}
+			if seq < 20 {
+				t.Fatalf("degenerate history: only %d submits", seq)
+			}
+		})
+	}
+}
+
+// TestTornTailTruncated: a partial final frame (the write the crash cut
+// short) is truncated on replay, never fatal, and the store equals the
+// last fully acknowledged state. New appends after recovery land on a
+// clean frame boundary.
+func TestTornTailTruncated(t *testing.T) {
+	for _, torn := range [][]byte{
+		{0x00}, // torn length word
+		{0x00, 0x00, 0x00, 0x20, 0xde, 0xad, 0xbe, 0xef, 0x01, 0x02}, // full header, partial payload
+		bytes.Repeat([]byte{0xff}, 12),                               // garbage length (> walMaxRecord)
+	} {
+		dir := t.TempDir()
+		s := openT(t, dir, Options{CompactBytes: -1})
+		mustAppend(t, s, submitRec(1, "alpha", false))
+		mustAppend(t, s, submitRec(2, "beta", true))
+		want := s.Dump()
+		s.Close()
+
+		wal := filepath.Join(dir, "wal-00000000.log")
+		f, err := os.OpenFile(wal, os.O_WRONLY|os.O_APPEND, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write(torn); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+
+		re := openT(t, dir, Options{CompactBytes: -1})
+		if got := re.Dump(); !bytes.Equal(want, got) {
+			t.Fatalf("torn tail %x: state diverges\nwant:\n%s\ngot:\n%s", torn, want, got)
+		}
+		// The torn bytes must be gone: the next append starts a valid frame.
+		mustAppend(t, re, submitRec(3, "alpha", false))
+		re.Close()
+		re2 := openT(t, dir, Options{CompactBytes: -1})
+		if re2.Seq() != 3 {
+			t.Fatalf("torn tail %x: post-recovery append lost (seq %d, want 3)", torn, re2.Seq())
+		}
+		re2.Close()
+	}
+}
+
+// TestCorruptMiddleRecord: a bit flip inside an earlier record cuts
+// replay at that record (framing downstream is untrustworthy), keeping
+// the intact prefix.
+func TestCorruptMiddleRecord(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{CompactBytes: -1})
+	mustAppend(t, s, submitRec(1, "", false))
+	afterFirst := s.Dump()
+	mustAppend(t, s, submitRec(2, "", false))
+	s.Close()
+
+	wal := filepath.Join(dir, "wal-00000000.log")
+	b, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-3] ^= 0xff // inside the second record's payload
+	if err := os.WriteFile(wal, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re := openT(t, dir, Options{CompactBytes: -1})
+	defer re.Close()
+	if got := re.Dump(); !bytes.Equal(afterFirst, got) {
+		t.Fatalf("corrupt record: want first-record prefix\nwant:\n%s\ngot:\n%s", afterFirst, got)
+	}
+}
+
+// TestCompactionSurvivesRestart: counters (seq, evicted, cache hits)
+// and run order persist through compaction + reopen, and stale
+// generations are cleaned up.
+func TestCompactionSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{CompactBytes: -1})
+	for i := uint64(1); i <= 5; i++ {
+		mustAppend(t, s, submitRec(i, "alpha", i%2 == 0))
+	}
+	mustAppend(t, s, Record{Op: "evict", ID: "r000002"})
+	if err := s.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	mustAppend(t, s, submitRec(6, "beta", false))
+	want := s.Dump()
+	s.Close()
+
+	re := openT(t, dir, Options{CompactBytes: -1})
+	defer re.Close()
+	if got := re.Dump(); !bytes.Equal(want, got) {
+		t.Fatalf("post-compaction reopen diverges\nwant:\n%s\ngot:\n%s", want, got)
+	}
+	if re.Seq() != 6 || re.Evicted() != 1 || re.CacheHits() != 2 {
+		t.Fatalf("counters: seq=%d evicted=%d cacheHits=%d, want 6/1/2",
+			re.Seq(), re.Evicted(), re.CacheHits())
+	}
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 2 { // snapshot-00000001.json + wal-00000001.log
+		var names []string
+		for _, e := range ents {
+			names = append(names, e.Name())
+		}
+		t.Fatalf("stale generations not cleaned: %v", names)
+	}
+}
+
+// TestCorruptSnapshotFallsBack: a half-written newest snapshot (crash
+// during compaction, before the WAL switch was acknowledged) falls back
+// to the previous generation.
+func TestCorruptSnapshotFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{CompactBytes: -1})
+	mustAppend(t, s, submitRec(1, "", false))
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, s, submitRec(2, "", false))
+	want := s.Dump()
+	s.Close()
+
+	// A torn next-generation snapshot appears (rename landed, content bad).
+	if err := os.WriteFile(filepath.Join(dir, "snapshot-00000002.json"), []byte(`{"gen":2,`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re := openT(t, dir, Options{CompactBytes: -1})
+	defer re.Close()
+	if got := re.Dump(); !bytes.Equal(want, got) {
+		t.Fatalf("corrupt snapshot: fallback diverges\nwant:\n%s\ngot:\n%s", want, got)
+	}
+}

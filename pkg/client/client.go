@@ -46,6 +46,38 @@ func (e *Error) Error() string {
 	return fmt.Sprintf("client: status %d: %s", e.Status, e.Message)
 }
 
+// Sentinel errors for the authentication and quota rejections of a
+// multi-tenant daemon. They match through errors.Is, so callers can
+// branch without digging status codes out of *Error:
+//
+//	if errors.Is(err, client.ErrQuotaExceeded) { backoff() }
+var (
+	// ErrUnauthorized is a 401: the daemon requires an API key and the
+	// request carried none (see WithAPIKey).
+	ErrUnauthorized = errors.New("client: unauthorized (missing API key)")
+	// ErrForbidden is a 403: the API key is not a configured tenant's,
+	// or the key's tenant does not own the targeted run.
+	ErrForbidden = errors.New("client: forbidden (unknown API key or not the run's tenant)")
+	// ErrQuotaExceeded is a 429: the tenant's admission quota (or the
+	// daemon's global backlog bound) rejected the submission; the
+	// *Error carries the per-tenant Retry-After hint.
+	ErrQuotaExceeded = errors.New("client: quota exceeded; retry later")
+)
+
+// Is maps the typed API error onto the exported sentinels, keyed by
+// status code.
+func (e *Error) Is(target error) bool {
+	switch target {
+	case ErrUnauthorized:
+		return e.Status == http.StatusUnauthorized
+	case ErrForbidden:
+		return e.Status == http.StatusForbidden
+	case ErrQuotaExceeded:
+		return e.Status == http.StatusTooManyRequests
+	}
+	return false
+}
+
 // IsNotFound reports whether err is a 404 API error.
 func IsNotFound(err error) bool {
 	var e *Error
@@ -64,6 +96,7 @@ type Client struct {
 	hc      *http.Client
 	retries int
 	backoff time.Duration
+	apiKey  string
 }
 
 // Option customizes a Client.
@@ -80,6 +113,12 @@ func WithRetries(n int) Option { return func(c *Client) { c.retries = n } }
 // WithBackoff sets the initial retry backoff (doubles per attempt;
 // a server Retry-After hint wins when larger).
 func WithBackoff(d time.Duration) Option { return func(c *Client) { c.backoff = d } }
+
+// WithAPIKey attaches a tenant API key (Authorization: Bearer) to
+// every request — required by daemons started with -tenants. An empty
+// key is a no-op, so callers can pass os.Getenv("GRIDD_API_KEY")
+// unconditionally.
+func WithAPIKey(key string) Option { return func(c *Client) { c.apiKey = key } }
 
 // New builds a client for the daemon at base (e.g.
 // "http://localhost:8042").
@@ -191,6 +230,9 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if c.apiKey != "" {
+		req.Header.Set("Authorization", "Bearer "+c.apiKey)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return &Error{Message: err.Error()}
@@ -216,6 +258,9 @@ func (c *Client) text(ctx context.Context, path string) (string, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
 	if err != nil {
 		return "", &Error{Message: err.Error()}
+	}
+	if c.apiKey != "" {
+		req.Header.Set("Authorization", "Bearer "+c.apiKey)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {

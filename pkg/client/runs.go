@@ -98,6 +98,9 @@ func (c *Client) StreamEvents(ctx context.Context, id string, fn func(api.Event)
 		return &Error{Message: err.Error()}
 	}
 	req.Header.Set("Accept", "text/event-stream")
+	if c.apiKey != "" {
+		req.Header.Set("Authorization", "Bearer "+c.apiKey)
+	}
 	// Streams outlive the default request timeout: use a timeout-free
 	// copy of the transport and rely on ctx for cancellation.
 	hc := &http.Client{Transport: c.hc.Transport}
